@@ -1,0 +1,64 @@
+//! Criterion bench: contingency-table tallying and marginalization — the
+//! data-structure hot path behind every EDF computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use df_data::workloads::random_joint_counts;
+use df_prob::contingency::{Axis, ContingencyTable};
+use df_prob::rng::Pcg32;
+use std::hint::black_box;
+
+fn bench_increment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contingency/increment");
+    for n_records in [10_000usize, 100_000] {
+        let mut rng = Pcg32::new(7);
+        // Pre-generate record index streams (outcome, a, b, c).
+        let records: Vec<[usize; 4]> = (0..n_records)
+            .map(|_| {
+                [
+                    rng.next_below(2) as usize,
+                    rng.next_below(4) as usize,
+                    rng.next_below(2) as usize,
+                    rng.next_below(2) as usize,
+                ]
+            })
+            .collect();
+        group.throughput(Throughput::Elements(n_records as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_records),
+            &records,
+            |b, records| {
+                b.iter(|| {
+                    let axes = vec![
+                        Axis::from_strs("y", &["0", "1"]).unwrap(),
+                        Axis::from_strs("a", &["0", "1", "2", "3"]).unwrap(),
+                        Axis::from_strs("b", &["0", "1"]).unwrap(),
+                        Axis::from_strs("c", &["0", "1"]).unwrap(),
+                    ];
+                    let mut t = ContingencyTable::zeros(axes).unwrap();
+                    for r in records {
+                        t.increment(r);
+                    }
+                    black_box(t.total())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_marginalize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contingency/marginalize");
+    let mut rng = Pcg32::new(8);
+    for arity in [4usize, 8, 16] {
+        // outcome × arity × arity × 2 cells.
+        let table = random_joint_counts(&mut rng, 2, &[arity, arity, 2], 100).unwrap();
+        group.throughput(Throughput::Elements(table.num_cells() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(arity), &table, |b, t| {
+            b.iter(|| black_box(t.marginalize(&["outcome", "attr0"]).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_increment, bench_marginalize);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench: scaling of the ε kernel in the number of intersections
+//! and outcomes.
+//!
+//! The kernel is O(groups × outcomes) by tracking per-outcome extremes;
+//! this bench pins that behaviour (and guards against an accidental
+//! O(groups²) regression in the witness tracking).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use df_core::GroupOutcomes;
+use df_prob::rng::Pcg32;
+use std::hint::black_box;
+
+fn table(n_groups: usize, n_outcomes: usize, rng: &mut Pcg32) -> GroupOutcomes {
+    let mut probs = Vec::with_capacity(n_groups * n_outcomes);
+    for _ in 0..n_groups {
+        let mut row: Vec<f64> = (0..n_outcomes).map(|_| 0.05 + rng.next_f64()).collect();
+        let total: f64 = row.iter().sum();
+        row.iter_mut().for_each(|v| *v /= total);
+        probs.extend(row);
+    }
+    GroupOutcomes::with_uniform_weights(
+        (0..n_outcomes).map(|y| format!("y{y}")).collect(),
+        (0..n_groups).map(|g| format!("g{g}")).collect(),
+        probs,
+    )
+    .expect("valid table")
+}
+
+fn bench_groups(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epsilon_kernel/groups");
+    let mut rng = Pcg32::new(1);
+    for n_groups in [4usize, 16, 64, 256, 1024] {
+        let t = table(n_groups, 2, &mut rng);
+        group.throughput(Throughput::Elements(n_groups as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n_groups), &t, |b, t| {
+            b.iter(|| black_box(t.epsilon()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_outcomes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epsilon_kernel/outcomes");
+    let mut rng = Pcg32::new(2);
+    for n_outcomes in [2usize, 8, 32, 128] {
+        let t = table(64, n_outcomes, &mut rng);
+        group.throughput(Throughput::Elements(n_outcomes as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n_outcomes), &t, |b, t| {
+            b.iter(|| black_box(t.epsilon()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_groups, bench_outcomes);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench: logistic-regression training (Newton/IRLS) and
+//! prediction on Adult-scale feature matrices — the Table 3 inner loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use df_data::adult::synth::{generate, SynthConfig};
+use df_data::encode::{binary_labels, FrameEncoder};
+use df_learn::logistic::{LogisticConfig, LogisticRegression};
+use df_learn::pipeline::ADULT_BASE_FEATURES;
+use std::hint::black_box;
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("logistic/newton_fit");
+    group.sample_size(10);
+    for n in [2_000usize, 8_000, 32_561] {
+        let d = generate(&SynthConfig {
+            seed: 6,
+            n_train: n,
+            n_test: 16,
+            ..SynthConfig::default()
+        })
+        .unwrap()
+        .with_protected()
+        .unwrap();
+        let enc = FrameEncoder::fit(&d.train, &ADULT_BASE_FEATURES).unwrap();
+        let x = enc.transform(&d.train).unwrap();
+        let y = binary_labels(&d.train, "income", ">50K").unwrap();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(x, y), |b, (x, y)| {
+            b.iter(|| {
+                black_box(LogisticRegression::fit(x, y, &LogisticConfig::default()).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let d = generate(&SynthConfig {
+        seed: 6,
+        n_train: 16_281,
+        n_test: 16,
+        ..SynthConfig::default()
+    })
+    .unwrap()
+    .with_protected()
+    .unwrap();
+    let enc = FrameEncoder::fit(&d.train, &ADULT_BASE_FEATURES).unwrap();
+    let x = enc.transform(&d.train).unwrap();
+    let y = binary_labels(&d.train, "income", ">50K").unwrap();
+    let model = LogisticRegression::fit(&x, &y, &LogisticConfig::default()).unwrap();
+    let mut group = c.benchmark_group("logistic/predict");
+    group.throughput(Throughput::Elements(x.n_rows as u64));
+    group.bench_function("proba_16k_rows", |b| {
+        b.iter(|| black_box(model.predict_proba(&x).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training, bench_prediction);
+criterion_main!(benches);

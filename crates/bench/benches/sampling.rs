@@ -1,0 +1,86 @@
+//! Criterion bench: sampling kernels — alias-method categorical draws,
+//! normal variates, Dirichlet vectors, and the synthetic-Adult row
+//! generator throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use df_data::adult::synth::{generate, SynthConfig};
+use df_prob::dist::{Categorical, Dirichlet, Normal, Sampler};
+use df_prob::rng::Pcg32;
+use std::hint::black_box;
+
+fn bench_categorical(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling/categorical_alias");
+    for k in [4usize, 64, 1024] {
+        let weights: Vec<f64> = (1..=k).map(|i| 1.0 / i as f64).collect();
+        let dist = Categorical::new(&weights).unwrap();
+        group.throughput(Throughput::Elements(10_000));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &dist, |b, dist| {
+            let mut rng = Pcg32::new(3);
+            b.iter(|| {
+                let mut acc = 0usize;
+                for _ in 0..10_000 {
+                    acc = acc.wrapping_add(dist.sample(&mut rng));
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_normal(c: &mut Criterion) {
+    c.bench_function("sampling/normal_polar_10k", |b| {
+        let dist = Normal::standard();
+        let mut rng = Pcg32::new(4);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..10_000 {
+                acc += dist.sample(&mut rng);
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_dirichlet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling/dirichlet");
+    for k in [2usize, 8, 32] {
+        let dist = Dirichlet::symmetric(k, 1.5).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &dist, |b, dist| {
+            let mut rng = Pcg32::new(5);
+            b.iter(|| black_box(dist.sample(&mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_adult_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling/adult_synth");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("generate_10k_rows", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(
+                generate(&SynthConfig {
+                    seed,
+                    n_train: 10_000,
+                    n_test: 16,
+                    ..SynthConfig::default()
+                })
+                .unwrap(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_categorical,
+    bench_normal,
+    bench_dirichlet,
+    bench_adult_rows
+);
+criterion_main!(benches);

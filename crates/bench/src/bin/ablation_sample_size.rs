@@ -1,0 +1,101 @@
+//! Ablation C: sampling error of the EDF estimator vs dataset size.
+//!
+//! Draws iid synthetic-Adult samples of increasing size and measures the
+//! plug-in ε̂ of Eq. 6 against the known population ε (2.135 for the full
+//! race × gender × nationality intersection). Shows the upward bias of the
+//! max-of-ratios estimator at small N, its decay, and how Eq. 7 smoothing
+//! (α = 1) tempers it — quantifying why the quota-allocated default
+//! generator is used for the Table 2 reproduction.
+//!
+//! Run with `cargo run -p df-bench --release --bin ablation_sample_size`.
+
+use df_core::report::{Align, TextTable};
+use df_core::JointCounts;
+use df_data::adult::calibration;
+use df_data::adult::synth::{self, CellAllocation, SynthConfig};
+use df_prob::rng::Pcg32;
+use df_prob::summary::RunningMoments;
+
+fn epsilon_at(n: usize, seed: u64, alpha: f64) -> f64 {
+    let d = synth::generate(&SynthConfig {
+        seed,
+        n_train: n,
+        n_test: 16,
+        allocation: CellAllocation::Iid,
+    })
+    .expect("generation")
+    .with_protected()
+    .expect("protected prep");
+    let jc = JointCounts::from_table(
+        d.train
+            .contingency(&["income", "race_m", "gender", "nationality"])
+            .expect("contingency"),
+        "income",
+    )
+    .expect("joint counts");
+    jc.edf_smoothed(alpha).expect("epsilon").epsilon
+}
+
+fn main() {
+    let truth = calibration::population_epsilon(0b111);
+    df_bench::print_header(
+        "Ablation C: sampling error of eps-EDF vs dataset size",
+        &format!("population truth eps = {truth:.3} (full intersection); 12 seeds per N"),
+    );
+
+    let sizes = [500usize, 2_000, 8_000, 32_561, 130_000, 520_000];
+    let mut table = TextTable::new(&[
+        "N",
+        "mean eps (Eq.6)",
+        "sd",
+        "#inf",
+        "mean eps (Eq.7, a=1)",
+        "sd",
+        "bias vs truth",
+    ])
+    .align(&[
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
+
+    let mut rng = Pcg32::new(0xC0DE);
+    for &n in &sizes {
+        let mut raw = RunningMoments::new();
+        let mut infinite = 0usize;
+        let mut smoothed = RunningMoments::new();
+        for _ in 0..12 {
+            let seed = rng.next_u32_raw() as u64;
+            let e_raw = epsilon_at(n, seed, 0.0);
+            if e_raw.is_finite() {
+                raw.push(e_raw);
+            } else {
+                infinite += 1;
+            }
+            smoothed.push(epsilon_at(n, seed, 1.0));
+        }
+        table.row(&[
+            format!("{n}"),
+            format!("{:.3}", raw.mean()),
+            format!("{:.3}", raw.std_dev()),
+            format!("{infinite}"),
+            format!("{:.3}", smoothed.mean()),
+            format!("{:.3}", smoothed.std_dev()),
+            format!("{:+.3}", smoothed.mean() - truth),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!("reading:");
+    println!("- the plug-in estimator overshoots the population eps at small N:");
+    println!("  the max over 16 intersections of noisy log-ratios is biased up;");
+    println!("- smoothing reduces both the bias and the variance, at the cost of");
+    println!("  shrinking large-N estimates slightly below truth;");
+    println!("- at the paper's N = 32,561 the residual bias of the iid estimator");
+    println!("  motivates the quota-allocated default generator used by table2");
+    println!("  (which matches the population joint by construction).");
+}

@@ -1,0 +1,108 @@
+//! Ablation A: Dirichlet smoothing (Eq. 6 vs Eq. 7).
+//!
+//! Sweeps the concentration α over the Adult joint counts and over a small
+//! subsample, showing (i) how smoothing tempers ε on rare intersections,
+//! (ii) how Eq. 6's ε becomes infinite once an intersection has a
+//! zero-count outcome, and Eq. 7 rescues it.
+//!
+//! Run with `cargo run -p df-bench --release --bin ablation_smoothing`.
+
+use df_core::report::{fmt_epsilon, Align, TextTable};
+use df_core::JointCounts;
+use df_data::adult::synth::{self, CellAllocation, SynthConfig};
+use df_prob::rng::Pcg32;
+
+const ALPHAS: [f64; 7] = [0.0, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0];
+
+fn adult_counts(n_train: usize, seed: u64) -> JointCounts {
+    let d = synth::generate(&SynthConfig {
+        seed,
+        n_train,
+        n_test: 16,
+        allocation: CellAllocation::Iid,
+    })
+    .expect("generation")
+    .with_protected()
+    .expect("protected prep");
+    JointCounts::from_table(
+        d.train
+            .contingency(&["income", "race_m", "gender", "nationality"])
+            .expect("contingency"),
+        "income",
+    )
+    .expect("joint counts")
+}
+
+fn main() {
+    df_bench::print_header(
+        "Ablation A: Dirichlet smoothing of differential fairness (Eq. 7)",
+        "eps vs alpha at several sample sizes (iid-sampled synthetic Adult)",
+    );
+
+    let sizes = [200usize, 1_000, 5_000, 32_561];
+    let mut table = TextTable::new(&["alpha", "N=200", "N=1000", "N=5000", "N=32561"]).align(&[
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
+
+    // 8 independent datasets per size; cells report the mean over seeds
+    // (infinite estimates render as `inf` and taint the mean, which is the
+    // honest summary for Eq. 6 at small N).
+    let counts: Vec<Vec<JointCounts>> = sizes
+        .iter()
+        .map(|&n| (0..8).map(|s| adult_counts(n, 0xA1FA + s)).collect())
+        .collect();
+    for alpha in ALPHAS {
+        let mut row = vec![format!("{alpha}")];
+        for per_size in &counts {
+            let mean = per_size
+                .iter()
+                .map(|c| c.edf_smoothed(alpha).expect("epsilon").epsilon)
+                .sum::<f64>()
+                / per_size.len() as f64;
+            row.push(fmt_epsilon(mean));
+        }
+        table.row(&row);
+    }
+    println!("{}", table.render());
+
+    println!("reading:");
+    println!("- alpha = 0 (Eq. 6) is infinite at small N: some intersection has a");
+    println!("  zero-count outcome, so the ratio in Definition 3.1 is unbounded;");
+    println!("- any alpha > 0 (Eq. 7) keeps eps finite, and larger alpha shrinks");
+    println!("  eps toward 0 as every group's estimate is pulled to uniform;");
+    println!("- at N = 32,561 the effect of alpha in [0.1, 2] is small: the data");
+    println!("  dominates the prior, which is why the paper's Table 3 choice of");
+    println!("  alpha = 1 is innocuous at full scale.");
+
+    // Expected-eps stability across seeds at small N (smoothing as variance
+    // reduction).
+    println!("\nseed-to-seed spread of eps at N = 500 (10 seeds):");
+    let mut rng = Pcg32::new(99);
+    for alpha in [0.0, 1.0] {
+        let mut values = Vec::new();
+        for _ in 0..10 {
+            let seed = rng.next_u32_raw() as u64;
+            let eps = adult_counts(500, seed)
+                .edf_smoothed(alpha)
+                .expect("epsilon")
+                .epsilon;
+            values.push(eps);
+        }
+        let finite: Vec<f64> = values.iter().copied().filter(|e| e.is_finite()).collect();
+        let infinite = values.len() - finite.len();
+        if finite.is_empty() {
+            println!("  alpha = {alpha}: {infinite}/10 infinite (no finite estimates)");
+            continue;
+        }
+        let mean = finite.iter().sum::<f64>() / finite.len() as f64;
+        let spread =
+            (finite.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / finite.len() as f64).sqrt();
+        println!(
+            "  alpha = {alpha}: {infinite}/10 infinite; finite mean {mean:.3}, sd {spread:.3}"
+        );
+    }
+}

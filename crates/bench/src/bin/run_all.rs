@@ -1,0 +1,40 @@
+//! Runs every experiment binary in sequence — the one-command reproduction
+//! of all of the paper's tables and figures plus the ablations.
+//!
+//! Run with `cargo run -p df-bench --release --bin run_all`.
+
+use std::process::Command;
+
+const BINARIES: [&str; 6] = [
+    "fig2",
+    "table1",
+    "table2",
+    "table3",
+    "ablation_smoothing",
+    "ablation_bound",
+];
+
+// ablation_sample_size is excluded from the default sweep because its
+// largest setting generates half a million rows per seed; run it directly.
+
+fn main() {
+    let exe = std::env::current_exe().expect("current executable path");
+    let dir = exe.parent().expect("binary directory");
+    let mut failures = Vec::new();
+    for bin in BINARIES {
+        println!("\n############ {bin} ############\n");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            failures.push(bin);
+        }
+    }
+    println!("\n############ summary ############");
+    if failures.is_empty() {
+        println!("all {} experiments completed", BINARIES.len());
+    } else {
+        println!("FAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Reproduces Table 3 of the paper: differential fairness of a logistic
+//! regression on Adult as a function of which sensitive attributes are used
+//! as features, with Dirichlet smoothing α = 1 (Eq. 7), plus bias
+//! amplification against the test data's ε and the test error rate.
+//!
+//! Run with `cargo run -p df-bench --release --bin table3`.
+
+use df_core::amplification::BiasAmplification;
+use df_core::report::{Align, TextTable};
+use df_core::JointCounts;
+use df_data::adult::synth;
+use df_data::frame::{Column, DataFrame};
+use df_learn::logistic::LogisticConfig;
+use df_learn::pipeline::{run_feature_selection, table3_sensitive_sets, ADULT_BASE_FEATURES};
+
+/// Paper rows: (label, test ε-DF of the classifier, amplification, error %).
+const PAPER_ROWS: [(&str, f64, f64, f64); 8] = [
+    ("none", 2.14, 0.074, 14.90),
+    ("nationality", 1.95, -0.12, 14.92),
+    ("race", 2.65, 0.59, 15.18),
+    ("gender", 2.14, 0.074, 14.99),
+    ("gender, nationality", 2.59, 0.53, 15.09),
+    ("race, nationality", 2.58, 0.52, 15.17),
+    ("race, gender", 2.71, 0.64, 15.01),
+    ("race, gender, nationality", 2.65, 0.59, 15.21),
+];
+
+/// ε of a prediction column tallied against the protected intersections,
+/// with α = 1 smoothing as in the paper's Table 3.
+fn prediction_epsilon(frame: &DataFrame, predictions: &[f64], alpha: f64) -> f64 {
+    let labels: Vec<&str> = predictions
+        .iter()
+        .map(|&p| if p >= 0.5 { "pred>50K" } else { "pred<=50K" })
+        .collect();
+    let mut with_preds = frame.clone();
+    with_preds
+        .add_column(Column::categorical("prediction", &labels))
+        .expect("fresh column");
+    let table = with_preds
+        .contingency(&["prediction", "race_m", "gender", "nationality"])
+        .expect("contingency");
+    let counts = JointCounts::from_table(table, "prediction").expect("joint counts");
+    counts.edf_smoothed(alpha).expect("epsilon").epsilon
+}
+
+fn main() {
+    df_bench::print_header(
+        "Table 3: DF of logistic regression vs. sensitive features used",
+        "train 32,561 / test 16,281 synthetic-Adult rows; alpha = 1 smoothing (Eq. 7)",
+    );
+
+    let dataset = synth::generate_default()
+        .expect("synthetic generation")
+        .with_protected()
+        .expect("protected prep");
+
+    // ε of the test data itself (Definition 4.2 + Eq. 7), the paper's
+    // amplification reference: "The test dataset was eps = 2.06-DF."
+    let test_counts = JointCounts::from_table(
+        dataset
+            .test
+            .contingency(&["income", "race_m", "gender", "nationality"])
+            .expect("contingency"),
+        "income",
+    )
+    .expect("joint counts");
+    let test_data_eps = test_counts.edf_smoothed(1.0).expect("epsilon").epsilon;
+    println!("test dataset eps-DF (alpha = 1): {test_data_eps:.3}   (paper: 2.06)\n");
+
+    let mut table = TextTable::new(&[
+        "sensitive features used",
+        "eps-DF",
+        "paper",
+        "amplif.",
+        "paper",
+        "error %",
+        "paper",
+    ])
+    .align(&[
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
+
+    let config = LogisticConfig::default();
+    for (set, (label, paper_eps, paper_amp, paper_err)) in
+        table3_sensitive_sets().into_iter().zip(PAPER_ROWS)
+    {
+        let run = run_feature_selection(
+            &dataset.train,
+            &dataset.test,
+            &ADULT_BASE_FEATURES,
+            &set,
+            "income",
+            ">50K",
+            &config,
+        )
+        .expect("feature-selection run");
+        let eps = prediction_epsilon(&dataset.test, &run.test_predictions, 1.0);
+        let amp = BiasAmplification::new(eps, test_data_eps);
+        table.row(&[
+            label.to_string(),
+            format!("{eps:.2}"),
+            format!("{paper_eps:.2}"),
+            format!("{:+.2}", amp.delta()),
+            format!("{paper_amp:+.2}"),
+            format!("{:.2}", run.error_rate * 100.0),
+            format!("{paper_err:.2}"),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("note: absolute values depend on the synthetic feature model;");
+    println!("the paper-shape checks are (i) all eps within the 1.9-2.8 band,");
+    println!("(ii) adding race increases eps over the none-row, (iii) error");
+    println!("rates in the ~15% band. See EXPERIMENTS.md for the comparison.");
+}

@@ -1,0 +1,89 @@
+//! # df-bench — experiment harness
+//!
+//! Binaries regenerating every table and figure of the paper (see DESIGN.md
+//! §3 for the experiment index) plus Criterion benchmarks over the hot
+//! paths. This library crate holds shared harness utilities: paper-vs-
+//! measured row formatting and the standard dataset/pipeline setup reused
+//! across binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use df_core::report::{Align, TextTable};
+
+/// A paper-vs-measured comparison row.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Row label (e.g. a subset of protected attributes).
+    pub label: String,
+    /// Value reported in the paper.
+    pub paper: f64,
+    /// Value measured by this reproduction.
+    pub measured: f64,
+}
+
+impl Comparison {
+    /// Creates a row.
+    pub fn new(label: impl Into<String>, paper: f64, measured: f64) -> Self {
+        Self {
+            label: label.into(),
+            paper,
+            measured,
+        }
+    }
+
+    /// Absolute deviation.
+    pub fn abs_error(&self) -> f64 {
+        (self.measured - self.paper).abs()
+    }
+}
+
+/// Renders a list of comparisons as an aligned text table with deviations.
+pub fn render_comparisons(title: &str, rows: &[Comparison]) -> String {
+    let mut t = TextTable::new(&["", "paper", "measured", "|delta|"]).align(&[
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
+    for row in rows {
+        t.row(&[
+            row.label.clone(),
+            format!("{:.3}", row.paper),
+            format!("{:.3}", row.measured),
+            format!("{:.3}", row.abs_error()),
+        ]);
+    }
+    format!("== {title} ==\n{}", t.render())
+}
+
+/// Standard experiment header printed by every binary.
+pub fn print_header(experiment: &str, detail: &str) {
+    println!("================================================================");
+    println!("{experiment}");
+    println!("{detail}");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_error() {
+        let c = Comparison::new("x", 1.0, 1.25);
+        assert!((c.abs_error() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let rows = vec![
+            Comparison::new("gender", 1.03, 1.02),
+            Comparison::new("race", 0.93, 0.95),
+        ];
+        let s = render_comparisons("Table 2", &rows);
+        assert!(s.contains("Table 2"));
+        assert!(s.contains("gender"));
+        assert!(s.contains("0.93"));
+    }
+}

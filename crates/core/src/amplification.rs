@@ -1,0 +1,80 @@
+//! Bias amplification (§4.1 of the paper).
+//!
+//! Non-negative differences `ε₂ − ε₁` between two mechanisms (over the same
+//! `A` and Θ, with tightly computed ε) measure the additional fairness cost
+//! of using mechanism 2 instead of mechanism 1. When ε₁ is the DF of a
+//! labeled dataset and ε₂ the DF of a classifier trained on it, the
+//! difference quantifies *bias amplification* in the sense of Zhao et al.
+
+use serde::Serialize;
+
+/// The comparison of a mechanism's ε against a reference (typically the
+/// training or test data's intrinsic ε).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct BiasAmplification {
+    /// ε of the mechanism under study (e.g. a trained classifier).
+    pub epsilon_mechanism: f64,
+    /// ε of the reference (e.g. the dataset itself).
+    pub epsilon_reference: f64,
+}
+
+impl BiasAmplification {
+    /// Creates the comparison.
+    pub fn new(epsilon_mechanism: f64, epsilon_reference: f64) -> Self {
+        Self {
+            epsilon_mechanism,
+            epsilon_reference,
+        }
+    }
+
+    /// The amplification `ε₂ − ε₁`; positive means the mechanism is *less*
+    /// fair than the reference, negative means it attenuates the bias.
+    pub fn delta(&self) -> f64 {
+        self.epsilon_mechanism - self.epsilon_reference
+    }
+
+    /// True when the mechanism amplifies the reference bias.
+    pub fn amplifies(&self) -> bool {
+        self.delta() > 0.0
+    }
+
+    /// The multiplicative increase in the worst-case expected-utility
+    /// disparity: `e^{ε₂ − ε₁}` (≈ `1 + (ε₂ − ε₁)` for small differences, as
+    /// noted in §4.1).
+    pub fn utility_disparity_factor(&self) -> f64 {
+        self.delta().exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_prob::numerics::approx_eq;
+
+    #[test]
+    fn delta_and_direction() {
+        let amp = BiasAmplification::new(2.65, 2.06);
+        assert!(approx_eq(amp.delta(), 0.59, 1e-12, 0.0));
+        assert!(amp.amplifies());
+
+        let rev = BiasAmplification::new(1.95, 2.06);
+        assert!(approx_eq(rev.delta(), -0.11, 1e-12, 1e-12));
+        assert!(!rev.amplifies(), "reverse discrimination attenuates bias");
+    }
+
+    #[test]
+    fn utility_factor_small_delta_approximation() {
+        // §4.1: e^{ε₂-ε₁} ≈ 1 + (ε₂-ε₁) for small deltas.
+        let amp = BiasAmplification::new(1.05, 1.0);
+        let f = amp.utility_disparity_factor();
+        assert!(approx_eq(f, 1.0 + 0.05, 2e-3, 0.0), "{f}");
+    }
+
+    #[test]
+    fn zero_delta_is_factor_one() {
+        let amp = BiasAmplification::new(1.3, 1.3);
+        assert_eq!(amp.delta(), 0.0);
+        assert_eq!(amp.utility_disparity_factor(), 1.0);
+        assert!(!amp.amplifies());
+    }
+}

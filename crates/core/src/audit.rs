@@ -1,0 +1,194 @@
+//! One-call fairness audits.
+//!
+//! [`FairnessAudit`] bundles everything the paper's case study computes for a
+//! dataset (and optionally a mechanism evaluated on it): per-subset ε with
+//! and without smoothing, the Theorem 3.2 bound check, baseline metrics, the
+//! privacy-regime interpretation, and bias amplification against a reference.
+//! The result serializes to JSON so experiment tables can be regenerated.
+
+use crate::amplification::BiasAmplification;
+use crate::baselines::{demographic_parity_distance, disparate_impact_ratio};
+use crate::edf::JointCounts;
+use crate::epsilon::EpsilonResult;
+use crate::error::Result;
+use crate::privacy::PrivacyRegime;
+use crate::report::{fmt_epsilon, Align, TextTable};
+use crate::subsets::{subset_audit, SubsetAudit};
+use serde::Serialize;
+
+/// Configuration for a fairness audit.
+#[derive(Debug, Clone, Serialize)]
+pub struct AuditConfig {
+    /// Dirichlet smoothing α for the smoothed columns (Eq. 7). The raw
+    /// (Eq. 6) values are always reported too.
+    pub alpha: f64,
+    /// Outcome label treated as "positive"/advantaged for the baseline
+    /// metrics (disparate impact). `None` skips those metrics.
+    pub positive_outcome: Option<String>,
+    /// Reference ε for bias amplification (e.g. the dataset ε when auditing
+    /// a classifier). `None` skips the amplification row.
+    pub reference_epsilon: Option<f64>,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 1.0,
+            positive_outcome: None,
+            reference_epsilon: None,
+        }
+    }
+}
+
+/// The complete audit result.
+#[derive(Debug, Clone, Serialize)]
+pub struct FairnessAudit {
+    /// Number of records audited.
+    pub n_records: f64,
+    /// Per-subset ε via Eq. 6 (no smoothing).
+    pub empirical: SubsetAudit,
+    /// Per-subset ε via Eq. 7 at the configured α.
+    pub smoothed: SubsetAudit,
+    /// ε of the full intersection (smoothed), the headline number.
+    pub epsilon: EpsilonResult,
+    /// Privacy-regime interpretation of the headline ε.
+    pub regime: PrivacyRegime,
+    /// Worst-case demographic-parity (total variation) distance.
+    pub demographic_parity: f64,
+    /// Disparate-impact ratio for the configured positive outcome.
+    pub disparate_impact: Option<f64>,
+    /// Bias amplification vs. the configured reference.
+    pub amplification: Option<BiasAmplification>,
+    /// Subsets violating the 2ε Theorem 3.2 bound (always empty for
+    /// correctly marginalized counts; populated entries indicate upstream
+    /// data corruption).
+    pub bound_violations: Vec<Vec<String>>,
+}
+
+impl FairnessAudit {
+    /// Runs the audit over joint counts.
+    pub fn run(counts: &JointCounts, config: &AuditConfig) -> Result<FairnessAudit> {
+        let empirical = subset_audit(counts, 0.0)?;
+        let smoothed = subset_audit(counts, config.alpha)?;
+        let epsilon = smoothed.full_intersection().result.clone();
+        let go = counts.group_outcomes(config.alpha)?;
+        let demographic_parity = demographic_parity_distance(&go);
+        let disparate_impact = match &config.positive_outcome {
+            Some(label) => {
+                let pos = counts
+                    .outcome_labels()
+                    .iter()
+                    .position(|l| l == label)
+                    .ok_or_else(|| {
+                        crate::error::DfError::Invalid(format!("unknown outcome `{label}`"))
+                    })?;
+                Some(disparate_impact_ratio(&go, pos)?)
+            }
+            None => None,
+        };
+        let amplification = config
+            .reference_epsilon
+            .map(|r| BiasAmplification::new(epsilon.epsilon, r));
+        let bound_violations = empirical
+            .verify_bound(1e-9)
+            .into_iter()
+            .map(|s| s.attributes.clone())
+            .collect();
+        let regime = PrivacyRegime::of(epsilon.epsilon);
+        Ok(FairnessAudit {
+            n_records: counts.total(),
+            empirical,
+            smoothed,
+            epsilon,
+            regime,
+            demographic_parity,
+            disparate_impact,
+            amplification,
+            bound_violations,
+        })
+    }
+
+    /// Renders the per-subset table in the layout of the paper's Table 2.
+    pub fn render_subset_table(&self) -> String {
+        let mut t = TextTable::new(&["protected attributes", "eps-EDF", "eps-DF(alpha)"]).align(&[
+            Align::Left,
+            Align::Right,
+            Align::Right,
+        ]);
+        for (raw, smooth) in self.empirical.subsets.iter().zip(&self.smoothed.subsets) {
+            t.row(&[
+                raw.attributes.join(", "),
+                fmt_epsilon(raw.result.epsilon),
+                fmt_epsilon(smooth.result.epsilon),
+            ]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_prob::contingency::{Axis, ContingencyTable};
+    use df_prob::numerics::approx_eq;
+
+    fn table1() -> JointCounts {
+        let axes = vec![
+            Axis::from_strs("outcome", &["admit", "decline"]).unwrap(),
+            Axis::from_strs("gender", &["A", "B"]).unwrap(),
+            Axis::from_strs("race", &["1", "2"]).unwrap(),
+        ];
+        let data = vec![81.0, 192.0, 234.0, 55.0, 6.0, 71.0, 36.0, 25.0];
+        JointCounts::from_table(ContingencyTable::from_data(axes, data).unwrap(), "outcome")
+            .unwrap()
+    }
+
+    #[test]
+    fn audit_reproduces_paper_numbers() {
+        let audit = FairnessAudit::run(
+            &table1(),
+            &AuditConfig {
+                alpha: 1.0,
+                positive_outcome: Some("admit".into()),
+                reference_epsilon: Some(1.0),
+            },
+        )
+        .unwrap();
+        assert_eq!(audit.n_records, 700.0);
+        let raw = audit.empirical.get(&["gender", "race"]).unwrap();
+        assert!(approx_eq(raw.result.epsilon, 1.511, 1e-3, 0.0));
+        assert_eq!(audit.regime, PrivacyRegime::Moderate);
+        assert!(audit.bound_violations.is_empty());
+        let amp = audit.amplification.unwrap();
+        assert!(amp.amplifies());
+        let di = audit.disparate_impact.unwrap();
+        assert!(di > 0.0 && di < 1.0);
+    }
+
+    #[test]
+    fn render_has_all_subsets() {
+        let audit = FairnessAudit::run(&table1(), &AuditConfig::default()).unwrap();
+        let s = audit.render_subset_table();
+        assert!(s.contains("gender, race"));
+        assert!(s.contains("1.511"));
+        // 3 subsets + header + separator.
+        assert_eq!(s.lines().count(), 5);
+    }
+
+    #[test]
+    fn audit_serializes_to_json() {
+        let audit = FairnessAudit::run(&table1(), &AuditConfig::default()).unwrap();
+        let json = serde_json::to_string(&audit).unwrap();
+        assert!(json.contains("\"epsilon\""));
+        assert!(json.contains("gender"));
+    }
+
+    #[test]
+    fn unknown_positive_outcome_is_an_error() {
+        let cfg = AuditConfig {
+            positive_outcome: Some("approve".into()),
+            ..AuditConfig::default()
+        };
+        assert!(FairnessAudit::run(&table1(), &cfg).is_err());
+    }
+}

@@ -1,0 +1,214 @@
+//! Bootstrap confidence intervals for empirical differential fairness.
+//!
+//! EDF is a plug-in functional of the joint counts, and its max-of-ratios
+//! form makes it upward-biased and noisy on rare intersections (see the
+//! `ablation_sample_size` experiment). This module quantifies that
+//! uncertainty frequentistly, complementing the Bayesian route of
+//! [`crate::theta`]: resample records (multinomial bootstrap over the cells)
+//! and report percentile intervals for ε̂.
+
+use crate::edf::JointCounts;
+use crate::error::{DfError, Result};
+use df_prob::contingency::ContingencyTable;
+use df_prob::rng::Pcg32;
+use df_prob::summary::quantile;
+use serde::Serialize;
+
+/// Result of a bootstrap run.
+#[derive(Debug, Clone, Serialize)]
+pub struct BootstrapEpsilon {
+    /// The point estimate on the original counts.
+    pub point: f64,
+    /// Bootstrap replicate ε values (finite and infinite alike).
+    pub replicates: Vec<f64>,
+    /// Number of replicates that came out infinite (rare-cell dropout).
+    pub infinite_replicates: usize,
+    /// Requested interval mass.
+    pub mass: f64,
+    /// Percentile interval over the finite replicates.
+    pub interval: (f64, f64),
+}
+
+impl BootstrapEpsilon {
+    /// Bootstrap standard error over the finite replicates.
+    pub fn std_error(&self) -> f64 {
+        let finite: Vec<f64> = self
+            .replicates
+            .iter()
+            .copied()
+            .filter(|e| e.is_finite())
+            .collect();
+        if finite.len() < 2 {
+            return f64::NAN;
+        }
+        let mean = finite.iter().sum::<f64>() / finite.len() as f64;
+        (finite.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / (finite.len() - 1) as f64).sqrt()
+    }
+}
+
+/// Multinomial bootstrap of ε̂ from joint counts.
+///
+/// Each replicate redraws `N = total` records from the empirical cell
+/// distribution and recomputes ε with the given smoothing α. `mass` is the
+/// central interval probability (e.g. 0.95).
+pub fn bootstrap_epsilon(
+    counts: &JointCounts,
+    alpha: f64,
+    replicates: usize,
+    mass: f64,
+    rng: &mut Pcg32,
+) -> Result<BootstrapEpsilon> {
+    if replicates < 10 {
+        return Err(DfError::Invalid(
+            "need at least 10 bootstrap replicates".into(),
+        ));
+    }
+    if !(0.0..1.0).contains(&mass) || mass <= 0.0 {
+        return Err(DfError::Invalid(format!(
+            "interval mass must lie in (0, 1), got {mass}"
+        )));
+    }
+    let table = counts.table();
+    let total = table.total();
+    if total <= 0.0 {
+        return Err(DfError::Invalid("empty counts".into()));
+    }
+    let n = total.round() as usize;
+    let cells = table.data();
+    // Cumulative distribution over cells for inverse-CDF sampling.
+    let mut cdf = Vec::with_capacity(cells.len());
+    let mut acc = 0.0;
+    for &c in cells {
+        acc += c / total;
+        cdf.push(acc);
+    }
+
+    let point = counts.edf_smoothed(alpha)?.epsilon;
+    let mut eps_values = Vec::with_capacity(replicates);
+    let mut infinite = 0usize;
+    let mut resampled = vec![0.0f64; cells.len()];
+    for _ in 0..replicates {
+        resampled.iter_mut().for_each(|v| *v = 0.0);
+        for _ in 0..n {
+            let u = rng.next_f64();
+            // Binary search the CDF.
+            let mut lo = 0usize;
+            let mut hi = cdf.len() - 1;
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if cdf[mid] < u {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            resampled[lo] += 1.0;
+        }
+        let rep_table = ContingencyTable::from_data(table.axes().to_vec(), resampled.clone())?;
+        let rep = JointCounts::from_table(rep_table, table.axes()[0].name())?;
+        let e = rep.edf_smoothed(alpha)?.epsilon;
+        if e.is_finite() {
+            eps_values.push(e);
+        } else {
+            infinite += 1;
+            eps_values.push(f64::INFINITY);
+        }
+    }
+
+    let finite: Vec<f64> = eps_values
+        .iter()
+        .copied()
+        .filter(|e| e.is_finite())
+        .collect();
+    if finite.len() < 2 {
+        return Err(DfError::Invalid(
+            "all bootstrap replicates were infinite; use smoothing (alpha > 0)".into(),
+        ));
+    }
+    let tail = (1.0 - mass) / 2.0;
+    let interval = (
+        quantile(&finite, tail).map_err(DfError::from)?,
+        quantile(&finite, 1.0 - tail).map_err(DfError::from)?,
+    );
+    Ok(BootstrapEpsilon {
+        point,
+        replicates: eps_values,
+        infinite_replicates: infinite,
+        mass,
+        interval,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_prob::contingency::Axis;
+
+    fn counts(scale: f64) -> JointCounts {
+        let axes = vec![
+            Axis::from_strs("y", &["0", "1"]).unwrap(),
+            Axis::from_strs("g", &["a", "b"]).unwrap(),
+        ];
+        let data = vec![40.0 * scale, 60.0 * scale, 60.0 * scale, 40.0 * scale];
+        JointCounts::from_table(ContingencyTable::from_data(axes, data).unwrap(), "y").unwrap()
+    }
+
+    #[test]
+    fn interval_brackets_truth_and_narrows_with_n() {
+        let truth = (0.6_f64 / 0.4).ln();
+        let mut rng = Pcg32::new(5);
+        let small = bootstrap_epsilon(&counts(1.0), 0.0, 200, 0.9, &mut rng).unwrap();
+        let large = bootstrap_epsilon(&counts(100.0), 0.0, 200, 0.9, &mut rng).unwrap();
+        assert!(small.interval.0 <= truth && truth <= small.interval.1);
+        assert!(large.interval.0 <= truth && truth <= large.interval.1);
+        let width_small = small.interval.1 - small.interval.0;
+        let width_large = large.interval.1 - large.interval.0;
+        assert!(
+            width_large < width_small / 3.0,
+            "large-N interval {width_large} should be much narrower than {width_small}"
+        );
+    }
+
+    #[test]
+    fn std_error_shrinks_with_n() {
+        let mut rng = Pcg32::new(6);
+        let small = bootstrap_epsilon(&counts(1.0), 1.0, 200, 0.9, &mut rng).unwrap();
+        let large = bootstrap_epsilon(&counts(100.0), 1.0, 200, 0.9, &mut rng).unwrap();
+        assert!(large.std_error() < small.std_error());
+    }
+
+    #[test]
+    fn infinite_replicates_are_counted() {
+        // A rare cell (1 count) often drops out of resamples → Eq. 6
+        // replicates go infinite; smoothing fixes it.
+        let axes = vec![
+            Axis::from_strs("y", &["0", "1"]).unwrap(),
+            Axis::from_strs("g", &["a", "b"]).unwrap(),
+        ];
+        let data = vec![30.0, 1.0, 15.0, 15.0];
+        let jc =
+            JointCounts::from_table(ContingencyTable::from_data(axes, data).unwrap(), "y").unwrap();
+        let mut rng = Pcg32::new(7);
+        let raw = bootstrap_epsilon(&jc, 0.0, 200, 0.9, &mut rng).unwrap();
+        assert!(raw.infinite_replicates > 0);
+        let smoothed = bootstrap_epsilon(&jc, 1.0, 200, 0.9, &mut rng).unwrap();
+        assert_eq!(smoothed.infinite_replicates, 0);
+    }
+
+    #[test]
+    fn validates_arguments() {
+        let mut rng = Pcg32::new(8);
+        assert!(bootstrap_epsilon(&counts(1.0), 0.0, 5, 0.9, &mut rng).is_err());
+        assert!(bootstrap_epsilon(&counts(1.0), 0.0, 100, 1.5, &mut rng).is_err());
+        assert!(bootstrap_epsilon(&counts(1.0), 0.0, 100, 0.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn replicate_count_is_exact() {
+        let mut rng = Pcg32::new(9);
+        let b = bootstrap_epsilon(&counts(1.0), 1.0, 50, 0.8, &mut rng).unwrap();
+        assert_eq!(b.replicates.len(), 50);
+        assert_eq!(b.mass, 0.8);
+        assert!(b.point.is_finite());
+    }
+}

@@ -1,0 +1,101 @@
+//! Differential fairness of labeled datasets (Definitions 4.1 and 4.2).
+//!
+//! The paper extends DF from algorithms to data: deconstruct
+//! `P(x, y) = P(x) P(y|x)`, treat the labeling process itself as the
+//! mechanism `M(x) = y ~ P(y|x)`, and take `Θ = {P(x)}`. For discrete
+//! outcomes the empirical version (Definition 4.2) reduces to ratios of
+//! counts `N_{y,s} / N_s` — i.e. exactly [`JointCounts::edf`] — and the
+//! model-based version (Definition 4.1) with a Dirichlet-multinomial model
+//! reduces to Eq. 7. This module packages those readings with
+//! dataset-oriented naming and adds the model-based posterior variant.
+
+use crate::edf::JointCounts;
+use crate::epsilon::EpsilonResult;
+use crate::error::Result;
+use crate::theta::{posterior_theta, ThetaClass};
+use df_prob::rng::Pcg32;
+use serde::Serialize;
+
+/// How the dataset's label distribution is modeled.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum DataModel {
+    /// Definition 4.2: the empirical distribution (Eq. 6).
+    Empirical,
+    /// Definition 4.1 with a Dirichlet-multinomial posterior predictive
+    /// (Eq. 7) at the given concentration α.
+    DirichletMultinomial {
+        /// Symmetric prior concentration per outcome.
+        alpha: f64,
+    },
+}
+
+/// ε-DF of a labeled dataset under the selected model.
+pub fn dataset_epsilon(counts: &JointCounts, model: DataModel) -> Result<EpsilonResult> {
+    match model {
+        DataModel::Empirical => counts.edf(),
+        DataModel::DirichletMultinomial { alpha } => counts.edf_smoothed(alpha),
+    }
+}
+
+/// Definition 4.1 with full posterior uncertainty: Θ is a set of posterior
+/// draws of the group-conditional label distributions, and ε is the
+/// supremum over Θ. Returns the Θ class so callers can also extract
+/// credible intervals.
+pub fn dataset_posterior_epsilon(
+    counts: &JointCounts,
+    alpha: f64,
+    n_samples: usize,
+    rng: &mut Pcg32,
+) -> Result<(EpsilonResult, ThetaClass)> {
+    let theta = posterior_theta(counts, alpha, n_samples, rng)?;
+    let eps = theta.epsilon()?;
+    Ok((eps, theta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_prob::contingency::{Axis, ContingencyTable};
+    use df_prob::numerics::approx_eq;
+
+    fn table1() -> JointCounts {
+        let axes = vec![
+            Axis::from_strs("outcome", &["admit", "decline"]).unwrap(),
+            Axis::from_strs("gender", &["A", "B"]).unwrap(),
+            Axis::from_strs("race", &["1", "2"]).unwrap(),
+        ];
+        let data = vec![81.0, 192.0, 234.0, 55.0, 6.0, 71.0, 36.0, 25.0];
+        JointCounts::from_table(ContingencyTable::from_data(axes, data).unwrap(), "outcome")
+            .unwrap()
+    }
+
+    #[test]
+    fn empirical_model_is_eq6() {
+        let eps = dataset_epsilon(&table1(), DataModel::Empirical).unwrap();
+        assert!(approx_eq(eps.epsilon, 1.511, 1e-3, 0.0));
+    }
+
+    #[test]
+    fn dirichlet_model_is_eq7() {
+        let a = dataset_epsilon(&table1(), DataModel::DirichletMultinomial { alpha: 1.0 }).unwrap();
+        let b = table1().edf_smoothed(1.0).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn posterior_epsilon_brackets_point_estimate() {
+        let mut rng = Pcg32::new(99);
+        let (sup, theta) = dataset_posterior_epsilon(&table1(), 1.0, 100, &mut rng).unwrap();
+        let point = dataset_epsilon(&table1(), DataModel::Empirical)
+            .unwrap()
+            .epsilon;
+        assert!(
+            sup.epsilon >= point * 0.9,
+            "sup={} point={point}",
+            sup.epsilon
+        );
+        let (lo, hi) = theta.epsilon_credible_interval(0.9).unwrap();
+        assert!(lo <= hi);
+        assert!(sup.epsilon >= hi, "sup must dominate the interval");
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for the differential-fairness core.
+
+use std::fmt;
+
+/// Errors produced by df-core.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DfError {
+    /// A propagated error from the probability substrate.
+    Prob(df_prob::ProbError),
+    /// A named attribute was not part of the protected space.
+    UnknownAttribute(String),
+    /// An operation needed at least the given number of groups/outcomes.
+    NotEnoughCategories {
+        /// What was being counted.
+        what: &'static str,
+        /// Minimum required.
+        needed: usize,
+        /// Actually present.
+        present: usize,
+    },
+    /// An invalid argument with a description.
+    Invalid(String),
+}
+
+impl fmt::Display for DfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfError::Prob(e) => write!(f, "probability substrate: {e}"),
+            DfError::UnknownAttribute(name) => {
+                write!(f, "unknown protected attribute `{name}`")
+            }
+            DfError::NotEnoughCategories {
+                what,
+                needed,
+                present,
+            } => write!(f, "need at least {needed} {what}, got {present}"),
+            DfError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DfError::Prob(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<df_prob::ProbError> for DfError {
+    fn from(e: df_prob::ProbError) -> Self {
+        DfError::Prob(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, DfError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let e = DfError::UnknownAttribute("race".into());
+        assert!(e.to_string().contains("race"));
+        let e = DfError::NotEnoughCategories {
+            what: "groups",
+            needed: 2,
+            present: 1,
+        };
+        assert!(e.to_string().contains("2"));
+        let e: DfError = df_prob::ProbError::EmptyTable("x").into();
+        assert!(e.to_string().contains("probability substrate"));
+    }
+}

@@ -1,0 +1,62 @@
+//! # df-core — differential fairness
+//!
+//! A faithful, production-quality implementation of
+//! *An Intersectional Definition of Fairness* (Foulds & Pan, ICDE 2020).
+//!
+//! The paper defines a mechanism `M(x)` to be **ε-differentially fair (DF)**
+//! in a framework `(A, Θ)` when, for every plausible data distribution
+//! θ ∈ Θ, every outcome `y`, and every pair of *intersectional* protected
+//! groups `sᵢ, sⱼ ∈ A` with positive probability,
+//!
+//! ```text
+//! e^-ε ≤ P(M(x) = y | sᵢ, θ) / P(M(x) = y | sⱼ, θ) ≤ e^ε.
+//! ```
+//!
+//! This crate provides:
+//!
+//! - [`attributes`]: protected-attribute spaces and intersection indexing.
+//! - [`epsilon`]: the ε kernel over group×outcome probability tables.
+//! - [`edf`]: empirical DF from joint counts (Eq. 6) and Dirichlet-smoothed
+//!   DF (Eq. 7), with per-subset marginalization.
+//! - [`subsets`]: the intersectionality property (Theorem 3.1 / 3.2) — ε on
+//!   every nonempty subset of the protected attributes, plus bound checks.
+//! - [`theta`]: distribution classes Θ (point estimates, posterior samples)
+//!   and the supremum ε over Θ.
+//! - [`mechanism`]: the mechanism abstraction and estimation of
+//!   group-conditional outcome probabilities from data.
+//! - [`privacy`]: the Bayesian privacy interpretation (Eq. 4), expected
+//!   utility disparity (Eq. 5), and the randomized-response calibration.
+//! - [`amplification`]: bias amplification ε₂ − ε₁ (§4.1).
+//! - [`data_fairness`]: DF of labeled datasets (Definitions 4.1 / 4.2).
+//! - [`equalized`]: differential equalized odds — the error-rate analogue
+//!   the paper names as future work (§7.1).
+//! - [`bootstrap`]: frequentist confidence intervals for ε̂.
+//! - [`baselines`]: the fairness definitions §7 compares against
+//!   (demographic parity, disparate impact, equalized odds, subgroup
+//!   fairness).
+//! - [`audit`]: one-call fairness audits producing serializable reports.
+//! - [`report`]: plain-text / markdown table rendering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod amplification;
+pub mod attributes;
+pub mod audit;
+pub mod baselines;
+pub mod bootstrap;
+pub mod data_fairness;
+pub mod edf;
+pub mod epsilon;
+pub mod equalized;
+pub mod error;
+pub mod mechanism;
+pub mod privacy;
+pub mod report;
+pub mod subsets;
+pub mod theta;
+
+pub use attributes::{ProtectedAttribute, ProtectedSpace};
+pub use edf::JointCounts;
+pub use epsilon::{EpsilonResult, EpsilonWitness, GroupOutcomes};
+pub use error::{DfError, Result};

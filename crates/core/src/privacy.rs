@@ -1,0 +1,247 @@
+//! The Bayesian privacy interpretation of differential fairness.
+//!
+//! Eq. 4 of the paper: an ε-DF mechanism guarantees that an adversary's
+//! posterior odds between any two protected intersections move by at most a
+//! factor `e^ε` relative to their prior odds:
+//!
+//! ```text
+//! e^-ε · P(sᵢ|θ)/P(sⱼ|θ)  ≤  P(sᵢ|y,θ)/P(sⱼ|y,θ)  ≤  e^ε · P(sᵢ|θ)/P(sⱼ|θ).
+//! ```
+//!
+//! Eq. 5: for any non-negative utility over outcomes, expected utilities of
+//! any two groups differ by at most a factor `e^ε`.
+//!
+//! §3.3 calibrates ε against differential privacy: randomized response is
+//! `ln 3`-DP, and ε < 1 is conventionally the "high privacy" regime.
+
+use crate::epsilon::GroupOutcomes;
+use crate::error::{DfError, Result};
+use df_prob::numerics::log_ratio;
+use serde::Serialize;
+
+/// ε of the classical randomized-response survey mechanism: `ln 3`.
+pub const RANDOMIZED_RESPONSE_EPSILON: f64 = 1.098_612_288_668_109_8;
+
+/// Qualitative reading of an ε value, following the conventions the paper
+/// quotes from the differential-privacy literature (§3.3): guarantees are
+/// strong below ε ≈ 1 and "almost meaningless" by ε ≈ 20.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum PrivacyRegime {
+    /// ε ≤ 1: the high-privacy / strong-fairness regime.
+    High,
+    /// 1 < ε ≤ ln 20 ≈ 3: moderate; outcome disparities up to 20×.
+    Moderate,
+    /// ln 20 < ε ≤ 10: weak; disparities of several orders of magnitude.
+    Weak,
+    /// ε > 10: effectively no guarantee.
+    Meaningless,
+}
+
+impl PrivacyRegime {
+    /// Classifies an ε value.
+    pub fn of(epsilon: f64) -> PrivacyRegime {
+        if epsilon <= 1.0 {
+            PrivacyRegime::High
+        } else if epsilon <= 20.0_f64.ln() {
+            PrivacyRegime::Moderate
+        } else if epsilon <= 10.0 {
+            PrivacyRegime::Weak
+        } else {
+            PrivacyRegime::Meaningless
+        }
+    }
+}
+
+/// The worst-case posterior-odds shift realized by a mechanism: the maximum
+/// over outcomes `y` and populated group pairs `(i, j)` of
+/// `| ln [ P(sᵢ|y) / P(sⱼ|y) ] − ln [ P(sᵢ) / P(sⱼ) ] |`.
+///
+/// By Bayes' rule this equals `| ln P(y|sᵢ) − ln P(y|sⱼ) |`, so the returned
+/// value coincides with the tightest ε — Eq. 4 is exactly tight. Computing
+/// it through the posterior route provides an independent check (used in
+/// tests) and a vendor-facing explanation of what an adversary learns.
+pub fn max_posterior_odds_shift(table: &GroupOutcomes) -> Result<f64> {
+    let populated = table.populated_groups();
+    if populated.len() < 2 {
+        return Ok(0.0);
+    }
+    let total_weight: f64 = populated.iter().map(|&g| table.weights()[g]).sum();
+    if total_weight <= 0.0 {
+        return Err(DfError::Invalid("no populated groups".into()));
+    }
+    let mut worst = 0.0f64;
+    for y in 0..table.num_outcomes() {
+        // P(y) = Σ_s P(y|s) P(s); P(s|y) ∝ P(y|s) P(s).
+        for &i in &populated {
+            for &j in &populated {
+                if i == j {
+                    continue;
+                }
+                let prior_odds = log_ratio(table.weights()[i], table.weights()[j]);
+                let joint_i = table.prob(i, y) * table.weights()[i];
+                let joint_j = table.prob(j, y) * table.weights()[j];
+                // Skip outcome columns with no mass in either group: the
+                // posterior is undefined there (the outcome never occurs).
+                if joint_i == 0.0 && joint_j == 0.0 {
+                    continue;
+                }
+                let posterior_odds = log_ratio(joint_i, joint_j);
+                let shift = (posterior_odds - prior_odds).abs();
+                if shift > worst {
+                    worst = shift;
+                }
+            }
+        }
+    }
+    Ok(worst)
+}
+
+/// Verifies the Eq. 5 utility bound: for the given utility over outcomes,
+/// checks that every populated pair's expected-utility ratio is within
+/// `e^ε`. Returns the maximal realized ratio.
+pub fn max_utility_disparity(table: &GroupOutcomes, utility: &[f64]) -> Result<f64> {
+    if utility.iter().any(|&u| !u.is_finite() || u < 0.0) {
+        return Err(DfError::Invalid(
+            "Eq. 5 requires a non-negative utility function".into(),
+        ));
+    }
+    let us = table.expected_utilities(utility)?;
+    let populated = table.populated_groups();
+    let mut worst = 1.0f64;
+    for &i in &populated {
+        for &j in &populated {
+            if i == j {
+                continue;
+            }
+            let ratio = if us[j] > 0.0 {
+                us[i] / us[j]
+            } else if us[i] > 0.0 {
+                f64::INFINITY
+            } else {
+                1.0
+            };
+            if ratio > worst {
+                worst = ratio;
+            }
+        }
+    }
+    Ok(worst)
+}
+
+/// The randomized-response mechanism of §3.3: answer truthfully on heads,
+/// otherwise answer by a second coin flip. Returns the group-outcome table
+/// induced when "group" is the true sensitive bit — its ε is exactly `ln 3`.
+pub fn randomized_response_table() -> GroupOutcomes {
+    // P(report yes | truth yes) = 3/4, P(report yes | truth no) = 1/4.
+    GroupOutcomes::with_uniform_weights(
+        vec!["report_no".into(), "report_yes".into()],
+        vec!["truth_no".into(), "truth_yes".into()],
+        vec![0.75, 0.25, 0.25, 0.75],
+    )
+    .expect("static table is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_prob::numerics::approx_eq;
+
+    fn figure2() -> GroupOutcomes {
+        GroupOutcomes::with_uniform_weights(
+            vec!["no".into(), "yes".into()],
+            vec!["group1".into(), "group2".into()],
+            vec![0.6915, 0.3085, 0.0668, 0.9332],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn posterior_shift_equals_epsilon() {
+        // Eq. 4 is tight: the worst posterior-odds shift equals ε.
+        let t = figure2();
+        let eps = t.epsilon().epsilon;
+        let shift = max_posterior_odds_shift(&t).unwrap();
+        assert!(approx_eq(shift, eps, 1e-12, 1e-12), "{shift} vs {eps}");
+    }
+
+    #[test]
+    fn posterior_shift_with_nonuniform_prior_still_equals_epsilon() {
+        let t = GroupOutcomes::new(
+            vec!["no".into(), "yes".into()],
+            vec!["a".into(), "b".into()],
+            vec![0.7, 0.3, 0.4, 0.6],
+            vec![10.0, 90.0],
+        )
+        .unwrap();
+        let shift = max_posterior_odds_shift(&t).unwrap();
+        assert!(approx_eq(shift, t.epsilon().epsilon, 1e-12, 1e-12));
+    }
+
+    #[test]
+    fn utility_disparity_bounded_by_exp_epsilon() {
+        let t = figure2();
+        let eps = t.epsilon();
+        for utility in [&[0.0, 1.0][..], &[1.0, 0.0][..], &[0.3, 2.0][..]] {
+            let disparity = max_utility_disparity(&t, utility).unwrap();
+            assert!(
+                disparity <= eps.probability_ratio_bound() + 1e-9,
+                "utility {utility:?}: {disparity} > e^ε"
+            );
+        }
+    }
+
+    #[test]
+    fn utility_must_be_nonnegative() {
+        let t = figure2();
+        assert!(max_utility_disparity(&t, &[-1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn loan_example_three_times_utility() {
+        // §3.3: a ln(3)-DF approval process can award one group 3× the
+        // expected utility of another.
+        let t = GroupOutcomes::with_uniform_weights(
+            vec!["deny".into(), "approve".into()],
+            vec!["wm".into(), "ww".into()],
+            vec![0.4, 0.6, 0.8, 0.2],
+        )
+        .unwrap();
+        let eps = t.epsilon().epsilon;
+        assert!(approx_eq(eps, 3.0_f64.ln(), 1e-12, 0.0));
+        let disparity = max_utility_disparity(&t, &[0.0, 1.0]).unwrap();
+        assert!(approx_eq(disparity, 3.0, 1e-12, 0.0));
+    }
+
+    #[test]
+    fn randomized_response_is_ln3() {
+        let t = randomized_response_table();
+        let eps = t.epsilon().epsilon;
+        assert!(approx_eq(eps, RANDOMIZED_RESPONSE_EPSILON, 1e-12, 0.0));
+        assert!(approx_eq(eps, 3.0_f64.ln(), 1e-12, 0.0));
+    }
+
+    #[test]
+    fn regime_classification() {
+        assert_eq!(PrivacyRegime::of(0.5), PrivacyRegime::High);
+        assert_eq!(PrivacyRegime::of(1.0), PrivacyRegime::High);
+        assert_eq!(
+            PrivacyRegime::of(RANDOMIZED_RESPONSE_EPSILON),
+            PrivacyRegime::Moderate
+        );
+        assert_eq!(PrivacyRegime::of(2.337), PrivacyRegime::Moderate);
+        assert_eq!(PrivacyRegime::of(5.0), PrivacyRegime::Weak);
+        assert_eq!(PrivacyRegime::of(20.0), PrivacyRegime::Meaningless);
+    }
+
+    #[test]
+    fn single_group_has_zero_shift() {
+        let t = GroupOutcomes::new(
+            vec!["no".into(), "yes".into()],
+            vec!["a".into(), "b".into()],
+            vec![0.5, 0.5, 0.1, 0.9],
+            vec![1.0, 0.0],
+        )
+        .unwrap();
+        assert_eq!(max_posterior_odds_shift(&t).unwrap(), 0.0);
+    }
+}

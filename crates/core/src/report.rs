@@ -1,0 +1,196 @@
+//! Plain-text and markdown table rendering for audit reports.
+//!
+//! The experiment binaries print paper-style tables; this module keeps the
+//! column alignment logic in one place.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple text-table builder with per-column alignment.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given headers; all columns default to
+    /// left alignment until [`Self::align`] is called.
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            aligns: vec![Align::Left; headers.len()],
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets per-column alignment (length must match the header count;
+    /// extra/missing entries are ignored/defaulted).
+    pub fn align(mut self, aligns: &[Align]) -> Self {
+        for (slot, &a) in self.aligns.iter_mut().zip(aligns) {
+            *slot = a;
+        }
+        self
+    }
+
+    /// Appends a row; short rows are padded with empty cells, long rows are
+    /// truncated to the header width.
+    pub fn row(&mut self, cells: &[String]) {
+        let mut row: Vec<String> = cells.iter().take(self.headers.len()).cloned().collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Convenience for `&str` cells.
+    pub fn row_strs(&mut self, cells: &[&str]) {
+        self.row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        widths
+    }
+
+    /// Renders with unicode-free ASCII separators, suitable for terminals
+    /// and log files.
+    pub fn render(&self) -> String {
+        let widths = self.widths();
+        let mut out = String::new();
+        let write_row = |cells: &[String], out: &mut String| {
+            for (i, (cell, &w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                match self.aligns[i] {
+                    Align::Left => {
+                        let _ = write!(out, "{cell:<w$}");
+                    }
+                    Align::Right => {
+                        let _ = write!(out, "{cell:>w$}");
+                    }
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavoured markdown table.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let cell_line = |cells: &[String]| {
+            let mut line = String::from("|");
+            for cell in cells {
+                let _ = write!(line, " {cell} |");
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&cell_line(&self.headers));
+        out.push('|');
+        for a in &self.aligns {
+            out.push_str(match a {
+                Align::Left => " :--- |",
+                Align::Right => " ---: |",
+            });
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&cell_line(row));
+        }
+        out
+    }
+}
+
+/// Formats an ε value for display, keeping infinities readable.
+pub fn fmt_epsilon(eps: f64) -> String {
+    if eps.is_infinite() {
+        "inf".to_string()
+    } else {
+        format!("{eps:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TextTable {
+        let mut t = TextTable::new(&["subset", "eps"]).align(&[Align::Left, Align::Right]);
+        t.row_strs(&["gender", "1.03"]);
+        t.row_strs(&["race, gender", "1.76"]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let s = sample().render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("subset"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Right-aligned numbers end at the same column.
+        let end2 = lines[2].len();
+        let end3 = lines[3].len();
+        assert_eq!(end2, end3);
+        assert!(lines[2].ends_with("1.03"));
+        assert!(lines[3].ends_with("1.76"));
+    }
+
+    #[test]
+    fn render_markdown_shape() {
+        let md = sample().render_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("| subset |"));
+        assert!(lines[1].contains(":---"));
+        assert!(lines[1].contains("---:"));
+    }
+
+    #[test]
+    fn rows_are_padded_and_truncated() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row_strs(&["only"]);
+        t.row_strs(&["x", "y", "z"]);
+        assert_eq!(t.len(), 2);
+        let s = t.render();
+        assert!(!s.contains('z'));
+    }
+
+    #[test]
+    fn fmt_epsilon_handles_infinity() {
+        assert_eq!(fmt_epsilon(f64::INFINITY), "inf");
+        assert_eq!(fmt_epsilon(1.5114), "1.511"); // rounds to 3 decimals
+    }
+}

@@ -1,0 +1,147 @@
+//! Loader for the genuine UCI Adult files.
+//!
+//! When `adult.data` and `adult.test` are present (e.g. downloaded from the
+//! UCI repository into a `data/` directory), every experiment can be re-run
+//! against the real dataset instead of the calibrated synthetic substitute.
+//! The loader normalizes the format quirks: `", "` separators, the
+//! `|1x3 Cross validator` sentinel line in the test file, and the trailing
+//! period on test-file income labels (`>50K.` → `>50K`).
+
+use super::{AdultDataset, COLUMNS, NUMERIC_COLUMNS};
+use crate::csv::{read_records, CsvOptions};
+use crate::error::{DataError, Result};
+use crate::frame::{Column, DataFrame};
+use std::fs::File;
+use std::io::BufReader;
+use std::path::Path;
+
+/// Parses records in UCI Adult column order into a typed frame.
+pub fn frame_from_adult_records(records: &[Vec<String>]) -> Result<DataFrame> {
+    if records.is_empty() {
+        return Err(DataError::Invalid("no records".into()));
+    }
+    let n_cols = COLUMNS.len();
+    for (i, r) in records.iter().enumerate() {
+        if r.len() != n_cols {
+            return Err(DataError::Csv {
+                line: i + 1,
+                message: format!("expected {n_cols} fields, got {}", r.len()),
+            });
+        }
+    }
+    let mut columns = Vec::with_capacity(n_cols);
+    for (c, &name) in COLUMNS.iter().enumerate() {
+        if NUMERIC_COLUMNS.contains(&name) {
+            let mut values = Vec::with_capacity(records.len());
+            for (i, r) in records.iter().enumerate() {
+                let v: f64 = r[c].parse().map_err(|_| DataError::Csv {
+                    line: i + 1,
+                    message: format!("column `{name}`: `{}` is not numeric", r[c]),
+                })?;
+                values.push(v);
+            }
+            columns.push(Column::numeric(name, values));
+        } else {
+            let values: Vec<String> = records
+                .iter()
+                .map(|r| {
+                    // Test-file labels carry a trailing period.
+                    let v = r[c].trim();
+                    let v = v.strip_suffix('.').unwrap_or(v);
+                    v.to_string()
+                })
+                .collect();
+            columns.push(Column::categorical(name, &values));
+        }
+    }
+    DataFrame::new(columns)
+}
+
+fn load_file(path: &Path) -> Result<DataFrame> {
+    let file = File::open(path)?;
+    let records = read_records(BufReader::new(file), &CsvOptions::adult())?;
+    frame_from_adult_records(&records)
+}
+
+/// Loads `adult.data` and `adult.test` from a directory, if both exist.
+/// Returns `Ok(None)` when either file is absent (callers then fall back to
+/// the synthetic generator).
+pub fn load_uci_dir(dir: &Path) -> Result<Option<AdultDataset>> {
+    let train_path = dir.join("adult.data");
+    let test_path = dir.join("adult.test");
+    if !train_path.exists() || !test_path.exists() {
+        return Ok(None);
+    }
+    Ok(Some(AdultDataset {
+        train: load_file(&train_path)?,
+        test: load_file(&test_path)?,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csv::read_str;
+
+    const SAMPLE: &str = "\
+39, State-gov, 77516, Bachelors, 13, Never-married, Adm-clerical, Not-in-family, White, Male, 2174, 0, 40, United-States, <=50K
+50, Self-emp-not-inc, 83311, Bachelors, 13, Married-civ-spouse, Exec-managerial, Husband, White, Male, 0, 0, 13, United-States, <=50K
+38, Private, 215646, HS-grad, 9, Divorced, Handlers-cleaners, Not-in-family, White, Male, 0, 0, 40, United-States, >50K.
+";
+
+    #[test]
+    fn parses_real_format() {
+        let records = read_str(SAMPLE, &CsvOptions::adult()).unwrap();
+        let frame = frame_from_adult_records(&records).unwrap();
+        assert_eq!(frame.n_rows(), 3);
+        assert_eq!(frame.n_cols(), 15);
+        let ages = frame.column("age").unwrap().as_numeric().unwrap();
+        assert_eq!(ages, &[39.0, 50.0, 38.0]);
+        // Trailing period stripped from the test-style label.
+        let (codes, vocab) = frame.column("income").unwrap().as_categorical().unwrap();
+        assert_eq!(vocab[codes[2] as usize], ">50K");
+    }
+
+    #[test]
+    fn sentinel_and_blank_lines_are_skipped() {
+        let content = format!("|1x3 Cross validator\n\n{SAMPLE}");
+        let records = read_str(&content, &CsvOptions::adult()).unwrap();
+        assert_eq!(records.len(), 3);
+    }
+
+    #[test]
+    fn wrong_arity_is_reported_with_line() {
+        let records = read_str("1, 2, 3\n", &CsvOptions::adult()).unwrap();
+        let err = frame_from_adult_records(&records).unwrap_err();
+        assert!(err.to_string().contains("expected 15"));
+    }
+
+    #[test]
+    fn non_numeric_age_is_an_error() {
+        let bad = SAMPLE.replacen("39", "abc", 1);
+        let records = read_str(&bad, &CsvOptions::adult()).unwrap();
+        assert!(frame_from_adult_records(&records).is_err());
+    }
+
+    #[test]
+    fn missing_directory_returns_none() {
+        let missing = load_uci_dir(Path::new("/nonexistent/surely")).unwrap();
+        assert!(missing.is_none());
+    }
+
+    #[test]
+    fn roundtrip_via_tempfile() {
+        let dir = std::env::temp_dir().join(format!("df_adult_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("adult.data"), SAMPLE).unwrap();
+        std::fs::write(
+            dir.join("adult.test"),
+            format!("|1x3 Cross validator\n{SAMPLE}"),
+        )
+        .unwrap();
+        let loaded = load_uci_dir(&dir).unwrap().expect("both files present");
+        assert_eq!(loaded.train.n_rows(), 3);
+        assert_eq!(loaded.test.n_rows(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

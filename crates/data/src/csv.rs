@@ -1,0 +1,265 @@
+//! From-scratch CSV reading and writing.
+//!
+//! Handles RFC-4180 quoting plus the quirks of the UCI Adult files:
+//! `", "`-separated fields (leading whitespace), `?` as a missing-value
+//! marker, comment/sentinel lines starting with `|`, and trailing periods on
+//! labels in `adult.test`.
+
+use crate::error::{DataError, Result};
+use std::io::{BufRead, Write};
+
+/// Options controlling CSV parsing.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field delimiter (default `,`).
+    pub delimiter: char,
+    /// Trim ASCII whitespace around unquoted fields (the Adult files use
+    /// `", "` separators).
+    pub trim: bool,
+    /// Skip empty lines entirely.
+    pub skip_empty_lines: bool,
+    /// Skip lines starting with this character (after trimming), e.g. the
+    /// `|1x3 Cross validator` sentinel in `adult.test`.
+    pub comment_char: Option<char>,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        Self {
+            delimiter: ',',
+            trim: true,
+            skip_empty_lines: true,
+            comment_char: None,
+        }
+    }
+}
+
+impl CsvOptions {
+    /// The options matching the UCI Adult data files.
+    pub fn adult() -> Self {
+        Self {
+            delimiter: ',',
+            trim: true,
+            skip_empty_lines: true,
+            comment_char: Some('|'),
+        }
+    }
+}
+
+/// Parses one CSV record (no trailing newline). Returns the fields.
+pub fn parse_record(line: &str, opts: &CsvOptions, line_no: usize) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    loop {
+        // Each iteration parses one field.
+        if opts.trim {
+            while matches!(chars.peek(), Some(c) if c.is_ascii_whitespace()) {
+                chars.next();
+            }
+        }
+        if chars.peek() == Some(&'"') {
+            chars.next();
+            // Quoted field: read until the closing quote; "" is an escape.
+            loop {
+                match chars.next() {
+                    Some('"') => {
+                        if chars.peek() == Some(&'"') {
+                            chars.next();
+                            field.push('"');
+                        } else {
+                            break;
+                        }
+                    }
+                    Some(c) => field.push(c),
+                    None => {
+                        return Err(DataError::Csv {
+                            line: line_no,
+                            message: "unterminated quoted field".into(),
+                        })
+                    }
+                }
+            }
+            // Consume whitespace up to the delimiter or end.
+            while matches!(chars.peek(), Some(c) if c.is_ascii_whitespace()) {
+                chars.next();
+            }
+            match chars.next() {
+                None => {
+                    fields.push(std::mem::take(&mut field));
+                    break;
+                }
+                Some(c) if c == opts.delimiter => {
+                    fields.push(std::mem::take(&mut field));
+                }
+                Some(c) => {
+                    return Err(DataError::Csv {
+                        line: line_no,
+                        message: format!("unexpected `{c}` after closing quote"),
+                    })
+                }
+            }
+        } else {
+            // Unquoted field: read to the delimiter or end.
+            let mut done = false;
+            loop {
+                match chars.next() {
+                    None => {
+                        done = true;
+                        break;
+                    }
+                    Some(c) if c == opts.delimiter => break,
+                    Some(c) => field.push(c),
+                }
+            }
+            if opts.trim {
+                let trimmed = field.trim_end().len();
+                field.truncate(trimmed);
+            }
+            fields.push(std::mem::take(&mut field));
+            if done {
+                break;
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Reads all records from a buffered reader.
+pub fn read_records<R: BufRead>(reader: R, opts: &CsvOptions) -> Result<Vec<Vec<String>>> {
+    let mut out = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_no = i + 1;
+        let trimmed = line.trim();
+        if opts.skip_empty_lines && trimmed.is_empty() {
+            continue;
+        }
+        if let Some(cc) = opts.comment_char {
+            if trimmed.starts_with(cc) {
+                continue;
+            }
+        }
+        out.push(parse_record(&line, opts, line_no)?);
+    }
+    Ok(out)
+}
+
+/// Parses records from an in-memory string.
+pub fn read_str(content: &str, opts: &CsvOptions) -> Result<Vec<Vec<String>>> {
+    read_records(content.as_bytes(), opts)
+}
+
+/// Writes records, quoting fields that contain the delimiter, quotes, or
+/// newlines.
+pub fn write_records<W: Write>(
+    mut writer: W,
+    records: &[Vec<String>],
+    delimiter: char,
+) -> Result<()> {
+    for record in records {
+        let mut first = true;
+        for field in record {
+            if !first {
+                write!(writer, "{delimiter}")?;
+            }
+            first = false;
+            let needs_quote = field.contains(delimiter)
+                || field.contains('"')
+                || field.contains('\n')
+                || field.contains('\r');
+            if needs_quote {
+                write!(writer, "\"{}\"", field.replace('"', "\"\""))?;
+            } else {
+                write!(writer, "{field}")?;
+            }
+        }
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_record() {
+        let r = parse_record("a,b,c", &CsvOptions::default(), 1).unwrap();
+        assert_eq!(r, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn trims_adult_style_spacing() {
+        let r = parse_record("39, State-gov, 77516, Bachelors", &CsvOptions::adult(), 1).unwrap();
+        assert_eq!(r, vec!["39", "State-gov", "77516", "Bachelors"]);
+    }
+
+    #[test]
+    fn preserves_whitespace_when_trim_disabled() {
+        let opts = CsvOptions {
+            trim: false,
+            ..CsvOptions::default()
+        };
+        let r = parse_record("a, b", &opts, 1).unwrap();
+        assert_eq!(r, vec!["a", " b"]);
+    }
+
+    #[test]
+    fn quoted_fields_with_embedded_delimiters_and_quotes() {
+        let r = parse_record(r#""a,b","say ""hi""",c"#, &CsvOptions::default(), 1).unwrap();
+        assert_eq!(r, vec!["a,b", "say \"hi\"", "c"]);
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        let e = parse_record("\"abc", &CsvOptions::default(), 7).unwrap_err();
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn garbage_after_quote_is_an_error() {
+        assert!(parse_record("\"a\"x,b", &CsvOptions::default(), 1).is_err());
+    }
+
+    #[test]
+    fn empty_fields_and_trailing_delimiter() {
+        let r = parse_record("a,,c,", &CsvOptions::default(), 1).unwrap();
+        assert_eq!(r, vec!["a", "", "c", ""]);
+    }
+
+    #[test]
+    fn read_str_skips_comments_and_blanks() {
+        let content = "|1x3 Cross validator\n\n25, Private\n38, Self-emp\n";
+        let records = read_str(content, &CsvOptions::adult()).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0], vec!["25", "Private"]);
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let records = vec![
+            vec!["plain".to_string(), "with,comma".to_string()],
+            vec!["with \"quote\"".to_string(), "".to_string()],
+        ];
+        let mut buf = Vec::new();
+        write_records(&mut buf, &records, ',').unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let opts = CsvOptions {
+            trim: false,
+            skip_empty_lines: false,
+            ..CsvOptions::default()
+        };
+        let parsed = read_str(&text, &opts).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn crlf_content_in_quotes_is_preserved_by_writer() {
+        let records = vec![vec!["line1\nline2".to_string()]];
+        let mut buf = Vec::new();
+        write_records(&mut buf, &records, ',').unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with('"'));
+    }
+}

@@ -1,0 +1,240 @@
+//! Feature encoding: one-hot expansion and standardization into dense
+//! matrices for the learners.
+
+use crate::error::{DataError, Result};
+use crate::frame::DataFrame;
+
+/// A dense row-major feature matrix with named columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureMatrix {
+    /// Feature names, one per column.
+    pub names: Vec<String>,
+    /// Row-major data, `n_rows × names.len()`.
+    pub data: Vec<f64>,
+    /// Number of rows.
+    pub n_rows: usize,
+}
+
+impl FeatureMatrix {
+    /// Number of feature columns.
+    pub fn n_features(&self) -> usize {
+        self.names.len()
+    }
+
+    /// A row slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        let w = self.names.len();
+        &self.data[i * w..(i + 1) * w]
+    }
+}
+
+/// Per-column encoding strategy fitted on a training frame.
+#[derive(Debug, Clone, PartialEq)]
+enum ColumnEncoder {
+    /// One indicator per vocabulary entry except the first (reference)
+    /// category, avoiding the dummy-variable trap.
+    OneHot { column: String, vocab: Vec<String> },
+    /// (x - mean) / std, with std floored at 1e-12.
+    Standardize { column: String, mean: f64, std: f64 },
+}
+
+/// Encoder mapping a [`DataFrame`] to a [`FeatureMatrix`].
+///
+/// Fit on training data; applying to a frame with unseen categorical values
+/// maps them to the all-zeros (reference) encoding, the standard convention
+/// for held-out data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameEncoder {
+    encoders: Vec<ColumnEncoder>,
+    feature_names: Vec<String>,
+}
+
+impl FrameEncoder {
+    /// Fits an encoder over the named columns of `frame`: categorical
+    /// columns become dropped-first one-hot blocks, numeric columns are
+    /// standardized.
+    pub fn fit(frame: &DataFrame, columns: &[&str]) -> Result<FrameEncoder> {
+        if columns.is_empty() {
+            return Err(DataError::Invalid("no feature columns selected".into()));
+        }
+        let mut encoders = Vec::with_capacity(columns.len());
+        let mut feature_names = Vec::new();
+        for &name in columns {
+            let col = frame.column(name)?;
+            if col.is_categorical() {
+                let (_, vocab) = col.as_categorical()?;
+                for v in &vocab[1..] {
+                    feature_names.push(format!("{name}={v}"));
+                }
+                encoders.push(ColumnEncoder::OneHot {
+                    column: name.to_string(),
+                    vocab: vocab.to_vec(),
+                });
+            } else {
+                let xs = col.as_numeric()?;
+                let n = xs.len().max(1) as f64;
+                let mean = xs.iter().sum::<f64>() / n;
+                let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+                feature_names.push(name.to_string());
+                encoders.push(ColumnEncoder::Standardize {
+                    column: name.to_string(),
+                    mean,
+                    std: var.sqrt().max(1e-12),
+                });
+            }
+        }
+        Ok(FrameEncoder {
+            encoders,
+            feature_names,
+        })
+    }
+
+    /// Names of the produced features, in column order.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Encodes a frame (which must contain all fitted columns).
+    pub fn transform(&self, frame: &DataFrame) -> Result<FeatureMatrix> {
+        let n_rows = frame.n_rows();
+        let width = self.feature_names.len();
+        let mut data = vec![0.0; n_rows * width];
+        let mut offset = 0usize;
+        for enc in &self.encoders {
+            match enc {
+                ColumnEncoder::OneHot { column, vocab } => {
+                    let (codes, frame_vocab) = frame.column(column)?.as_categorical()?;
+                    // Map the frame's codes into the *fitted* vocabulary.
+                    let remap: Vec<Option<usize>> = frame_vocab
+                        .iter()
+                        .map(|v| vocab.iter().position(|u| u == v))
+                        .collect();
+                    let block = vocab.len() - 1;
+                    for (row, &code) in codes.iter().enumerate() {
+                        if let Some(fit_ix) = remap[code as usize] {
+                            if fit_ix > 0 {
+                                data[row * width + offset + fit_ix - 1] = 1.0;
+                            }
+                        }
+                        // Unseen values: all-zero block (reference category).
+                    }
+                    offset += block;
+                }
+                ColumnEncoder::Standardize { column, mean, std } => {
+                    let xs = frame.column(column)?.as_numeric()?;
+                    for (row, &x) in xs.iter().enumerate() {
+                        data[row * width + offset] = (x - mean) / std;
+                    }
+                    offset += 1;
+                }
+            }
+        }
+        debug_assert_eq!(offset, width);
+        Ok(FeatureMatrix {
+            names: self.feature_names.clone(),
+            data,
+            n_rows,
+        })
+    }
+}
+
+/// Extracts a binary label vector from a categorical column, mapping
+/// `positive_label` to 1.0 and everything else to 0.0. Errors if the
+/// positive label never occurs in the column's vocabulary.
+pub fn binary_labels(frame: &DataFrame, column: &str, positive_label: &str) -> Result<Vec<f64>> {
+    let (codes, vocab) = frame.column(column)?.as_categorical()?;
+    let pos = vocab
+        .iter()
+        .position(|v| v == positive_label)
+        .ok_or_else(|| {
+            DataError::Invalid(format!(
+                "label `{positive_label}` not found in column `{column}`"
+            ))
+        })?;
+    Ok(codes
+        .iter()
+        .map(|&c| if c as usize == pos { 1.0 } else { 0.0 })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Column;
+
+    fn frame() -> DataFrame {
+        DataFrame::new(vec![
+            Column::categorical("color", &["red", "blue", "red", "green"]),
+            Column::numeric("x", vec![2.0, 4.0, 6.0, 8.0]),
+            Column::categorical("y", &["no", "yes", "yes", "no"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn one_hot_drops_first_category() {
+        let f = frame();
+        let enc = FrameEncoder::fit(&f, &["color"]).unwrap();
+        assert_eq!(enc.feature_names(), &["color=blue", "color=green"]);
+        let m = enc.transform(&f).unwrap();
+        assert_eq!(m.n_features(), 2);
+        assert_eq!(m.row(0), &[0.0, 0.0]); // red = reference
+        assert_eq!(m.row(1), &[1.0, 0.0]); // blue
+        assert_eq!(m.row(3), &[0.0, 1.0]); // green
+    }
+
+    #[test]
+    fn standardization_zero_mean_unit_variance() {
+        let f = frame();
+        let enc = FrameEncoder::fit(&f, &["x"]).unwrap();
+        let m = enc.transform(&f).unwrap();
+        let col: Vec<f64> = (0..4).map(|i| m.row(i)[0]).collect();
+        let mean: f64 = col.iter().sum::<f64>() / 4.0;
+        let var: f64 = col.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_columns_concatenate_in_order() {
+        let f = frame();
+        let enc = FrameEncoder::fit(&f, &["x", "color"]).unwrap();
+        assert_eq!(enc.feature_names()[0], "x");
+        assert_eq!(enc.feature_names().len(), 3);
+        let m = enc.transform(&f).unwrap();
+        assert_eq!(m.n_features(), 3);
+    }
+
+    #[test]
+    fn unseen_category_maps_to_reference() {
+        let train = frame();
+        let enc = FrameEncoder::fit(&train, &["color"]).unwrap();
+        let test = DataFrame::new(vec![Column::categorical("color", &["purple", "blue"])]).unwrap();
+        let m = enc.transform(&test).unwrap();
+        assert_eq!(m.row(0), &[0.0, 0.0]);
+        assert_eq!(m.row(1), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn constant_numeric_column_does_not_divide_by_zero() {
+        let f = DataFrame::new(vec![Column::numeric("k", vec![5.0, 5.0, 5.0])]).unwrap();
+        let enc = FrameEncoder::fit(&f, &["k"]).unwrap();
+        let m = enc.transform(&f).unwrap();
+        assert!(m.data.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn binary_labels_extraction() {
+        let f = frame();
+        let ys = binary_labels(&f, "y", "yes").unwrap();
+        assert_eq!(ys, vec![0.0, 1.0, 1.0, 0.0]);
+        assert!(binary_labels(&f, "y", "maybe").is_err());
+        assert!(binary_labels(&f, "x", "yes").is_err());
+    }
+
+    #[test]
+    fn fit_requires_columns() {
+        assert!(FrameEncoder::fit(&frame(), &[]).is_err());
+        assert!(FrameEncoder::fit(&frame(), &["missing"]).is_err());
+    }
+}

@@ -1,0 +1,112 @@
+//! The Simpson's-paradox data of §5.1 (Table 1).
+//!
+//! The paper adapts the classic kidney-stone treatment comparison
+//! (Charig et al. 1986) into a university-admissions scenario: treatment
+//! becomes *gender*, stone size becomes *race*, and treatment success
+//! becomes *admission*. Both framings are provided, with the exact counts
+//! from the paper: 81/87, 234/270, 192/263, and 55/80.
+
+use df_prob::contingency::{Axis, ContingencyTable};
+
+/// Table 1 of the paper as joint counts over
+/// `outcome {admit, decline} × gender {A, B} × race {1, 2}`.
+///
+/// Cell layout (admitted / total): Gender A Race 1 = 81/87,
+/// Gender B Race 1 = 234/270, Gender A Race 2 = 192/263,
+/// Gender B Race 2 = 55/80.
+pub fn admissions_counts() -> ContingencyTable {
+    let axes = vec![
+        Axis::from_strs("outcome", &["admit", "decline"]).expect("static axes"),
+        Axis::from_strs("gender", &["A", "B"]).expect("static axes"),
+        Axis::from_strs("race", &["1", "2"]).expect("static axes"),
+    ];
+    // Row-major over (outcome, gender, race).
+    let data = vec![
+        81.0, 192.0, // admit, gender A, race 1 / 2
+        234.0, 55.0, // admit, gender B
+        6.0, 71.0, // decline, gender A
+        36.0, 25.0, // decline, gender B
+    ];
+    ContingencyTable::from_data(axes, data).expect("static data is valid")
+}
+
+/// The original kidney-stone framing: `outcome {success, failure} ×
+/// treatment {A, B} × stone_size {small, large}`.
+///
+/// Treatment A (open surgery) succeeds on 81/87 small and 192/263 large
+/// stones; treatment B (percutaneous nephrolithotomy) on 234/270 small and
+/// 55/80 large.
+pub fn kidney_stone_counts() -> ContingencyTable {
+    let axes = vec![
+        Axis::from_strs("outcome", &["success", "failure"]).expect("static axes"),
+        Axis::from_strs("treatment", &["A", "B"]).expect("static axes"),
+        Axis::from_strs("stone_size", &["small", "large"]).expect("static axes"),
+    ];
+    let data = vec![
+        81.0, 192.0, // success, treatment A, small / large
+        234.0, 55.0, // success, treatment B
+        6.0, 71.0, // failure, treatment A
+        36.0, 25.0, // failure, treatment B
+    ];
+    ContingencyTable::from_data(axes, data).expect("static data is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_prob::numerics::approx_eq;
+
+    #[test]
+    fn totals_match_paper() {
+        let t = admissions_counts();
+        assert_eq!(t.total(), 700.0);
+        // Per-gender totals are 350 each (Table 1's Overall row).
+        let g = t.marginalize(&["gender"]).unwrap();
+        assert_eq!(g.get(&[0]), 350.0);
+        assert_eq!(g.get(&[1]), 350.0);
+    }
+
+    #[test]
+    fn admission_probabilities_match_table1() {
+        let t = admissions_counts();
+        let admit = t.condition("outcome", "admit").unwrap();
+        let totals = t.marginalize(&["gender", "race"]).unwrap();
+        let p = |g: usize, r: usize| admit.get(&[g, r]) / totals.get(&[g, r]);
+        assert!(approx_eq(p(0, 0), 81.0 / 87.0, 1e-12, 0.0));
+        assert!(approx_eq(p(1, 0), 234.0 / 270.0, 1e-12, 0.0));
+        assert!(approx_eq(p(0, 1), 192.0 / 263.0, 1e-12, 0.0));
+        assert!(approx_eq(p(1, 1), 55.0 / 80.0, 1e-12, 0.0));
+    }
+
+    #[test]
+    fn simpsons_reversal_is_present() {
+        // Gender A is admitted more within *each* race, but less overall.
+        let t = admissions_counts();
+        let admit = t.condition("outcome", "admit").unwrap();
+        let totals = t.marginalize(&["gender", "race"]).unwrap();
+        let p = |g: usize, r: usize| admit.get(&[g, r]) / totals.get(&[g, r]);
+        assert!(p(0, 0) > p(1, 0), "A beats B within race 1");
+        assert!(p(0, 1) > p(1, 1), "A beats B within race 2");
+
+        let overall_admit = t.marginalize(&["outcome", "gender"]).unwrap();
+        let gender_totals = t.marginalize(&["gender"]).unwrap();
+        let overall = |g: usize| overall_admit.get(&[0, g]) / gender_totals.get(&[g]);
+        assert!(
+            overall(0) < overall(1),
+            "yet B beats A overall: {} vs {}",
+            overall(0),
+            overall(1)
+        );
+        // Paper: 78% vs 82.57%.
+        assert!(approx_eq(overall(0), 0.78, 1e-12, 0.0));
+        assert!(approx_eq(overall(1), 289.0 / 350.0, 1e-12, 0.0));
+    }
+
+    #[test]
+    fn kidney_framing_has_same_counts() {
+        let a = admissions_counts();
+        let k = kidney_stone_counts();
+        assert_eq!(a.data(), k.data());
+        assert_eq!(k.axes()[1].name(), "treatment");
+    }
+}

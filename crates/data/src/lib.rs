@@ -1,0 +1,37 @@
+//! # df-data — tabular-data substrate
+//!
+//! Columnar data frames, CSV parsing, feature encoding, protected-attribute
+//! preparation, and the datasets used by the paper's experiments:
+//!
+//! - [`frame`]: a small columnar [`frame::DataFrame`] with categorical
+//!   interning, filtering, splitting, and contingency-table extraction.
+//! - [`csv`]: from-scratch CSV reader/writer handling the UCI Adult format's
+//!   quirks (", " separators, `?` missing markers, trailing periods).
+//! - [`encode`]: one-hot encoding and standardization into dense feature
+//!   matrices for the learners.
+//! - [`protected`]: protected-attribute preparation — category merging
+//!   (e.g. collapsing rare race categories) and binarization (e.g.
+//!   nationality → US / Non-US), exactly as §6 of the paper describes.
+//! - [`adult`]: the calibrated synthetic Adult-census generator (see
+//!   DESIGN.md §4 for the substitution rationale) plus a loader for the
+//!   real UCI files when available.
+//! - [`kidney`]: the Simpson's-paradox admissions data of Table 1 and the
+//!   original kidney-stone treatment table it was adapted from.
+//! - [`workloads`]: synthetic workload generators for benchmarks and
+//!   property tests (random joint tables, planted-ε tables, group-Gaussian
+//!   score populations).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adult;
+pub mod csv;
+pub mod encode;
+pub mod error;
+pub mod frame;
+pub mod kidney;
+pub mod protected;
+pub mod workloads;
+
+pub use error::{DataError, Result};
+pub use frame::{Column, ColumnData, DataFrame};

@@ -1,0 +1,197 @@
+//! Synthetic workload generators for benchmarks and property tests.
+
+use crate::error::{DataError, Result};
+use df_prob::contingency::{Axis, ContingencyTable};
+use df_prob::dist::{Continuous, Normal};
+use df_prob::rng::Pcg32;
+
+/// Random joint counts over `outcome × p attributes`, every cell positive.
+///
+/// `arities` gives each attribute's cardinality; cells draw uniformly from
+/// `[1, max_cell]`. Useful for stress-testing subset audits where all ε are
+/// finite.
+pub fn random_joint_counts(
+    rng: &mut Pcg32,
+    n_outcomes: usize,
+    arities: &[usize],
+    max_cell: u32,
+) -> Result<ContingencyTable> {
+    if n_outcomes < 2 || arities.is_empty() || max_cell == 0 {
+        return Err(DataError::Invalid(
+            "need >=2 outcomes, >=1 attribute, positive max_cell".into(),
+        ));
+    }
+    let mut axes = Vec::with_capacity(arities.len() + 1);
+    axes.push(Axis::new(
+        "outcome",
+        (0..n_outcomes).map(|i| format!("y{i}")).collect(),
+    )?);
+    for (k, &a) in arities.iter().enumerate() {
+        if a == 0 {
+            return Err(DataError::Invalid(format!("attribute {k} has arity 0")));
+        }
+        axes.push(Axis::new(
+            format!("attr{k}"),
+            (0..a).map(|i| format!("v{i}")).collect(),
+        )?);
+    }
+    let cells: usize = n_outcomes * arities.iter().product::<usize>();
+    let data: Vec<f64> = (0..cells)
+        .map(|_| 1.0 + rng.next_below(max_cell) as f64)
+        .collect();
+    ContingencyTable::from_data(axes, data).map_err(DataError::from)
+}
+
+/// A two-outcome group table with a *planted* ε: the positive-outcome rates
+/// interpolate log-linearly from `base_rate` down to `base_rate · e^-eps`,
+/// so the tightest ε of the table is exactly `eps` (up to the binary
+/// complement's smaller ratio).
+///
+/// Returns `(group_rates, expected_epsilon)`.
+pub fn planted_epsilon_rates(n_groups: usize, base_rate: f64, eps: f64) -> Result<(Vec<f64>, f64)> {
+    if n_groups < 2 {
+        return Err(DataError::Invalid("need >= 2 groups".into()));
+    }
+    if !(0.0 < base_rate && base_rate < 1.0) {
+        return Err(DataError::Invalid("base_rate must lie in (0,1)".into()));
+    }
+    if eps < 0.0 {
+        return Err(DataError::Invalid("eps must be non-negative".into()));
+    }
+    let rates: Vec<f64> = (0..n_groups)
+        .map(|g| base_rate * (-eps * g as f64 / (n_groups - 1) as f64).exp())
+        .collect();
+    // The planted ε is on the positive outcome; the complement's ratio is
+    // ln((1-min)/(1-max)) which is smaller whenever base_rate < 1/2 and eps
+    // is the dominating side for small rates.
+    let comp = ((1.0 - rates[n_groups - 1]) / (1.0 - rates[0])).ln();
+    Ok((rates, eps.max(comp)))
+}
+
+/// Score populations for threshold-mechanism workloads: per-group Gaussian
+/// test-score distributions, as in the paper's Figure 2.
+#[derive(Debug, Clone)]
+pub struct GaussianScoreGroups {
+    /// Per-group score distribution.
+    pub distributions: Vec<Normal>,
+    /// Per-group population weight.
+    pub weights: Vec<f64>,
+}
+
+impl GaussianScoreGroups {
+    /// Builds the workload; `means`, `std_devs`, `weights` must be equal
+    /// length with at least two groups.
+    pub fn new(means: &[f64], std_devs: &[f64], weights: &[f64]) -> Result<Self> {
+        if means.len() < 2 || means.len() != std_devs.len() || means.len() != weights.len() {
+            return Err(DataError::Invalid(
+                "means/std_devs/weights must be equal-length with >=2 groups".into(),
+            ));
+        }
+        let distributions = means
+            .iter()
+            .zip(std_devs)
+            .map(|(&m, &s)| Normal::new(m, s))
+            .collect::<std::result::Result<_, _>>()?;
+        Ok(Self {
+            distributions,
+            weights: weights.to_vec(),
+        })
+    }
+
+    /// The paper's Figure 2 workload: two equally likely groups with scores
+    /// N(10, 1) and N(12, 1).
+    pub fn figure2() -> Self {
+        Self::new(&[10.0, 12.0], &[1.0, 1.0], &[0.5, 0.5]).expect("static workload")
+    }
+
+    /// Number of groups.
+    pub fn n_groups(&self) -> usize {
+        self.distributions.len()
+    }
+
+    /// Analytic `P(score ≥ t | group)` per group.
+    pub fn pass_rates(&self, threshold: f64) -> Vec<f64> {
+        self.distributions
+            .iter()
+            .map(|d| 1.0 - d.cdf(threshold))
+            .collect()
+    }
+
+    /// Samples `(group, score)` pairs.
+    pub fn sample(&self, rng: &mut Pcg32, n: usize) -> Vec<(usize, f64)> {
+        use df_prob::dist::{Categorical, Sampler};
+        let group_dist = Categorical::new(&self.weights).expect("weights validated");
+        (0..n)
+            .map(|_| {
+                let g = group_dist.sample(rng);
+                let score = self.distributions[g].sample(rng);
+                (g, score)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_counts_all_positive() {
+        let mut rng = Pcg32::new(1);
+        let t = random_joint_counts(&mut rng, 2, &[2, 3], 100).unwrap();
+        assert_eq!(t.num_cells(), 12);
+        assert!(t.data().iter().all(|&v| v >= 1.0));
+        assert!(random_joint_counts(&mut rng, 1, &[2], 10).is_err());
+        assert!(random_joint_counts(&mut rng, 2, &[], 10).is_err());
+        assert!(random_joint_counts(&mut rng, 2, &[0], 10).is_err());
+    }
+
+    #[test]
+    fn planted_epsilon_is_exact_on_positive_outcome() {
+        let (rates, expected) = planted_epsilon_rates(4, 0.3, 1.5).unwrap();
+        assert_eq!(rates.len(), 4);
+        let realized = (rates[0] / rates[3]).ln();
+        assert!((realized - 1.5).abs() < 1e-12);
+        assert!(expected >= 1.5);
+        assert!(planted_epsilon_rates(1, 0.3, 1.0).is_err());
+        assert!(planted_epsilon_rates(3, 0.0, 1.0).is_err());
+        assert!(planted_epsilon_rates(3, 0.3, -1.0).is_err());
+    }
+
+    #[test]
+    fn figure2_pass_rates() {
+        let w = GaussianScoreGroups::figure2();
+        let rates = w.pass_rates(10.5);
+        assert!((rates[0] - 0.3085).abs() < 1e-3);
+        assert!((rates[1] - 0.9332).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sampled_pass_rates_match_analytic() {
+        let w = GaussianScoreGroups::figure2();
+        let mut rng = Pcg32::new(7);
+        let samples = w.sample(&mut rng, 100_000);
+        let mut pass = [0usize; 2];
+        let mut total = [0usize; 2];
+        for (g, score) in samples {
+            total[g] += 1;
+            if score >= 10.5 {
+                pass[g] += 1;
+            }
+        }
+        let analytic = w.pass_rates(10.5);
+        for g in 0..2 {
+            let emp = pass[g] as f64 / total[g] as f64;
+            assert!((emp - analytic[g]).abs() < 0.01, "group {g}: {emp}");
+        }
+        // Roughly equal group sizes.
+        assert!((total[0] as f64 / 100_000.0 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn workload_validation() {
+        assert!(GaussianScoreGroups::new(&[1.0], &[1.0], &[1.0]).is_err());
+        assert!(GaussianScoreGroups::new(&[1.0, 2.0], &[1.0], &[1.0, 1.0]).is_err());
+        assert!(GaussianScoreGroups::new(&[1.0, 2.0], &[1.0, -1.0], &[1.0, 1.0]).is_err());
+    }
+}

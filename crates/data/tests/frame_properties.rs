@@ -1,0 +1,100 @@
+//! Property-based tests of the data-frame and CSV substrate.
+
+use df_data::csv::{read_str, write_records, CsvOptions};
+use df_data::frame::{Column, DataFrame};
+use df_prob::rng::Pcg32;
+use proptest::prelude::*;
+
+fn frame_strategy() -> impl Strategy<Value = DataFrame> {
+    (2usize..60).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0u32..4, n),
+            proptest::collection::vec(-100.0f64..100.0, n),
+        )
+            .prop_map(|(cats, nums)| {
+                let labels: Vec<String> = cats.iter().map(|&c| format!("c{c}")).collect();
+                DataFrame::new(vec![
+                    Column::categorical("cat", &labels),
+                    Column::numeric("num", nums),
+                ])
+                .unwrap()
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn contingency_total_equals_row_count(frame in frame_strategy()) {
+        let t = frame.contingency(&["cat"]).unwrap();
+        prop_assert!((t.total() - frame.n_rows() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filter_then_take_composes(frame in frame_strategy()) {
+        let mask: Vec<bool> = (0..frame.n_rows()).map(|i| i % 2 == 0).collect();
+        let filtered = frame.filter(&mask).unwrap();
+        prop_assert_eq!(filtered.n_rows(), mask.iter().filter(|&&b| b).count());
+        // Values are preserved in order.
+        let orig = frame.column("num").unwrap().as_numeric().unwrap();
+        let kept = filtered.column("num").unwrap().as_numeric().unwrap();
+        let expect: Vec<f64> = orig
+            .iter()
+            .zip(&mask)
+            .filter_map(|(&v, &keep)| keep.then_some(v))
+            .collect();
+        prop_assert_eq!(kept, &expect[..]);
+    }
+
+    #[test]
+    fn split_train_test_partitions(frame in frame_strategy(), seed in any::<u64>()) {
+        let mut rng = Pcg32::new(seed);
+        let (train, test) = frame.split_train_test(0.7, &mut rng).unwrap();
+        prop_assert_eq!(train.n_rows() + test.n_rows(), frame.n_rows());
+        // Multiset of numeric values preserved.
+        let mut all: Vec<f64> = train.column("num").unwrap().as_numeric().unwrap().to_vec();
+        all.extend(test.column("num").unwrap().as_numeric().unwrap());
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut orig = frame.column("num").unwrap().as_numeric().unwrap().to_vec();
+        orig.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(all, orig);
+    }
+
+    #[test]
+    fn group_indices_are_in_range_and_consistent(frame in frame_strategy()) {
+        let (indices, labels) = frame.group_indices(&["cat"]).unwrap();
+        prop_assert_eq!(indices.len(), frame.n_rows());
+        for &g in &indices {
+            prop_assert!(g < labels.len());
+        }
+        // Tallying indices reproduces the contingency marginal.
+        let t = frame.contingency(&["cat"]).unwrap();
+        let mut tallies = vec![0.0; labels.len()];
+        for &g in &indices {
+            tallies[g] += 1.0;
+        }
+        for (k, &count) in tallies.iter().enumerate() {
+            prop_assert!((t.get(&[k]) - count).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_fields(
+        records in proptest::collection::vec(
+            proptest::collection::vec("[a-zA-Z0-9 ,\"]{0,12}", 1..5),
+            1..20,
+        )
+    ) {
+        // Rows must have uniform arity for a meaningful table, but the CSV
+        // layer itself is arity-agnostic — test raw record fidelity.
+        let mut buf = Vec::new();
+        write_records(&mut buf, &records, ',').unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let opts = CsvOptions {
+            trim: false,
+            skip_empty_lines: false,
+            ..CsvOptions::default()
+        };
+        let parsed = read_str(&text, &opts).unwrap();
+        prop_assert_eq!(parsed, records);
+    }
+}

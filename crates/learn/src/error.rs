@@ -1,0 +1,86 @@
+//! Error type for the learning substrate.
+
+use std::fmt;
+
+/// Errors produced by df-learn.
+#[derive(Debug)]
+pub enum LearnError {
+    /// Propagated from the data substrate.
+    Data(df_data::DataError),
+    /// Propagated from the probability substrate.
+    Prob(df_prob::ProbError),
+    /// Shape mismatch between features and labels.
+    ShapeMismatch {
+        /// What was being matched.
+        context: &'static str,
+        /// Expected extent.
+        expected: usize,
+        /// Actual extent.
+        actual: usize,
+    },
+    /// Optimization failed (divergence, singular Hessian, …).
+    Optimization(String),
+    /// Generic invalid argument.
+    Invalid(String),
+}
+
+impl fmt::Display for LearnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LearnError::Data(e) => write!(f, "data substrate: {e}"),
+            LearnError::Prob(e) => write!(f, "probability substrate: {e}"),
+            LearnError::ShapeMismatch {
+                context,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "shape mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            LearnError::Optimization(msg) => write!(f, "optimization failed: {msg}"),
+            LearnError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LearnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LearnError::Data(e) => Some(e),
+            LearnError::Prob(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<df_data::DataError> for LearnError {
+    fn from(e: df_data::DataError) -> Self {
+        LearnError::Data(e)
+    }
+}
+
+impl From<df_prob::ProbError> for LearnError {
+    fn from(e: df_prob::ProbError) -> Self {
+        LearnError::Prob(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, LearnError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = LearnError::ShapeMismatch {
+            context: "fit",
+            expected: 10,
+            actual: 5,
+        };
+        assert!(e.to_string().contains("fit"));
+        let e = LearnError::Optimization("singular Hessian".into());
+        assert!(e.to_string().contains("singular"));
+    }
+}

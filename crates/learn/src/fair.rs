@@ -1,0 +1,468 @@
+//! Differential-fairness-regularized logistic regression.
+//!
+//! The paper's conclusion names "learning algorithms which use our criterion
+//! as a regularizer to automatically balance the trade-off between fairness
+//! and accuracy" as future work (following Foulds et al.'s later
+//! DF-classifier). This module implements that learner:
+//!
+//! ```text
+//! minimize  NLL(w)/n + (λ₂/2)‖w‖² + λ_f · R(w)
+//!
+//! R(w) = Σ_{i<j} [ max(0, |ln p̂ᵢ − ln p̂ⱼ| − ε_target) ]²
+//!      + Σ_{i<j} [ max(0, |ln(1−p̂ᵢ) − ln(1−p̂ⱼ)| − ε_target) ]²
+//! ```
+//!
+//! where `p̂_g = (α + Σ_{i∈g} σ(w·xᵢ)) / (2α + N_g)` is the smoothed soft
+//! positive rate of intersection `g` — a differentiable surrogate of the
+//! Eq. 7 estimator, so `R = 0` exactly when the soft ε meets `ε_target` on
+//! both outcomes. Optimization is full-batch gradient descent with Armijo
+//! line search.
+
+use crate::error::{LearnError, Result};
+use crate::optim::{GradientDescent, Objective};
+use df_data::encode::FeatureMatrix;
+use df_prob::numerics::sigmoid;
+
+/// Configuration for the fair learner.
+#[derive(Debug, Clone)]
+pub struct FairLogisticConfig {
+    /// Fairness penalty strength λ_f (0 recovers plain logistic
+    /// regression trained by gradient descent).
+    pub fairness_weight: f64,
+    /// Target ε below which no penalty applies.
+    pub epsilon_target: f64,
+    /// Dirichlet smoothing α of the soft group rates.
+    pub alpha: f64,
+    /// L2 penalty λ₂.
+    pub l2: f64,
+    /// Maximum gradient-descent iterations.
+    pub max_iter: usize,
+}
+
+impl Default for FairLogisticConfig {
+    fn default() -> Self {
+        Self {
+            fairness_weight: 1.0,
+            epsilon_target: 0.0,
+            alpha: 1.0,
+            l2: 1e-4,
+            max_iter: 400,
+        }
+    }
+}
+
+/// A fitted DF-regularized model.
+#[derive(Debug, Clone)]
+pub struct FairLogisticRegression {
+    weights: Vec<f64>, // [intercept, w...]
+    n_features: usize,
+    /// Soft ε of the training groups at the optimum.
+    pub train_soft_epsilon: f64,
+    /// Whether gradient descent converged.
+    pub converged: bool,
+}
+
+struct FairObjective<'a> {
+    x: &'a FeatureMatrix,
+    y: &'a [f64],
+    groups: &'a [usize],
+    group_sizes: Vec<f64>,
+    config: &'a FairLogisticConfig,
+}
+
+impl FairObjective<'_> {
+    /// Soft rates and their weight-gradients premixed: returns
+    /// (nll, grad_nll, soft_rates, per-group d p̂_g/dw).
+    #[allow(clippy::type_complexity, clippy::needless_range_loop)]
+    fn forward(&self, w: &[f64]) -> (f64, Vec<f64>, Vec<f64>, Vec<Vec<f64>>) {
+        let k = w.len();
+        let n = self.x.n_rows;
+        let n_groups = self.group_sizes.len();
+        let alpha = self.config.alpha;
+
+        let mut nll = 0.0;
+        let mut grad = vec![0.0; k];
+        let mut soft_sum = vec![0.0f64; n_groups];
+        let mut rate_grad = vec![vec![0.0f64; k]; n_groups];
+
+        for i in 0..n {
+            let row = self.x.row(i);
+            let z = w[0] + row.iter().zip(&w[1..]).map(|(xi, wi)| xi * wi).sum::<f64>();
+            let p = sigmoid(z);
+            nll += df_prob::numerics::log1p_exp(z) - self.y[i] * z;
+            let resid = p - self.y[i];
+            grad[0] += resid;
+            for (j, &xij) in row.iter().enumerate() {
+                grad[j + 1] += resid * xij;
+            }
+            let g = self.groups[i];
+            soft_sum[g] += p;
+            let s = p * (1.0 - p);
+            rate_grad[g][0] += s;
+            for (j, &xij) in row.iter().enumerate() {
+                rate_grad[g][j + 1] += s * xij;
+            }
+        }
+        let inv_n = 1.0 / n as f64;
+        nll *= inv_n;
+        for g in grad.iter_mut() {
+            *g *= inv_n;
+        }
+        let rates: Vec<f64> = (0..n_groups)
+            .map(|g| (alpha + soft_sum[g]) / (2.0 * alpha + self.group_sizes[g]))
+            .collect();
+        for g in 0..n_groups {
+            let denom = 2.0 * alpha + self.group_sizes[g];
+            for v in rate_grad[g].iter_mut() {
+                *v /= denom;
+            }
+        }
+        (nll, grad, rates, rate_grad)
+    }
+}
+
+impl Objective for FairObjective<'_> {
+    fn value_grad(&self, w: &[f64]) -> (f64, Vec<f64>) {
+        let (mut value, mut grad, rates, rate_grad) = self.forward(w);
+
+        // L2 (skip intercept).
+        for (j, &wj) in w.iter().enumerate().skip(1) {
+            value += 0.5 * self.config.l2 * wj * wj;
+            grad[j] += self.config.l2 * wj;
+        }
+
+        // Fairness hinge over populated group pairs, both outcomes.
+        let lam = self.config.fairness_weight;
+        if lam > 0.0 {
+            let n_groups = rates.len();
+            for i in 0..n_groups {
+                if self.group_sizes[i] == 0.0 {
+                    continue;
+                }
+                for j in i + 1..n_groups {
+                    if self.group_sizes[j] == 0.0 {
+                        continue;
+                    }
+                    // Positive outcome: d ln p / dw = (1/p) dp/dw.
+                    let gap_pos = rates[i].ln() - rates[j].ln();
+                    let hinge_pos = (gap_pos.abs() - self.config.epsilon_target).max(0.0);
+                    if hinge_pos > 0.0 {
+                        value += lam * hinge_pos * hinge_pos;
+                        let coef = 2.0 * lam * hinge_pos * gap_pos.signum();
+                        for (gslot, (gi, gj)) in grad
+                            .iter_mut()
+                            .zip(rate_grad[i].iter().zip(rate_grad[j].iter()))
+                        {
+                            *gslot += coef * (gi / rates[i] - gj / rates[j]);
+                        }
+                    }
+                    // Negative outcome: d ln(1-p)/dw = -(1/(1-p)) dp/dw.
+                    let gap_neg = (1.0 - rates[i]).ln() - (1.0 - rates[j]).ln();
+                    let hinge_neg = (gap_neg.abs() - self.config.epsilon_target).max(0.0);
+                    if hinge_neg > 0.0 {
+                        value += lam * hinge_neg * hinge_neg;
+                        let coef = 2.0 * lam * hinge_neg * gap_neg.signum();
+                        for (gslot, (gi, gj)) in grad
+                            .iter_mut()
+                            .zip(rate_grad[i].iter().zip(rate_grad[j].iter()))
+                        {
+                            *gslot += coef * (-gi / (1.0 - rates[i]) + gj / (1.0 - rates[j]));
+                        }
+                    }
+                }
+            }
+        }
+        (value, grad)
+    }
+}
+
+/// Soft ε of a rate vector: the max pairwise |log-ratio| over both outcomes
+/// for populated groups.
+pub fn soft_epsilon(rates: &[f64], group_sizes: &[f64]) -> f64 {
+    let mut eps = 0.0f64;
+    for (i, &ri) in rates.iter().enumerate() {
+        if group_sizes[i] == 0.0 {
+            continue;
+        }
+        for (j, &rj) in rates.iter().enumerate() {
+            if group_sizes[j] == 0.0 || i == j {
+                continue;
+            }
+            eps = eps.max((ri.ln() - rj.ln()).abs());
+            eps = eps.max(((1.0 - ri).ln() - (1.0 - rj).ln()).abs());
+        }
+    }
+    eps
+}
+
+impl FairLogisticRegression {
+    /// Fits the model. `groups[i]` is the intersection index of row `i`
+    /// (as produced by `DataFrame::group_indices`), `n_groups` the number of
+    /// intersections.
+    pub fn fit(
+        x: &FeatureMatrix,
+        y: &[f64],
+        groups: &[usize],
+        n_groups: usize,
+        config: &FairLogisticConfig,
+    ) -> Result<FairLogisticRegression> {
+        if y.len() != x.n_rows || groups.len() != x.n_rows {
+            return Err(LearnError::ShapeMismatch {
+                context: "FairLogisticRegression::fit",
+                expected: x.n_rows,
+                actual: y.len().min(groups.len()),
+            });
+        }
+        if n_groups == 0 || groups.iter().any(|&g| g >= n_groups) {
+            return Err(LearnError::Invalid("group index out of range".into()));
+        }
+        if config.alpha <= 0.0 || config.alpha.is_nan() {
+            return Err(LearnError::Invalid(
+                "alpha must be positive for the soft rates".into(),
+            ));
+        }
+        let mut group_sizes = vec![0.0f64; n_groups];
+        for &g in groups {
+            group_sizes[g] += 1.0;
+        }
+        let objective = FairObjective {
+            x,
+            y,
+            groups,
+            group_sizes: group_sizes.clone(),
+            config,
+        };
+        let gd = GradientDescent {
+            max_iter: config.max_iter,
+            tol: 1e-5,
+            ..GradientDescent::default()
+        };
+        let out = gd.minimize(&objective, vec![0.0; x.n_features() + 1])?;
+        let (_, _, rates, _) = objective.forward(&out.w);
+        Ok(FairLogisticRegression {
+            n_features: x.n_features(),
+            train_soft_epsilon: soft_epsilon(&rates, &group_sizes),
+            weights: out.w,
+            converged: out.converged,
+        })
+    }
+
+    /// Weight vector `[intercept, w₁, …]`.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// `P(y = 1 | x)` per row.
+    pub fn predict_proba(&self, x: &FeatureMatrix) -> Result<Vec<f64>> {
+        if x.n_features() != self.n_features {
+            return Err(LearnError::ShapeMismatch {
+                context: "FairLogisticRegression::predict_proba",
+                expected: self.n_features,
+                actual: x.n_features(),
+            });
+        }
+        Ok((0..x.n_rows)
+            .map(|i| {
+                let row = x.row(i);
+                sigmoid(
+                    self.weights[0]
+                        + row
+                            .iter()
+                            .zip(&self.weights[1..])
+                            .map(|(xi, wi)| xi * wi)
+                            .sum::<f64>(),
+                )
+            })
+            .collect())
+    }
+
+    /// Hard 0/1 predictions at the 0.5 threshold.
+    pub fn predict(&self, x: &FeatureMatrix) -> Result<Vec<f64>> {
+        Ok(self
+            .predict_proba(x)?
+            .into_iter()
+            .map(|p| if p >= 0.5 { 1.0 } else { 0.0 })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_prob::dist::{Normal, Sampler};
+    use df_prob::rng::Pcg32;
+
+    fn matrix(names: &[&str], rows: Vec<Vec<f64>>) -> FeatureMatrix {
+        let n_rows = rows.len();
+        FeatureMatrix {
+            names: names.iter().map(|s| s.to_string()).collect(),
+            data: rows.into_iter().flatten().collect(),
+            n_rows,
+        }
+    }
+
+    /// Biased two-group data: group 1's feature is shifted so an accuracy-
+    /// optimal classifier strongly favours it.
+    fn biased_dataset(n: usize, seed: u64) -> (FeatureMatrix, Vec<f64>, Vec<usize>) {
+        let mut rng = Pcg32::new(seed);
+        let normal = Normal::standard();
+        let mut rows = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        let mut groups = Vec::with_capacity(n);
+        for i in 0..n {
+            let g = i % 2;
+            let shift = if g == 1 { 1.8 } else { -1.8 };
+            let x = normal.sample(&mut rng) + shift;
+            let p = sigmoid(1.5 * x);
+            ys.push(if rng.next_f64() < p { 1.0 } else { 0.0 });
+            rows.push(vec![x]);
+            groups.push(g);
+        }
+        (matrix(&["score"], rows), ys, groups)
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let (x, y, g) = biased_dataset(50, 1);
+        let cfg = FairLogisticConfig::default();
+        assert!(FairLogisticRegression::fit(&x, &y[..10], &g, 2, &cfg).is_err());
+        assert!(FairLogisticRegression::fit(&x, &y, &g, 1, &cfg).is_err());
+        let bad_alpha = FairLogisticConfig { alpha: 0.0, ..cfg };
+        assert!(FairLogisticRegression::fit(&x, &y, &g, 2, &bad_alpha).is_err());
+    }
+
+    #[test]
+    fn zero_penalty_matches_plain_logistic() {
+        let (x, y, g) = biased_dataset(4000, 2);
+        let cfg = FairLogisticConfig {
+            fairness_weight: 0.0,
+            max_iter: 2000,
+            ..FairLogisticConfig::default()
+        };
+        let fair = FairLogisticRegression::fit(&x, &y, &g, 2, &cfg).unwrap();
+        let plain = crate::logistic::LogisticRegression::fit(
+            &x,
+            &y,
+            &crate::logistic::LogisticConfig::default(),
+        )
+        .unwrap();
+        // Same optimum up to optimizer tolerance.
+        assert!(
+            (fair.weights()[1] - plain.weights()[1]).abs() < 0.05,
+            "{} vs {}",
+            fair.weights()[1],
+            plain.weights()[1]
+        );
+    }
+
+    #[test]
+    fn penalty_reduces_soft_epsilon() {
+        let (x, y, g) = biased_dataset(4000, 3);
+        let loose = FairLogisticRegression::fit(
+            &x,
+            &y,
+            &g,
+            2,
+            &FairLogisticConfig {
+                fairness_weight: 0.0,
+                ..FairLogisticConfig::default()
+            },
+        )
+        .unwrap();
+        let strict = FairLogisticRegression::fit(
+            &x,
+            &y,
+            &g,
+            2,
+            &FairLogisticConfig {
+                fairness_weight: 50.0,
+                ..FairLogisticConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            strict.train_soft_epsilon < 0.3 * loose.train_soft_epsilon,
+            "strict {} vs loose {}",
+            strict.train_soft_epsilon,
+            loose.train_soft_epsilon
+        );
+    }
+
+    #[test]
+    fn fairness_costs_accuracy_on_biased_data() {
+        // The trade-off the paper describes: fairness at some expense to
+        // predictive accuracy.
+        let (x, y, g) = biased_dataset(4000, 4);
+        let loose = FairLogisticRegression::fit(
+            &x,
+            &y,
+            &g,
+            2,
+            &FairLogisticConfig {
+                fairness_weight: 0.0,
+                ..FairLogisticConfig::default()
+            },
+        )
+        .unwrap();
+        let strict = FairLogisticRegression::fit(
+            &x,
+            &y,
+            &g,
+            2,
+            &FairLogisticConfig {
+                fairness_weight: 50.0,
+                ..FairLogisticConfig::default()
+            },
+        )
+        .unwrap();
+        let err = |m: &FairLogisticRegression| {
+            let preds = m.predict(&x).unwrap();
+            preds.iter().zip(&y).filter(|(p, y)| p != y).count() as f64 / y.len() as f64
+        };
+        assert!(err(&strict) >= err(&loose) - 1e-9);
+        assert!(err(&loose) < 0.25, "baseline should be accurate");
+    }
+
+    #[test]
+    fn epsilon_target_leaves_slack() {
+        let (x, y, g) = biased_dataset(4000, 5);
+        let targeted = FairLogisticRegression::fit(
+            &x,
+            &y,
+            &g,
+            2,
+            &FairLogisticConfig {
+                fairness_weight: 50.0,
+                epsilon_target: 0.5,
+                ..FairLogisticConfig::default()
+            },
+        )
+        .unwrap();
+        // The optimizer has no incentive to push soft-ε below the target.
+        assert!(
+            targeted.train_soft_epsilon <= 0.75,
+            "soft eps {} should be near the 0.5 target",
+            targeted.train_soft_epsilon
+        );
+        let strict = FairLogisticRegression::fit(
+            &x,
+            &y,
+            &g,
+            2,
+            &FairLogisticConfig {
+                fairness_weight: 50.0,
+                epsilon_target: 0.0,
+                ..FairLogisticConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(strict.train_soft_epsilon < targeted.train_soft_epsilon + 1e-9);
+    }
+
+    #[test]
+    fn soft_epsilon_ignores_empty_groups() {
+        let eps = soft_epsilon(&[0.5, 0.9, 0.1], &[10.0, 10.0, 0.0]);
+        let expect = ((0.9_f64 / 0.5).ln()).max(((1.0_f64 - 0.5) / (1.0 - 0.9)).ln());
+        assert!((eps - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,324 @@
+//! Dense linear-algebra kernels.
+//!
+//! Small, allocation-conscious routines sized for the workspace's needs:
+//! feature matrices of tens of columns, Newton steps over
+//! tens-of-thousands-of-rows designs. Everything is `f64`, row-major.
+
+use crate::error::{LearnError, Result};
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y ← y + alpha · x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Row-major dense matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Wraps row-major data.
+    pub fn from_data(rows: usize, cols: usize, data: Vec<f64>) -> Result<Matrix> {
+        if data.len() != rows * cols {
+            return Err(LearnError::ShapeMismatch {
+                context: "Matrix::from_data",
+                expected: rows * cols,
+                actual: data.len(),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable row view.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Adds `v` to an element.
+    #[inline]
+    pub fn add_to(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.cols + j] += v;
+    }
+
+    /// Matrix–vector product `A x`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(LearnError::ShapeMismatch {
+                context: "matvec",
+                expected: self.cols,
+                actual: x.len(),
+            });
+        }
+        Ok((0..self.rows).map(|i| dot(self.row(i), x)).collect())
+    }
+
+    /// `Aᵀ x` for a vector with one entry per row.
+    pub fn transpose_matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.rows {
+            return Err(LearnError::ShapeMismatch {
+                context: "transpose_matvec",
+                expected: self.rows,
+                actual: x.len(),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (i, &xi) in x.iter().enumerate() {
+            if xi != 0.0 {
+                axpy(xi, self.row(i), &mut out);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Weighted Gram matrix `Aᵀ diag(w) A` — the Newton-step Hessian core.
+    #[allow(clippy::needless_range_loop)] // triangular accumulation pattern
+    pub fn weighted_gram(&self, w: &[f64]) -> Result<Matrix> {
+        if w.len() != self.rows {
+            return Err(LearnError::ShapeMismatch {
+                context: "weighted_gram",
+                expected: self.rows,
+                actual: w.len(),
+            });
+        }
+        let k = self.cols;
+        let mut gram = Matrix::zeros(k, k);
+        for (i, &wi) in w.iter().enumerate() {
+            if wi == 0.0 {
+                continue;
+            }
+            let row = self.row(i);
+            for a in 0..k {
+                let wa = wi * row[a];
+                if wa == 0.0 {
+                    continue;
+                }
+                // Upper triangle only; mirrored below.
+                for b in a..k {
+                    gram.add_to(a, b, wa * row[b]);
+                }
+            }
+        }
+        for a in 0..k {
+            for b in 0..a {
+                let v = gram.get(b, a);
+                gram.set(a, b, v);
+            }
+        }
+        Ok(gram)
+    }
+}
+
+/// Solves the SPD system `A x = b` via Cholesky factorization.
+///
+/// Fails with [`LearnError::Optimization`] if `A` is not positive definite
+/// (within a small pivot tolerance).
+#[allow(clippy::needless_range_loop)] // triangular-solve index patterns
+pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LearnError::ShapeMismatch {
+            context: "cholesky_solve (square)",
+            expected: n,
+            actual: a.cols(),
+        });
+    }
+    if b.len() != n {
+        return Err(LearnError::ShapeMismatch {
+            context: "cholesky_solve (rhs)",
+            expected: n,
+            actual: b.len(),
+        });
+    }
+    // Factor A = L Lᵀ, L lower-triangular, stored densely.
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j);
+            for k in 0..j {
+                sum -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if sum <= 1e-12 {
+                    return Err(LearnError::Optimization(format!(
+                        "matrix not positive definite (pivot {sum:.3e} at {i})"
+                    )));
+                }
+                l.set(i, j, sum.sqrt());
+            } else {
+                l.set(i, j, sum / l.get(j, j));
+            }
+        }
+    }
+    // Forward solve L z = b.
+    let mut z = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l.get(i, k) * z[k];
+        }
+        z[i] = sum / l.get(i, i);
+    }
+    // Back solve Lᵀ x = z.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = z[i];
+        for k in i + 1..n {
+            sum -= l.get(k, i) * x[k];
+        }
+        x[i] = sum / l.get(i, i);
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_axpy_norm() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, -1.0], &mut y);
+        assert_eq!(y, vec![3.0, -1.0]);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn matrix_shape_validation() {
+        assert!(Matrix::from_data(2, 2, vec![1.0]).is_err());
+        let m = Matrix::from_data(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!(m.matvec(&[1.0]).is_err());
+        assert!(m.transpose_matvec(&[1.0]).is_err());
+        assert!(m.weighted_gram(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn matvec_and_transpose() {
+        let m = Matrix::from_data(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(m.matvec(&[1.0, 0.0, -1.0]).unwrap(), vec![-2.0, -2.0]);
+        assert_eq!(
+            m.transpose_matvec(&[1.0, 1.0]).unwrap(),
+            vec![5.0, 7.0, 9.0]
+        );
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn weighted_gram_matches_direct() {
+        let m = Matrix::from_data(3, 2, vec![1.0, 2.0, 0.5, -1.0, 2.0, 0.0]).unwrap();
+        let w = [2.0, 1.0, 0.5];
+        let g = m.weighted_gram(&w).unwrap();
+        // Direct computation: Σ wᵢ xᵢ xᵢᵀ.
+        let mut direct = [[0.0f64; 2]; 2];
+        for (i, &wi) in w.iter().enumerate() {
+            let r = m.row(i);
+            for a in 0..2 {
+                for b in 0..2 {
+                    direct[a][b] += wi * r[a] * r[b];
+                }
+            }
+        }
+        for a in 0..2 {
+            for b in 0..2 {
+                assert!((g.get(a, b) - direct[a][b]).abs() < 1e-12);
+            }
+        }
+        // Symmetry.
+        assert_eq!(g.get(0, 1), g.get(1, 0));
+    }
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        // A = [[4, 2], [2, 3]], b = [2, 5] → x = [-0.5, 2].
+        let a = Matrix::from_data(2, 2, vec![4.0, 2.0, 2.0, 3.0]).unwrap();
+        let x = cholesky_solve(&a, &[2.0, 5.0]).unwrap();
+        assert!((x[0] + 0.5).abs() < 1e-12, "{x:?}");
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_data(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
+        assert!(cholesky_solve(&a, &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn cholesky_random_roundtrip() {
+        use df_prob::rng::Pcg32;
+        let mut rng = Pcg32::new(3);
+        for _ in 0..20 {
+            let n = 5;
+            // Build SPD as B Bᵀ + I.
+            let bdata: Vec<f64> = (0..n * n).map(|_| rng.next_f64() * 2.0 - 1.0).collect();
+            let b = Matrix::from_data(n, n, bdata).unwrap();
+            let mut a = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    let mut s = if i == j { 1.0 } else { 0.0 };
+                    for k in 0..n {
+                        s += b.get(i, k) * b.get(j, k);
+                    }
+                    a.set(i, j, s);
+                }
+            }
+            let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 2.0).collect();
+            let rhs = a.matvec(&x_true).unwrap();
+            let x = cholesky_solve(&a, &rhs).unwrap();
+            for (xs, xt) in x.iter().zip(&x_true) {
+                assert!((xs - xt).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Classification metrics.
+
+use crate::error::{LearnError, Result};
+
+/// Fraction of mismatched predictions.
+pub fn error_rate(predictions: &[f64], labels: &[f64]) -> Result<f64> {
+    if predictions.len() != labels.len() {
+        return Err(LearnError::ShapeMismatch {
+            context: "error_rate",
+            expected: labels.len(),
+            actual: predictions.len(),
+        });
+    }
+    if predictions.is_empty() {
+        return Err(LearnError::Invalid("empty prediction vector".into()));
+    }
+    let wrong = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, y)| p != y)
+        .count();
+    Ok(wrong as f64 / labels.len() as f64)
+}
+
+/// `1 − error_rate`.
+pub fn accuracy(predictions: &[f64], labels: &[f64]) -> Result<f64> {
+    Ok(1.0 - error_rate(predictions, labels)?)
+}
+
+/// Binary confusion counts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Confusion {
+    /// True positives (pred 1, label 1).
+    pub tp: usize,
+    /// False positives (pred 1, label 0).
+    pub fp: usize,
+    /// True negatives (pred 0, label 0).
+    pub tn: usize,
+    /// False negatives (pred 0, label 1).
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Tallies a prediction/label pair sequence (both 0/1-valued).
+    pub fn from_predictions(predictions: &[f64], labels: &[f64]) -> Result<Confusion> {
+        if predictions.len() != labels.len() {
+            return Err(LearnError::ShapeMismatch {
+                context: "Confusion::from_predictions",
+                expected: labels.len(),
+                actual: predictions.len(),
+            });
+        }
+        let mut c = Confusion::default();
+        for (&p, &y) in predictions.iter().zip(labels) {
+            match (p >= 0.5, y >= 0.5) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        Ok(c)
+    }
+
+    /// Precision `tp / (tp + fp)`; `None` with no positive predictions.
+    pub fn precision(&self) -> Option<f64> {
+        let denom = self.tp + self.fp;
+        (denom > 0).then(|| self.tp as f64 / denom as f64)
+    }
+
+    /// Recall / true-positive rate; `None` with no positive labels.
+    pub fn recall(&self) -> Option<f64> {
+        let denom = self.tp + self.fn_;
+        (denom > 0).then(|| self.tp as f64 / denom as f64)
+    }
+
+    /// False-positive rate; `None` with no negative labels.
+    pub fn fpr(&self) -> Option<f64> {
+        let denom = self.fp + self.tn;
+        (denom > 0).then(|| self.fp as f64 / denom as f64)
+    }
+
+    /// F1 score; `None` when precision or recall is undefined.
+    pub fn f1(&self) -> Option<f64> {
+        let p = self.precision()?;
+        let r = self.recall()?;
+        if p + r == 0.0 {
+            return Some(0.0);
+        }
+        Some(2.0 * p * r / (p + r))
+    }
+}
+
+/// Binary cross-entropy of probabilistic predictions, clipped away from
+/// {0, 1} by 1e-12 for stability.
+pub fn log_loss(probabilities: &[f64], labels: &[f64]) -> Result<f64> {
+    if probabilities.len() != labels.len() {
+        return Err(LearnError::ShapeMismatch {
+            context: "log_loss",
+            expected: labels.len(),
+            actual: probabilities.len(),
+        });
+    }
+    if probabilities.is_empty() {
+        return Err(LearnError::Invalid("empty probability vector".into()));
+    }
+    let mut total = 0.0;
+    for (&p, &y) in probabilities.iter().zip(labels) {
+        let p = p.clamp(1e-12, 1.0 - 1e-12);
+        total -= y * p.ln() + (1.0 - y) * (1.0 - p).ln();
+    }
+    Ok(total / labels.len() as f64)
+}
+
+/// Area under the ROC curve via the rank-sum (Mann–Whitney) estimator, with
+/// the standard half-credit for ties. Errors when either class is absent.
+pub fn auc(scores: &[f64], labels: &[f64]) -> Result<f64> {
+    if scores.len() != labels.len() {
+        return Err(LearnError::ShapeMismatch {
+            context: "auc",
+            expected: labels.len(),
+            actual: scores.len(),
+        });
+    }
+    let n_pos = labels.iter().filter(|&&y| y >= 0.5).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return Err(LearnError::Invalid("AUC needs both classes present".into()));
+    }
+    // Rank scores ascending; sum positive ranks with tie-averaging.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
+    let mut rank_sum_pos = 0.0;
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        // Average rank for the tie block [i, j] (1-based ranks).
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &ix in &order[i..=j] {
+            if labels[ix] >= 0.5 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let auc =
+        (rank_sum_pos - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0) / (n_pos as f64 * n_neg as f64);
+    Ok(auc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_rate_basic() {
+        let e = error_rate(&[1.0, 0.0, 1.0, 1.0], &[1.0, 0.0, 0.0, 1.0]).unwrap();
+        assert!((e - 0.25).abs() < 1e-14);
+        assert!((accuracy(&[1.0], &[1.0]).unwrap() - 1.0).abs() < 1e-14);
+        assert!(error_rate(&[], &[]).is_err());
+        assert!(error_rate(&[1.0], &[1.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn confusion_rates() {
+        let preds = [1.0, 1.0, 0.0, 0.0, 1.0];
+        let labels = [1.0, 0.0, 0.0, 1.0, 1.0];
+        let c = Confusion::from_predictions(&preds, &labels).unwrap();
+        assert_eq!((c.tp, c.fp, c.tn, c.fn_), (2, 1, 1, 1));
+        assert!((c.precision().unwrap() - 2.0 / 3.0).abs() < 1e-14);
+        assert!((c.recall().unwrap() - 2.0 / 3.0).abs() < 1e-14);
+        assert!((c.fpr().unwrap() - 0.5).abs() < 1e-14);
+        assert!((c.f1().unwrap() - 2.0 / 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn confusion_undefined_rates() {
+        let c = Confusion::from_predictions(&[0.0, 0.0], &[0.0, 0.0]).unwrap();
+        assert!(c.precision().is_none());
+        assert!(c.recall().is_none());
+        assert!(c.fpr().is_some());
+    }
+
+    #[test]
+    fn log_loss_perfect_and_uninformed() {
+        let perfect = log_loss(&[1.0, 0.0], &[1.0, 0.0]).unwrap();
+        assert!(perfect < 1e-10);
+        let coin = log_loss(&[0.5, 0.5], &[1.0, 0.0]).unwrap();
+        assert!((coin - 2.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_perfect_random_inverted() {
+        let labels = [0.0, 0.0, 1.0, 1.0];
+        assert!((auc(&[0.1, 0.2, 0.8, 0.9], &labels).unwrap() - 1.0).abs() < 1e-14);
+        assert!((auc(&[0.9, 0.8, 0.2, 0.1], &labels).unwrap() - 0.0).abs() < 1e-14);
+        // All-tied scores → 0.5.
+        assert!((auc(&[0.5, 0.5, 0.5, 0.5], &labels).unwrap() - 0.5).abs() < 1e-14);
+    }
+
+    #[test]
+    fn auc_tie_handling_matches_hand_computation() {
+        // scores: neg [0.2, 0.4], pos [0.4, 0.9]
+        // pairs: (0.2,0.4)=1, (0.2,0.9)=1, (0.4,0.4)=0.5, (0.4,0.9)=1 → 3.5/4.
+        let a = auc(&[0.2, 0.4, 0.4, 0.9], &[0.0, 0.0, 1.0, 1.0]).unwrap();
+        assert!((a - 0.875).abs() < 1e-14, "{a}");
+    }
+
+    #[test]
+    fn auc_requires_both_classes() {
+        assert!(auc(&[0.1, 0.2], &[1.0, 1.0]).is_err());
+    }
+}

@@ -1,0 +1,256 @@
+//! Fairness-aware model selection.
+//!
+//! §1 of the paper anticipates DF being used "within the development cycle
+//! of AI and ML systems, including hyper-parameter tuning, model selection,
+//! and feature engineering." This module provides that workflow: k-fold
+//! cross-validation reporting both error and the soft ε of each candidate,
+//! and a selector that picks the most accurate model subject to an ε budget.
+
+use crate::error::{LearnError, Result};
+use crate::fair::soft_epsilon;
+use crate::logistic::{LogisticConfig, LogisticRegression};
+use df_data::encode::FeatureMatrix;
+use df_prob::rng::Pcg32;
+
+/// Per-candidate cross-validation summary.
+#[derive(Debug, Clone)]
+pub struct CvResult {
+    /// The candidate's L2 strength.
+    pub l2: f64,
+    /// Mean validation error across folds.
+    pub error: f64,
+    /// Mean validation ε (smoothed hard-prediction rates per group).
+    pub epsilon: f64,
+    /// Per-fold (error, ε) pairs.
+    pub folds: Vec<(f64, f64)>,
+}
+
+/// Splits `n` indices into `k` shuffled folds.
+fn folds(n: usize, k: usize, rng: &mut Pcg32) -> Vec<Vec<usize>> {
+    let mut indices: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut indices);
+    let mut out = vec![Vec::with_capacity(n / k + 1); k];
+    for (i, ix) in indices.into_iter().enumerate() {
+        out[i % k].push(ix);
+    }
+    out
+}
+
+fn take_rows(x: &FeatureMatrix, rows: &[usize]) -> FeatureMatrix {
+    let w = x.n_features();
+    let mut data = Vec::with_capacity(rows.len() * w);
+    for &r in rows {
+        data.extend_from_slice(x.row(r));
+    }
+    FeatureMatrix {
+        names: x.names.clone(),
+        data,
+        n_rows: rows.len(),
+    }
+}
+
+/// ε of hard predictions over groups, with α = 1 smoothing of the
+/// per-group positive rates (both outcomes).
+fn prediction_epsilon(preds: &[f64], groups: &[usize], n_groups: usize) -> f64 {
+    let alpha = 1.0;
+    let mut pos = vec![0.0f64; n_groups];
+    let mut tot = vec![0.0f64; n_groups];
+    for (&p, &g) in preds.iter().zip(groups) {
+        tot[g] += 1.0;
+        pos[g] += p;
+    }
+    let rates: Vec<f64> = (0..n_groups)
+        .map(|g| (pos[g] + alpha) / (tot[g] + 2.0 * alpha))
+        .collect();
+    soft_epsilon(&rates, &tot)
+}
+
+/// Cross-validates logistic-regression candidates over an L2 grid,
+/// reporting error and fairness per candidate.
+///
+/// `groups` assigns each row its protected intersection (from
+/// `DataFrame::group_indices`).
+pub fn cross_validate_l2_grid(
+    x: &FeatureMatrix,
+    y: &[f64],
+    groups: &[usize],
+    n_groups: usize,
+    l2_grid: &[f64],
+    k: usize,
+    rng: &mut Pcg32,
+) -> Result<Vec<CvResult>> {
+    if y.len() != x.n_rows || groups.len() != x.n_rows {
+        return Err(LearnError::ShapeMismatch {
+            context: "cross_validate_l2_grid",
+            expected: x.n_rows,
+            actual: y.len().min(groups.len()),
+        });
+    }
+    if k < 2 || x.n_rows < 2 * k {
+        return Err(LearnError::Invalid(format!(
+            "need k >= 2 and at least 2k rows (k = {k}, rows = {})",
+            x.n_rows
+        )));
+    }
+    if l2_grid.is_empty() {
+        return Err(LearnError::Invalid("empty l2 grid".into()));
+    }
+    let fold_sets = folds(x.n_rows, k, rng);
+    let mut results = Vec::with_capacity(l2_grid.len());
+    for &l2 in l2_grid {
+        let config = LogisticConfig {
+            l2,
+            ..LogisticConfig::default()
+        };
+        let mut fold_stats = Vec::with_capacity(k);
+        for held_out in &fold_sets {
+            let train_rows: Vec<usize> = fold_sets
+                .iter()
+                .filter(|f| !std::ptr::eq(*f, held_out))
+                .flatten()
+                .copied()
+                .collect();
+            let x_train = take_rows(x, &train_rows);
+            let y_train: Vec<f64> = train_rows.iter().map(|&i| y[i]).collect();
+            let x_val = take_rows(x, held_out);
+            let y_val: Vec<f64> = held_out.iter().map(|&i| y[i]).collect();
+            let g_val: Vec<usize> = held_out.iter().map(|&i| groups[i]).collect();
+
+            let model = LogisticRegression::fit(&x_train, &y_train, &config)?;
+            let preds = model.predict(&x_val)?;
+            let err = preds.iter().zip(&y_val).filter(|(p, y)| p != y).count() as f64
+                / y_val.len().max(1) as f64;
+            let eps = prediction_epsilon(&preds, &g_val, n_groups);
+            fold_stats.push((err, eps));
+        }
+        let error = fold_stats.iter().map(|(e, _)| e).sum::<f64>() / k as f64;
+        let epsilon = fold_stats.iter().map(|(_, e)| e).sum::<f64>() / k as f64;
+        results.push(CvResult {
+            l2,
+            error,
+            epsilon,
+            folds: fold_stats,
+        });
+    }
+    Ok(results)
+}
+
+/// Selects the candidate with the lowest error among those whose mean ε is
+/// within `epsilon_budget`; falls back to the overall lowest-ε candidate
+/// when none qualifies (with `Ok(None)` never returned — selection is
+/// total).
+pub fn select_within_epsilon(results: &[CvResult], epsilon_budget: f64) -> Result<&CvResult> {
+    if results.is_empty() {
+        return Err(LearnError::Invalid("no candidates".into()));
+    }
+    let qualifying = results
+        .iter()
+        .filter(|r| r.epsilon <= epsilon_budget)
+        .min_by(|a, b| a.error.partial_cmp(&b.error).expect("finite errors"));
+    Ok(match qualifying {
+        Some(r) => r,
+        None => results
+            .iter()
+            .min_by(|a, b| a.epsilon.partial_cmp(&b.epsilon).expect("finite eps"))
+            .expect("nonempty"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_prob::dist::{Normal, Sampler};
+    use df_prob::numerics::sigmoid;
+
+    fn dataset(n: usize, seed: u64) -> (FeatureMatrix, Vec<f64>, Vec<usize>) {
+        let mut rng = Pcg32::new(seed);
+        let normal = Normal::standard();
+        let mut data = Vec::with_capacity(n * 2);
+        let mut ys = Vec::with_capacity(n);
+        let mut groups = Vec::with_capacity(n);
+        for i in 0..n {
+            let g = i % 2;
+            let x1 = normal.sample(&mut rng) + if g == 1 { 0.8 } else { -0.8 };
+            let x2 = normal.sample(&mut rng);
+            let p = sigmoid(1.2 * x1 - 0.4 * x2);
+            ys.push(if rng.next_f64() < p { 1.0 } else { 0.0 });
+            data.extend([x1, x2]);
+            groups.push(g);
+        }
+        (
+            FeatureMatrix {
+                names: vec!["x1".into(), "x2".into()],
+                data,
+                n_rows: n,
+            },
+            ys,
+            groups,
+        )
+    }
+
+    #[test]
+    fn cv_produces_one_result_per_candidate() {
+        let (x, y, g) = dataset(600, 1);
+        let mut rng = Pcg32::new(2);
+        let results =
+            cross_validate_l2_grid(&x, &y, &g, 2, &[1e-4, 1.0, 100.0], 5, &mut rng).unwrap();
+        assert_eq!(results.len(), 3);
+        for r in &results {
+            assert_eq!(r.folds.len(), 5);
+            assert!(r.error >= 0.0 && r.error <= 1.0);
+            assert!(r.epsilon >= 0.0);
+        }
+        // Heavy regularization hurts accuracy on this signal.
+        assert!(results[2].error >= results[0].error - 0.02);
+    }
+
+    #[test]
+    fn folds_partition_indices() {
+        let mut rng = Pcg32::new(3);
+        let f = folds(103, 5, &mut rng);
+        assert_eq!(f.len(), 5);
+        let mut all: Vec<usize> = f.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..103).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn selection_respects_budget_and_falls_back() {
+        let results = vec![
+            CvResult {
+                l2: 0.1,
+                error: 0.10,
+                epsilon: 2.0,
+                folds: vec![],
+            },
+            CvResult {
+                l2: 1.0,
+                error: 0.14,
+                epsilon: 0.8,
+                folds: vec![],
+            },
+            CvResult {
+                l2: 10.0,
+                error: 0.20,
+                epsilon: 0.5,
+                folds: vec![],
+            },
+        ];
+        // Budget admits the last two; lowest error among them is l2 = 1.
+        let chosen = select_within_epsilon(&results, 1.0).unwrap();
+        assert_eq!(chosen.l2, 1.0);
+        // Impossible budget → fall back to minimal ε.
+        let fallback = select_within_epsilon(&results, 0.1).unwrap();
+        assert_eq!(fallback.l2, 10.0);
+        assert!(select_within_epsilon(&[], 1.0).is_err());
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let (x, y, g) = dataset(20, 4);
+        let mut rng = Pcg32::new(5);
+        assert!(cross_validate_l2_grid(&x, &y[..10], &g, 2, &[1.0], 3, &mut rng).is_err());
+        assert!(cross_validate_l2_grid(&x, &y, &g, 2, &[], 3, &mut rng).is_err());
+        assert!(cross_validate_l2_grid(&x, &y, &g, 2, &[1.0], 15, &mut rng).is_err());
+    }
+}

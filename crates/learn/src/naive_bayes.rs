@@ -1,0 +1,270 @@
+//! Hybrid naive Bayes over data-frame columns.
+//!
+//! Categorical features use Laplace-smoothed multinomial likelihoods;
+//! numeric features use per-class Gaussians. Serves as an alternative
+//! mechanism for fairness audits (different inductive bias → different ε
+//! profile than logistic regression).
+
+use crate::error::{LearnError, Result};
+use df_data::frame::DataFrame;
+
+#[derive(Debug, Clone)]
+enum FeatureLikelihood {
+    /// Per-class log P(value | class) with Laplace smoothing.
+    Categorical {
+        column: String,
+        vocab: Vec<String>,
+        /// `[class][code]` log-probabilities.
+        log_probs: [Vec<f64>; 2],
+    },
+    /// Per-class Gaussian.
+    Gaussian {
+        column: String,
+        mean: [f64; 2],
+        var: [f64; 2],
+    },
+}
+
+/// A fitted binary naive-Bayes classifier.
+#[derive(Debug, Clone)]
+pub struct NaiveBayes {
+    log_prior: [f64; 2],
+    features: Vec<FeatureLikelihood>,
+}
+
+impl NaiveBayes {
+    /// Fits the model on the named feature columns against 0/1 labels.
+    /// `laplace` is the smoothing pseudo-count for categorical features.
+    pub fn fit(
+        frame: &DataFrame,
+        feature_columns: &[&str],
+        labels: &[f64],
+        laplace: f64,
+    ) -> Result<NaiveBayes> {
+        if labels.len() != frame.n_rows() {
+            return Err(LearnError::ShapeMismatch {
+                context: "NaiveBayes::fit",
+                expected: frame.n_rows(),
+                actual: labels.len(),
+            });
+        }
+        if feature_columns.is_empty() {
+            return Err(LearnError::Invalid("no feature columns".into()));
+        }
+        if !(laplace.is_finite() && laplace > 0.0) {
+            return Err(LearnError::Invalid("laplace must be positive".into()));
+        }
+        let n = labels.len();
+        let n1 = labels.iter().filter(|&&y| y >= 0.5).count();
+        let n0 = n - n1;
+        if n0 == 0 || n1 == 0 {
+            return Err(LearnError::Invalid(
+                "both classes must be present in training data".into(),
+            ));
+        }
+        let class_counts = [n0 as f64, n1 as f64];
+        let log_prior = [
+            (class_counts[0] / n as f64).ln(),
+            (class_counts[1] / n as f64).ln(),
+        ];
+
+        let mut features = Vec::with_capacity(feature_columns.len());
+        for &name in feature_columns {
+            let col = frame.column(name)?;
+            if col.is_categorical() {
+                let (codes, vocab) = col.as_categorical()?;
+                let k = vocab.len();
+                let mut counts = [vec![0.0f64; k], vec![0.0f64; k]];
+                for (i, &code) in codes.iter().enumerate() {
+                    let c = usize::from(labels[i] >= 0.5);
+                    counts[c][code as usize] += 1.0;
+                }
+                let log_probs = [0, 1].map(|c| {
+                    counts[c]
+                        .iter()
+                        .map(|&cnt| ((cnt + laplace) / (class_counts[c] + laplace * k as f64)).ln())
+                        .collect()
+                });
+                features.push(FeatureLikelihood::Categorical {
+                    column: name.to_string(),
+                    vocab: vocab.to_vec(),
+                    log_probs,
+                });
+            } else {
+                let xs = col.as_numeric()?;
+                let mut mean = [0.0f64; 2];
+                for (i, &x) in xs.iter().enumerate() {
+                    mean[usize::from(labels[i] >= 0.5)] += x;
+                }
+                mean[0] /= class_counts[0];
+                mean[1] /= class_counts[1];
+                let mut var = [0.0f64; 2];
+                for (i, &x) in xs.iter().enumerate() {
+                    let c = usize::from(labels[i] >= 0.5);
+                    var[c] += (x - mean[c]).powi(2);
+                }
+                var[0] = (var[0] / class_counts[0]).max(1e-9);
+                var[1] = (var[1] / class_counts[1]).max(1e-9);
+                features.push(FeatureLikelihood::Gaussian {
+                    column: name.to_string(),
+                    mean,
+                    var,
+                });
+            }
+        }
+        Ok(NaiveBayes {
+            log_prior,
+            features,
+        })
+    }
+
+    /// Per-row `P(y = 1 | x)` over a frame containing the fitted columns.
+    pub fn predict_proba(&self, frame: &DataFrame) -> Result<Vec<f64>> {
+        let n = frame.n_rows();
+        let mut log_joint = vec![[0.0f64; 2]; n];
+        for lj in log_joint.iter_mut() {
+            *lj = self.log_prior;
+        }
+        for feat in &self.features {
+            match feat {
+                FeatureLikelihood::Categorical {
+                    column,
+                    vocab,
+                    log_probs,
+                } => {
+                    let (codes, frame_vocab) = frame.column(column)?.as_categorical()?;
+                    // Remap frame codes into the fitted vocab; unseen values
+                    // contribute the uniform-smoothing floor.
+                    let remap: Vec<Option<usize>> = frame_vocab
+                        .iter()
+                        .map(|v| vocab.iter().position(|u| u == v))
+                        .collect();
+                    let floor = [
+                        (1.0 / vocab.len() as f64).ln(),
+                        (1.0 / vocab.len() as f64).ln(),
+                    ];
+                    for (i, &code) in codes.iter().enumerate() {
+                        match remap[code as usize] {
+                            Some(ix) => {
+                                log_joint[i][0] += log_probs[0][ix];
+                                log_joint[i][1] += log_probs[1][ix];
+                            }
+                            None => {
+                                log_joint[i][0] += floor[0];
+                                log_joint[i][1] += floor[1];
+                            }
+                        }
+                    }
+                }
+                FeatureLikelihood::Gaussian { column, mean, var } => {
+                    let xs = frame.column(column)?.as_numeric()?;
+                    for (i, &x) in xs.iter().enumerate() {
+                        for c in 0..2 {
+                            let z = x - mean[c];
+                            log_joint[i][c] += -0.5
+                                * (z * z / var[c]
+                                    + var[c].ln()
+                                    + (2.0 * std::f64::consts::PI).ln());
+                        }
+                    }
+                }
+            }
+        }
+        Ok(log_joint
+            .into_iter()
+            .map(|[l0, l1]| {
+                // σ of the log-odds, stable in both tails.
+                df_prob::numerics::sigmoid(l1 - l0)
+            })
+            .collect())
+    }
+
+    /// Hard 0/1 predictions at the 0.5 threshold.
+    pub fn predict(&self, frame: &DataFrame) -> Result<Vec<f64>> {
+        Ok(self
+            .predict_proba(frame)?
+            .into_iter()
+            .map(|p| if p >= 0.5 { 1.0 } else { 0.0 })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_data::frame::Column;
+
+    fn toy_frame() -> (DataFrame, Vec<f64>) {
+        // color ∈ {red, blue} perfectly predicts y; z is noise.
+        let frame = DataFrame::new(vec![
+            Column::categorical("color", &["red", "red", "red", "blue", "blue", "blue"]),
+            Column::numeric("z", vec![0.1, -0.2, 0.3, 0.0, 0.2, -0.1]),
+        ])
+        .unwrap();
+        let labels = vec![1.0, 1.0, 1.0, 0.0, 0.0, 0.0];
+        (frame, labels)
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let (f, y) = toy_frame();
+        assert!(NaiveBayes::fit(&f, &[], &y, 1.0).is_err());
+        assert!(NaiveBayes::fit(&f, &["color"], &y[..3], 1.0).is_err());
+        assert!(NaiveBayes::fit(&f, &["color"], &y, 0.0).is_err());
+        assert!(NaiveBayes::fit(&f, &["color"], &[1.0; 6], 1.0).is_err());
+    }
+
+    #[test]
+    fn learns_categorical_signal() {
+        let (f, y) = toy_frame();
+        let nb = NaiveBayes::fit(&f, &["color"], &y, 1.0).unwrap();
+        let preds = nb.predict(&f).unwrap();
+        assert_eq!(preds, y);
+        let probs = nb.predict_proba(&f).unwrap();
+        assert!(probs[0] > 0.7 && probs[3] < 0.3);
+    }
+
+    #[test]
+    fn gaussian_feature_separates_classes() {
+        let mut values = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..200 {
+            let y = i % 2;
+            // Class 1 centered at +2, class 0 at -2.
+            let x = if y == 1 { 2.0 } else { -2.0 } + (i as f64 * 0.618).sin();
+            values.push(x);
+            labels.push(y as f64);
+        }
+        let f = DataFrame::new(vec![Column::numeric("x", values)]).unwrap();
+        let nb = NaiveBayes::fit(&f, &["x"], &labels, 1.0).unwrap();
+        let preds = nb.predict(&f).unwrap();
+        let err =
+            preds.iter().zip(&labels).filter(|(p, y)| p != y).count() as f64 / labels.len() as f64;
+        assert!(err < 0.02, "err={err}");
+    }
+
+    #[test]
+    fn unseen_category_does_not_crash() {
+        let (f, y) = toy_frame();
+        let nb = NaiveBayes::fit(&f, &["color"], &y, 1.0).unwrap();
+        let test = DataFrame::new(vec![
+            Column::categorical("color", &["green"]),
+            Column::numeric("z", vec![0.0]),
+        ])
+        .unwrap();
+        let p = nb.predict_proba(&test).unwrap();
+        assert!(p[0].is_finite());
+        // Uninformed: close to the prior (0.5 here).
+        assert!((p[0] - 0.5).abs() < 0.2);
+    }
+
+    #[test]
+    fn laplace_smoothing_avoids_zero_probabilities() {
+        // "blue" never appears with y=1; the smoothed likelihood must stay
+        // finite so an unseen combination does not produce -inf.
+        let (f, y) = toy_frame();
+        let nb = NaiveBayes::fit(&f, &["color", "z"], &y, 1.0).unwrap();
+        let probs = nb.predict_proba(&f).unwrap();
+        assert!(probs.iter().all(|p| p.is_finite() && *p > 0.0 && *p < 1.0));
+    }
+}

@@ -1,0 +1,197 @@
+//! First-order optimizers with convergence tracking.
+//!
+//! Used by the DF-regularized learner in [`crate::fair`] (whose penalty has
+//! no closed-form Newton step) and available for SGD training of the plain
+//! logistic model.
+
+use crate::error::{LearnError, Result};
+use crate::linalg::norm2;
+
+/// A differentiable objective: returns `(value, gradient)` at `w`.
+pub trait Objective {
+    /// Evaluates the objective and its gradient.
+    fn value_grad(&self, w: &[f64]) -> (f64, Vec<f64>);
+}
+
+impl<F: Fn(&[f64]) -> (f64, Vec<f64>)> Objective for F {
+    fn value_grad(&self, w: &[f64]) -> (f64, Vec<f64>) {
+        self(w)
+    }
+}
+
+/// Result of an optimization run.
+#[derive(Debug, Clone)]
+pub struct OptimOutcome {
+    /// Final parameter vector.
+    pub w: Vec<f64>,
+    /// Final objective value.
+    pub value: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final gradient norm.
+    pub grad_norm: f64,
+    /// Whether the gradient-norm tolerance was reached.
+    pub converged: bool,
+}
+
+/// Gradient descent with backtracking (Armijo) line search.
+#[derive(Debug, Clone)]
+pub struct GradientDescent {
+    /// Initial step size tried at each iteration.
+    pub init_step: f64,
+    /// Armijo sufficient-decrease constant (typically 1e-4).
+    pub armijo_c: f64,
+    /// Backtracking shrink factor in (0, 1).
+    pub shrink: f64,
+    /// Gradient-norm convergence tolerance.
+    pub tol: f64,
+    /// Maximum outer iterations.
+    pub max_iter: usize,
+}
+
+impl Default for GradientDescent {
+    fn default() -> Self {
+        Self {
+            init_step: 1.0,
+            armijo_c: 1e-4,
+            shrink: 0.5,
+            tol: 1e-6,
+            max_iter: 500,
+        }
+    }
+}
+
+impl GradientDescent {
+    /// Minimizes `objective` from `w0`.
+    pub fn minimize<O: Objective>(&self, objective: &O, w0: Vec<f64>) -> Result<OptimOutcome> {
+        if !(self.shrink > 0.0 && self.shrink < 1.0) {
+            return Err(LearnError::Invalid("shrink must lie in (0,1)".into()));
+        }
+        let mut w = w0;
+        let (mut value, mut grad) = objective.value_grad(&w);
+        if !value.is_finite() {
+            return Err(LearnError::Optimization(
+                "objective not finite at the initial point".into(),
+            ));
+        }
+        let mut iterations = 0;
+        while iterations < self.max_iter {
+            let gnorm = norm2(&grad);
+            if gnorm <= self.tol {
+                return Ok(OptimOutcome {
+                    w,
+                    value,
+                    iterations,
+                    grad_norm: gnorm,
+                    converged: true,
+                });
+            }
+            // Backtracking line search along -grad.
+            let mut step = self.init_step;
+            let g2 = gnorm * gnorm;
+            let mut accepted = false;
+            for _ in 0..60 {
+                let candidate: Vec<f64> =
+                    w.iter().zip(&grad).map(|(wi, gi)| wi - step * gi).collect();
+                let (cand_value, cand_grad) = objective.value_grad(&candidate);
+                if cand_value.is_finite() && cand_value <= value - self.armijo_c * step * g2 {
+                    w = candidate;
+                    value = cand_value;
+                    grad = cand_grad;
+                    accepted = true;
+                    break;
+                }
+                step *= self.shrink;
+            }
+            if !accepted {
+                // Line search stalled: we are at numerical precision.
+                let gnorm = norm2(&grad);
+                return Ok(OptimOutcome {
+                    w,
+                    value,
+                    iterations,
+                    grad_norm: gnorm,
+                    converged: gnorm <= self.tol * 100.0,
+                });
+            }
+            iterations += 1;
+        }
+        let grad_norm = norm2(&grad);
+        Ok(OptimOutcome {
+            w,
+            value,
+            iterations,
+            grad_norm,
+            converged: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic_bowl() {
+        // f(w) = (w0-3)² + 2(w1+1)².
+        let f = |w: &[f64]| {
+            let v = (w[0] - 3.0).powi(2) + 2.0 * (w[1] + 1.0).powi(2);
+            let g = vec![2.0 * (w[0] - 3.0), 4.0 * (w[1] + 1.0)];
+            (v, g)
+        };
+        let out = GradientDescent::default()
+            .minimize(&f, vec![0.0, 0.0])
+            .unwrap();
+        assert!(out.converged);
+        assert!((out.w[0] - 3.0).abs() < 1e-4, "{:?}", out.w);
+        assert!((out.w[1] + 1.0).abs() < 1e-4);
+        assert!(out.value < 1e-8);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_ish_slowly_but_surely() {
+        // A mildly ill-conditioned quadratic.
+        let f = |w: &[f64]| {
+            let v = 100.0 * w[0] * w[0] + w[1] * w[1];
+            (v, vec![200.0 * w[0], 2.0 * w[1]])
+        };
+        let gd = GradientDescent {
+            max_iter: 5000,
+            ..GradientDescent::default()
+        };
+        let out = gd.minimize(&f, vec![1.0, 1.0]).unwrap();
+        assert!(out.value < 1e-8, "value={}", out.value);
+    }
+
+    #[test]
+    fn reports_non_convergence_when_budget_exhausted() {
+        let f = |w: &[f64]| {
+            let v = w[0] * w[0];
+            (v, vec![2.0 * w[0]])
+        };
+        let gd = GradientDescent {
+            max_iter: 1,
+            tol: 0.0,
+            ..GradientDescent::default()
+        };
+        let out = gd.minimize(&f, vec![100.0]).unwrap();
+        assert!(!out.converged);
+        assert_eq!(out.iterations, 1);
+    }
+
+    #[test]
+    fn rejects_bad_shrink() {
+        let f = |w: &[f64]| (w[0] * w[0], vec![2.0 * w[0]]);
+        let gd = GradientDescent {
+            shrink: 1.5,
+            ..GradientDescent::default()
+        };
+        assert!(gd.minimize(&f, vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn non_finite_initial_objective_is_an_error() {
+        let f = |_: &[f64]| (f64::NAN, vec![0.0]);
+        assert!(GradientDescent::default().minimize(&f, vec![0.0]).is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! The Table 3 feature-selection sweep harness.
+//!
+//! §6 of the paper trains a logistic regression on Adult, varying which
+//! sensitive attributes are *used as features*, and reports each variant's
+//! test-set ε, bias amplification, and error rate. This module runs one
+//! such variant end-to-end — encode, fit, predict — returning the hard
+//! predictions so callers can tally them against the protected groups with
+//! df-core.
+
+use crate::error::Result;
+use crate::logistic::{LogisticConfig, LogisticRegression};
+use crate::metrics::error_rate;
+use df_data::encode::{binary_labels, FrameEncoder};
+use df_data::frame::DataFrame;
+
+/// The non-sensitive feature set used for the Adult runs: everything §6's
+/// classifier could reasonably use, minus the protected attributes (and
+/// minus `fnlwgt`, a survey weight, and the redundant `education` string).
+pub const ADULT_BASE_FEATURES: [&str; 9] = [
+    "age",
+    "workclass",
+    "education-num",
+    "marital-status",
+    "occupation",
+    "relationship",
+    "capital-gain",
+    "capital-loss",
+    "hours-per-week",
+];
+
+/// Result of one feature-selection run.
+#[derive(Debug, Clone)]
+pub struct FeatureSelectionRun {
+    /// Sensitive columns included as features (possibly empty).
+    pub sensitive_used: Vec<String>,
+    /// Test-set error rate (fraction in [0, 1]).
+    pub error_rate: f64,
+    /// Hard 0/1 predictions on the test set.
+    pub test_predictions: Vec<f64>,
+    /// Hard 0/1 predictions on the training set (for train-side audits).
+    pub train_predictions: Vec<f64>,
+    /// Whether Newton converged.
+    pub converged: bool,
+}
+
+/// Trains a logistic regression on `train` and evaluates on `test`,
+/// using `base_features ∪ sensitive_features` as inputs and
+/// `label_column == positive_label` as the target.
+pub fn run_feature_selection(
+    train: &DataFrame,
+    test: &DataFrame,
+    base_features: &[&str],
+    sensitive_features: &[&str],
+    label_column: &str,
+    positive_label: &str,
+    config: &LogisticConfig,
+) -> Result<FeatureSelectionRun> {
+    let mut features: Vec<&str> = base_features.to_vec();
+    features.extend_from_slice(sensitive_features);
+
+    let encoder = FrameEncoder::fit(train, &features)?;
+    let x_train = encoder.transform(train)?;
+    let x_test = encoder.transform(test)?;
+    let y_train = binary_labels(train, label_column, positive_label)?;
+    let y_test = binary_labels(test, label_column, positive_label)?;
+
+    let model = LogisticRegression::fit(&x_train, &y_train, config)?;
+    let test_predictions = model.predict(&x_test)?;
+    let train_predictions = model.predict(&x_train)?;
+    let err = error_rate(&test_predictions, &y_test)?;
+
+    Ok(FeatureSelectionRun {
+        sensitive_used: sensitive_features.iter().map(|s| s.to_string()).collect(),
+        error_rate: err,
+        test_predictions,
+        train_predictions,
+        converged: model.converged(),
+    })
+}
+
+/// All 8 sensitive-feature subsets of Table 3, in the paper's row order:
+/// none, nationality, race, gender, gender+nationality, race+nationality,
+/// race+gender, race+gender+nationality. The entries name the *prepared*
+/// protected columns.
+pub fn table3_sensitive_sets() -> Vec<Vec<&'static str>> {
+    vec![
+        vec![],
+        vec!["nationality"],
+        vec!["race_m"],
+        vec!["gender"],
+        vec!["gender", "nationality"],
+        vec!["race_m", "nationality"],
+        vec!["race_m", "gender"],
+        vec!["race_m", "gender", "nationality"],
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_data::adult::synth::{generate, SynthConfig};
+
+    fn small_adult() -> (DataFrame, DataFrame) {
+        let d = generate(&SynthConfig {
+            seed: 13,
+            n_train: 4000,
+            n_test: 1500,
+            ..SynthConfig::default()
+        })
+        .unwrap()
+        .with_protected()
+        .unwrap();
+        (d.train, d.test)
+    }
+
+    #[test]
+    fn baseline_run_beats_majority_class() {
+        let (train, test) = small_adult();
+        let run = run_feature_selection(
+            &train,
+            &test,
+            &ADULT_BASE_FEATURES,
+            &[],
+            "income",
+            ">50K",
+            &LogisticConfig::default(),
+        )
+        .unwrap();
+        assert!(run.converged);
+        // Majority-class error is the positive rate ≈ 0.24.
+        assert!(
+            run.error_rate < 0.22,
+            "error {} should beat majority-class 0.24",
+            run.error_rate
+        );
+        assert_eq!(run.test_predictions.len(), test.n_rows());
+        assert_eq!(run.train_predictions.len(), train.n_rows());
+        assert!(run.sensitive_used.is_empty());
+    }
+
+    #[test]
+    fn sensitive_features_are_appended() {
+        let (train, test) = small_adult();
+        let run = run_feature_selection(
+            &train,
+            &test,
+            &ADULT_BASE_FEATURES,
+            &["gender", "race_m"],
+            "income",
+            ">50K",
+            &LogisticConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(run.sensitive_used, vec!["gender", "race_m"]);
+        assert!(run.error_rate < 0.25);
+    }
+
+    #[test]
+    fn table3_sets_cover_all_eight_rows() {
+        let sets = table3_sensitive_sets();
+        assert_eq!(sets.len(), 8);
+        assert!(sets[0].is_empty());
+        assert_eq!(sets[7].len(), 3);
+        // Every named column exists in the prepared frame.
+        let (train, _) = small_adult();
+        for set in &sets {
+            for col in set {
+                assert!(train.column(col).is_ok(), "missing {col}");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_label_is_an_error() {
+        let (train, test) = small_adult();
+        assert!(run_feature_selection(
+            &train,
+            &test,
+            &ADULT_BASE_FEATURES,
+            &[],
+            "income",
+            "banana",
+            &LogisticConfig::default(),
+        )
+        .is_err());
+    }
+}

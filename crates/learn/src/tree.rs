@@ -1,0 +1,325 @@
+//! Depth-limited CART decision trees (gini impurity).
+//!
+//! A third mechanism family for fairness audits; axis-aligned splits over a
+//! dense feature matrix (numeric features and one-hot indicators alike).
+
+use crate::error::{LearnError, Result};
+use df_data::encode::FeatureMatrix;
+
+/// Tree-growing configuration.
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    /// Maximum depth (a depth-0 tree is a single leaf).
+    pub max_depth: usize,
+    /// Minimum samples to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum impurity decrease to accept a split.
+    pub min_gain: f64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 5,
+            min_samples_split: 10,
+            min_gain: 1e-7,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        prob: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A fitted binary decision tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    root: Node,
+    n_features: usize,
+}
+
+fn gini(pos: f64, total: f64) -> f64 {
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let p = pos / total;
+    2.0 * p * (1.0 - p)
+}
+
+impl DecisionTree {
+    /// Fits the tree to a feature matrix and 0/1 labels.
+    pub fn fit(x: &FeatureMatrix, y: &[f64], config: &TreeConfig) -> Result<DecisionTree> {
+        if y.len() != x.n_rows {
+            return Err(LearnError::ShapeMismatch {
+                context: "DecisionTree::fit",
+                expected: x.n_rows,
+                actual: y.len(),
+            });
+        }
+        if y.is_empty() {
+            return Err(LearnError::Invalid("empty training set".into()));
+        }
+        let indices: Vec<usize> = (0..x.n_rows).collect();
+        let root = Self::grow(x, y, &indices, config.max_depth, config);
+        Ok(DecisionTree {
+            root,
+            n_features: x.n_features(),
+        })
+    }
+
+    fn leaf(y: &[f64], indices: &[usize]) -> Node {
+        let pos: f64 = indices.iter().map(|&i| y[i]).sum();
+        Node::Leaf {
+            prob: pos / indices.len().max(1) as f64,
+        }
+    }
+
+    fn grow(
+        x: &FeatureMatrix,
+        y: &[f64],
+        indices: &[usize],
+        depth_left: usize,
+        config: &TreeConfig,
+    ) -> Node {
+        let total = indices.len() as f64;
+        let pos: f64 = indices.iter().map(|&i| y[i]).sum();
+        if depth_left == 0 || indices.len() < config.min_samples_split || pos == 0.0 || pos == total
+        {
+            return Self::leaf(y, indices);
+        }
+        let parent_impurity = gini(pos, total);
+
+        // Best axis-aligned split by exhaustive scan over sorted values.
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+        let mut order: Vec<usize> = indices.to_vec();
+        for f in 0..x.n_features() {
+            order.sort_by(|&a, &b| {
+                x.row(a)[f]
+                    .partial_cmp(&x.row(b)[f])
+                    .expect("finite features")
+            });
+            let mut left_pos = 0.0;
+            let mut left_n = 0.0;
+            for w in 0..order.len() - 1 {
+                let i = order[w];
+                left_pos += y[i];
+                left_n += 1.0;
+                let v = x.row(i)[f];
+                let v_next = x.row(order[w + 1])[f];
+                if v == v_next {
+                    continue; // can't split between equal values
+                }
+                let right_pos = pos - left_pos;
+                let right_n = total - left_n;
+                let weighted = (left_n / total) * gini(left_pos, left_n)
+                    + (right_n / total) * gini(right_pos, right_n);
+                let gain = parent_impurity - weighted;
+                if gain > config.min_gain && best.is_none_or(|(_, _, g)| gain > g) {
+                    best = Some((f, (v + v_next) / 2.0, gain));
+                }
+            }
+        }
+
+        match best {
+            None => Self::leaf(y, indices),
+            Some((feature, threshold, _)) => {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+                    .iter()
+                    .partition(|&&i| x.row(i)[feature] <= threshold);
+                if left_idx.is_empty() || right_idx.is_empty() {
+                    return Self::leaf(y, indices);
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left: Box::new(Self::grow(x, y, &left_idx, depth_left - 1, config)),
+                    right: Box::new(Self::grow(x, y, &right_idx, depth_left - 1, config)),
+                }
+            }
+        }
+    }
+
+    /// Maximum depth actually realized.
+    pub fn depth(&self) -> usize {
+        fn d(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + d(left).max(d(right)),
+            }
+        }
+        d(&self.root)
+    }
+
+    /// `P(y = 1 | x)` for one feature row.
+    pub fn predict_proba_row(&self, row: &[f64]) -> f64 {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { prob } => return *prob,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
+    /// `P(y = 1 | x)` for every row.
+    pub fn predict_proba(&self, x: &FeatureMatrix) -> Result<Vec<f64>> {
+        if x.n_features() != self.n_features {
+            return Err(LearnError::ShapeMismatch {
+                context: "DecisionTree::predict_proba",
+                expected: self.n_features,
+                actual: x.n_features(),
+            });
+        }
+        Ok((0..x.n_rows)
+            .map(|i| self.predict_proba_row(x.row(i)))
+            .collect())
+    }
+
+    /// Hard 0/1 predictions at the 0.5 threshold.
+    pub fn predict(&self, x: &FeatureMatrix) -> Result<Vec<f64>> {
+        Ok(self
+            .predict_proba(x)?
+            .into_iter()
+            .map(|p| if p >= 0.5 { 1.0 } else { 0.0 })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(names: &[&str], rows: Vec<Vec<f64>>) -> FeatureMatrix {
+        let n_rows = rows.len();
+        FeatureMatrix {
+            names: names.iter().map(|s| s.to_string()).collect(),
+            data: rows.into_iter().flatten().collect(),
+            n_rows,
+        }
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let x = matrix(&["a"], vec![vec![1.0]]);
+        assert!(DecisionTree::fit(&x, &[], &TreeConfig::default()).is_err());
+    }
+
+    #[test]
+    fn learns_single_threshold() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| if i >= 12 { 1.0 } else { 0.0 }).collect();
+        let x = matrix(&["v"], rows);
+        let cfg = TreeConfig {
+            max_depth: 1,
+            min_samples_split: 2,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&x, &y, &cfg).unwrap();
+        assert_eq!(tree.depth(), 1);
+        assert_eq!(tree.predict(&x).unwrap(), y);
+        assert!(tree.predict_proba_row(&[11.0]) < 0.5);
+        assert!(tree.predict_proba_row(&[12.0]) > 0.5);
+    }
+
+    #[test]
+    fn learns_conjunction_with_depth_two() {
+        // y = a AND b needs two levels; a stump cannot express it (but
+        // unlike XOR, the greedy first split has positive gain).
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for a in 0..2 {
+            for b in 0..2 {
+                for _ in 0..10 {
+                    rows.push(vec![a as f64, b as f64]);
+                    y.push((a & b) as f64);
+                }
+            }
+        }
+        let x = matrix(&["a", "b"], rows);
+        let cfg = TreeConfig {
+            max_depth: 2,
+            min_samples_split: 2,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&x, &y, &cfg).unwrap();
+        let err = tree
+            .predict(&x)
+            .unwrap()
+            .iter()
+            .zip(&y)
+            .filter(|(p, y)| p != y)
+            .count();
+        assert_eq!(err, 0);
+        assert_eq!(tree.depth(), 2);
+
+        // A depth-1 stump cannot be perfect on this data.
+        let stump = DecisionTree::fit(
+            &x,
+            &y,
+            &TreeConfig {
+                max_depth: 1,
+                min_samples_split: 2,
+                ..TreeConfig::default()
+            },
+        )
+        .unwrap();
+        let stump_err = stump
+            .predict(&x)
+            .unwrap()
+            .iter()
+            .zip(&y)
+            .filter(|(p, y)| p != y)
+            .count();
+        assert!(stump_err > 0);
+    }
+
+    #[test]
+    fn depth_zero_is_base_rate_leaf() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| if i < 3 { 1.0 } else { 0.0 }).collect();
+        let x = matrix(&["v"], rows);
+        let cfg = TreeConfig {
+            max_depth: 0,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&x, &y, &cfg).unwrap();
+        assert_eq!(tree.depth(), 0);
+        assert!((tree.predict_proba_row(&[5.0]) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pure_node_stops_early() {
+        let x = matrix(&["v"], vec![vec![1.0], vec![2.0], vec![3.0]]);
+        let y = [1.0, 1.0, 1.0];
+        let tree = DecisionTree::fit(&x, &y, &TreeConfig::default()).unwrap();
+        assert_eq!(tree.depth(), 0);
+    }
+
+    #[test]
+    fn predict_dimension_check() {
+        let x = matrix(&["v"], vec![vec![1.0], vec![2.0]]);
+        let tree = DecisionTree::fit(&x, &[0.0, 1.0], &TreeConfig::default()).unwrap();
+        let bad = matrix(&["a", "b"], vec![vec![1.0, 2.0]]);
+        assert!(tree.predict_proba(&bad).is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests of the learners: logistic-regression invariances
+//! and metric algebra.
+
+use df_data::encode::FeatureMatrix;
+use df_learn::logistic::{LogisticConfig, LogisticRegression};
+use df_learn::metrics::{accuracy, auc, error_rate, log_loss, Confusion};
+use df_prob::numerics::sigmoid;
+use df_prob::rng::Pcg32;
+use proptest::prelude::*;
+
+fn matrix(rows: Vec<Vec<f64>>) -> FeatureMatrix {
+    let n_rows = rows.len();
+    let width = rows.first().map_or(0, Vec::len);
+    FeatureMatrix {
+        names: (0..width).map(|i| format!("x{i}")).collect(),
+        data: rows.into_iter().flatten().collect(),
+        n_rows,
+    }
+}
+
+/// Labeled 1-feature dataset generated from a random logistic model.
+fn dataset_strategy() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
+    (any::<u64>(), -2.0f64..2.0, -3.0f64..3.0).prop_map(|(seed, b0, b1)| {
+        let mut rng = Pcg32::new(seed);
+        let mut rows = Vec::with_capacity(200);
+        let mut ys = Vec::with_capacity(200);
+        let mut has = [false, false];
+        for _ in 0..200 {
+            let x = rng.next_f64() * 6.0 - 3.0;
+            let y = f64::from(rng.next_f64() < sigmoid(b0 + b1 * x));
+            has[y as usize] = true;
+            rows.push(vec![x]);
+            ys.push(y);
+        }
+        // Guarantee both classes.
+        if !has[0] {
+            ys[0] = 0.0;
+        }
+        if !has[1] {
+            ys[1] = 1.0;
+        }
+        (rows, ys)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Training is invariant to feature translation up to the intercept:
+    /// shifting x by c leaves predictions unchanged.
+    #[test]
+    fn logistic_prediction_is_translation_invariant((rows, ys) in dataset_strategy(), shift in -5.0f64..5.0) {
+        let x = matrix(rows.clone());
+        let shifted = matrix(rows.iter().map(|r| vec![r[0] + shift]).collect());
+        let cfg = LogisticConfig::default();
+        let m1 = LogisticRegression::fit(&x, &ys, &cfg).unwrap();
+        let m2 = LogisticRegression::fit(&shifted, &ys, &cfg).unwrap();
+        let p1 = m1.predict_proba(&x).unwrap();
+        let p2 = m2.predict_proba(&shifted).unwrap();
+        for (a, b) in p1.iter().zip(&p2) {
+            prop_assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    /// Predicted probabilities are monotone in x when the slope is positive
+    /// (and anti-monotone when negative) — a sanity invariant of the linear
+    /// model.
+    #[test]
+    fn logistic_probabilities_are_monotone((rows, ys) in dataset_strategy()) {
+        let x = matrix(rows);
+        let model = LogisticRegression::fit(&x, &ys, &LogisticConfig::default()).unwrap();
+        let slope = model.weights()[1];
+        let lo = model.predict_proba_row(&[-10.0]);
+        let hi = model.predict_proba_row(&[10.0]);
+        if slope > 0.0 {
+            prop_assert!(lo <= hi + 1e-12);
+        } else {
+            prop_assert!(hi <= lo + 1e-12);
+        }
+    }
+
+    /// error_rate + accuracy = 1; confusion counts sum to n.
+    #[test]
+    fn metric_algebra(
+        preds in proptest::collection::vec(0u8..2, 1..200),
+        labels_seed in any::<u64>(),
+    ) {
+        let mut rng = Pcg32::new(labels_seed);
+        let preds: Vec<f64> = preds.into_iter().map(f64::from).collect();
+        let labels: Vec<f64> = preds.iter().map(|_| f64::from(rng.next_f64() < 0.4)).collect();
+        let e = error_rate(&preds, &labels).unwrap();
+        let a = accuracy(&preds, &labels).unwrap();
+        prop_assert!((e + a - 1.0).abs() < 1e-12);
+        let c = Confusion::from_predictions(&preds, &labels).unwrap();
+        prop_assert_eq!(c.tp + c.fp + c.tn + c.fn_, preds.len());
+    }
+
+    /// AUC is invariant under strictly monotone score transforms.
+    #[test]
+    fn auc_is_rank_invariant(seed in any::<u64>()) {
+        let mut rng = Pcg32::new(seed);
+        let scores: Vec<f64> = (0..100).map(|_| rng.next_f64()).collect();
+        let mut labels: Vec<f64> = (0..100).map(|_| f64::from(rng.next_f64() < 0.5)).collect();
+        labels[0] = 0.0;
+        labels[1] = 1.0;
+        let transformed: Vec<f64> = scores.iter().map(|s| (3.0 * s).exp()).collect();
+        let a1 = auc(&scores, &labels).unwrap();
+        let a2 = auc(&transformed, &labels).unwrap();
+        prop_assert!((a1 - a2).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&a1));
+    }
+
+    /// Log-loss is minimized (among constant predictors) at the base rate.
+    #[test]
+    fn log_loss_constant_predictor_optimum(k in 1usize..99) {
+        let n = 100;
+        let labels: Vec<f64> = (0..n).map(|i| f64::from(i < k)).collect();
+        let base = k as f64 / n as f64;
+        let at_base = log_loss(&vec![base; n], &labels).unwrap();
+        for delta in [-0.1, 0.1] {
+            let p = (base + delta).clamp(0.01, 0.99);
+            if (p - base).abs() > 1e-9 {
+                let other = log_loss(&vec![p; n], &labels).unwrap();
+                prop_assert!(at_base <= other + 1e-12);
+            }
+        }
+    }
+}

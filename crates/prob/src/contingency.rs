@@ -1,0 +1,566 @@
+//! N-dimensional contingency tables.
+//!
+//! A [`ContingencyTable`] stores a dense array of non-negative cell values
+//! (counts or probability mass) indexed by named categorical axes. It is the
+//! backbone of empirical differential fairness: the joint counts
+//! `N[y, s₁, …, s_p]` live in one of these, and the per-subset ε computation
+//! marginalizes it.
+//!
+//! Layout is row-major with precomputed strides; the hot loops index by
+//! integer code (no hashing), following the perf-book guidance for hot data
+//! structures.
+
+use crate::error::{ProbError, Result};
+use crate::numerics::stable_sum;
+
+/// One categorical axis of a table: a name plus an ordered label vocabulary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Axis {
+    name: String,
+    labels: Vec<String>,
+}
+
+impl Axis {
+    /// Creates an axis; needs at least one label and unique label names.
+    pub fn new(name: impl Into<String>, labels: Vec<String>) -> Result<Self> {
+        let name = name.into();
+        if labels.is_empty() {
+            return Err(ProbError::InvalidParameter {
+                name: "labels",
+                reason: format!("axis `{name}` needs at least one label"),
+            });
+        }
+        for (i, l) in labels.iter().enumerate() {
+            if labels[..i].contains(l) {
+                return Err(ProbError::InvalidParameter {
+                    name: "labels",
+                    reason: format!("axis `{name}` has duplicate label `{l}`"),
+                });
+            }
+        }
+        Ok(Self { name, labels })
+    }
+
+    /// Convenience constructor from string slices.
+    pub fn from_strs(name: &str, labels: &[&str]) -> Result<Self> {
+        Self::new(name, labels.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// Axis name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Ordered labels.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Always false (an axis has ≥ 1 label by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Index of a label, if present.
+    pub fn index_of(&self, label: &str) -> Option<usize> {
+        self.labels.iter().position(|l| l == label)
+    }
+}
+
+/// Dense N-dimensional table of non-negative `f64` cell values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContingencyTable {
+    axes: Vec<Axis>,
+    strides: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl ContingencyTable {
+    /// Creates a zero-filled table over the given axes.
+    pub fn zeros(axes: Vec<Axis>) -> Result<Self> {
+        if axes.is_empty() {
+            return Err(ProbError::InvalidParameter {
+                name: "axes",
+                reason: "a table needs at least one axis".into(),
+            });
+        }
+        for (i, a) in axes.iter().enumerate() {
+            if axes[..i].iter().any(|b| b.name == a.name) {
+                return Err(ProbError::InvalidParameter {
+                    name: "axes",
+                    reason: format!("duplicate axis name `{}`", a.name),
+                });
+            }
+        }
+        let mut strides = vec![0usize; axes.len()];
+        let mut acc = 1usize;
+        for (i, axis) in axes.iter().enumerate().rev() {
+            strides[i] = acc;
+            acc = acc
+                .checked_mul(axis.len())
+                .ok_or_else(|| ProbError::InvalidParameter {
+                    name: "axes",
+                    reason: "table size overflows usize".into(),
+                })?;
+        }
+        Ok(Self {
+            axes,
+            strides,
+            data: vec![0.0; acc],
+        })
+    }
+
+    /// Creates a table from axes and a row-major data vector.
+    pub fn from_data(axes: Vec<Axis>, data: Vec<f64>) -> Result<Self> {
+        let mut t = Self::zeros(axes)?;
+        if data.len() != t.data.len() {
+            return Err(ProbError::ShapeMismatch {
+                context: "ContingencyTable::from_data",
+                expected: t.data.len(),
+                actual: data.len(),
+            });
+        }
+        if data.iter().any(|&v| !v.is_finite() || v < 0.0) {
+            return Err(ProbError::InvalidParameter {
+                name: "data",
+                reason: "cell values must be finite and non-negative".into(),
+            });
+        }
+        t.data = data;
+        Ok(t)
+    }
+
+    /// The table's axes, in storage order.
+    pub fn axes(&self) -> &[Axis] {
+        &self.axes
+    }
+
+    /// Number of axes.
+    pub fn ndim(&self) -> usize {
+        self.axes.len()
+    }
+
+    /// Shape vector (axis cardinalities).
+    pub fn shape(&self) -> Vec<usize> {
+        self.axes.iter().map(Axis::len).collect()
+    }
+
+    /// Total number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Raw row-major cell data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Position of the axis with the given name.
+    pub fn axis_position(&self, name: &str) -> Result<usize> {
+        self.axes
+            .iter()
+            .position(|a| a.name == name)
+            .ok_or_else(|| ProbError::UnknownAxis(name.to_string()))
+    }
+
+    /// Flat index of a multi-index (panics on rank mismatch in debug builds;
+    /// callers validate ranks at API boundaries).
+    #[inline]
+    pub fn flat_index(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.axes.len());
+        let mut flat = 0;
+        for (i, &ix) in idx.iter().enumerate() {
+            debug_assert!(ix < self.axes[i].len(), "index out of bounds on axis {i}");
+            flat += ix * self.strides[i];
+        }
+        flat
+    }
+
+    /// Cell value at a multi-index.
+    #[inline]
+    pub fn get(&self, idx: &[usize]) -> f64 {
+        self.data[self.flat_index(idx)]
+    }
+
+    /// Sets a cell.
+    pub fn set(&mut self, idx: &[usize], value: f64) -> Result<()> {
+        if !(value.is_finite() && value >= 0.0) {
+            return Err(ProbError::InvalidParameter {
+                name: "value",
+                reason: format!("cell values must be finite and non-negative, got {value}"),
+            });
+        }
+        let flat = self.flat_index(idx);
+        self.data[flat] = value;
+        Ok(())
+    }
+
+    /// Adds `weight` to a cell (used when tallying records).
+    pub fn add(&mut self, idx: &[usize], weight: f64) {
+        let flat = self.flat_index(idx);
+        self.data[flat] += weight;
+    }
+
+    /// Adds 1 to a cell.
+    pub fn increment(&mut self, idx: &[usize]) {
+        self.add(idx, 1.0);
+    }
+
+    /// Looks up label indices by name and increments the matching cell.
+    pub fn increment_by_labels(&mut self, labels: &[&str]) -> Result<()> {
+        if labels.len() != self.axes.len() {
+            return Err(ProbError::ShapeMismatch {
+                context: "increment_by_labels",
+                expected: self.axes.len(),
+                actual: labels.len(),
+            });
+        }
+        let mut idx = Vec::with_capacity(labels.len());
+        for (axis, &label) in self.axes.iter().zip(labels) {
+            let i = axis
+                .index_of(label)
+                .ok_or_else(|| ProbError::UnknownLabel {
+                    axis: axis.name.clone(),
+                    label: label.to_string(),
+                })?;
+            idx.push(i);
+        }
+        self.increment(&idx);
+        Ok(())
+    }
+
+    /// Total mass in the table (compensated sum).
+    pub fn total(&self) -> f64 {
+        stable_sum(&self.data)
+    }
+
+    /// Returns a copy normalized to sum to 1. Fails on an all-zero table.
+    pub fn to_probabilities(&self) -> Result<ContingencyTable> {
+        let total = self.total();
+        if total <= 0.0 {
+            return Err(ProbError::EmptyTable("to_probabilities"));
+        }
+        let mut out = self.clone();
+        for v in &mut out.data {
+            *v /= total;
+        }
+        Ok(out)
+    }
+
+    /// Sums out every axis *not* named in `keep`, preserving the order in
+    /// which the kept axes appear in `keep`.
+    ///
+    /// This is probability-weighted marginalization: when the table holds the
+    /// joint mass `P(y, s)`, marginalizing to `(y, D)` yields
+    /// `P(y, D) = Σ_E P(y, D, E)` — exactly the quantity in the Theorem 3.2
+    /// proof.
+    pub fn marginalize(&self, keep: &[&str]) -> Result<ContingencyTable> {
+        if keep.is_empty() {
+            return Err(ProbError::InvalidParameter {
+                name: "keep",
+                reason: "must keep at least one axis".into(),
+            });
+        }
+        let keep_pos: Vec<usize> = keep
+            .iter()
+            .map(|name| self.axis_position(name))
+            .collect::<Result<_>>()?;
+        for (i, p) in keep_pos.iter().enumerate() {
+            if keep_pos[..i].contains(p) {
+                return Err(ProbError::InvalidParameter {
+                    name: "keep",
+                    reason: format!("axis `{}` listed twice", keep[i]),
+                });
+            }
+        }
+        let out_axes: Vec<Axis> = keep_pos.iter().map(|&p| self.axes[p].clone()).collect();
+        let mut out = ContingencyTable::zeros(out_axes)?;
+
+        // Walk every source cell once, accumulating into the projected index.
+        let mut src_idx = vec![0usize; self.axes.len()];
+        let mut out_idx = vec![0usize; keep_pos.len()];
+        for (flat, &v) in self.data.iter().enumerate() {
+            if v != 0.0 {
+                self.unflatten(flat, &mut src_idx);
+                for (o, &p) in out_idx.iter_mut().zip(&keep_pos) {
+                    *o = src_idx[p];
+                }
+                out.add(&out_idx, v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fixes one axis at a label, returning the slice over the remaining
+    /// axes. Fails if the table has only one axis.
+    pub fn condition(&self, axis: &str, label: &str) -> Result<ContingencyTable> {
+        if self.axes.len() < 2 {
+            return Err(ProbError::InvalidParameter {
+                name: "axis",
+                reason: "cannot condition the only axis of a table".into(),
+            });
+        }
+        let pos = self.axis_position(axis)?;
+        let lab = self.axes[pos]
+            .index_of(label)
+            .ok_or_else(|| ProbError::UnknownLabel {
+                axis: axis.to_string(),
+                label: label.to_string(),
+            })?;
+        let out_axes: Vec<Axis> = self
+            .axes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != pos)
+            .map(|(_, a)| a.clone())
+            .collect();
+        let mut out = ContingencyTable::zeros(out_axes)?;
+        let mut src_idx = vec![0usize; self.axes.len()];
+        let mut out_idx = vec![0usize; self.axes.len() - 1];
+        for (flat, &v) in self.data.iter().enumerate() {
+            self.unflatten(flat, &mut src_idx);
+            if src_idx[pos] != lab {
+                continue;
+            }
+            let mut j = 0;
+            for (i, &ix) in src_idx.iter().enumerate() {
+                if i != pos {
+                    out_idx[j] = ix;
+                    j += 1;
+                }
+            }
+            out.add(&out_idx, v);
+        }
+        Ok(out)
+    }
+
+    /// Iterates `(multi_index, value)` over all cells.
+    pub fn iter_cells(&self) -> impl Iterator<Item = (Vec<usize>, f64)> + '_ {
+        let ndim = self.axes.len();
+        self.data.iter().enumerate().map(move |(flat, &v)| {
+            let mut idx = vec![0usize; ndim];
+            self.unflatten(flat, &mut idx);
+            (idx, v)
+        })
+    }
+
+    /// Decodes a flat index into `idx` (len must equal `ndim`).
+    #[inline]
+    pub fn unflatten(&self, mut flat: usize, idx: &mut [usize]) {
+        for (i, &stride) in self.strides.iter().enumerate() {
+            idx[i] = flat / stride;
+            flat %= stride;
+        }
+    }
+
+    /// Element-wise scales the table by `factor ≥ 0`.
+    pub fn scale(&mut self, factor: f64) -> Result<()> {
+        if !(factor.is_finite() && factor >= 0.0) {
+            return Err(ProbError::InvalidParameter {
+                name: "factor",
+                reason: format!("must be finite and non-negative, got {factor}"),
+            });
+        }
+        for v in &mut self.data {
+            *v *= factor;
+        }
+        Ok(())
+    }
+
+    /// Adds `alpha` to every cell (Dirichlet/Laplace smoothing of counts).
+    pub fn smooth_additive(&self, alpha: f64) -> Result<ContingencyTable> {
+        if !(alpha.is_finite() && alpha >= 0.0) {
+            return Err(ProbError::InvalidParameter {
+                name: "alpha",
+                reason: format!("must be finite and non-negative, got {alpha}"),
+            });
+        }
+        let mut out = self.clone();
+        for v in &mut out.data {
+            *v += alpha;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::numerics::approx_eq;
+
+    fn table_2x3() -> ContingencyTable {
+        let axes = vec![
+            Axis::from_strs("outcome", &["no", "yes"]).unwrap(),
+            Axis::from_strs("group", &["a", "b", "c"]).unwrap(),
+        ];
+        ContingencyTable::from_data(axes, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap()
+    }
+
+    #[test]
+    fn axis_rejects_duplicates_and_empty() {
+        assert!(Axis::from_strs("g", &[]).is_err());
+        assert!(Axis::from_strs("g", &["x", "x"]).is_err());
+    }
+
+    #[test]
+    fn zeros_rejects_duplicate_axis_names() {
+        let axes = vec![
+            Axis::from_strs("g", &["a"]).unwrap(),
+            Axis::from_strs("g", &["b"]).unwrap(),
+        ];
+        assert!(ContingencyTable::zeros(axes).is_err());
+    }
+
+    #[test]
+    fn from_data_validates_shape_and_values() {
+        let axes = vec![Axis::from_strs("g", &["a", "b"]).unwrap()];
+        assert!(ContingencyTable::from_data(axes.clone(), vec![1.0]).is_err());
+        assert!(ContingencyTable::from_data(axes.clone(), vec![1.0, -1.0]).is_err());
+        assert!(ContingencyTable::from_data(axes, vec![1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn indexing_is_row_major() {
+        let t = table_2x3();
+        assert_eq!(t.get(&[0, 0]), 1.0);
+        assert_eq!(t.get(&[0, 2]), 3.0);
+        assert_eq!(t.get(&[1, 0]), 4.0);
+        assert_eq!(t.get(&[1, 2]), 6.0);
+    }
+
+    #[test]
+    fn unflatten_roundtrip() {
+        let t = table_2x3();
+        let mut idx = vec![0usize; 2];
+        for flat in 0..t.num_cells() {
+            t.unflatten(flat, &mut idx);
+            assert_eq!(t.flat_index(&idx), flat);
+        }
+    }
+
+    #[test]
+    fn total_and_normalize() {
+        let t = table_2x3();
+        assert!(approx_eq(t.total(), 21.0, 1e-14, 0.0));
+        let p = t.to_probabilities().unwrap();
+        assert!(approx_eq(p.total(), 1.0, 1e-14, 0.0));
+        assert!(approx_eq(p.get(&[1, 2]), 6.0 / 21.0, 1e-14, 0.0));
+    }
+
+    #[test]
+    fn normalize_empty_fails() {
+        let axes = vec![Axis::from_strs("g", &["a", "b"]).unwrap()];
+        let t = ContingencyTable::zeros(axes).unwrap();
+        assert!(matches!(
+            t.to_probabilities(),
+            Err(ProbError::EmptyTable(_))
+        ));
+    }
+
+    #[test]
+    fn marginalize_sums_out_axes() {
+        let t = table_2x3();
+        let m = t.marginalize(&["outcome"]).unwrap();
+        assert_eq!(m.ndim(), 1);
+        assert!(approx_eq(m.get(&[0]), 6.0, 1e-14, 0.0)); // 1+2+3
+        assert!(approx_eq(m.get(&[1]), 15.0, 1e-14, 0.0)); // 4+5+6
+
+        let g = t.marginalize(&["group"]).unwrap();
+        assert!(approx_eq(g.get(&[0]), 5.0, 1e-14, 0.0)); // 1+4
+        assert!(approx_eq(g.get(&[1]), 7.0, 1e-14, 0.0));
+        assert!(approx_eq(g.get(&[2]), 9.0, 1e-14, 0.0));
+    }
+
+    #[test]
+    fn marginalize_preserves_total() {
+        let t = table_2x3();
+        for keep in [&["outcome"][..], &["group"][..], &["outcome", "group"][..]] {
+            let m = t.marginalize(keep).unwrap();
+            assert!(approx_eq(m.total(), t.total(), 1e-12, 0.0));
+        }
+    }
+
+    #[test]
+    fn marginalize_reorders_axes() {
+        let t = table_2x3();
+        let m = t.marginalize(&["group", "outcome"]).unwrap();
+        assert_eq!(m.axes()[0].name(), "group");
+        assert_eq!(m.axes()[1].name(), "outcome");
+        assert_eq!(m.get(&[2, 1]), t.get(&[1, 2]));
+    }
+
+    #[test]
+    fn marginalize_errors() {
+        let t = table_2x3();
+        assert!(t.marginalize(&[]).is_err());
+        assert!(t.marginalize(&["nope"]).is_err());
+        assert!(t.marginalize(&["group", "group"]).is_err());
+    }
+
+    #[test]
+    fn condition_slices_correctly() {
+        let t = table_2x3();
+        let c = t.condition("group", "b").unwrap();
+        assert_eq!(c.ndim(), 1);
+        assert_eq!(c.get(&[0]), 2.0);
+        assert_eq!(c.get(&[1]), 5.0);
+
+        let c = t.condition("outcome", "yes").unwrap();
+        assert_eq!(c.get(&[0]), 4.0);
+        assert_eq!(c.get(&[2]), 6.0);
+    }
+
+    #[test]
+    fn condition_errors() {
+        let t = table_2x3();
+        assert!(t.condition("group", "zzz").is_err());
+        assert!(t.condition("nope", "a").is_err());
+        let one_axis = t.marginalize(&["group"]).unwrap();
+        assert!(one_axis.condition("group", "a").is_err());
+    }
+
+    #[test]
+    fn increment_by_labels_tallies_records() {
+        let axes = vec![
+            Axis::from_strs("outcome", &["no", "yes"]).unwrap(),
+            Axis::from_strs("gender", &["f", "m"]).unwrap(),
+        ];
+        let mut t = ContingencyTable::zeros(axes).unwrap();
+        t.increment_by_labels(&["yes", "f"]).unwrap();
+        t.increment_by_labels(&["yes", "f"]).unwrap();
+        t.increment_by_labels(&["no", "m"]).unwrap();
+        assert_eq!(t.get(&[1, 0]), 2.0);
+        assert_eq!(t.get(&[0, 1]), 1.0);
+        assert!(t.increment_by_labels(&["yes"]).is_err());
+        assert!(t.increment_by_labels(&["yes", "x"]).is_err());
+    }
+
+    #[test]
+    fn smoothing_adds_alpha_everywhere() {
+        let t = table_2x3();
+        let s = t.smooth_additive(0.5).unwrap();
+        assert!(approx_eq(s.total(), 21.0 + 0.5 * 6.0, 1e-12, 0.0));
+        assert!(t.smooth_additive(-1.0).is_err());
+    }
+
+    #[test]
+    fn three_dimensional_marginalization() {
+        // Build P(y, g, r) and check P(y, g) against hand computation.
+        let axes = vec![
+            Axis::from_strs("y", &["0", "1"]).unwrap(),
+            Axis::from_strs("g", &["a", "b"]).unwrap(),
+            Axis::from_strs("r", &["x", "y", "z"]).unwrap(),
+        ];
+        let data: Vec<f64> = (1..=12).map(|v| v as f64).collect();
+        let t = ContingencyTable::from_data(axes, data).unwrap();
+        let m = t.marginalize(&["y", "g"]).unwrap();
+        // y=0,g=a: cells 1,2,3 → 6; y=1,g=b: cells 10,11,12 → 33.
+        assert!(approx_eq(m.get(&[0, 0]), 6.0, 1e-14, 0.0));
+        assert!(approx_eq(m.get(&[1, 1]), 33.0, 1e-14, 0.0));
+    }
+}

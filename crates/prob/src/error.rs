@@ -1,0 +1,114 @@
+//! Error type shared by the probability substrate.
+
+use std::fmt;
+
+/// Errors produced by the probability substrate.
+///
+/// All constructors carry enough context to diagnose the failing call without
+/// a debugger; the crate never panics on user input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProbError {
+    /// A parameter was outside its mathematical domain
+    /// (e.g. a negative standard deviation).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// Two shapes that must agree did not (e.g. axis/label count mismatch).
+    ShapeMismatch {
+        /// What was being matched.
+        context: &'static str,
+        /// Expected extent.
+        expected: usize,
+        /// Actual extent.
+        actual: usize,
+    },
+    /// An axis name was not found in a contingency table.
+    UnknownAxis(String),
+    /// A category label was not found on an axis.
+    UnknownLabel {
+        /// Axis that was searched.
+        axis: String,
+        /// Label that was missing.
+        label: String,
+    },
+    /// An operation requiring positive mass encountered an all-zero table.
+    EmptyTable(&'static str),
+    /// An iterative algorithm failed to converge.
+    NoConvergence {
+        /// Algorithm name.
+        algorithm: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for ProbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProbError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            ProbError::ShapeMismatch {
+                context,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "shape mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            ProbError::UnknownAxis(name) => write!(f, "unknown axis `{name}`"),
+            ProbError::UnknownLabel { axis, label } => {
+                write!(f, "unknown label `{label}` on axis `{axis}`")
+            }
+            ProbError::EmptyTable(context) => {
+                write!(
+                    f,
+                    "operation `{context}` requires a table with positive total mass"
+                )
+            }
+            ProbError::NoConvergence {
+                algorithm,
+                iterations,
+            } => write!(
+                f,
+                "{algorithm} failed to converge after {iterations} iterations"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProbError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, ProbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ProbError::InvalidParameter {
+            name: "sigma",
+            reason: "must be positive, got -1".into(),
+        };
+        assert!(e.to_string().contains("sigma"));
+        assert!(e.to_string().contains("-1"));
+
+        let e = ProbError::UnknownLabel {
+            axis: "race".into(),
+            label: "Martian".into(),
+        };
+        assert!(e.to_string().contains("race"));
+        assert!(e.to_string().contains("Martian"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ProbError>();
+    }
+}

@@ -1,0 +1,313 @@
+//! Iterative proportional fitting (IPF).
+//!
+//! Calibrates a joint table to prescribed marginal totals while preserving
+//! the interaction structure of the seed table. The synthetic-Adult generator
+//! uses this to reconcile its joint (gender, race, nationality) distribution
+//! with published marginals.
+
+use crate::contingency::ContingencyTable;
+use crate::error::{ProbError, Result};
+
+/// A marginal constraint: the table, marginalized onto `axes`, should equal
+/// `target` (axes and label order must match the marginalization output).
+#[derive(Debug, Clone)]
+pub struct MarginalTarget {
+    /// Axis names defining the marginal, in order.
+    pub axes: Vec<String>,
+    /// Target marginal table over exactly those axes.
+    pub target: ContingencyTable,
+}
+
+impl MarginalTarget {
+    /// Creates a constraint after validating that `target`'s axes match
+    /// `axes` by name and order.
+    pub fn new(axes: Vec<String>, target: ContingencyTable) -> Result<Self> {
+        if target.ndim() != axes.len() {
+            return Err(ProbError::ShapeMismatch {
+                context: "MarginalTarget",
+                expected: axes.len(),
+                actual: target.ndim(),
+            });
+        }
+        for (want, have) in axes.iter().zip(target.axes()) {
+            if want != have.name() {
+                return Err(ProbError::UnknownAxis(format!(
+                    "target axis `{}` does not match requested `{want}`",
+                    have.name()
+                )));
+            }
+        }
+        Ok(Self { axes, target })
+    }
+}
+
+/// Result of an IPF run.
+#[derive(Debug, Clone)]
+pub struct IpfOutcome {
+    /// The fitted table.
+    pub table: ContingencyTable,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final maximum absolute deviation from any target marginal cell.
+    pub max_deviation: f64,
+}
+
+/// Runs IPF on `seed` until every target marginal matches within `tol`
+/// (absolute per-cell), or `max_iter` sweeps elapse.
+///
+/// All targets must have the same total mass (checked within `tol`), and the
+/// seed must put positive mass wherever the targets require it; otherwise IPF
+/// cannot converge and an error is returned.
+pub fn iterative_proportional_fit(
+    seed: &ContingencyTable,
+    targets: &[MarginalTarget],
+    tol: f64,
+    max_iter: usize,
+) -> Result<IpfOutcome> {
+    if targets.is_empty() {
+        return Err(ProbError::InvalidParameter {
+            name: "targets",
+            reason: "need at least one marginal target".into(),
+        });
+    }
+    let total0 = targets[0].target.total();
+    for t in targets {
+        if (t.target.total() - total0).abs() > tol.max(1e-9) * total0.max(1.0) {
+            return Err(ProbError::InvalidParameter {
+                name: "targets",
+                reason: format!(
+                    "marginal totals disagree: {} vs {}",
+                    total0,
+                    t.target.total()
+                ),
+            });
+        }
+    }
+
+    let mut table = seed.clone();
+    let ndim = table.ndim();
+    let mut src_idx = vec![0usize; ndim];
+
+    for iteration in 1..=max_iter {
+        for target in targets {
+            let axis_names: Vec<&str> = target.axes.iter().map(String::as_str).collect();
+            let current = table.marginalize(&axis_names)?;
+            let positions: Vec<usize> = axis_names
+                .iter()
+                .map(|n| table.axis_position(n))
+                .collect::<Result<_>>()?;
+
+            // Scale every cell by target/current of its projected marginal.
+            let mut proj = vec![0usize; positions.len()];
+            let cells: Vec<(usize, f64)> = table.data().iter().copied().enumerate().collect();
+            for (flat, v) in cells {
+                if v == 0.0 {
+                    continue;
+                }
+                table.unflatten(flat, &mut src_idx);
+                for (p, &pos) in proj.iter_mut().zip(&positions) {
+                    *p = src_idx[pos];
+                }
+                let cur = current.get(&proj);
+                let tgt = target.target.get(&proj);
+                if cur > 0.0 {
+                    let mut idx_val = v * tgt / cur;
+                    if !idx_val.is_finite() {
+                        idx_val = 0.0;
+                    }
+                    table.set(&src_idx, idx_val)?;
+                } else if tgt > tol {
+                    return Err(ProbError::NoConvergence {
+                        algorithm: "ipf (seed has zero mass where target is positive)",
+                        iterations: iteration,
+                    });
+                }
+            }
+        }
+
+        // Convergence check across all targets.
+        let mut max_dev = 0.0f64;
+        for target in targets {
+            let axis_names: Vec<&str> = target.axes.iter().map(String::as_str).collect();
+            let current = table.marginalize(&axis_names)?;
+            for ((_, got), (_, want)) in current.iter_cells().zip(target.target.iter_cells()) {
+                max_dev = max_dev.max((got - want).abs());
+            }
+        }
+        if max_dev <= tol {
+            return Ok(IpfOutcome {
+                table,
+                iterations: iteration,
+                max_deviation: max_dev,
+            });
+        }
+    }
+    Err(ProbError::NoConvergence {
+        algorithm: "ipf",
+        iterations: max_iter,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contingency::Axis;
+    use crate::numerics::approx_eq;
+
+    fn axes_2x2() -> Vec<Axis> {
+        vec![
+            Axis::from_strs("row", &["r0", "r1"]).unwrap(),
+            Axis::from_strs("col", &["c0", "c1"]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn fits_two_marginals() {
+        let seed = ContingencyTable::from_data(axes_2x2(), vec![1.0, 1.0, 1.0, 1.0]).unwrap();
+        let row_target = ContingencyTable::from_data(
+            vec![Axis::from_strs("row", &["r0", "r1"]).unwrap()],
+            vec![30.0, 70.0],
+        )
+        .unwrap();
+        let col_target = ContingencyTable::from_data(
+            vec![Axis::from_strs("col", &["c0", "c1"]).unwrap()],
+            vec![40.0, 60.0],
+        )
+        .unwrap();
+        let out = iterative_proportional_fit(
+            &seed,
+            &[
+                MarginalTarget::new(vec!["row".into()], row_target).unwrap(),
+                MarginalTarget::new(vec!["col".into()], col_target).unwrap(),
+            ],
+            1e-10,
+            200,
+        )
+        .unwrap();
+        // With a uniform seed, the solution is the independent product.
+        assert!(approx_eq(out.table.get(&[0, 0]), 12.0, 1e-6, 1e-8));
+        assert!(approx_eq(out.table.get(&[1, 1]), 42.0, 1e-6, 1e-8));
+        assert!(out.max_deviation <= 1e-10);
+    }
+
+    #[test]
+    fn preserves_odds_ratio_of_seed() {
+        // IPF keeps the seed's interaction structure (odds ratio) intact.
+        let seed = ContingencyTable::from_data(axes_2x2(), vec![4.0, 1.0, 1.0, 4.0]).unwrap();
+        let or_seed =
+            (seed.get(&[0, 0]) * seed.get(&[1, 1])) / (seed.get(&[0, 1]) * seed.get(&[1, 0]));
+        let row_target = ContingencyTable::from_data(
+            vec![Axis::from_strs("row", &["r0", "r1"]).unwrap()],
+            vec![25.0, 75.0],
+        )
+        .unwrap();
+        let col_target = ContingencyTable::from_data(
+            vec![Axis::from_strs("col", &["c0", "c1"]).unwrap()],
+            vec![55.0, 45.0],
+        )
+        .unwrap();
+        let out = iterative_proportional_fit(
+            &seed,
+            &[
+                MarginalTarget::new(vec!["row".into()], row_target).unwrap(),
+                MarginalTarget::new(vec!["col".into()], col_target).unwrap(),
+            ],
+            1e-10,
+            500,
+        )
+        .unwrap();
+        let t = &out.table;
+        let or_fit = (t.get(&[0, 0]) * t.get(&[1, 1])) / (t.get(&[0, 1]) * t.get(&[1, 0]));
+        assert!(
+            approx_eq(or_fit, or_seed, 1e-6, 1e-8),
+            "{or_fit} vs {or_seed}"
+        );
+    }
+
+    #[test]
+    fn rejects_inconsistent_totals() {
+        let seed = ContingencyTable::from_data(axes_2x2(), vec![1.0, 1.0, 1.0, 1.0]).unwrap();
+        let row_target = ContingencyTable::from_data(
+            vec![Axis::from_strs("row", &["r0", "r1"]).unwrap()],
+            vec![30.0, 70.0],
+        )
+        .unwrap();
+        let col_target = ContingencyTable::from_data(
+            vec![Axis::from_strs("col", &["c0", "c1"]).unwrap()],
+            vec![10.0, 20.0],
+        )
+        .unwrap();
+        assert!(iterative_proportional_fit(
+            &seed,
+            &[
+                MarginalTarget::new(vec!["row".into()], row_target).unwrap(),
+                MarginalTarget::new(vec!["col".into()], col_target).unwrap(),
+            ],
+            1e-8,
+            100,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn structural_zero_in_seed_blocks_positive_target() {
+        let seed = ContingencyTable::from_data(axes_2x2(), vec![0.0, 0.0, 1.0, 1.0]).unwrap();
+        let row_target = ContingencyTable::from_data(
+            vec![Axis::from_strs("row", &["r0", "r1"]).unwrap()],
+            vec![50.0, 50.0],
+        )
+        .unwrap();
+        let col_target = ContingencyTable::from_data(
+            vec![Axis::from_strs("col", &["c0", "c1"]).unwrap()],
+            vec![50.0, 50.0],
+        )
+        .unwrap();
+        assert!(iterative_proportional_fit(
+            &seed,
+            &[
+                MarginalTarget::new(vec!["row".into()], row_target).unwrap(),
+                MarginalTarget::new(vec!["col".into()], col_target).unwrap(),
+            ],
+            1e-8,
+            100,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn three_way_table_with_pairwise_targets() {
+        let axes = vec![
+            Axis::from_strs("a", &["a0", "a1"]).unwrap(),
+            Axis::from_strs("b", &["b0", "b1"]).unwrap(),
+            Axis::from_strs("c", &["c0", "c1"]).unwrap(),
+        ];
+        let seed = ContingencyTable::from_data(axes, vec![1.0; 8]).unwrap();
+        let ab = ContingencyTable::from_data(
+            vec![
+                Axis::from_strs("a", &["a0", "a1"]).unwrap(),
+                Axis::from_strs("b", &["b0", "b1"]).unwrap(),
+            ],
+            vec![10.0, 20.0, 30.0, 40.0],
+        )
+        .unwrap();
+        let c = ContingencyTable::from_data(
+            vec![Axis::from_strs("c", &["c0", "c1"]).unwrap()],
+            vec![45.0, 55.0],
+        )
+        .unwrap();
+        let out = iterative_proportional_fit(
+            &seed,
+            &[
+                MarginalTarget::new(vec!["a".into(), "b".into()], ab).unwrap(),
+                MarginalTarget::new(vec!["c".into()], c).unwrap(),
+            ],
+            1e-9,
+            500,
+        )
+        .unwrap();
+        let fitted_ab = out.table.marginalize(&["a", "b"]).unwrap();
+        assert!(approx_eq(fitted_ab.get(&[0, 1]), 20.0, 1e-6, 1e-7));
+        let fitted_c = out.table.marginalize(&["c"]).unwrap();
+        assert!(approx_eq(fitted_c.get(&[1]), 55.0, 1e-6, 1e-7));
+    }
+}

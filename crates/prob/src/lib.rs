@@ -1,0 +1,44 @@
+//! # df-prob — probability and statistics substrate
+//!
+//! From-scratch numerical building blocks used throughout the
+//! differential-fairness workspace:
+//!
+//! - [`numerics`]: numerically stable primitives (log-sum-exp, Kahan
+//!   summation, safe log-ratios).
+//! - [`special`]: special functions (error function, inverse normal CDF,
+//!   log-gamma, digamma, incomplete gamma/beta).
+//! - [`rng`]: deterministic, seedable random-number generators (PCG32,
+//!   SplitMix64) implementing [`rand::RngCore`].
+//! - [`dist`]: probability distributions (Normal, Bernoulli, Categorical with
+//!   alias-method sampling, Gamma, Dirichlet, Beta, Binomial).
+//! - [`contingency`]: N-dimensional contingency tables with marginalization
+//!   and conditioning — the data structure behind empirical differential
+//!   fairness.
+//! - [`ipf`]: iterative proportional fitting for calibrating joint tables to
+//!   target marginals.
+//! - [`estimate`]: categorical MLE and Dirichlet-multinomial posterior
+//!   estimators (the smoothing model of Eq. 7 in the paper).
+//! - [`mcmc`]: posterior samplers and chain diagnostics used to build the
+//!   distribution class Θ from data.
+//! - [`summary`]: streaming moments and quantiles.
+//!
+//! The crate is `no_unsafe` by policy and deterministic by construction: all
+//! stochastic components take explicit generators seeded by the caller.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod contingency;
+pub mod dist;
+pub mod error;
+pub mod estimate;
+pub mod ipf;
+pub mod mcmc;
+pub mod numerics;
+pub mod rng;
+pub mod special;
+pub mod summary;
+
+pub use contingency::ContingencyTable;
+pub use error::{ProbError, Result};
+pub use rng::{DfRng, Pcg32, SplitMix64};

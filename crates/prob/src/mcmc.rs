@@ -1,0 +1,239 @@
+//! Posterior samplers and chain diagnostics.
+//!
+//! The paper (§3, footnote 2) allows the distribution class Θ to be "a set of
+//! burned-in MCMC samples" from a Bayesian model of the data. For the
+//! Dirichlet-multinomial outcome model the posterior is conjugate, so
+//! [`DirichletPosterior`] draws exact samples; a generic random-walk
+//! [`MetropolisHastings`] sampler and effective-sample-size diagnostics are
+//! provided for models without conjugacy.
+
+use crate::dist::{Dirichlet, Sampler};
+use crate::error::{ProbError, Result};
+use crate::estimate::dirichlet_posterior_alpha;
+use crate::rng::Pcg32;
+
+/// Exact sampler for the posterior `Dir(N₁+α, …, N_K+α)` of outcome
+/// probabilities given counts under a symmetric Dirichlet(α) prior.
+#[derive(Debug, Clone)]
+pub struct DirichletPosterior {
+    posterior: Dirichlet,
+}
+
+impl DirichletPosterior {
+    /// Builds the posterior from observed counts and prior concentration α.
+    pub fn from_counts(counts: &[f64], alpha: f64) -> Result<Self> {
+        let post_alpha = dirichlet_posterior_alpha(counts, alpha)?;
+        Ok(Self {
+            posterior: Dirichlet::new(post_alpha)?,
+        })
+    }
+
+    /// Posterior mean (equals the Eq. 7 posterior predictive).
+    pub fn mean(&self) -> Vec<f64> {
+        self.posterior.mean()
+    }
+
+    /// Draws `n` posterior probability vectors (a plug-in Θ sample set).
+    pub fn sample_thetas(&self, rng: &mut Pcg32, n: usize) -> Vec<Vec<f64>> {
+        self.posterior.sample_n(rng, n)
+    }
+}
+
+/// A target density for Metropolis–Hastings, given as a log-density.
+pub trait LogDensity {
+    /// Unnormalized log-density at `x`.
+    fn ln_density(&self, x: f64) -> f64;
+}
+
+impl<F: Fn(f64) -> f64> LogDensity for F {
+    fn ln_density(&self, x: f64) -> f64 {
+        self(x)
+    }
+}
+
+/// Random-walk Metropolis–Hastings on ℝ with a Gaussian proposal.
+#[derive(Debug, Clone)]
+pub struct MetropolisHastings {
+    proposal_std: f64,
+    burn_in: usize,
+    thin: usize,
+}
+
+impl MetropolisHastings {
+    /// Configures the sampler. `proposal_std > 0`, `thin ≥ 1`.
+    pub fn new(proposal_std: f64, burn_in: usize, thin: usize) -> Result<Self> {
+        if !(proposal_std.is_finite() && proposal_std > 0.0) {
+            return Err(ProbError::InvalidParameter {
+                name: "proposal_std",
+                reason: format!("must be positive and finite, got {proposal_std}"),
+            });
+        }
+        if thin == 0 {
+            return Err(ProbError::InvalidParameter {
+                name: "thin",
+                reason: "must be at least 1".into(),
+            });
+        }
+        Ok(Self {
+            proposal_std,
+            burn_in,
+            thin,
+        })
+    }
+
+    /// Runs the chain from `init`, returning `n` post-burn-in, thinned draws
+    /// and the realized acceptance rate.
+    pub fn run<D: LogDensity>(
+        &self,
+        target: &D,
+        init: f64,
+        n: usize,
+        rng: &mut Pcg32,
+    ) -> (Vec<f64>, f64) {
+        let total_steps = self.burn_in + n * self.thin;
+        let mut x = init;
+        let mut lp = target.ln_density(x);
+        let mut draws = Vec::with_capacity(n);
+        let mut accepted = 0usize;
+        for step in 0..total_steps {
+            // Gaussian proposal via the polar method.
+            let z = loop {
+                let u = 2.0 * rng.next_f64() - 1.0;
+                let v = 2.0 * rng.next_f64() - 1.0;
+                let s = u * u + v * v;
+                if s > 0.0 && s < 1.0 {
+                    break u * (-2.0 * s.ln() / s).sqrt();
+                }
+            };
+            let proposal = x + self.proposal_std * z;
+            let lp_new = target.ln_density(proposal);
+            let accept = lp_new - lp >= 0.0 || rng.next_f64().ln() < lp_new - lp;
+            if accept {
+                x = proposal;
+                lp = lp_new;
+                accepted += 1;
+            }
+            if step >= self.burn_in && (step - self.burn_in).is_multiple_of(self.thin) {
+                draws.push(x);
+            }
+        }
+        (draws, accepted as f64 / total_steps as f64)
+    }
+}
+
+/// Lag-k autocorrelation of a chain.
+pub fn autocorrelation(chain: &[f64], lag: usize) -> f64 {
+    let n = chain.len();
+    if lag >= n || n < 2 {
+        return 0.0;
+    }
+    let mean = chain.iter().sum::<f64>() / n as f64;
+    let var: f64 = chain.iter().map(|x| (x - mean).powi(2)).sum();
+    if var == 0.0 {
+        return 0.0;
+    }
+    let cov: f64 = (0..n - lag)
+        .map(|i| (chain[i] - mean) * (chain[i + lag] - mean))
+        .sum();
+    cov / var
+}
+
+/// Effective sample size via the initial-positive-sequence estimator
+/// (Geyer 1992): `ESS = n / (1 + 2 Σ ρ_k)` truncated at the first
+/// non-positive autocorrelation.
+pub fn effective_sample_size(chain: &[f64]) -> f64 {
+    let n = chain.len();
+    if n < 3 {
+        return n as f64;
+    }
+    let mut rho_sum = 0.0;
+    for lag in 1..n / 2 {
+        let rho = autocorrelation(chain, lag);
+        if rho <= 0.0 {
+            break;
+        }
+        rho_sum += rho;
+    }
+    (n as f64 / (1.0 + 2.0 * rho_sum)).min(n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::numerics::approx_eq;
+
+    #[test]
+    fn dirichlet_posterior_mean_matches_eq7() {
+        let post = DirichletPosterior::from_counts(&[81.0, 6.0], 1.0).unwrap();
+        let mean = post.mean();
+        assert!(approx_eq(mean[0], 82.0 / 89.0, 1e-14, 0.0));
+        assert!(approx_eq(mean[1], 7.0 / 89.0, 1e-14, 0.0));
+    }
+
+    #[test]
+    fn posterior_samples_concentrate_with_data() {
+        let mut rng = Pcg32::new(41);
+        let tight = DirichletPosterior::from_counts(&[8000.0, 2000.0], 1.0).unwrap();
+        let loose = DirichletPosterior::from_counts(&[8.0, 2.0], 1.0).unwrap();
+        let spread = |s: &DirichletPosterior, rng: &mut Pcg32| {
+            let draws = s.sample_thetas(rng, 2000);
+            let xs: Vec<f64> = draws.iter().map(|d| d[0]).collect();
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+        };
+        assert!(spread(&tight, &mut rng) < 0.02);
+        assert!(spread(&loose, &mut rng) > 0.05);
+    }
+
+    #[test]
+    fn mh_recovers_standard_normal() {
+        let target = |x: f64| -0.5 * x * x;
+        let mh = MetropolisHastings::new(1.5, 2000, 5).unwrap();
+        let mut rng = Pcg32::new(42);
+        let (draws, accept_rate) = mh.run(&target, 0.0, 5000, &mut rng);
+        assert_eq!(draws.len(), 5000);
+        assert!(accept_rate > 0.2 && accept_rate < 0.8, "rate={accept_rate}");
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / draws.len() as f64;
+        assert!(mean.abs() < 0.08, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.15, "var={var}");
+    }
+
+    #[test]
+    fn mh_validates_parameters() {
+        assert!(MetropolisHastings::new(0.0, 10, 1).is_err());
+        assert!(MetropolisHastings::new(1.0, 10, 0).is_err());
+    }
+
+    #[test]
+    fn autocorrelation_of_iid_is_near_zero() {
+        let mut rng = Pcg32::new(43);
+        let chain: Vec<f64> = (0..20_000).map(|_| rng.next_f64()).collect();
+        assert!(autocorrelation(&chain, 1).abs() < 0.03);
+        assert!(autocorrelation(&chain, 7).abs() < 0.03);
+    }
+
+    #[test]
+    fn autocorrelation_of_constant_is_zero() {
+        let chain = vec![2.0; 100];
+        assert_eq!(autocorrelation(&chain, 1), 0.0);
+    }
+
+    #[test]
+    fn ess_detects_correlation() {
+        let mut rng = Pcg32::new(44);
+        // AR(1) with strong persistence → low ESS.
+        let mut x = 0.0;
+        let ar: Vec<f64> = (0..5000)
+            .map(|_| {
+                x = 0.95 * x + (rng.next_f64() - 0.5);
+                x
+            })
+            .collect();
+        let iid: Vec<f64> = (0..5000).map(|_| rng.next_f64()).collect();
+        let ess_ar = effective_sample_size(&ar);
+        let ess_iid = effective_sample_size(&iid);
+        assert!(ess_ar < 0.2 * ess_iid, "ar={ess_ar}, iid={ess_iid}");
+        assert!(ess_iid > 3000.0);
+    }
+}

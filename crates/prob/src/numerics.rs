@@ -1,0 +1,267 @@
+//! Numerically stable scalar primitives.
+//!
+//! Differential fairness is computed from ratios of small probabilities, so
+//! everything downstream leans on the log-domain helpers here.
+
+/// Natural log of the smallest positive normal `f64`, used as a floor for
+/// log-probabilities so that ratios of underflowed probabilities stay finite.
+pub const LOG_MIN_POSITIVE: f64 = -708.396_418_532_264_1;
+
+/// Computes `ln(1 + e^x)` without overflow for large `x` or cancellation for
+/// very negative `x` (the "softplus" function).
+#[inline]
+pub fn log1p_exp(x: f64) -> f64 {
+    if x > 33.3 {
+        // e^-x is below machine epsilon relative to x.
+        x
+    } else if x > -37.0 {
+        x.exp().ln_1p()
+    } else {
+        // ln(1 + e^x) ≈ e^x for very negative x.
+        x.exp()
+    }
+}
+
+/// Computes `ln(e^a + e^b)` stably.
+#[inline]
+pub fn log_add_exp(a: f64, b: f64) -> f64 {
+    if a == f64::NEG_INFINITY {
+        return b;
+    }
+    if b == f64::NEG_INFINITY {
+        return a;
+    }
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    hi + log1p_exp(lo - hi)
+}
+
+/// Computes `ln Σ e^{x_i}` stably. Returns `-∞` for an empty slice.
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        // Either empty, all -inf (sum is 0 → log 0), or contains +inf/NaN;
+        // the fold result is already the right answer for the first two.
+        return max;
+    }
+    let sum: f64 = xs.iter().map(|&x| (x - max).exp()).sum();
+    max + sum.ln()
+}
+
+/// The logistic sigmoid `1 / (1 + e^{-x})`, stable at both tails.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        let e = (-x).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Inverse of [`sigmoid`]: `ln(p / (1-p))`.
+///
+/// Returns `±∞` at the endpoints, NaN outside `[0, 1]`.
+#[inline]
+pub fn logit(p: f64) -> f64 {
+    (p / (1.0 - p)).ln()
+}
+
+/// Log of the ratio `p / q` with the conventions needed by differential
+/// fairness (Definition 3.1 of the paper):
+///
+/// - both zero → `0.0` (the pair imposes no constraint; 0/0 groups are
+///   excluded by the `P(s|θ) > 0` side condition upstream, and a shared
+///   impossible outcome is vacuously fair),
+/// - `p > 0, q == 0` → `+∞` (unboundedly unfair),
+/// - `p == 0, q > 0` → `-∞`.
+#[inline]
+pub fn log_ratio(p: f64, q: f64) -> f64 {
+    debug_assert!(p >= 0.0 && q >= 0.0, "log_ratio expects probabilities");
+    if p == 0.0 && q == 0.0 {
+        0.0
+    } else if q == 0.0 {
+        f64::INFINITY
+    } else if p == 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        (p / q).ln()
+    }
+}
+
+/// Kahan–Babuška compensated summation.
+///
+/// Keeps `O(1)` error on long, mixed-magnitude sums such as probability-mass
+/// accumulations over large contingency tables.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KahanSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl KahanSum {
+    /// Creates an empty sum.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one term.
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.compensation += (self.sum - t) + x;
+        } else {
+            self.compensation += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// Current compensated value of the sum.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
+impl FromIterator<f64> for KahanSum {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut acc = KahanSum::new();
+        for x in iter {
+            acc.add(x);
+        }
+        acc
+    }
+}
+
+/// Sums a slice with compensated summation.
+pub fn stable_sum(xs: &[f64]) -> f64 {
+    xs.iter().copied().collect::<KahanSum>().value()
+}
+
+/// Relative closeness check used in tests and convergence criteria:
+/// `|a - b| <= atol + rtol * max(|a|, |b|)`.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, rtol: f64, atol: f64) -> bool {
+    if a == b {
+        return true; // covers infinities of equal sign
+    }
+    (a - b).abs() <= atol + rtol * a.abs().max(b.abs())
+}
+
+/// Clamps a probability into the closed unit interval, mapping NaN to 0.
+#[inline]
+pub fn clamp_prob(p: f64) -> f64 {
+    if p.is_nan() {
+        0.0
+    } else {
+        p.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log1p_exp_matches_naive_in_safe_range() {
+        for i in -300..300 {
+            let x = i as f64 / 10.0;
+            let naive = (1.0 + x.exp()).ln();
+            assert!(
+                approx_eq(log1p_exp(x), naive, 1e-12, 1e-14),
+                "x={x}: {} vs {}",
+                log1p_exp(x),
+                naive
+            );
+        }
+    }
+
+    #[test]
+    fn log1p_exp_extremes() {
+        assert_eq!(log1p_exp(1000.0), 1000.0);
+        assert!(log1p_exp(-1000.0) >= 0.0);
+        assert!(log1p_exp(-1000.0) < 1e-300);
+    }
+
+    #[test]
+    fn log_add_exp_handles_neg_infinity() {
+        assert_eq!(log_add_exp(f64::NEG_INFINITY, 3.0), 3.0);
+        assert_eq!(log_add_exp(3.0, f64::NEG_INFINITY), 3.0);
+        assert_eq!(
+            log_add_exp(f64::NEG_INFINITY, f64::NEG_INFINITY),
+            f64::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn log_sum_exp_agrees_with_direct() {
+        let xs = [0.1_f64, -2.0, 3.5, 1.0];
+        let direct: f64 = xs.iter().map(|x| x.exp()).sum::<f64>().ln();
+        assert!(approx_eq(log_sum_exp(&xs), direct, 1e-12, 0.0));
+    }
+
+    #[test]
+    fn log_sum_exp_empty_and_all_neg_inf() {
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+        assert_eq!(
+            log_sum_exp(&[f64::NEG_INFINITY, f64::NEG_INFINITY]),
+            f64::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn log_sum_exp_shift_invariance() {
+        let xs = [-700.0, -701.0, -702.5];
+        let shifted: Vec<f64> = xs.iter().map(|x| x + 700.0).collect();
+        let a = log_sum_exp(&xs);
+        let b = log_sum_exp(&shifted) - 700.0;
+        assert!(approx_eq(a, b, 1e-12, 1e-12));
+    }
+
+    #[test]
+    fn sigmoid_logit_roundtrip() {
+        for i in 1..100 {
+            let p = i as f64 / 100.0;
+            assert!(approx_eq(sigmoid(logit(p)), p, 1e-12, 1e-14));
+        }
+    }
+
+    #[test]
+    fn sigmoid_tails_do_not_overflow() {
+        assert_eq!(sigmoid(800.0), 1.0);
+        assert!(sigmoid(-800.0) >= 0.0);
+        assert!(sigmoid(-800.0) < 1e-300);
+    }
+
+    #[test]
+    fn log_ratio_conventions() {
+        assert_eq!(log_ratio(0.0, 0.0), 0.0);
+        assert_eq!(log_ratio(0.5, 0.0), f64::INFINITY);
+        assert_eq!(log_ratio(0.0, 0.5), f64::NEG_INFINITY);
+        assert!(approx_eq(log_ratio(0.6, 0.3), 2.0_f64.ln(), 1e-14, 0.0));
+    }
+
+    #[test]
+    fn kahan_beats_naive_on_adversarial_sum() {
+        // 1.0 followed by many tiny values that naive summation drops.
+        let tiny = 1e-16;
+        let n = 100_000;
+        let mut xs = vec![1.0];
+        xs.extend(std::iter::repeat_n(tiny, n));
+        let exact = 1.0 + tiny * n as f64;
+        let kahan = stable_sum(&xs);
+        assert!(
+            approx_eq(kahan, exact, 1e-12, 0.0),
+            "kahan={kahan}, exact={exact}"
+        );
+    }
+
+    #[test]
+    fn clamp_prob_bounds() {
+        assert_eq!(clamp_prob(-0.5), 0.0);
+        assert_eq!(clamp_prob(1.5), 1.0);
+        assert_eq!(clamp_prob(f64::NAN), 0.0);
+        assert_eq!(clamp_prob(0.25), 0.25);
+    }
+}

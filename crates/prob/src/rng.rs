@@ -1,0 +1,301 @@
+//! Deterministic, seedable random-number generators.
+//!
+//! Every stochastic component of the workspace takes an explicit generator so
+//! experiments are reproducible bit-for-bit. The default generator is a
+//! from-scratch PCG32 (O'Neill 2014, `XSH RR 64/32`), seeded through
+//! SplitMix64 so that small consecutive seeds produce decorrelated streams.
+//! Both types implement [`rand::RngCore`], so they interoperate with the
+//! wider `rand` ecosystem (e.g. `proptest` strategies).
+
+use rand::RngCore;
+
+/// SplitMix64 — a tiny, high-quality 64-bit mixer (Steele et al. 2014).
+///
+/// Used both as a seeding function for [`Pcg32`] and as a standalone
+/// generator in tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64-bit output.
+    #[inline]
+    pub fn next_u64_raw(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64_raw() >> 32) as u32
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_raw()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        fill_bytes_via_u64(self, dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// PCG32 (`XSH RR 64/32`): 64-bit LCG state, 32-bit permuted output.
+///
+/// Passes TestU01 SmallCrush/Crush; period 2^64 per stream with 2^63
+/// selectable streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6_364_136_223_846_793_005;
+
+impl Pcg32 {
+    /// Creates a generator from a seed, using the default stream.
+    pub fn new(seed: u64) -> Self {
+        Self::with_stream(seed, 0xDA3E_39CB_94B9_5BDB)
+    }
+
+    /// Creates a generator on an explicit stream; distinct streams are
+    /// statistically independent.
+    pub fn with_stream(seed: u64, stream: u64) -> Self {
+        // Expand the seed through SplitMix64 so that seeds 0, 1, 2, ... give
+        // unrelated initial states.
+        let mut mix = SplitMix64::new(seed);
+        let mut rng = Self {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
+        rng.state = rng.state.wrapping_mul(PCG_MULT).wrapping_add(rng.inc);
+        rng.state = rng.state.wrapping_add(mix.next_u64_raw());
+        rng.state = rng.state.wrapping_mul(PCG_MULT).wrapping_add(rng.inc);
+        rng
+    }
+
+    /// Next 32-bit output.
+    #[inline]
+    pub fn next_u32_raw(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 random bits.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        let hi = (self.next_u32_raw() as u64) << 32;
+        let bits = hi | self.next_u32_raw() as u64;
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)` without modulo bias
+    /// (Lemire's rejection method).
+    pub fn next_below(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0, "next_below bound must be positive");
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let r = self.next_u32_raw();
+            let m = (r as u64) * (bound as u64);
+            if (m as u32) >= threshold {
+                return (m >> 32) as u32;
+            }
+        }
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.next_below(i as u32 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Spawns an independent child generator; useful for giving each parallel
+    /// task its own stream while keeping the parent deterministic.
+    pub fn fork(&mut self) -> Pcg32 {
+        let seed = ((self.next_u32_raw() as u64) << 32) | self.next_u32_raw() as u64;
+        let stream = ((self.next_u32_raw() as u64) << 32) | self.next_u32_raw() as u64;
+        Pcg32::with_stream(seed, stream)
+    }
+}
+
+impl RngCore for Pcg32 {
+    fn next_u32(&mut self) -> u32 {
+        self.next_u32_raw()
+    }
+    fn next_u64(&mut self) -> u64 {
+        ((self.next_u32_raw() as u64) << 32) | self.next_u32_raw() as u64
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        fill_bytes_via_u64(self, dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+fn fill_bytes_via_u64<R: RngCore>(rng: &mut R, dest: &mut [u8]) {
+    let mut chunks = dest.chunks_exact_mut(8);
+    for chunk in &mut chunks {
+        chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+    }
+    let rem = chunks.into_remainder();
+    if !rem.is_empty() {
+        let bytes = rng.next_u64().to_le_bytes();
+        rem.copy_from_slice(&bytes[..rem.len()]);
+    }
+}
+
+/// The workspace's default generator type.
+pub type DfRng = Pcg32;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcg32_is_deterministic() {
+        let mut a = Pcg32::new(42);
+        let mut b = Pcg32::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u32_raw(), b.next_u32_raw());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Pcg32::new(1);
+        let mut b = Pcg32::new(2);
+        let same = (0..64)
+            .filter(|_| a.next_u32_raw() == b.next_u32_raw())
+            .count();
+        assert!(same < 4, "streams from adjacent seeds should be unrelated");
+    }
+
+    #[test]
+    fn different_streams_differ() {
+        let mut a = Pcg32::with_stream(7, 1);
+        let mut b = Pcg32::with_stream(7, 2);
+        let same = (0..64)
+            .filter(|_| a.next_u32_raw() == b.next_u32_raw())
+            .count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut rng = Pcg32::new(123);
+        let n = 100_000;
+        let mut sum = 0.0;
+        let mut buckets = [0usize; 10];
+        for _ in 0..n {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+            buckets[(x * 10.0) as usize] += 1;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+        for (i, &b) in buckets.iter().enumerate() {
+            let frac = b as f64 / n as f64;
+            assert!((frac - 0.1).abs() < 0.01, "bucket {i}: {frac}");
+        }
+    }
+
+    #[test]
+    fn next_below_is_unbiased_and_bounded() {
+        let mut rng = Pcg32::new(9);
+        let bound = 7u32;
+        let n = 70_000;
+        let mut counts = [0usize; 7];
+        for _ in 0..n {
+            let v = rng.next_below(bound);
+            assert!(v < bound);
+            counts[v as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 1.0 / 7.0).abs() < 0.01, "value {i}: {frac}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        Pcg32::new(0).next_below(0);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Pcg32::new(5);
+        let mut xs: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(
+            xs,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle left input unchanged"
+        );
+    }
+
+    #[test]
+    fn shuffle_uniformity_smoke() {
+        // Position of element 0 after shuffling [0,1,2] should be ~uniform.
+        let mut rng = Pcg32::new(77);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            let mut xs = [0, 1, 2];
+            rng.shuffle(&mut xs);
+            let pos = xs.iter().position(|&x| x == 0).unwrap();
+            counts[pos] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / 30_000.0;
+            assert!((frac - 1.0 / 3.0).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn fork_produces_independent_stream() {
+        let mut parent = Pcg32::new(11);
+        let mut child = parent.fork();
+        let a: Vec<u32> = (0..32).map(|_| parent.next_u32_raw()).collect();
+        let b: Vec<u32> = (0..32).map(|_| child.next_u32_raw()).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn splitmix_known_vector() {
+        // Reference values from the public-domain splitmix64.c with seed 0.
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64_raw(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(sm.next_u64_raw(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(sm.next_u64_raw(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn rngcore_fill_bytes_covers_remainder() {
+        let mut rng = Pcg32::new(3);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,208 @@
+//! Streaming summary statistics and quantiles.
+
+use crate::error::{ProbError, Result};
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunningMoments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningMoments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (needs ≥ 2 observations, else 0).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observed value.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observed value.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator (parallel reduction; Chan et al.).
+    pub fn merge(&mut self, other: &RunningMoments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for RunningMoments {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut acc = RunningMoments::new();
+        for x in iter {
+            acc.push(x);
+        }
+        acc
+    }
+}
+
+/// Empirical quantile with linear interpolation (type-7, the R default).
+///
+/// `q` must lie in `[0, 1]`; the input need not be sorted (a sorted copy is
+/// made).
+pub fn quantile(xs: &[f64], q: f64) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(ProbError::InvalidParameter {
+            name: "xs",
+            reason: "quantile of an empty slice".into(),
+        });
+    }
+    if !(0.0..=1.0).contains(&q) || q.is_nan() {
+        return Err(ProbError::InvalidParameter {
+            name: "q",
+            reason: format!("must lie in [0, 1], got {q}"),
+        });
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let h = (sorted.len() - 1) as f64 * q;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    Ok(sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo]))
+}
+
+/// Equal-tailed interval `[quantile(lo), quantile(hi)]` — used to report
+/// credible intervals over posterior ε samples.
+pub fn credible_interval(xs: &[f64], mass: f64) -> Result<(f64, f64)> {
+    if !(0.0..=1.0).contains(&mass) || mass.is_nan() {
+        return Err(ProbError::InvalidParameter {
+            name: "mass",
+            reason: format!("must lie in [0, 1], got {mass}"),
+        });
+    }
+    let tail = (1.0 - mass) / 2.0;
+    Ok((quantile(xs, tail)?, quantile(xs, 1.0 - tail)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::numerics::approx_eq;
+
+    #[test]
+    fn moments_match_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let acc: RunningMoments = xs.iter().copied().collect();
+        assert_eq!(acc.count(), 8);
+        assert!(approx_eq(acc.mean(), 5.0, 1e-14, 0.0));
+        // Unbiased variance of this classic example is 32/7.
+        assert!(approx_eq(acc.variance(), 32.0 / 7.0, 1e-12, 0.0));
+        assert_eq!(acc.min(), 2.0);
+        assert_eq!(acc.max(), 9.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let all: RunningMoments = xs.iter().copied().collect();
+        let mut left: RunningMoments = xs[..37].iter().copied().collect();
+        let right: RunningMoments = xs[37..].iter().copied().collect();
+        left.merge(&right);
+        assert_eq!(left.count(), all.count());
+        assert!(approx_eq(left.mean(), all.mean(), 1e-12, 1e-12));
+        assert!(approx_eq(left.variance(), all.variance(), 1e-12, 1e-12));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: RunningMoments = [1.0, 2.0, 3.0].iter().copied().collect();
+        let before = a;
+        a.merge(&RunningMoments::new());
+        assert!(approx_eq(a.mean(), before.mean(), 0.0, 0.0));
+        let mut empty = RunningMoments::new();
+        empty.merge(&before);
+        assert!(approx_eq(empty.mean(), before.mean(), 0.0, 0.0));
+    }
+
+    #[test]
+    fn quantile_median_and_extremes() {
+        let xs = [3.0, 1.0, 2.0];
+        assert!(approx_eq(quantile(&xs, 0.5).unwrap(), 2.0, 1e-14, 0.0));
+        assert_eq!(quantile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert!(approx_eq(quantile(&xs, 0.25).unwrap(), 2.5, 1e-14, 0.0));
+    }
+
+    #[test]
+    fn quantile_errors() {
+        assert!(quantile(&[], 0.5).is_err());
+        assert!(quantile(&[1.0], -0.1).is_err());
+        assert!(quantile(&[1.0], 1.1).is_err());
+    }
+
+    #[test]
+    fn credible_interval_covers_mass() {
+        let xs: Vec<f64> = (0..1001).map(|i| i as f64).collect();
+        let (lo, hi) = credible_interval(&xs, 0.9).unwrap();
+        assert!(approx_eq(lo, 50.0, 1e-12, 0.0));
+        assert!(approx_eq(hi, 950.0, 1e-12, 0.0));
+    }
+}

@@ -1,0 +1,124 @@
+//! The paper's §6 case study, end to end: audit the (synthetic) Adult
+//! census data, train a classifier, measure its differential fairness and
+//! bias amplification, and inspect the subgroup-fairness baseline.
+//!
+//! Run with `cargo run --release --example adult_case_study`.
+
+use differential_fairness::core::baselines::subgroup_fairness_violation;
+use differential_fairness::learn::pipeline::{run_feature_selection, ADULT_BASE_FEATURES};
+use differential_fairness::prelude::*;
+
+fn main() {
+    // Generate the calibrated benchmark (drop the real `adult.data` /
+    // `adult.test` into ./data to use the genuine UCI files instead).
+    let dataset = match adult::loader::load_uci_dir(std::path::Path::new("data")).unwrap() {
+        Some(d) => {
+            println!("using real UCI Adult files from ./data");
+            d
+        }
+        None => adult::synth::generate_default().unwrap(),
+    }
+    .with_protected()
+    .unwrap();
+    println!(
+        "train: {} rows, test: {} rows",
+        dataset.train.n_rows(),
+        dataset.test.n_rows()
+    );
+
+    // --- Data audit (Table 2) -------------------------------------------
+    let train_counts = JointCounts::from_table(
+        dataset
+            .train
+            .contingency(&["income", "race_m", "gender", "nationality"])
+            .unwrap(),
+        "income",
+    )
+    .unwrap();
+    let audit = FairnessAudit::run(
+        &train_counts,
+        &AuditConfig {
+            alpha: 1.0,
+            positive_outcome: Some(">50K".into()),
+            reference_epsilon: None,
+        },
+    )
+    .unwrap();
+    println!("\n-- training-data audit (per subset of protected attributes) --");
+    println!("{}", audit.render_subset_table());
+    println!(
+        "regime: {:?}; the race x gender intersection is substantially less fair\n\
+         than either attribute alone — the paper's core intersectional finding.",
+        audit.regime
+    );
+
+    // --- Classifier audit (Table 3) --------------------------------------
+    let run = run_feature_selection(
+        &dataset.train,
+        &dataset.test,
+        &ADULT_BASE_FEATURES,
+        &[], // withhold all sensitive attributes (the paper's best row)
+        "income",
+        ">50K",
+        &LogisticConfig::default(),
+    )
+    .unwrap();
+    println!(
+        "\n-- logistic regression without sensitive features --\n\
+         test error: {:.2}%",
+        run.error_rate * 100.0
+    );
+
+    // ε of the classifier's test predictions over the protected groups.
+    let mut test_with_preds = dataset.test.clone();
+    let pred_labels: Vec<&str> = run
+        .test_predictions
+        .iter()
+        .map(|&p| if p >= 0.5 { ">50K" } else { "<=50K" })
+        .collect();
+    test_with_preds
+        .add_column(Column::categorical("prediction", &pred_labels))
+        .unwrap();
+    let pred_counts = JointCounts::from_table(
+        test_with_preds
+            .contingency(&["prediction", "race_m", "gender", "nationality"])
+            .unwrap(),
+        "prediction",
+    )
+    .unwrap();
+    let classifier_eps = pred_counts.edf_smoothed(1.0).unwrap().epsilon;
+
+    let test_counts = JointCounts::from_table(
+        dataset
+            .test
+            .contingency(&["income", "race_m", "gender", "nationality"])
+            .unwrap(),
+        "income",
+    )
+    .unwrap();
+    let data_eps = test_counts.edf_smoothed(1.0).unwrap().epsilon;
+
+    let amp = BiasAmplification::new(classifier_eps, data_eps);
+    println!(
+        "classifier eps = {:.3}, test-data eps = {:.3}, amplification = {:+.3}\n\
+         (utility-disparity factor e^delta = {:.2}x)",
+        classifier_eps,
+        data_eps,
+        amp.delta(),
+        amp.utility_disparity_factor()
+    );
+
+    // --- Subgroup-fairness baseline (Kearns et al.) -----------------------
+    let violations = subgroup_fairness_violation(&train_counts, ">50K").unwrap();
+    println!("\n-- worst statistical-parity subgroups (Kearns-style audit) --");
+    for v in violations.iter().take(5) {
+        println!(
+            "  {:<55} mass {:.3}  gap {:+.3}  weighted {:.4}",
+            v.subgroup, v.mass, v.rate_gap, v.weighted
+        );
+    }
+    println!(
+        "\nboth lenses agree on where the inequity concentrates; DF additionally\n\
+         certifies the privacy-style e^eps guarantee of Definition 3.1."
+    );
+}

@@ -1,0 +1,103 @@
+//! Training with differential fairness as a regularizer — the paper's
+//! stated future-work direction, demonstrated on the synthetic Adult
+//! benchmark: sweep the fairness penalty λ_f and trace the ε-vs-accuracy
+//! trade-off curve.
+//!
+//! Run with `cargo run --release --example fair_training`.
+
+use differential_fairness::core::report::{Align, TextTable};
+use differential_fairness::data::adult::synth::{generate, SynthConfig};
+use differential_fairness::data::encode::{binary_labels, FrameEncoder};
+use differential_fairness::learn::pipeline::ADULT_BASE_FEATURES;
+use differential_fairness::prelude::*;
+
+fn main() {
+    // A mid-sized benchmark keeps the sweep fast.
+    let dataset = generate(&SynthConfig {
+        seed: 41,
+        n_train: 8_000,
+        n_test: 4_000,
+        ..SynthConfig::default()
+    })
+    .unwrap()
+    .with_protected()
+    .unwrap();
+
+    let encoder = FrameEncoder::fit(&dataset.train, &ADULT_BASE_FEATURES).unwrap();
+    let x_train = encoder.transform(&dataset.train).unwrap();
+    let x_test = encoder.transform(&dataset.test).unwrap();
+    let y_train = binary_labels(&dataset.train, "income", ">50K").unwrap();
+    let y_test = binary_labels(&dataset.test, "income", ">50K").unwrap();
+
+    // Protected intersections: gender x race (merged) on both splits.
+    let protected = ["gender", "race_m"];
+    let (train_groups, group_labels) = dataset.train.group_indices(&protected).unwrap();
+    let (test_groups, _) = dataset.test.group_indices(&protected).unwrap();
+    let n_groups = group_labels.len();
+
+    println!(
+        "fairness-regularized logistic regression over {} intersections of {:?}\n",
+        n_groups, protected
+    );
+
+    let mut table = TextTable::new(&[
+        "lambda_f",
+        "test error %",
+        "test eps (a=1)",
+        "train soft-eps",
+    ])
+    .align(&[Align::Right, Align::Right, Align::Right, Align::Right]);
+
+    for lambda in [0.0, 0.05, 0.2, 1.0, 5.0, 25.0] {
+        let model = FairLogisticRegression::fit(
+            &x_train,
+            &y_train,
+            &train_groups,
+            n_groups,
+            &FairLogisticConfig {
+                fairness_weight: lambda,
+                epsilon_target: 0.0,
+                alpha: 1.0,
+                l2: 1e-4,
+                max_iter: 300,
+            },
+        )
+        .unwrap();
+
+        let preds = model.predict(&x_test).unwrap();
+        let err =
+            preds.iter().zip(&y_test).filter(|(p, y)| p != y).count() as f64 / y_test.len() as f64;
+
+        // ε of the hard test predictions over the same intersections.
+        let mech = FnMechanism::new(vec!["pred<=50K".into(), "pred>50K".into()], |p: &f64| {
+            usize::from(*p >= 0.5)
+        });
+        let est = estimate_group_outcomes(
+            &mech,
+            group_labels.clone(),
+            test_groups.iter().copied().zip(preds.iter().copied()),
+            1.0,
+        )
+        .unwrap();
+        let eps = est.group_outcomes.epsilon().epsilon;
+
+        table.row(&[
+            format!("{lambda}"),
+            format!("{:.2}", err * 100.0),
+            format!("{eps:.3}"),
+            format!("{:.3}", model.train_soft_epsilon),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "the trade-off the paper anticipates: increasing lambda_f buys lower eps\n\
+         at a (modest, then steep) accuracy cost. An analyst picks the operating\n\
+         point; eps < 1 is the \"high fairness\" regime by the section 3.3 scale.\n\
+         \n\
+         caveat at extreme lambda_f: the model collapses toward the constant\n\
+         classifier, and the *hard-threshold* test eps rebounds — with near-zero\n\
+         predicted positives, the smoothed per-group rates reduce to the\n\
+         1/(N_g + 2) floor, whose ratios reflect group sizes, not behaviour.\n\
+         The train soft-eps column shows the regularizer itself stays effective."
+    );
+}

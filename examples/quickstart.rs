@@ -1,0 +1,99 @@
+//! Quickstart: measure the differential fairness of a labeled dataset and a
+//! classifier in ~60 lines.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use differential_fairness::prelude::*;
+
+fn main() {
+    // 1. A toy lending dataset: outcome x gender x race joint counts.
+    //    In practice these come from `DataFrame::contingency` over real data.
+    let counts = JointCounts::from_table(
+        {
+            let axes = vec![
+                Axis::from_strs("outcome", &["deny", "approve"]).unwrap(),
+                Axis::from_strs("gender", &["F", "M"]).unwrap(),
+                Axis::from_strs("race", &["black", "white"]).unwrap(),
+            ];
+            // Row-major over (outcome, gender, race): deny then approve.
+            ContingencyTable::from_data(
+                axes,
+                vec![
+                    70.0, 110.0, // deny, F, black/white
+                    45.0, 60.0, // deny, M
+                    30.0, 90.0, // approve, F
+                    55.0, 140.0, // approve, M
+                ],
+            )
+            .unwrap()
+        },
+        "outcome",
+    )
+    .unwrap();
+
+    // 2. One-call audit: per-subset ε (Eq. 6 and Eq. 7), the Theorem 3.1
+    //    bound check, baselines, and a privacy-regime interpretation.
+    let audit = FairnessAudit::run(
+        &counts,
+        &AuditConfig {
+            alpha: 1.0,
+            positive_outcome: Some("approve".into()),
+            reference_epsilon: None,
+        },
+    )
+    .unwrap();
+
+    println!("records audited: {}", audit.n_records);
+    println!("{}", audit.render_subset_table());
+    println!(
+        "headline eps = {:.3}  (privacy regime: {:?}, outcome-ratio bound e^eps = {:.2}x)",
+        audit.epsilon.epsilon,
+        audit.regime,
+        audit.epsilon.probability_ratio_bound()
+    );
+    if let Some(w) = &audit.epsilon.witness {
+        println!(
+            "worst pair: `{}` gets `{}` at rate {:.3}, `{}` at rate {:.3}",
+            w.group_hi, w.outcome, w.prob_hi, w.group_lo, w.prob_lo
+        );
+    }
+    println!(
+        "demographic-parity distance: {:.3}; disparate-impact ratio: {:.3}",
+        audit.demographic_parity,
+        audit.disparate_impact.unwrap()
+    );
+    assert!(audit.bound_violations.is_empty());
+
+    // 3. Audit a mechanism (here: a deterministic score threshold) against
+    //    the same protected groups via the Mechanism trait.
+    let mech = FnMechanism::new(vec!["deny".into(), "approve".into()], |score: &f64| {
+        usize::from(*score >= 0.0)
+    });
+    let instances = vec![
+        (0usize, -0.3),
+        (0, 0.2),
+        (1, 0.7),
+        (1, 0.9),
+        (2, -0.5),
+        (3, 0.4),
+    ];
+    let est = estimate_group_outcomes(
+        &mech,
+        vec![
+            "F,black".into(),
+            "F,white".into(),
+            "M,black".into(),
+            "M,white".into(),
+        ],
+        instances,
+        1.0,
+    )
+    .unwrap();
+    let eps = est.group_outcomes.epsilon();
+    println!(
+        "\nthreshold mechanism over {} instances: eps = {:.3} ({:?})",
+        est.n,
+        eps.epsilon,
+        PrivacyRegime::of(eps.epsilon)
+    );
+}

@@ -1,0 +1,70 @@
+//! Simpson's paradox under differential fairness (paper §5.1, Table 1).
+//!
+//! The admissions data reverses direction when aggregated: Gender A wins
+//! within each race, Gender B wins overall. This example shows how DF
+//! behaves sensibly at every aggregation level, and contrasts it with the
+//! demographic-parity and disparate-impact baselines.
+//!
+//! Run with `cargo run --release --example simpsons_paradox`.
+
+use differential_fairness::data::kidney;
+use differential_fairness::prelude::*;
+
+fn main() {
+    let counts = JointCounts::from_table(kidney::admissions_counts(), "outcome").unwrap();
+
+    // Per-intersection admission rates.
+    let go = counts.group_outcomes(0.0).unwrap();
+    println!("admission rates per intersection:");
+    for (g, label) in go.group_labels().iter().enumerate() {
+        println!("  {label}: {:.3}", go.prob(g, 0));
+    }
+
+    // The reversal, narrated from the marginals.
+    let by_gender = counts
+        .marginal_to(&["gender"])
+        .unwrap()
+        .group_outcomes(0.0)
+        .unwrap();
+    println!("\noverall admission rates:");
+    for (g, label) in by_gender.group_labels().iter().enumerate() {
+        println!("  {label}: {:.3}", by_gender.prob(g, 0));
+    }
+    println!(
+        "\nSimpson's reversal: A wins within each race, B wins overall — the\n\
+         direction of \"discrimination\" depends on measurement granularity."
+    );
+
+    // DF at every granularity.
+    let audit = subset_audit(&counts, 0.0).unwrap();
+    println!("\ndifferential fairness at each granularity:");
+    for s in &audit.subsets {
+        println!(
+            "  A = {:<14}  eps = {:.4}",
+            s.attributes.join(" x "),
+            s.result.epsilon
+        );
+    }
+    let full = audit.full_intersection().result.epsilon;
+    println!(
+        "\nTheorem 3.1: marginals are guaranteed <= 2 eps = {:.3}; measured\n\
+         marginals ({:.3}, {:.3}) comply even under the reversal.",
+        2.0 * full,
+        audit.get(&["gender"]).unwrap().result.epsilon,
+        audit.get(&["race"]).unwrap().result.epsilon,
+    );
+
+    // Baselines on the intersectional table, for contrast.
+    let dp = demographic_parity_distance(&go);
+    let di = disparate_impact_ratio(&go, 0).unwrap();
+    println!(
+        "\nbaselines on the full intersection: demographic-parity distance = {dp:.3},\n\
+         disparate-impact ratio = {di:.3} (80% rule {}).",
+        if di >= 0.8 { "passes" } else { "fails" }
+    );
+    println!(
+        "note how the TV distance ({dp:.3}) understates the decline-side disparity\n\
+         that drives eps = {full:.3}: ratios of small probabilities are exactly what\n\
+         the DF criterion is built to catch."
+    );
+}

@@ -1,0 +1,114 @@
+//! # differential-fairness
+//!
+//! A production-quality Rust implementation of
+//! *An Intersectional Definition of Fairness* (Foulds & Pan, ICDE 2020):
+//! measurement and auditing of **differential fairness (DF)** — an
+//! intersectional fairness criterion with differential-privacy-style
+//! guarantees — plus the substrates needed to reproduce the paper end to
+//! end (probability kernels, a columnar data layer, from-scratch learners,
+//! and a calibrated synthetic Adult-census benchmark).
+//!
+//! ## The criterion in one paragraph
+//!
+//! A mechanism `M(x)` is **ε-differentially fair** for protected attributes
+//! `A = S₁ × … × S_p` when, for every outcome `y` and every pair of
+//! intersectional groups `sᵢ, sⱼ` with positive probability,
+//! `e^-ε ≤ P(M(x)=y | sᵢ) / P(M(x)=y | sⱼ) ≤ e^ε` under every plausible
+//! data distribution. Small ε means every intersection — *black women*, not
+//! just *women* and *black people* separately — receives every outcome at
+//! comparable rates; Theorem 3.1 of the paper guarantees that ε-DF on the
+//! full intersection implies 2ε-DF on every subset of the attributes.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use differential_fairness::prelude::*;
+//!
+//! // Joint counts of (outcome, gender, race) — e.g. tallied from a dataset.
+//! let counts = JointCounts::from_records(
+//!     Axis::from_strs("outcome", &["deny", "approve"]).unwrap(),
+//!     vec![
+//!         Axis::from_strs("gender", &["F", "M"]).unwrap(),
+//!         Axis::from_strs("race", &["black", "white"]).unwrap(),
+//!     ],
+//!     vec![
+//!         ("approve", vec!["F", "black"]),
+//!         ("deny", vec!["F", "black"]),
+//!         ("approve", vec!["M", "white"]),
+//!         ("approve", vec!["M", "white"]),
+//!         ("deny", vec!["F", "white"]),
+//!         ("approve", vec!["F", "white"]),
+//!         ("approve", vec!["M", "black"]),
+//!         ("deny", vec!["M", "black"]),
+//!     ],
+//! )
+//! .unwrap();
+//!
+//! // ε with Eq. 7 smoothing (α = 1), plus every subset of the attributes.
+//! let audit = subset_audit(&counts, 1.0).unwrap();
+//! let full = &audit.full_intersection().result;
+//! assert!(full.epsilon.is_finite());
+//! // Theorem 3.1: every marginal is within 2ε of the intersection.
+//! assert!(audit.verify_bound(1e-9).is_empty());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | `core` (df_core) | the DF criterion: ε kernels, EDF (Eq. 6), smoothing (Eq. 7), subset guarantees, privacy interpretation, bias amplification, baselines, audits |
+//! | `prob` (df_prob) | distributions, special functions, RNGs, contingency tables, IPF, posterior samplers |
+//! | `data` (df_data) | data frames, CSV, encoders, the calibrated synthetic Adult benchmark, Table 1 data |
+//! | `learn` (df_learn) | logistic regression (plain and DF-regularized), naive Bayes, trees, metrics, threshold mechanisms |
+//!
+//! The `df-bench` crate (not re-exported) regenerates every table and
+//! figure of the paper; see `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use df_core as core;
+pub use df_data as data;
+pub use df_learn as learn;
+pub use df_prob as prob;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use df_core::amplification::BiasAmplification;
+    pub use df_core::audit::{AuditConfig, FairnessAudit};
+    pub use df_core::baselines::{
+        demographic_parity_distance, disparate_impact_ratio, equalized_odds_gap,
+    };
+    pub use df_core::bootstrap::{bootstrap_epsilon, BootstrapEpsilon};
+    pub use df_core::data_fairness::{dataset_epsilon, DataModel};
+    pub use df_core::equalized::{opportunity_epsilon, EqualizedOddsCounts};
+    pub use df_core::mechanism::{estimate_group_outcomes, FnMechanism, Mechanism};
+    pub use df_core::privacy::{PrivacyRegime, RANDOMIZED_RESPONSE_EPSILON};
+    pub use df_core::subsets::{subset_audit, SubsetAudit};
+    pub use df_core::theta::{posterior_theta, ThetaClass};
+    pub use df_core::{
+        DfError, EpsilonResult, EpsilonWitness, GroupOutcomes, JointCounts, ProtectedAttribute,
+        ProtectedSpace,
+    };
+    pub use df_data::adult;
+    pub use df_data::frame::{Column, DataFrame};
+    pub use df_data::workloads::GaussianScoreGroups;
+    pub use df_learn::fair::{FairLogisticConfig, FairLogisticRegression};
+    pub use df_learn::logistic::{LogisticConfig, LogisticRegression};
+    pub use df_learn::threshold::ThresholdMechanism;
+    pub use df_prob::contingency::{Axis, ContingencyTable};
+    pub use df_prob::rng::{DfRng, Pcg32};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_types_are_usable() {
+        let rr = df_core::privacy::randomized_response_table();
+        assert!((rr.epsilon().epsilon - RANDOMIZED_RESPONSE_EPSILON).abs() < 1e-12);
+        let _rng = Pcg32::new(1);
+        let _mech = ThresholdMechanism::new(0.5);
+    }
+}
