@@ -1,0 +1,59 @@
+//! Criterion bench: the end-to-end `Audit` builder hot path — the first
+//! perf baseline for one-call audits (full subset lattice + baselines on an
+//! Adult-shaped table, and the paper's Table 1 shape).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use df_core::builder::{Audit, Smoothed};
+use df_core::JointCounts;
+use df_data::workloads::random_joint_counts;
+use df_prob::rng::Pcg32;
+use std::hint::black_box;
+
+fn bench_audit_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("audit/run_smoothed");
+    let mut rng = Pcg32::new(33);
+    // p protected attributes of arity 2: the subset lattice has 2^p - 1
+    // entries, each estimated by the configured estimator.
+    for p in [2usize, 3, 4] {
+        let arities = vec![2usize; p];
+        let table = random_joint_counts(&mut rng, 2, &arities, 2_000).unwrap();
+        let jc = JointCounts::from_table(table, "outcome").unwrap();
+        group.throughput(Throughput::Elements((1u64 << p) - 1));
+        group.bench_with_input(BenchmarkId::from_parameter(p), &jc, |b, jc| {
+            b.iter(|| {
+                black_box(
+                    Audit::of(jc)
+                        .estimator(Smoothed { alpha: 1.0 })
+                        .run()
+                        .unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_audit_full_report(c: &mut Criterion) {
+    let mut group = c.benchmark_group("audit/full_report");
+    let mut rng = Pcg32::new(34);
+    // Adult-shaped: 2 outcomes x 4 x 2 x 2 with baselines enabled.
+    let table = random_joint_counts(&mut rng, 2, &[4, 2, 2], 2_000).unwrap();
+    let jc = JointCounts::from_table(table, "outcome").unwrap();
+    let positive = jc.outcome_labels()[0].clone();
+    group.bench_function("adult_shape", |b| {
+        b.iter(|| {
+            black_box(
+                Audit::of(&jc)
+                    .estimator(Smoothed { alpha: 1.0 })
+                    .baselines(df_core::builder::Baselines::all().positive(&positive))
+                    .reference_epsilon(1.0)
+                    .run()
+                    .unwrap(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_audit_run, bench_audit_full_report);
+criterion_main!(benches);

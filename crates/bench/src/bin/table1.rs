@@ -5,8 +5,8 @@
 //! Run with `cargo run -p df-bench --release --bin table1`.
 
 use df_bench::{print_header, render_comparisons, Comparison};
+use df_core::builder::{Audit, Empirical, SubsetPolicy};
 use df_core::report::{Align, TextTable};
-use df_core::subsets::subset_audit;
 use df_core::JointCounts;
 use df_data::kidney;
 
@@ -87,8 +87,13 @@ fn main() {
         by_gender.prob(0, 0),
     );
 
-    // §5.1's ε values.
-    let audit = subset_audit(&counts, 0.0).expect("subset audit");
+    // §5.1's ε values, via the audit builder.
+    let report = Audit::of(&counts)
+        .estimator(Empirical)
+        .subsets(SubsetPolicy::All)
+        .run()
+        .expect("audit");
+    let audit = report.estimator("eps-EDF").expect("estimator column");
     let eps = |attrs: &[&str]| audit.get(attrs).expect("subset").result.epsilon;
     let full = eps(&["gender", "race"]);
     let comparisons = vec![

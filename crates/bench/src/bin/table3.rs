@@ -6,6 +6,7 @@
 //! Run with `cargo run -p df-bench --release --bin table3`.
 
 use df_core::amplification::BiasAmplification;
+use df_core::builder::{Audit, Smoothed, SubsetPolicy};
 use df_core::report::{Align, TextTable};
 use df_core::JointCounts;
 use df_data::adult::synth;
@@ -40,7 +41,13 @@ fn prediction_epsilon(frame: &DataFrame, predictions: &[f64], alpha: f64) -> f64
         .contingency(&["prediction", "race_m", "gender", "nationality"])
         .expect("contingency");
     let counts = JointCounts::from_table(table, "prediction").expect("joint counts");
-    counts.edf_smoothed(alpha).expect("epsilon").epsilon
+    Audit::of_counts(counts)
+        .estimator(Smoothed { alpha })
+        .subsets(SubsetPolicy::None)
+        .run()
+        .expect("audit")
+        .epsilon
+        .epsilon
 }
 
 fn main() {

@@ -6,11 +6,11 @@
 //! labeled dataset and ε₂ the DF of a classifier trained on it, the
 //! difference quantifies *bias amplification* in the sense of Zhao et al.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// The comparison of a mechanism's ε against a reference (typically the
 /// training or test data's intrinsic ε).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BiasAmplification {
     /// ε of the mechanism under study (e.g. a trained classifier).
     pub epsilon_mechanism: f64,

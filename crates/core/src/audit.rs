@@ -1,19 +1,37 @@
-//! One-call fairness audits.
+//! One-call fairness audits — the legacy interface.
 //!
-//! [`FairnessAudit`] bundles everything the paper's case study computes for a
-//! dataset (and optionally a mechanism evaluated on it): per-subset ε with
-//! and without smoothing, the Theorem 3.2 bound check, baseline metrics, the
-//! privacy-regime interpretation, and bias amplification against a reference.
-//! The result serializes to JSON so experiment tables can be regenerated.
+//! **Deprecated**: [`FairnessAudit::run`] survives as a thin shim over the
+//! composable [`crate::builder::Audit`] so downstream code migrates
+//! gradually. New code should use the builder, which makes the ε-estimation
+//! strategy, the subset policy, bootstrap uncertainty, and the baselines
+//! independently configurable:
+//!
+//! ```
+//! # use df_core::builder::{Audit, Smoothed, Baselines};
+//! # use df_core::JointCounts;
+//! # use df_prob::contingency::{Axis, ContingencyTable};
+//! # let axes = vec![
+//! #     Axis::from_strs("outcome", &["admit", "decline"]).unwrap(),
+//! #     Axis::from_strs("gender", &["A", "B"]).unwrap(),
+//! # ];
+//! # let counts = JointCounts::from_table(
+//! #     ContingencyTable::from_data(axes, vec![8.0, 5.0, 2.0, 5.0]).unwrap(),
+//! #     "outcome").unwrap();
+//! let report = Audit::of(&counts)
+//!     .estimator(Smoothed { alpha: 1.0 })
+//!     .baselines(Baselines::all().positive("admit"))
+//!     .run()
+//!     .unwrap();
+//! ```
 
 use crate::amplification::BiasAmplification;
-use crate::baselines::{demographic_parity_distance, disparate_impact_ratio};
+use crate::builder::{Audit, Baselines, Empirical, Smoothed};
 use crate::edf::JointCounts;
 use crate::epsilon::EpsilonResult;
 use crate::error::Result;
 use crate::privacy::PrivacyRegime;
 use crate::report::{fmt_epsilon, Align, TextTable};
-use crate::subsets::{subset_audit, SubsetAudit};
+use crate::subsets::SubsetAudit;
 use serde::Serialize;
 
 /// Configuration for a fairness audit.
@@ -67,44 +85,53 @@ pub struct FairnessAudit {
 
 impl FairnessAudit {
     /// Runs the audit over joint counts.
+    ///
+    /// Thin compatibility shim over the composable builder; see the
+    /// [module docs](self) for the migration.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use df_core::builder::Audit, e.g. \
+                `Audit::of(&counts).estimator(Smoothed { alpha }).run()`"
+    )]
     pub fn run(counts: &JointCounts, config: &AuditConfig) -> Result<FairnessAudit> {
-        let empirical = subset_audit(counts, 0.0)?;
-        let smoothed = subset_audit(counts, config.alpha)?;
-        let epsilon = smoothed.full_intersection().result.clone();
-        let go = counts.group_outcomes(config.alpha)?;
-        let demographic_parity = demographic_parity_distance(&go);
-        let disparate_impact = match &config.positive_outcome {
-            Some(label) => {
-                let pos = counts
-                    .outcome_labels()
-                    .iter()
-                    .position(|l| l == label)
-                    .ok_or_else(|| {
-                        crate::error::DfError::Invalid(format!("unknown outcome `{label}`"))
-                    })?;
-                Some(disparate_impact_ratio(&go, pos)?)
-            }
-            None => None,
-        };
-        let amplification = config
-            .reference_epsilon
-            .map(|r| BiasAmplification::new(epsilon.epsilon, r));
-        let bound_violations = empirical
-            .verify_bound(1e-9)
-            .into_iter()
-            .map(|s| s.attributes.clone())
-            .collect();
-        let regime = PrivacyRegime::of(epsilon.epsilon);
+        let mut baselines = Baselines::all().with_subgroups(false);
+        if let Some(label) = &config.positive_outcome {
+            baselines = baselines.positive(label.clone());
+        }
+        let mut audit = Audit::of(counts)
+            .estimator(Empirical)
+            .estimator(Smoothed {
+                alpha: config.alpha,
+            })
+            .baselines(baselines);
+        if let Some(reference) = config.reference_epsilon {
+            audit = audit.reference_epsilon(reference);
+        }
+        let report = audit.run()?;
+
+        let [empirical_report, smoothed_report]: &[_; 2] = report
+            .estimators
+            .as_slice()
+            .try_into()
+            .expect("shim configures exactly two estimators");
         Ok(FairnessAudit {
-            n_records: counts.total(),
-            empirical,
-            smoothed,
-            epsilon,
-            regime,
-            demographic_parity,
-            disparate_impact,
-            amplification,
-            bound_violations,
+            n_records: report.total_weight,
+            empirical: SubsetAudit {
+                alpha: 0.0,
+                subsets: empirical_report.subsets.clone(),
+            },
+            smoothed: SubsetAudit {
+                alpha: config.alpha,
+                subsets: smoothed_report.subsets.clone(),
+            },
+            epsilon: report.epsilon,
+            regime: report.regime,
+            demographic_parity: report
+                .demographic_parity
+                .expect("shim always enables demographic parity"),
+            disparate_impact: report.disparate_impact,
+            amplification: report.amplification,
+            bound_violations: report.bound_violations.unwrap_or_default(),
         })
     }
 
@@ -127,6 +154,7 @@ impl FairnessAudit {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use df_prob::contingency::{Axis, ContingencyTable};

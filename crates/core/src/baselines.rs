@@ -15,7 +15,7 @@
 use crate::edf::JointCounts;
 use crate::epsilon::GroupOutcomes;
 use crate::error::{DfError, Result};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Worst total-variation distance between two populated groups' outcome
 /// distributions: `max_{i,j} ½ Σ_y |P(y|sᵢ) − P(y|sⱼ)|`.
@@ -130,7 +130,7 @@ pub fn equalized_odds_gap(groups: &[GroupConfusion]) -> EqualizedOddsGap {
 }
 
 /// One conjunctive subgroup's statistical-parity audit record.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SubgroupViolation {
     /// Description of the subgroup, e.g. `"gender=F, race=Black"`.
     pub subgroup: String,

@@ -12,10 +12,10 @@ use crate::error::{DfError, Result};
 use df_prob::contingency::ContingencyTable;
 use df_prob::rng::Pcg32;
 use df_prob::summary::quantile;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Result of a bootstrap run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BootstrapEpsilon {
     /// The point estimate on the original counts.
     pub point: f64,
@@ -58,6 +58,23 @@ pub fn bootstrap_epsilon(
     mass: f64,
     rng: &mut Pcg32,
 ) -> Result<BootstrapEpsilon> {
+    bootstrap_epsilon_with(counts, replicates, mass, rng, &|jc| {
+        Ok(jc.edf_smoothed(alpha)?.epsilon)
+    })
+}
+
+/// Multinomial bootstrap of ε̂ under a caller-supplied estimator: each
+/// replicate resamples the joint counts and re-runs `estimate`. This is the
+/// engine behind [`bootstrap_epsilon`] (estimate = Eq. 7 at a fixed α) and
+/// the [`crate::builder`] bootstrap stage (estimate = whatever
+/// `EpsilonEstimator` the audit is configured with).
+pub fn bootstrap_epsilon_with(
+    counts: &JointCounts,
+    replicates: usize,
+    mass: f64,
+    rng: &mut Pcg32,
+    estimate: &dyn Fn(&JointCounts) -> Result<f64>,
+) -> Result<BootstrapEpsilon> {
     if replicates < 10 {
         return Err(DfError::Invalid(
             "need at least 10 bootstrap replicates".into(),
@@ -83,7 +100,7 @@ pub fn bootstrap_epsilon(
         cdf.push(acc);
     }
 
-    let point = counts.edf_smoothed(alpha)?.epsilon;
+    let point = estimate(counts)?;
     let mut eps_values = Vec::with_capacity(replicates);
     let mut infinite = 0usize;
     let mut resampled = vec![0.0f64; cells.len()];
@@ -106,7 +123,7 @@ pub fn bootstrap_epsilon(
         }
         let rep_table = ContingencyTable::from_data(table.axes().to_vec(), resampled.clone())?;
         let rep = JointCounts::from_table(rep_table, table.axes()[0].name())?;
-        let e = rep.edf_smoothed(alpha)?.epsilon;
+        let e = estimate(&rep)?;
         if e.is_finite() {
             eps_values.push(e);
         } else {

@@ -1,0 +1,1077 @@
+//! The fluent audit builder: one composable entry point for everything the
+//! paper computes.
+//!
+//! [`Audit`] replaces the rigid `FairnessAudit::run` + free-function
+//! plumbing with a single chain:
+//!
+//! ```
+//! use df_core::builder::{Audit, Baselines, Smoothed};
+//! use df_core::JointCounts;
+//! use df_prob::contingency::{Axis, ContingencyTable};
+//!
+//! // The paper's Table 1 joint counts.
+//! let axes = vec![
+//!     Axis::from_strs("outcome", &["admit", "decline"]).unwrap(),
+//!     Axis::from_strs("gender", &["A", "B"]).unwrap(),
+//!     Axis::from_strs("race", &["1", "2"]).unwrap(),
+//! ];
+//! let data = vec![81.0, 192.0, 234.0, 55.0, 6.0, 71.0, 36.0, 25.0];
+//! let counts = JointCounts::from_table(
+//!     ContingencyTable::from_data(axes, data).unwrap(), "outcome").unwrap();
+//!
+//! let report = Audit::of(&counts)
+//!     .estimator(Smoothed { alpha: 1.0 })
+//!     .baselines(Baselines::all().positive("admit"))
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(report.n_records, Some(700));
+//! assert!(report.epsilon.epsilon > 1.0);
+//! ```
+//!
+//! The key abstraction is [`EpsilonEstimator`]: Eq. 6 ([`Empirical`]),
+//! Eq. 7 ([`Smoothed`]), and the supremum over a posterior Θ class
+//! ([`PosteriorSup`], Definition 3.1 taken seriously in the spirit of
+//! Foulds et al.'s Bayesian treatment) become interchangeable strategies
+//! instead of parallel code paths. Every configured estimator is evaluated
+//! on every subset of the protected attributes dictated by the
+//! [`SubsetPolicy`] — the worst-case subset reporting of Theorems 3.1/3.2 —
+//! and the results land in one serializable [`AuditReport`].
+
+use crate::amplification::BiasAmplification;
+use crate::baselines::{
+    demographic_parity_distance, disparate_impact_ratio, subgroup_fairness_violation,
+    SubgroupViolation,
+};
+use crate::bootstrap::{bootstrap_epsilon_with, BootstrapEpsilon};
+use crate::edf::JointCounts;
+use crate::epsilon::{EpsilonResult, GroupOutcomes};
+use crate::equalized::EqualizedOddsCounts;
+use crate::error::{DfError, Result};
+use crate::mechanism::{estimate_group_outcomes, Mechanism};
+use crate::privacy::PrivacyRegime;
+use crate::report::{fmt_count, fmt_epsilon, Align, TextTable};
+use crate::subsets::SubsetEpsilon;
+use crate::theta::posterior_theta_from_table;
+use df_prob::rng::Pcg32;
+use serde::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------------
+// Estimators.
+// ---------------------------------------------------------------------------
+
+/// A strategy for turning a *raw* group-outcome table (MLE probabilities
+/// with group-total weights, as produced by
+/// [`JointCounts::group_outcomes`]`(0.0)` or a mechanism tally) into an ε
+/// certificate.
+///
+/// The trait is object-safe so audits can hold a heterogeneous list of
+/// strategies; implementations recover per-group counts from the table via
+/// [`GroupOutcomes::implied_counts`] when they need them (smoothing,
+/// posterior sampling).
+pub trait EpsilonEstimator {
+    /// Short display name used in report columns (e.g. `eps-DF(a=1)`).
+    fn name(&self) -> String;
+
+    /// The point probability table this estimator induces — used for the
+    /// baseline metrics (demographic parity, disparate impact) so they are
+    /// measured on the same distribution as ε.
+    fn estimate_table(&self, raw: &GroupOutcomes) -> Result<GroupOutcomes>;
+
+    /// The ε certificate for the raw table.
+    fn estimate(&self, raw: &GroupOutcomes) -> Result<EpsilonResult> {
+        Ok(self.estimate_table(raw)?.epsilon())
+    }
+}
+
+/// Eq. 6: the plug-in (maximum-likelihood) estimator — ε of the raw table.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Empirical;
+
+impl EpsilonEstimator for Empirical {
+    fn name(&self) -> String {
+        "eps-EDF".to_string()
+    }
+
+    fn estimate_table(&self, raw: &GroupOutcomes) -> Result<GroupOutcomes> {
+        Ok(raw.clone())
+    }
+}
+
+/// Eq. 7: the Dirichlet-multinomial posterior predictive
+/// `(N_y + α) / (N + |Y|α)` per group.
+#[derive(Debug, Clone, Copy)]
+pub struct Smoothed {
+    /// Symmetric prior concentration per outcome (the paper uses α = 1).
+    pub alpha: f64,
+}
+
+impl EpsilonEstimator for Smoothed {
+    fn name(&self) -> String {
+        format!("eps-DF(a={})", self.alpha)
+    }
+
+    fn estimate_table(&self, raw: &GroupOutcomes) -> Result<GroupOutcomes> {
+        raw.smoothed(self.alpha)
+    }
+}
+
+/// The supremum of ε over a posterior Θ class (Definition 3.1's
+/// "for all θ ∈ Θ"), with Θ instantiated as `samples` Dirichlet(α)
+/// posterior draws of each populated group's outcome distribution — the
+/// Bayesian instantiation the paper sketches in §3 footnote 2.
+///
+/// Deterministic: the draws are seeded by `seed` (per estimated table), so
+/// the same audit configuration always yields the same certificate.
+#[derive(Debug, Clone, Copy)]
+pub struct PosteriorSup {
+    /// Symmetric Dirichlet prior concentration.
+    pub alpha: f64,
+    /// Number of posterior draws forming Θ.
+    pub samples: usize,
+    /// RNG seed for the draws.
+    pub seed: u64,
+}
+
+impl EpsilonEstimator for PosteriorSup {
+    fn name(&self) -> String {
+        format!("eps-sup(a={},m={})", self.alpha, self.samples)
+    }
+
+    fn estimate_table(&self, raw: &GroupOutcomes) -> Result<GroupOutcomes> {
+        // The posterior-predictive table is the posterior mean — the point
+        // summary consistent with the Θ class below.
+        raw.smoothed(self.alpha)
+    }
+
+    fn estimate(&self, raw: &GroupOutcomes) -> Result<EpsilonResult> {
+        let mut rng = Pcg32::new(self.seed);
+        let theta = posterior_theta_from_table(raw, self.alpha, self.samples, &mut rng)?;
+        theta.epsilon()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration stages.
+// ---------------------------------------------------------------------------
+
+/// Which subsets of the protected attributes to audit (Theorems 3.1/3.2's
+/// intersectionality property).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SubsetPolicy {
+    /// Every nonempty subset — `2^p − 1` tables, the paper's Table 2 layout.
+    /// Enables the Theorem 3.2 bound check.
+    All,
+    /// Subsets of at most the given size, plus the full intersection.
+    UpTo {
+        /// Maximum subset cardinality to audit (besides the full set).
+        size: usize,
+    },
+    /// Only the full intersection.
+    None,
+}
+
+/// Which comparison baselines (§7 of the paper) to compute.
+#[derive(Debug, Clone, Default)]
+pub struct Baselines {
+    demographic_parity: bool,
+    disparate_impact: bool,
+    subgroups: bool,
+    positive: Option<String>,
+}
+
+impl Baselines {
+    /// No baselines.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Every baseline; the ones needing a positive outcome (disparate
+    /// impact, Kearns-style subgroup parity) additionally require
+    /// [`Baselines::positive`].
+    pub fn all() -> Self {
+        Self {
+            demographic_parity: true,
+            disparate_impact: true,
+            subgroups: true,
+            positive: None,
+        }
+    }
+
+    /// Just the demographic-parity (total-variation) distance.
+    pub fn demographic_parity() -> Self {
+        Self {
+            demographic_parity: true,
+            ..Self::default()
+        }
+    }
+
+    /// Names the outcome treated as positive/advantaged.
+    pub fn positive(mut self, label: impl Into<String>) -> Self {
+        self.positive = Some(label.into());
+        self
+    }
+
+    /// Toggles the demographic-parity distance.
+    pub fn with_demographic_parity(mut self, on: bool) -> Self {
+        self.demographic_parity = on;
+        self
+    }
+
+    /// Toggles the disparate-impact ratio.
+    pub fn with_disparate_impact(mut self, on: bool) -> Self {
+        self.disparate_impact = on;
+        self
+    }
+
+    /// Toggles the Kearns-style subgroup parity audit (needs joint counts
+    /// and a positive outcome; the most expensive baseline).
+    pub fn with_subgroups(mut self, on: bool) -> Self {
+        self.subgroups = on;
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The builder.
+// ---------------------------------------------------------------------------
+
+enum Source<'a> {
+    /// Borrowed joint counts: the full subset lattice is available.
+    Counts(&'a JointCounts),
+    /// Owned joint counts (e.g. assembled from a data frame).
+    OwnedCounts(JointCounts),
+    /// A flat raw tally table (e.g. a mechanism estimate): no attribute
+    /// factorization, so subset auditing and bootstrap are unavailable.
+    Table(GroupOutcomes),
+}
+
+/// Fluent audit builder; see the [module docs](self) for an example.
+///
+/// Entry points: [`Audit::of`] (joint counts), [`Audit::of_table`] (a raw
+/// group-outcome table), [`Audit::of_mechanism`] (tally a mechanism over
+/// labeled instances). The facade crate adds `Audit::of_frame` for
+/// data-frame sources. Chain configuration stages, then call
+/// [`Audit::run`].
+pub struct Audit<'a> {
+    source: Source<'a>,
+    estimators: Vec<Box<dyn EpsilonEstimator>>,
+    subsets: Option<SubsetPolicy>,
+    bootstrap: Option<(usize, u64)>,
+    bootstrap_mass: f64,
+    baselines: Baselines,
+    equalized: Option<(EqualizedOddsCounts, f64)>,
+    reference_epsilon: Option<f64>,
+}
+
+impl<'a> Audit<'a> {
+    fn with_source(source: Source<'a>) -> Self {
+        Self {
+            source,
+            estimators: Vec::new(),
+            subsets: None,
+            bootstrap: None,
+            bootstrap_mass: 0.95,
+            baselines: Baselines::none(),
+            equalized: None,
+            reference_epsilon: None,
+        }
+    }
+
+    /// Audits joint counts of `(outcome, protected attributes…)`.
+    pub fn of(counts: &'a JointCounts) -> Self {
+        Self::with_source(Source::Counts(counts))
+    }
+
+    /// Audits owned joint counts (used by frame-level entry points).
+    pub fn of_counts(counts: JointCounts) -> Audit<'static> {
+        Audit::with_source(Source::OwnedCounts(counts))
+    }
+
+    /// Audits a raw group-outcome table directly. Weights are interpreted
+    /// as group tallies by the smoothing/posterior estimators.
+    pub fn of_table(table: GroupOutcomes) -> Audit<'static> {
+        Audit::with_source(Source::Table(table))
+    }
+
+    /// Tallies a mechanism over `(group index, instance)` pairs — the
+    /// Rao–Blackwellized estimate of `P(M(x) = y | s)` — and audits the
+    /// result.
+    pub fn of_mechanism<X, M, I>(
+        mechanism: &M,
+        group_labels: Vec<String>,
+        instances: I,
+    ) -> Result<Audit<'static>>
+    where
+        M: Mechanism<X>,
+        I: IntoIterator<Item = (usize, X)>,
+    {
+        let est = estimate_group_outcomes(mechanism, group_labels, instances, 0.0)?;
+        Ok(Audit::with_source(Source::Table(est.group_outcomes)))
+    }
+
+    /// Adds an ε-estimation strategy; chain multiple calls to compare
+    /// strategies side by side. The **last** one added is the headline
+    /// estimator (its full-intersection ε becomes [`AuditReport::epsilon`]).
+    /// Without any call, the default is [`Empirical`] then
+    /// [`Smoothed`]`{ alpha: 1.0 }`.
+    pub fn estimator(mut self, estimator: impl EpsilonEstimator + 'static) -> Self {
+        self.estimators.push(Box::new(estimator));
+        self
+    }
+
+    /// Adds an already-boxed estimator (for dynamically assembled audits).
+    pub fn boxed_estimator(mut self, estimator: Box<dyn EpsilonEstimator>) -> Self {
+        self.estimators.push(estimator);
+        self
+    }
+
+    /// Sets the subset-audit policy. Defaults to [`SubsetPolicy::All`] for
+    /// counts sources and [`SubsetPolicy::None`] for flat tables (which
+    /// have no attribute factorization to marginalize — requesting anything
+    /// else there is an error at [`Audit::run`]).
+    pub fn subsets(mut self, policy: SubsetPolicy) -> Self {
+        self.subsets = Some(policy);
+        self
+    }
+
+    /// Enables a multinomial bootstrap of the headline estimator's ε:
+    /// `replicates` resamples at a 95 % percentile interval, seeded
+    /// deterministically. Counts sources only.
+    pub fn bootstrap(mut self, replicates: usize, seed: u64) -> Self {
+        self.bootstrap = Some((replicates, seed));
+        self
+    }
+
+    /// Adjusts the bootstrap interval mass (default 0.95).
+    pub fn bootstrap_mass(mut self, mass: f64) -> Self {
+        self.bootstrap_mass = mass;
+        self
+    }
+
+    /// Configures the §7 comparison baselines.
+    pub fn baselines(mut self, baselines: Baselines) -> Self {
+        self.baselines = baselines;
+        self
+    }
+
+    /// Attaches a differential-equalized-odds audit (the §7.1 error-rate
+    /// extension) computed from per-true-label prediction tallies at
+    /// smoothing `alpha`.
+    pub fn equalized_odds(mut self, counts: EqualizedOddsCounts, alpha: f64) -> Self {
+        self.equalized = Some((counts, alpha));
+        self
+    }
+
+    /// Sets a reference ε for bias amplification (§4.1) — e.g. the dataset
+    /// ε when auditing a classifier trained on it.
+    pub fn reference_epsilon(mut self, epsilon: f64) -> Self {
+        self.reference_epsilon = Some(epsilon);
+        self
+    }
+
+    /// Runs every configured stage and assembles the report.
+    pub fn run(self) -> Result<AuditReport> {
+        let Audit {
+            source,
+            estimators: configured_estimators,
+            subsets: subset_policy,
+            bootstrap: bootstrap_cfg,
+            bootstrap_mass,
+            baselines,
+            equalized,
+            reference_epsilon,
+        } = self;
+        let counts: Option<&JointCounts> = match &source {
+            Source::Counts(c) => Some(c),
+            Source::OwnedCounts(c) => Some(c),
+            Source::Table(_) => None,
+        };
+        let raw_full = match (&source, counts) {
+            (_, Some(c)) => c.group_outcomes(0.0)?,
+            (Source::Table(t), None) => t.clone(),
+            _ => unreachable!("counts is Some exactly for counts sources"),
+        };
+        let estimators: Vec<Box<dyn EpsilonEstimator>> = if configured_estimators.is_empty() {
+            vec![Box::new(Empirical), Box::new(Smoothed { alpha: 1.0 })]
+        } else {
+            configured_estimators
+        };
+
+        // Subset lattice (size-then-declaration order; full set last).
+        let policy = match (subset_policy, counts.is_some()) {
+            (Some(p), true) => p,
+            (None, true) => SubsetPolicy::All,
+            (Some(SubsetPolicy::None) | None, false) => SubsetPolicy::None,
+            (Some(_), false) => {
+                return Err(DfError::Invalid(
+                    "subset auditing needs a joint-counts source; flat tables have no \
+                     attribute factorization to marginalize"
+                        .into(),
+                ));
+            }
+        };
+        let attribute_names: Vec<String> = counts
+            .map(|c| c.attribute_names().iter().map(|s| s.to_string()).collect())
+            .unwrap_or_default();
+        let mut subset_attrs: Vec<Vec<String>> = Vec::new();
+        if counts.is_some() {
+            let p = attribute_names.len();
+            let limit = match policy {
+                SubsetPolicy::All => p,
+                SubsetPolicy::UpTo { size } => size.min(p),
+                SubsetPolicy::None => 0,
+            };
+            let mut masks: Vec<u32> = (1..(1u32 << p))
+                .filter(|m| {
+                    let ones = m.count_ones() as usize;
+                    ones <= limit || ones == p
+                })
+                .collect();
+            masks.sort_by_key(|m| (m.count_ones(), *m));
+            for mask in masks {
+                subset_attrs.push(
+                    (0..p)
+                        .filter(|i| mask & (1 << i) != 0)
+                        .map(|i| attribute_names[i].clone())
+                        .collect(),
+                );
+            }
+            debug_assert!(subset_attrs.last().is_none_or(|s| s.len() == p));
+        }
+        // Raw tables per subset (marginalized once, shared by every
+        // estimator). The last entry is always the full intersection.
+        let mut raw_subsets: Vec<GroupOutcomes> = Vec::with_capacity(subset_attrs.len());
+        if let Some(c) = counts {
+            for attrs in &subset_attrs {
+                let names: Vec<&str> = attrs.iter().map(String::as_str).collect();
+                if names.len() == attribute_names.len() {
+                    raw_subsets.push(raw_full.clone());
+                } else {
+                    raw_subsets.push(c.marginal_to(&names)?.group_outcomes(0.0)?);
+                }
+            }
+        }
+
+        let mut estimator_reports = Vec::with_capacity(estimators.len());
+        for est in &estimators {
+            let result = est.estimate(&raw_full)?;
+            let mut subsets = Vec::with_capacity(subset_attrs.len());
+            for (attrs, raw) in subset_attrs.iter().zip(&raw_subsets) {
+                let sub_result = if attrs.len() == attribute_names.len() {
+                    result.clone()
+                } else {
+                    est.estimate(raw)?
+                };
+                subsets.push(SubsetEpsilon {
+                    attributes: attrs.clone(),
+                    result: sub_result,
+                });
+            }
+            estimator_reports.push(EstimatorReport {
+                name: est.name(),
+                result,
+                subsets,
+            });
+        }
+
+        let headline_est = estimators.last().expect("at least one estimator");
+        let headline = estimator_reports.last().expect("nonempty").clone();
+        let epsilon = headline.result.clone();
+        let regime = PrivacyRegime::of(epsilon.epsilon);
+
+        // Theorem 3.2 bound check on the *empirical* per-subset values
+        // (exact marginalization ⇒ must be empty; violations indicate
+        // upstream data corruption). Performed whenever the audited lattice
+        // is complete — `All`, or `UpTo` with a size covering every subset.
+        let lattice_complete = !attribute_names.is_empty()
+            && subset_attrs.len() == (1usize << attribute_names.len()) - 1;
+        let bound_violations = if lattice_complete {
+            // Reuse the Empirical estimator's results when configured;
+            // otherwise compute the plug-in ε per subset once.
+            let empirical: Vec<f64> = match estimator_reports.iter().find(|e| e.name == "eps-EDF") {
+                Some(e) => e.subsets.iter().map(|s| s.result.epsilon).collect(),
+                None => raw_subsets
+                    .iter()
+                    .map(|raw| raw.epsilon().epsilon)
+                    .collect(),
+            };
+            let full_eps = *empirical.last().expect("full set");
+            let bound = 2.0 * full_eps + 1e-9;
+            Some(
+                subset_attrs[..subset_attrs.len() - 1]
+                    .iter()
+                    .zip(&empirical)
+                    .filter(|(_, eps)| **eps > bound)
+                    .map(|(attrs, _)| attrs.clone())
+                    .collect::<Vec<_>>(),
+            )
+        } else {
+            None
+        };
+
+        // Baselines on the headline estimator's point table, so parity and
+        // ε describe the same distribution.
+        let baseline_table = if baselines.demographic_parity || baselines.disparate_impact {
+            Some(headline_est.estimate_table(&raw_full)?)
+        } else {
+            None
+        };
+        let demographic_parity = baseline_table
+            .as_ref()
+            .filter(|_| baselines.demographic_parity)
+            .map(demographic_parity_distance);
+        let positive_index = |t: &GroupOutcomes, label: &str| -> Result<usize> {
+            t.outcome_labels()
+                .iter()
+                .position(|l| l == label)
+                .ok_or_else(|| DfError::Invalid(format!("unknown outcome `{label}`")))
+        };
+        let disparate_impact = match (&baseline_table, &baselines.positive) {
+            (Some(t), Some(label)) if baselines.disparate_impact => {
+                Some(disparate_impact_ratio(t, positive_index(t, label)?)?)
+            }
+            _ => None,
+        };
+        let subgroups = match (counts, &baselines.positive) {
+            (Some(c), Some(label)) if baselines.subgroups => {
+                Some(subgroup_fairness_violation(c, label)?)
+            }
+            _ => None,
+        };
+
+        let equalized_odds = match &equalized {
+            Some((eo, alpha)) => Some(EqualizedOddsReport {
+                alpha: *alpha,
+                per_label: eo.per_label_epsilon(*alpha)?,
+                overall: eo.epsilon(*alpha)?,
+            }),
+            None => None,
+        };
+
+        let amplification = reference_epsilon.map(|r| BiasAmplification::new(epsilon.epsilon, r));
+
+        let bootstrap = match (bootstrap_cfg, counts) {
+            (Some((replicates, seed)), Some(c)) => {
+                let mut rng = Pcg32::new(seed);
+                Some(bootstrap_epsilon_with(
+                    c,
+                    replicates,
+                    bootstrap_mass,
+                    &mut rng,
+                    &|jc| Ok(headline_est.estimate(&jc.group_outcomes(0.0)?)?.epsilon),
+                )?)
+            }
+            (Some(_), None) => {
+                return Err(DfError::Invalid(
+                    "bootstrap needs a joint-counts source to resample".into(),
+                ));
+            }
+            (None, _) => None,
+        };
+
+        let total_weight = raw_full.weights().iter().sum::<f64>();
+        let n_records = (total_weight.fract() == 0.0 && total_weight <= u64::MAX as f64)
+            .then_some(total_weight as u64);
+
+        Ok(AuditReport {
+            total_weight,
+            n_records,
+            attributes: attribute_names,
+            outcomes: raw_full.outcome_labels().to_vec(),
+            estimators: estimator_reports,
+            epsilon,
+            headline: headline.name,
+            regime,
+            bound_violations,
+            demographic_parity,
+            disparate_impact,
+            subgroups,
+            equalized_odds,
+            amplification,
+            bootstrap,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The report.
+// ---------------------------------------------------------------------------
+
+/// One estimator's results: the full-intersection ε and the per-subset
+/// table (empty when subset auditing is disabled; otherwise ordered by
+/// subset size with the full intersection last).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EstimatorReport {
+    /// Display name of the estimator.
+    pub name: String,
+    /// ε of the full intersection.
+    pub result: EpsilonResult,
+    /// Per-subset ε values under this estimator.
+    pub subsets: Vec<SubsetEpsilon>,
+}
+
+impl EstimatorReport {
+    /// Looks up a subset by attribute names (order-insensitive).
+    pub fn get(&self, attrs: &[&str]) -> Option<&SubsetEpsilon> {
+        self.subsets.iter().find(|s| s.matches(attrs))
+    }
+}
+
+/// The differential-equalized-odds stage of a report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EqualizedOddsReport {
+    /// Smoothing used for the conditional tables.
+    pub alpha: f64,
+    /// Conditional ε per true label.
+    pub per_label: Vec<(String, EpsilonResult)>,
+    /// The DEO ε: the worst conditional ε.
+    pub overall: EpsilonResult,
+}
+
+/// The unified audit result: everything the configured stages computed, in
+/// one JSON-serializable value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditReport {
+    /// Total record weight audited (fractional for weighted tallies).
+    pub total_weight: f64,
+    /// Exact record count when the total weight is integral.
+    pub n_records: Option<u64>,
+    /// Protected attribute names (empty for flat-table sources).
+    pub attributes: Vec<String>,
+    /// Outcome labels.
+    pub outcomes: Vec<String>,
+    /// Per-estimator results, in configuration order.
+    pub estimators: Vec<EstimatorReport>,
+    /// The headline ε: the last estimator's full-intersection result.
+    pub epsilon: EpsilonResult,
+    /// Name of the headline estimator.
+    pub headline: String,
+    /// Privacy-regime interpretation of the headline ε (§3.3).
+    pub regime: PrivacyRegime,
+    /// Subsets violating the Theorem 3.2 `2ε` bound (always empty for
+    /// correctly marginalized counts). `None` when the audited lattice was
+    /// incomplete (a flat-table source, [`SubsetPolicy::None`], or an
+    /// `UpTo` size excluding some subsets), so the check could not run.
+    pub bound_violations: Option<Vec<Vec<String>>>,
+    /// Worst total-variation distance between populated groups.
+    pub demographic_parity: Option<f64>,
+    /// Disparate-impact ratio for the configured positive outcome.
+    pub disparate_impact: Option<f64>,
+    /// Kearns-style subgroup parity violations, worst first.
+    pub subgroups: Option<Vec<SubgroupViolation>>,
+    /// Differential equalized odds (§7.1 extension).
+    pub equalized_odds: Option<EqualizedOddsReport>,
+    /// Bias amplification vs. the configured reference ε.
+    pub amplification: Option<BiasAmplification>,
+    /// Bootstrap CI for the headline ε.
+    pub bootstrap: Option<BootstrapEpsilon>,
+}
+
+impl AuditReport {
+    /// The per-subset comparison table in the layout of the paper's
+    /// Table 2: one row per audited subset, one ε column per estimator.
+    /// Counts are rendered exactly (integers stay integers).
+    pub fn render_subset_table(&self) -> String {
+        self.subset_table().render()
+    }
+
+    /// Markdown rendering of [`AuditReport::render_subset_table`].
+    pub fn render_subset_table_markdown(&self) -> String {
+        self.subset_table().render_markdown()
+    }
+
+    fn subset_table(&self) -> TextTable {
+        let mut headers: Vec<String> = vec!["protected attributes".to_string()];
+        headers.extend(self.estimators.iter().map(|e| e.name.clone()));
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut aligns = vec![Align::Left];
+        aligns.extend(std::iter::repeat_n(Align::Right, self.estimators.len()));
+        let mut t = TextTable::new(&header_refs).align(&aligns);
+        let n_rows = self.estimators.first().map_or(0, |e| e.subsets.len());
+        if n_rows == 0 {
+            // No subset lattice: a single full-intersection row.
+            let mut row = vec![if self.attributes.is_empty() {
+                "(all groups)".to_string()
+            } else {
+                self.attributes.join(", ")
+            }];
+            row.extend(
+                self.estimators
+                    .iter()
+                    .map(|e| fmt_epsilon(e.result.epsilon)),
+            );
+            t.row(&row);
+            return t;
+        }
+        for i in 0..n_rows {
+            let mut row = vec![self.estimators[0].subsets[i].attributes.join(", ")];
+            row.extend(
+                self.estimators
+                    .iter()
+                    .map(|e| fmt_epsilon(e.subsets[i].result.epsilon)),
+            );
+            t.row(&row);
+        }
+        t
+    }
+
+    /// A one-paragraph plain-text summary: record count (exact), headline
+    /// ε with regime and ratio bound, witness, and any attached stages.
+    pub fn render_summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "records audited: {}",
+            match self.n_records {
+                Some(n) => n.to_string(),
+                None => fmt_count(self.total_weight),
+            }
+        );
+        let _ = writeln!(
+            out,
+            "headline {} = {} ({:?}; outcome-ratio bound e^eps = {:.2}x)",
+            self.headline,
+            fmt_epsilon(self.epsilon.epsilon),
+            self.regime,
+            self.epsilon.probability_ratio_bound()
+        );
+        if let Some(w) = &self.epsilon.witness {
+            let _ = writeln!(
+                out,
+                "worst pair: `{}` gets `{}` at rate {:.4}, `{}` at rate {:.4}",
+                w.group_hi, w.outcome, w.prob_hi, w.group_lo, w.prob_lo
+            );
+        }
+        if let Some(v) = &self.bound_violations {
+            let _ = writeln!(
+                out,
+                "Theorem 3.2 bound: {}",
+                if v.is_empty() {
+                    "holds for every subset".to_string()
+                } else {
+                    format!("VIOLATED by {} subsets", v.len())
+                }
+            );
+        }
+        if let Some(dp) = self.demographic_parity {
+            let _ = writeln!(out, "demographic-parity distance: {dp:.4}");
+        }
+        if let Some(di) = self.disparate_impact {
+            let _ = writeln!(
+                out,
+                "disparate-impact ratio: {di:.4} (80% rule {})",
+                if di >= 0.8 { "passes" } else { "fails" }
+            );
+        }
+        if let Some(eo) = &self.equalized_odds {
+            let _ = writeln!(
+                out,
+                "differential equalized odds (a={}): eps = {}",
+                eo.alpha,
+                fmt_epsilon(eo.overall.epsilon)
+            );
+        }
+        if let Some(amp) = &self.amplification {
+            let _ = writeln!(
+                out,
+                "bias amplification vs reference {:.4}: delta = {:+.4} (utility factor {:.2}x)",
+                amp.epsilon_reference,
+                amp.delta(),
+                amp.utility_disparity_factor()
+            );
+        }
+        if let Some(b) = &self.bootstrap {
+            let _ = writeln!(
+                out,
+                "bootstrap ({} replicates): {:.0}% CI [{}, {}], {} infinite",
+                b.replicates.len(),
+                b.mass * 100.0,
+                fmt_epsilon(b.interval.0),
+                fmt_epsilon(b.interval.1),
+                b.infinite_replicates
+            );
+        }
+        out
+    }
+
+    /// The report for one estimator by display name.
+    pub fn estimator(&self, name: &str) -> Option<&EstimatorReport> {
+        self.estimators.iter().find(|e| e.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::FnMechanism;
+    use df_prob::contingency::{Axis, ContingencyTable};
+    use df_prob::numerics::approx_eq;
+
+    fn table1() -> JointCounts {
+        let axes = vec![
+            Axis::from_strs("outcome", &["admit", "decline"]).unwrap(),
+            Axis::from_strs("gender", &["A", "B"]).unwrap(),
+            Axis::from_strs("race", &["1", "2"]).unwrap(),
+        ];
+        let data = vec![81.0, 192.0, 234.0, 55.0, 6.0, 71.0, 36.0, 25.0];
+        JointCounts::from_table(ContingencyTable::from_data(axes, data).unwrap(), "outcome")
+            .unwrap()
+    }
+
+    #[test]
+    fn default_estimators_reproduce_paper_table1() {
+        let report = Audit::of(&table1()).run().unwrap();
+        assert_eq!(report.n_records, Some(700));
+        assert_eq!(report.total_weight, 700.0);
+        assert_eq!(report.attributes, vec!["gender", "race"]);
+        // Empirical full intersection: the paper's 1.511.
+        let emp = report.estimator("eps-EDF").unwrap();
+        assert!(approx_eq(emp.result.epsilon, 1.511, 1e-3, 0.0));
+        assert!(approx_eq(
+            emp.get(&["gender"]).unwrap().result.epsilon,
+            0.2329,
+            1e-3,
+            0.0
+        ));
+        assert!(approx_eq(
+            emp.get(&["race"]).unwrap().result.epsilon,
+            0.8667,
+            1e-3,
+            0.0
+        ));
+        // Headline defaults to smoothed at alpha = 1.
+        assert_eq!(report.headline, "eps-DF(a=1)");
+        assert_eq!(report.regime, PrivacyRegime::Moderate);
+        assert_eq!(report.bound_violations, Some(vec![]));
+    }
+
+    #[test]
+    fn smoothed_estimator_matches_edf_smoothed_path() {
+        let counts = table1();
+        let report = Audit::of(&counts)
+            .estimator(Smoothed { alpha: 1.0 })
+            .run()
+            .unwrap();
+        let direct = counts.edf_smoothed(1.0).unwrap();
+        assert!(approx_eq(
+            report.epsilon.epsilon,
+            direct.epsilon,
+            1e-12,
+            1e-12
+        ));
+        // Only one estimator configured → one column.
+        assert_eq!(report.estimators.len(), 1);
+        assert_eq!(report.estimators[0].subsets.len(), 3);
+    }
+
+    #[test]
+    fn posterior_sup_dominates_point_estimate_and_is_deterministic() {
+        let counts = table1();
+        let run = |seed| {
+            Audit::of(&counts)
+                .estimator(PosteriorSup {
+                    alpha: 1.0,
+                    samples: 100,
+                    seed,
+                })
+                .subsets(SubsetPolicy::None)
+                .run()
+                .unwrap()
+                .epsilon
+                .epsilon
+        };
+        let point = counts.edf().unwrap().epsilon;
+        let sup = run(11);
+        assert!(sup > point, "sup {sup} should dominate point {point}");
+        assert_eq!(run(11), sup, "same seed, same certificate");
+        assert_ne!(run(12), sup, "different seed, different draws");
+    }
+
+    #[test]
+    fn subset_policy_controls_the_lattice() {
+        let counts = table1();
+        let none = Audit::of(&counts)
+            .subsets(SubsetPolicy::None)
+            .run()
+            .unwrap();
+        // Only the full intersection is audited; no bound check possible.
+        let lens: Vec<usize> = none.estimators[0]
+            .subsets
+            .iter()
+            .map(|s| s.attributes.len())
+            .collect();
+        assert_eq!(lens, vec![2]);
+        assert!(none.bound_violations.is_none());
+
+        let up_to = Audit::of(&counts)
+            .subsets(SubsetPolicy::UpTo { size: 1 })
+            .run()
+            .unwrap();
+        let subsets: Vec<usize> = up_to.estimators[0]
+            .subsets
+            .iter()
+            .map(|s| s.attributes.len())
+            .collect();
+        // Singletons plus the full intersection, full set last. With two
+        // attributes that happens to be the complete lattice, so the
+        // Theorem 3.2 check runs even under `UpTo`.
+        assert_eq!(subsets, vec![1, 1, 2]);
+        assert_eq!(up_to.bound_violations, Some(vec![]));
+    }
+
+    #[test]
+    fn baselines_and_amplification_flow_through() {
+        let report = Audit::of(&table1())
+            .baselines(Baselines::all().positive("admit"))
+            .reference_epsilon(1.0)
+            .run()
+            .unwrap();
+        assert!(report.demographic_parity.unwrap() > 0.0);
+        let di = report.disparate_impact.unwrap();
+        assert!(di > 0.0 && di < 1.0);
+        let subgroups = report.subgroups.unwrap();
+        assert!(!subgroups.is_empty());
+        assert!(report.amplification.unwrap().amplifies());
+    }
+
+    #[test]
+    fn unknown_positive_outcome_errors() {
+        let err = Audit::of(&table1())
+            .baselines(Baselines::all().positive("approve"))
+            .run();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn bootstrap_uses_the_headline_estimator() {
+        let report = Audit::of(&table1())
+            .estimator(Smoothed { alpha: 1.0 })
+            .subsets(SubsetPolicy::None)
+            .bootstrap(50, 9)
+            .run()
+            .unwrap();
+        let boot = report.bootstrap.unwrap();
+        assert_eq!(boot.replicates.len(), 50);
+        assert!(approx_eq(boot.point, report.epsilon.epsilon, 1e-12, 1e-12));
+        assert!(boot.interval.0 <= boot.interval.1);
+    }
+
+    #[test]
+    fn mechanism_source_audits_without_subsets() {
+        let mech = FnMechanism::new(vec!["no".into(), "yes".into()], |score: &f64| {
+            usize::from(*score >= 0.5)
+        });
+        let instances = vec![(0usize, 0.9), (0, 0.8), (0, 0.1), (1, 0.2), (1, 0.1)];
+        let report = Audit::of_mechanism(&mech, vec!["a".into(), "b".into()], instances)
+            .unwrap()
+            .estimator(Smoothed { alpha: 1.0 })
+            .run()
+            .unwrap();
+        assert_eq!(report.n_records, Some(5));
+        assert!(report.attributes.is_empty());
+        assert!(report.epsilon.is_finite());
+        // Asking for a subset lattice on a flat table is an error.
+        let mech = FnMechanism::new(vec!["no".into(), "yes".into()], |_: &f64| 0);
+        let err = Audit::of_mechanism(&mech, vec!["a".into(), "b".into()], vec![(0usize, 1.0)])
+            .unwrap()
+            .subsets(SubsetPolicy::All)
+            .run();
+        assert!(err.is_err());
+        // Bootstrap needs counts too.
+        let mech = FnMechanism::new(vec!["no".into(), "yes".into()], |_: &f64| 0);
+        let err = Audit::of_mechanism(&mech, vec!["a".into(), "b".into()], vec![(0usize, 1.0)])
+            .unwrap()
+            .bootstrap(50, 1)
+            .run();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn equalized_odds_stage_reports_conditionals() {
+        let eo = EqualizedOddsCounts::from_records(
+            vec!["neg".into(), "pos".into()],
+            vec!["p0".into(), "p1".into()],
+            vec!["a".into(), "b".into()],
+            vec![
+                (0usize, 0usize, 0usize),
+                (0, 0, 1),
+                (0, 1, 1),
+                (1, 1, 0),
+                (1, 1, 1),
+                (1, 0, 0),
+            ],
+        )
+        .unwrap();
+        let report = Audit::of(&table1())
+            .subsets(SubsetPolicy::None)
+            .equalized_odds(eo, 1.0)
+            .run()
+            .unwrap();
+        let deo = report.equalized_odds.unwrap();
+        assert_eq!(deo.per_label.len(), 2);
+        assert!(deo.overall.epsilon >= deo.per_label[0].1.epsilon.min(deo.per_label[1].1.epsilon));
+    }
+
+    #[test]
+    fn render_subset_table_has_estimator_columns_and_exact_counts() {
+        let report = Audit::of(&table1()).run().unwrap();
+        let text = report.render_subset_table();
+        assert!(text.contains("eps-EDF"));
+        assert!(text.contains("eps-DF(a=1)"));
+        assert!(text.contains("gender, race"));
+        assert!(text.contains("1.511"));
+        // 3 subsets + header + separator.
+        assert_eq!(text.lines().count(), 5);
+        let md = report.render_subset_table_markdown();
+        assert!(md.contains("| protected attributes |"));
+        let summary = report.render_summary();
+        assert!(summary.contains("records audited: 700"), "{summary}");
+        assert!(!summary.contains("700.0"), "count display must be exact");
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = Audit::of(&table1())
+            .baselines(Baselines::all().positive("admit"))
+            .bootstrap(25, 3)
+            .reference_epsilon(1.0)
+            .run()
+            .unwrap();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: AuditReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn fractional_weights_have_no_integer_record_count() {
+        let axes = vec![
+            Axis::from_strs("y", &["0", "1"]).unwrap(),
+            Axis::from_strs("g", &["a", "b"]).unwrap(),
+        ];
+        let data = vec![1.5, 2.0, 2.5, 3.0];
+        let counts =
+            JointCounts::from_table(ContingencyTable::from_data(axes, data).unwrap(), "y").unwrap();
+        let report = Audit::of(&counts).run().unwrap();
+        assert_eq!(report.total_weight, 9.0);
+        // 9.0 is integral, so it still gets an exact count…
+        assert_eq!(report.n_records, Some(9));
+        let data = vec![1.25, 2.0, 2.5, 3.0];
+        let counts = JointCounts::from_table(
+            ContingencyTable::from_data(
+                vec![
+                    Axis::from_strs("y", &["0", "1"]).unwrap(),
+                    Axis::from_strs("g", &["a", "b"]).unwrap(),
+                ],
+                data,
+            )
+            .unwrap(),
+            "y",
+        )
+        .unwrap();
+        let report = Audit::of(&counts).run().unwrap();
+        // …while a genuinely fractional total does not.
+        assert_eq!(report.n_records, None);
+        assert_eq!(report.total_weight, 8.75);
+    }
+}

@@ -12,10 +12,10 @@
 
 use crate::error::{DfError, Result};
 use df_prob::numerics::log_ratio;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Where the maximal log-ratio was attained: the witness pair.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EpsilonWitness {
     /// Outcome label achieving the maximum.
     pub outcome: String,
@@ -35,7 +35,7 @@ pub struct EpsilonWitness {
 /// positive in general, and `f64::INFINITY` when some group has zero
 /// probability of an outcome another group can receive (the ratio in
 /// Definition 3.1 is then unbounded).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EpsilonResult {
     /// The tightest ε satisfying Definition 3.1.
     pub epsilon: f64,
@@ -272,6 +272,46 @@ impl GroupOutcomes {
             }
         }
         Ok(out)
+    }
+
+    /// The per-group outcome *counts* implied by this table, recovered as
+    /// `prob × weight`. Exact when the table came from raw tallies (where
+    /// `weight` is the group total and `prob` the MLE); meaningless for
+    /// already-smoothed tables.
+    pub fn implied_counts(&self, group: usize) -> Vec<f64> {
+        (0..self.num_outcomes())
+            .map(|y| self.prob(group, y) * self.weights[group])
+            .collect()
+    }
+
+    /// The Eq. 7 Dirichlet-smoothed version of this table: per populated
+    /// group, the posterior predictive `(N_y + α) / (N + |Y|α)` over the
+    /// implied counts. `alpha = 0` returns a clone (Eq. 6). Zero-weight
+    /// groups keep zero weight, so unobserved intersections stay excluded
+    /// from ε exactly as [`Self::epsilon`] prescribes.
+    pub fn smoothed(&self, alpha: f64) -> Result<GroupOutcomes> {
+        if alpha < 0.0 || !alpha.is_finite() {
+            return Err(DfError::Invalid(format!(
+                "smoothing alpha must be finite and non-negative, got {alpha}"
+            )));
+        }
+        if alpha == 0.0 {
+            return Ok(self.clone());
+        }
+        let n_outcomes = self.num_outcomes();
+        let mut probs = vec![0.0; self.num_groups() * n_outcomes];
+        for g in 0..self.num_groups() {
+            let counts = self.implied_counts(g);
+            if let Some(p) = df_prob::estimate::dirichlet_posterior_predictive(&counts, alpha)? {
+                probs[g * n_outcomes..(g + 1) * n_outcomes].copy_from_slice(&p);
+            }
+        }
+        GroupOutcomes::new(
+            self.outcome_labels.clone(),
+            self.group_labels.clone(),
+            probs,
+            self.weights.clone(),
+        )
     }
 
     /// Expected utility `E[u(y) | s]` per group for a caller-supplied utility

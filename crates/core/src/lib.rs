@@ -34,8 +34,44 @@
 //! - [`baselines`]: the fairness definitions §7 compares against
 //!   (demographic parity, disparate impact, equalized odds, subgroup
 //!   fairness).
-//! - [`audit`]: one-call fairness audits producing serializable reports.
+//! - [`builder`]: the fluent [`builder::Audit`] API — composable
+//!   ε-estimation strategies behind one entry point, producing a unified
+//!   serializable [`builder::AuditReport`].
+//! - [`audit`]: the deprecated one-call audit interface (a shim over the
+//!   builder).
 //! - [`report`]: plain-text / markdown table rendering.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use df_core::builder::{Audit, Baselines, Empirical, Smoothed};
+//! use df_core::JointCounts;
+//! use df_prob::contingency::Axis;
+//!
+//! let counts = JointCounts::from_records(
+//!     Axis::from_strs("outcome", &["deny", "approve"]).unwrap(),
+//!     vec![Axis::from_strs("gender", &["F", "M"]).unwrap()],
+//!     vec![
+//!         ("approve", vec!["F"]),
+//!         ("deny", vec!["F"]),
+//!         ("approve", vec!["M"]),
+//!         ("approve", vec!["M"]),
+//!     ],
+//! )
+//! .unwrap();
+//!
+//! // Eq. 6 and Eq. 7 side by side, every subset, bootstrap CI, baselines.
+//! let report = Audit::of(&counts)
+//!     .estimator(Empirical)
+//!     .estimator(Smoothed { alpha: 1.0 })
+//!     .bootstrap(50, 7)
+//!     .baselines(Baselines::all().positive("approve"))
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(report.n_records, Some(4));
+//! assert!(report.epsilon.is_finite());
+//! println!("{}", report.render_subset_table());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,6 +81,7 @@ pub mod attributes;
 pub mod audit;
 pub mod baselines;
 pub mod bootstrap;
+pub mod builder;
 pub mod data_fairness;
 pub mod edf;
 pub mod epsilon;
@@ -57,6 +94,7 @@ pub mod subsets;
 pub mod theta;
 
 pub use attributes::{ProtectedAttribute, ProtectedSpace};
+pub use builder::{Audit, AuditReport, EpsilonEstimator};
 pub use edf::JointCounts;
 pub use epsilon::{EpsilonResult, EpsilonWitness, GroupOutcomes};
 pub use error::{DfError, Result};

@@ -17,7 +17,7 @@
 use crate::epsilon::GroupOutcomes;
 use crate::error::{DfError, Result};
 use df_prob::numerics::log_ratio;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// ε of the classical randomized-response survey mechanism: `ln 3`.
 pub const RANDOMIZED_RESPONSE_EPSILON: f64 = 1.098_612_288_668_109_8;
@@ -25,7 +25,7 @@ pub const RANDOMIZED_RESPONSE_EPSILON: f64 = 1.098_612_288_668_109_8;
 /// Qualitative reading of an ε value, following the conventions the paper
 /// quotes from the differential-privacy literature (§3.3): guarantees are
 /// strong below ε ≈ 1 and "almost meaningless" by ε ≈ 20.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PrivacyRegime {
     /// ε ≤ 1: the high-privacy / strong-fairness regime.
     High,

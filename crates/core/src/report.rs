@@ -142,6 +142,17 @@ pub fn fmt_epsilon(eps: f64) -> String {
     }
 }
 
+/// Formats a record count/weight without losing exactness: integral totals
+/// render as integers (`700`, not `700.0` or a rounded float), fractional
+/// weights keep their decimals.
+pub fn fmt_count(total: f64) -> String {
+    if total.fract() == 0.0 && total.abs() < 9.01e15 {
+        format!("{total:.0}")
+    } else {
+        format!("{total}")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

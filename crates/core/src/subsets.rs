@@ -22,15 +22,25 @@
 use crate::edf::JointCounts;
 use crate::epsilon::EpsilonResult;
 use crate::error::Result;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// ε of one subset of the protected attributes.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SubsetEpsilon {
     /// Attribute names in the subset, in declaration order.
     pub attributes: Vec<String>,
     /// The measured ε for this subset.
     pub result: EpsilonResult,
+}
+
+impl SubsetEpsilon {
+    /// True when this entry covers exactly the named attributes
+    /// (order-insensitive) — the lookup predicate shared by
+    /// [`SubsetAudit::get`] and the builder's `EstimatorReport::get`.
+    pub fn matches(&self, attrs: &[&str]) -> bool {
+        self.attributes.len() == attrs.len()
+            && attrs.iter().all(|a| self.attributes.iter().any(|b| b == a))
+    }
 }
 
 /// Per-subset ε for every nonempty subset of the protected attributes.
@@ -53,10 +63,7 @@ impl SubsetAudit {
 
     /// Looks up a subset by attribute names (order-insensitive).
     pub fn get(&self, attrs: &[&str]) -> Option<&SubsetEpsilon> {
-        self.subsets.iter().find(|s| {
-            s.attributes.len() == attrs.len()
-                && attrs.iter().all(|a| s.attributes.iter().any(|b| b == a))
-        })
+        self.subsets.iter().find(|s| s.matches(attrs))
     }
 
     /// Checks Theorem 3.2: every proper subset's ε is at most `2ε_full`

@@ -93,23 +93,30 @@ pub fn posterior_theta(
     n_samples: usize,
     rng: &mut Pcg32,
 ) -> Result<ThetaClass> {
+    // The point estimate gives us labels/weights; raw counts come from the
+    // unsmoothed group outcomes scaled by weights.
+    posterior_theta_from_table(&counts.group_outcomes(0.0)?, alpha, n_samples, rng)
+}
+
+/// Builds a Θ class of posterior draws directly from a raw (unsmoothed)
+/// group-outcome table, recovering per-group counts as `prob × weight` —
+/// the table-level twin of [`posterior_theta`] used by the
+/// [`crate::builder`] estimators, which must work on subset tables and
+/// mechanism tallies alike.
+pub fn posterior_theta_from_table(
+    base: &GroupOutcomes,
+    alpha: f64,
+    n_samples: usize,
+    rng: &mut Pcg32,
+) -> Result<ThetaClass> {
     if n_samples == 0 {
         return Err(DfError::Invalid("n_samples must be positive".into()));
     }
-    // The point estimate gives us labels/weights; raw counts come from the
-    // unsmoothed group outcomes scaled by weights.
-    let base = counts.group_outcomes(0.0)?;
     let n_groups = base.num_groups();
     let n_outcomes = base.num_outcomes();
 
     // Recover per-group counts: prob * weight.
-    let group_counts: Vec<Vec<f64>> = (0..n_groups)
-        .map(|g| {
-            (0..n_outcomes)
-                .map(|y| base.prob(g, y) * base.weights()[g])
-                .collect()
-        })
-        .collect();
+    let group_counts: Vec<Vec<f64>> = (0..n_groups).map(|g| base.implied_counts(g)).collect();
 
     let posteriors: Vec<Option<DirichletPosterior>> = group_counts
         .iter()

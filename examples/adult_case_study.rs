@@ -1,10 +1,10 @@
 //! The paper's §6 case study, end to end: audit the (synthetic) Adult
 //! census data, train a classifier, measure its differential fairness and
-//! bias amplification, and inspect the subgroup-fairness baseline.
+//! bias amplification, and inspect the subgroup-fairness baseline — wired
+//! through the `Audit` builder.
 //!
 //! Run with `cargo run --release --example adult_case_study`.
 
-use differential_fairness::core::baselines::subgroup_fairness_violation;
 use differential_fairness::learn::pipeline::{run_feature_selection, ADULT_BASE_FEATURES};
 use differential_fairness::prelude::*;
 
@@ -27,29 +27,21 @@ fn main() {
     );
 
     // --- Data audit (Table 2) -------------------------------------------
-    let train_counts = JointCounts::from_table(
-        dataset
-            .train
-            .contingency(&["income", "race_m", "gender", "nationality"])
-            .unwrap(),
-        "income",
-    )
-    .unwrap();
-    let audit = FairnessAudit::run(
-        &train_counts,
-        &AuditConfig {
-            alpha: 1.0,
-            positive_outcome: Some(">50K".into()),
-            reference_epsilon: None,
-        },
-    )
-    .unwrap();
+    let protected = ["race_m", "gender", "nationality"];
+    let report = Audit::of_frame(&dataset.train, "income", &protected)
+        .unwrap()
+        .estimator(Empirical)
+        .estimator(Smoothed { alpha: 1.0 })
+        .subsets(SubsetPolicy::All)
+        .baselines(Baselines::all().positive(">50K"))
+        .run()
+        .unwrap();
     println!("\n-- training-data audit (per subset of protected attributes) --");
-    println!("{}", audit.render_subset_table());
+    println!("{}", report.render_subset_table());
     println!(
         "regime: {:?}; the race x gender intersection is substantially less fair\n\
          than either attribute alone — the paper's core intersectional finding.",
-        audit.regime
+        report.regime
     );
 
     // --- Classifier audit (Table 3) --------------------------------------
@@ -69,7 +61,16 @@ fn main() {
         run.error_rate * 100.0
     );
 
-    // ε of the classifier's test predictions over the protected groups.
+    // ε of the classifier's test predictions over the protected groups,
+    // with the test data's own ε as the amplification reference.
+    let data_report = Audit::of_frame(&dataset.test, "income", &protected)
+        .unwrap()
+        .estimator(Smoothed { alpha: 1.0 })
+        .subsets(SubsetPolicy::None)
+        .run()
+        .unwrap();
+    let data_eps = data_report.epsilon.epsilon;
+
     let mut test_with_preds = dataset.test.clone();
     let pred_labels: Vec<&str> = run
         .test_predictions
@@ -79,37 +80,25 @@ fn main() {
     test_with_preds
         .add_column(Column::categorical("prediction", &pred_labels))
         .unwrap();
-    let pred_counts = JointCounts::from_table(
-        test_with_preds
-            .contingency(&["prediction", "race_m", "gender", "nationality"])
-            .unwrap(),
-        "prediction",
-    )
-    .unwrap();
-    let classifier_eps = pred_counts.edf_smoothed(1.0).unwrap().epsilon;
-
-    let test_counts = JointCounts::from_table(
-        dataset
-            .test
-            .contingency(&["income", "race_m", "gender", "nationality"])
-            .unwrap(),
-        "income",
-    )
-    .unwrap();
-    let data_eps = test_counts.edf_smoothed(1.0).unwrap().epsilon;
-
-    let amp = BiasAmplification::new(classifier_eps, data_eps);
+    let classifier_report = Audit::of_frame(&test_with_preds, "prediction", &protected)
+        .unwrap()
+        .estimator(Smoothed { alpha: 1.0 })
+        .subsets(SubsetPolicy::None)
+        .reference_epsilon(data_eps)
+        .run()
+        .unwrap();
+    let amp = classifier_report.amplification.unwrap();
     println!(
         "classifier eps = {:.3}, test-data eps = {:.3}, amplification = {:+.3}\n\
          (utility-disparity factor e^delta = {:.2}x)",
-        classifier_eps,
+        classifier_report.epsilon.epsilon,
         data_eps,
         amp.delta(),
         amp.utility_disparity_factor()
     );
 
     // --- Subgroup-fairness baseline (Kearns et al.) -----------------------
-    let violations = subgroup_fairness_violation(&train_counts, ">50K").unwrap();
+    let violations = report.subgroups.as_ref().unwrap();
     println!("\n-- worst statistical-parity subgroups (Kearns-style audit) --");
     for v in violations.iter().take(5) {
         println!(

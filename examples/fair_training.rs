@@ -68,18 +68,22 @@ fn main() {
         let err =
             preds.iter().zip(&y_test).filter(|(p, y)| p != y).count() as f64 / y_test.len() as f64;
 
-        // ε of the hard test predictions over the same intersections.
+        // ε of the hard test predictions over the same intersections, via
+        // the mechanism entry point of the audit builder.
         let mech = FnMechanism::new(vec!["pred<=50K".into(), "pred>50K".into()], |p: &f64| {
             usize::from(*p >= 0.5)
         });
-        let est = estimate_group_outcomes(
+        let eps = Audit::of_mechanism(
             &mech,
             group_labels.clone(),
             test_groups.iter().copied().zip(preds.iter().copied()),
-            1.0,
         )
-        .unwrap();
-        let eps = est.group_outcomes.epsilon().epsilon;
+        .unwrap()
+        .estimator(Smoothed { alpha: 1.0 })
+        .run()
+        .unwrap()
+        .epsilon
+        .epsilon;
 
         table.row(&[
             format!("{lambda}"),

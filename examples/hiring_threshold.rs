@@ -8,13 +8,20 @@
 use differential_fairness::prelude::*;
 
 fn epsilon_of(probs: &[[f64; 2]]) -> EpsilonResult {
-    GroupOutcomes::with_uniform_weights(
-        vec!["no".into(), "yes".into()],
-        (1..=probs.len()).map(|g| format!("group{g}")).collect(),
-        probs.iter().flat_map(|row| row.iter().copied()).collect(),
+    // A probability table audited directly: the `of_table` entry point with
+    // the plug-in estimator (there are no counts to smooth here).
+    Audit::of_table(
+        GroupOutcomes::with_uniform_weights(
+            vec!["no".into(), "yes".into()],
+            (1..=probs.len()).map(|g| format!("group{g}")).collect(),
+            probs.iter().flat_map(|row| row.iter().copied()).collect(),
+        )
+        .unwrap(),
     )
+    .estimator(Empirical)
+    .run()
     .unwrap()
-    .epsilon()
+    .epsilon
 }
 
 fn main() {

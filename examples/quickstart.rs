@@ -1,5 +1,5 @@
 //! Quickstart: measure the differential fairness of a labeled dataset and a
-//! classifier in ~60 lines.
+//! classifier in ~60 lines, through the fluent `Audit` builder.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
@@ -7,7 +7,8 @@ use differential_fairness::prelude::*;
 
 fn main() {
     // 1. A toy lending dataset: outcome x gender x race joint counts.
-    //    In practice these come from `DataFrame::contingency` over real data.
+    //    In practice these come from `DataFrame::contingency` over real data
+    //    (see `Audit::of_frame`).
     let counts = JointCounts::from_table(
         {
             let axes = vec![
@@ -31,41 +32,24 @@ fn main() {
     )
     .unwrap();
 
-    // 2. One-call audit: per-subset ε (Eq. 6 and Eq. 7), the Theorem 3.1
-    //    bound check, baselines, and a privacy-regime interpretation.
-    let audit = FairnessAudit::run(
-        &counts,
-        &AuditConfig {
-            alpha: 1.0,
-            positive_outcome: Some("approve".into()),
-            reference_epsilon: None,
-        },
-    )
-    .unwrap();
+    // 2. One chain: Eq. 6 and Eq. 7 side by side over every subset of the
+    //    protected attributes, the Theorem 3.2 bound check, a bootstrap CI
+    //    for the headline ε, and the section 7 baselines.
+    let report = Audit::of(&counts)
+        .estimator(Empirical)
+        .estimator(Smoothed { alpha: 1.0 })
+        .subsets(SubsetPolicy::All)
+        .bootstrap(200, 42)
+        .baselines(Baselines::all().positive("approve"))
+        .run()
+        .unwrap();
 
-    println!("records audited: {}", audit.n_records);
-    println!("{}", audit.render_subset_table());
-    println!(
-        "headline eps = {:.3}  (privacy regime: {:?}, outcome-ratio bound e^eps = {:.2}x)",
-        audit.epsilon.epsilon,
-        audit.regime,
-        audit.epsilon.probability_ratio_bound()
-    );
-    if let Some(w) = &audit.epsilon.witness {
-        println!(
-            "worst pair: `{}` gets `{}` at rate {:.3}, `{}` at rate {:.3}",
-            w.group_hi, w.outcome, w.prob_hi, w.group_lo, w.prob_lo
-        );
-    }
-    println!(
-        "demographic-parity distance: {:.3}; disparate-impact ratio: {:.3}",
-        audit.demographic_parity,
-        audit.disparate_impact.unwrap()
-    );
-    assert!(audit.bound_violations.is_empty());
+    println!("{}", report.render_summary());
+    println!("{}", report.render_subset_table());
+    assert_eq!(report.bound_violations, Some(vec![]));
 
     // 3. Audit a mechanism (here: a deterministic score threshold) against
-    //    the same protected groups via the Mechanism trait.
+    //    the same protected groups — same chain, different entry point.
     let mech = FnMechanism::new(vec!["deny".into(), "approve".into()], |score: &f64| {
         usize::from(*score >= 0.0)
     });
@@ -77,7 +61,7 @@ fn main() {
         (2, -0.5),
         (3, 0.4),
     ];
-    let est = estimate_group_outcomes(
+    let mech_report = Audit::of_mechanism(
         &mech,
         vec![
             "F,black".into(),
@@ -86,14 +70,15 @@ fn main() {
             "M,white".into(),
         ],
         instances,
-        1.0,
     )
+    .unwrap()
+    .estimator(Smoothed { alpha: 1.0 })
+    .run()
     .unwrap();
-    let eps = est.group_outcomes.epsilon();
     println!(
-        "\nthreshold mechanism over {} instances: eps = {:.3} ({:?})",
-        est.n,
-        eps.epsilon,
-        PrivacyRegime::of(eps.epsilon)
+        "threshold mechanism over {} instances: eps = {:.3} ({:?})",
+        mech_report.n_records.unwrap(),
+        mech_report.epsilon.epsilon,
+        mech_report.regime
     );
 }

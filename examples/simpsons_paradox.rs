@@ -3,7 +3,8 @@
 //! The admissions data reverses direction when aggregated: Gender A wins
 //! within each race, Gender B wins overall. This example shows how DF
 //! behaves sensibly at every aggregation level, and contrasts it with the
-//! demographic-parity and disparate-impact baselines.
+//! demographic-parity and disparate-impact baselines — all through one
+//! `Audit` chain.
 //!
 //! Run with `cargo run --release --example simpsons_paradox`.
 
@@ -35,28 +36,35 @@ fn main() {
          direction of \"discrimination\" depends on measurement granularity."
     );
 
-    // DF at every granularity.
-    let audit = subset_audit(&counts, 0.0).unwrap();
+    // DF at every granularity, plus baselines, in one audit.
+    let report = Audit::of(&counts)
+        .estimator(Empirical)
+        .subsets(SubsetPolicy::All)
+        .baselines(Baselines::all().with_subgroups(false).positive("admit"))
+        .run()
+        .unwrap();
+    let edf = report.estimator("eps-EDF").unwrap();
     println!("\ndifferential fairness at each granularity:");
-    for s in &audit.subsets {
+    for s in &edf.subsets {
         println!(
             "  A = {:<14}  eps = {:.4}",
             s.attributes.join(" x "),
             s.result.epsilon
         );
     }
-    let full = audit.full_intersection().result.epsilon;
+    let full = report.epsilon.epsilon;
     println!(
         "\nTheorem 3.1: marginals are guaranteed <= 2 eps = {:.3}; measured\n\
          marginals ({:.3}, {:.3}) comply even under the reversal.",
         2.0 * full,
-        audit.get(&["gender"]).unwrap().result.epsilon,
-        audit.get(&["race"]).unwrap().result.epsilon,
+        edf.get(&["gender"]).unwrap().result.epsilon,
+        edf.get(&["race"]).unwrap().result.epsilon,
     );
+    assert_eq!(report.bound_violations, Some(vec![]));
 
     // Baselines on the intersectional table, for contrast.
-    let dp = demographic_parity_distance(&go);
-    let di = disparate_impact_ratio(&go, 0).unwrap();
+    let dp = report.demographic_parity.unwrap();
+    let di = report.disparate_impact.unwrap();
     println!(
         "\nbaselines on the full intersection: demographic-parity distance = {dp:.3},\n\
          disparate-impact ratio = {di:.3} (80% rule {}).",

@@ -1,9 +1,9 @@
 //! Beyond the point estimate: uncertainty quantification for ε and the
-//! error-rate (equalized-odds) extension.
+//! error-rate (equalized-odds) extension, in one `Audit` chain.
 //!
 //! Demonstrates the three companion tools to the headline EDF number:
 //! 1. bootstrap confidence intervals for ε̂ (frequentist),
-//! 2. posterior Θ-classes with credible intervals (Bayesian, §3 footnote 2),
+//! 2. the posterior-supremum estimator over Θ (Bayesian, §3 footnote 2),
 //! 3. differential equalized odds — the §7.1 future-work extension — on a
 //!    trained classifier, plus fairness-aware model selection.
 //!
@@ -27,44 +27,43 @@ fn main() {
     .unwrap()
     .with_protected()
     .unwrap();
-    let counts = JointCounts::from_table(
-        dataset
-            .train
-            .contingency(&["income", "race_m", "gender", "nationality"])
-            .unwrap(),
-        "income",
-    )
-    .unwrap();
-    let mut rng = Pcg32::new(2020);
+    let protected = ["race_m", "gender", "nationality"];
 
-    // 1. Bootstrap CI for the smoothed EDF.
-    let boot = bootstrap_epsilon(&counts, 1.0, 300, 0.95, &mut rng).unwrap();
+    // 1 + 2. One audit comparing three estimation strategies on the same
+    //    counts — point (Eq. 6), smoothed (Eq. 7), and the supremum over
+    //    300 posterior draws of Θ — with a bootstrap CI for the headline.
+    let report = Audit::of_frame(&dataset.train, "income", &protected)
+        .unwrap()
+        .estimator(Empirical)
+        .estimator(PosteriorSup {
+            alpha: 1.0,
+            samples: 300,
+            seed: 2020,
+        })
+        .estimator(Smoothed { alpha: 1.0 })
+        .subsets(SubsetPolicy::None)
+        .bootstrap(300, 2020)
+        .run()
+        .unwrap();
+    println!("three certificates for the same data:");
+    for est in &report.estimators {
+        println!("  {:<18} eps = {:.3}", est.name, est.result.epsilon);
+    }
+    let boot = report.bootstrap.as_ref().unwrap();
     println!(
-        "bootstrap (300 replicates): eps = {:.3}, 95% CI [{:.3}, {:.3}], se = {:.3}, {} infinite",
-        boot.point,
+        "bootstrap (300 replicates of the headline): 95% CI [{:.3}, {:.3}], se = {:.3}, {} infinite",
         boot.interval.0,
         boot.interval.1,
         boot.std_error(),
         boot.infinite_replicates
     );
-
-    // 2. Bayesian Θ-class: supremum and credible interval over posterior
-    //    draws of the group-conditional outcome distributions.
-    let (sup, theta) = differential_fairness::core::data_fairness::dataset_posterior_epsilon(
-        &counts, 1.0, 300, &mut rng,
-    )
-    .unwrap();
-    let (lo, hi) = theta.epsilon_credible_interval(0.95).unwrap();
-    println!(
-        "posterior Theta (300 draws): sup eps = {:.3}, 95% credible interval [{lo:.3}, {hi:.3}]",
-        sup.epsilon
-    );
     println!(
         "reading: Definition 3.1 takes the supremum over Theta, so the Bayesian\n\
-         certificate is conservative; the interval shows where eps concentrates.\n"
+         certificate is conservative; the bootstrap shows where eps concentrates.\n"
     );
 
-    // 3. Train a classifier and measure differential equalized odds.
+    // 3. Train a classifier and attach differential equalized odds to its
+    //    audit.
     let encoder = FrameEncoder::fit(&dataset.train, &ADULT_BASE_FEATURES).unwrap();
     let x_train = encoder.transform(&dataset.train).unwrap();
     let x_test = encoder.transform(&dataset.test).unwrap();
@@ -77,7 +76,7 @@ fn main() {
     let eo = EqualizedOddsCounts::from_records(
         vec!["<=50K".into(), ">50K".into()],
         vec!["pred<=50K".into(), "pred>50K".into()],
-        group_labels,
+        group_labels.clone(),
         y_test
             .iter()
             .zip(&preds)
@@ -85,18 +84,32 @@ fn main() {
             .map(|((&y, &p), &g)| (y as usize, p as usize, g)),
     )
     .unwrap();
+    let mech = FnMechanism::new(vec!["pred<=50K".into(), "pred>50K".into()], |p: &f64| {
+        usize::from(*p >= 0.5)
+    });
+    let clf_report = Audit::of_mechanism(
+        &mech,
+        group_labels,
+        groups.iter().copied().zip(preds.iter().copied()),
+    )
+    .unwrap()
+    .estimator(Smoothed { alpha: 1.0 })
+    .equalized_odds(eo.clone(), 1.0)
+    .run()
+    .unwrap();
+    let deo = clf_report.equalized_odds.as_ref().unwrap();
     println!("differential equalized odds (race x gender, alpha = 1):");
-    for (label, eps) in eo.per_label_epsilon(1.0).unwrap() {
+    for (label, eps) in &deo.per_label {
         println!("  conditional on true {label}: eps = {:.3}", eps.epsilon);
     }
-    let deo = eo.epsilon(1.0).unwrap();
     let opp = opportunity_epsilon(&eo, ">50K", 1.0).unwrap();
     println!(
         "  overall DEO eps = {:.3}; differential equality of opportunity = {:.3}\n",
-        deo.epsilon, opp.epsilon
+        deo.overall.epsilon, opp.epsilon
     );
 
     // 4. Fairness-aware model selection over an L2 grid.
+    let mut rng = Pcg32::new(2020);
     let (train_groups, train_labels) = dataset.train.group_indices(&["race_m", "gender"]).unwrap();
     let results = cross_validate_l2_grid(
         &x_train,

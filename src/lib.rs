@@ -21,6 +21,11 @@
 //!
 //! ## Quick start
 //!
+//! One fluent entry point — [`prelude::Audit`] — composes everything: pick
+//! ε-estimation strategies (Eq. 6 empirical, Eq. 7 smoothed, posterior
+//! supremum over Θ), a subset policy, bootstrap uncertainty, and the §7
+//! comparison baselines, then `run()` for a unified serializable report.
+//!
 //! ```
 //! use differential_fairness::prelude::*;
 //!
@@ -44,19 +49,44 @@
 //! )
 //! .unwrap();
 //!
-//! // ε with Eq. 7 smoothing (α = 1), plus every subset of the attributes.
-//! let audit = subset_audit(&counts, 1.0).unwrap();
-//! let full = &audit.full_intersection().result;
-//! assert!(full.epsilon.is_finite());
-//! // Theorem 3.1: every marginal is within 2ε of the intersection.
-//! assert!(audit.verify_bound(1e-9).is_empty());
+//! let report = Audit::of(&counts)
+//!     .estimator(Empirical)
+//!     .estimator(Smoothed { alpha: 1.0 })
+//!     .baselines(Baselines::all().positive("approve"))
+//!     .run()
+//!     .unwrap();
+//!
+//! assert_eq!(report.n_records, Some(8));
+//! // Eq. 7 keeps ε finite even with sparse intersections…
+//! assert!(report.epsilon.is_finite());
+//! // …and Theorem 3.1 holds: no subset violates the 2ε bound.
+//! assert_eq!(report.bound_violations, Some(vec![]));
+//! println!("{}", report.render_subset_table());
+//! ```
+//!
+//! Auditing a data frame is one call via [`FrameAudits`]:
+//!
+//! ```
+//! use differential_fairness::prelude::*;
+//!
+//! let frame = DataFrame::new(vec![
+//!     Column::categorical("outcome", &["hire", "reject", "hire", "hire"]),
+//!     Column::categorical("gender", &["F", "F", "M", "M"]),
+//! ])
+//! .unwrap();
+//! let report = Audit::of_frame(&frame, "outcome", &["gender"])
+//!     .unwrap()
+//!     .estimator(Smoothed { alpha: 1.0 })
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(report.n_records, Some(4));
 //! ```
 //!
 //! ## Crate map
 //!
 //! | Crate | Contents |
 //! |---|---|
-//! | `core` (df_core) | the DF criterion: ε kernels, EDF (Eq. 6), smoothing (Eq. 7), subset guarantees, privacy interpretation, bias amplification, baselines, audits |
+//! | `core` (df_core) | the DF criterion: ε kernels, EDF (Eq. 6), smoothing (Eq. 7), subset guarantees, privacy interpretation, bias amplification, baselines, the `Audit` builder |
 //! | `prob` (df_prob) | distributions, special functions, RNGs, contingency tables, IPF, posterior samplers |
 //! | `data` (df_data) | data frames, CSV, encoders, the calibrated synthetic Adult benchmark, Table 1 data |
 //! | `learn` (df_learn) | logistic regression (plain and DF-regularized), naive Bayes, trees, metrics, threshold mechanisms |
@@ -72,14 +102,52 @@ pub use df_data as data;
 pub use df_learn as learn;
 pub use df_prob as prob;
 
+use df_core::builder::Audit;
+use df_core::JointCounts;
+use df_data::frame::DataFrame;
+
+/// Frame-level entry points for the [`Audit`] builder, where the data layer
+/// and the criterion meet (df-core itself does not depend on df-data).
+pub trait FrameAudits {
+    /// Tallies `(outcome, attrs…)` joint counts from a data frame and
+    /// starts an audit over them.
+    fn of_frame(
+        frame: &DataFrame,
+        outcome: &str,
+        attrs: &[&str],
+    ) -> df_core::Result<Audit<'static>>;
+}
+
+impl FrameAudits for Audit<'static> {
+    fn of_frame(
+        frame: &DataFrame,
+        outcome: &str,
+        attrs: &[&str],
+    ) -> df_core::Result<Audit<'static>> {
+        let mut columns = Vec::with_capacity(attrs.len() + 1);
+        columns.push(outcome);
+        columns.extend_from_slice(attrs);
+        let table = frame
+            .contingency(&columns)
+            .map_err(|e| df_core::DfError::Invalid(e.to_string()))?;
+        Ok(Audit::of_counts(JointCounts::from_table(table, outcome)?))
+    }
+}
+
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
+    pub use crate::FrameAudits;
     pub use df_core::amplification::BiasAmplification;
+    #[allow(deprecated)]
     pub use df_core::audit::{AuditConfig, FairnessAudit};
     pub use df_core::baselines::{
         demographic_parity_distance, disparate_impact_ratio, equalized_odds_gap,
     };
     pub use df_core::bootstrap::{bootstrap_epsilon, BootstrapEpsilon};
+    pub use df_core::builder::{
+        Audit, AuditReport, Baselines, Empirical, EpsilonEstimator, EstimatorReport, PosteriorSup,
+        Smoothed, SubsetPolicy,
+    };
     pub use df_core::data_fairness::{dataset_epsilon, DataModel};
     pub use df_core::equalized::{opportunity_epsilon, EqualizedOddsCounts};
     pub use df_core::mechanism::{estimate_group_outcomes, FnMechanism, Mechanism};
@@ -110,5 +178,25 @@ mod tests {
         assert!((rr.epsilon().epsilon - RANDOMIZED_RESPONSE_EPSILON).abs() < 1e-12);
         let _rng = Pcg32::new(1);
         let _mech = ThresholdMechanism::new(0.5);
+    }
+
+    #[test]
+    fn frame_audit_matches_direct_counts() {
+        let frame = DataFrame::new(vec![
+            Column::categorical("y", &["a", "b", "a", "b", "a", "a"]),
+            Column::categorical("g", &["x", "x", "x", "y", "y", "y"]),
+        ])
+        .unwrap();
+        let via_frame = Audit::of_frame(&frame, "y", &["g"])
+            .unwrap()
+            .estimator(Smoothed { alpha: 1.0 })
+            .run()
+            .unwrap();
+        let counts = JointCounts::from_table(frame.contingency(&["y", "g"]).unwrap(), "y").unwrap();
+        let direct = Audit::of(&counts)
+            .estimator(Smoothed { alpha: 1.0 })
+            .run()
+            .unwrap();
+        assert_eq!(via_frame, direct);
     }
 }

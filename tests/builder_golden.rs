@@ -1,0 +1,143 @@
+//! Golden tests for the `Audit` builder: the paper's Table 1 numbers end to
+//! end, and JSON round-tripping of the unified report — all through the
+//! facade, exactly as a downstream user would.
+
+use differential_fairness::data::kidney;
+use differential_fairness::prelude::*;
+
+fn table1_counts() -> JointCounts {
+    JointCounts::from_table(kidney::admissions_counts(), "outcome").unwrap()
+}
+
+/// The paper's §5.1 numbers from one builder chain: ε ≈ 1.511 empirical on
+/// the full intersection, the smoothed (α = 1) companion, and an empty
+/// Theorem 3.2 bound check.
+#[test]
+fn golden_table1_through_the_builder() {
+    let report = Audit::of(&table1_counts())
+        .estimator(Empirical)
+        .estimator(Smoothed { alpha: 1.0 })
+        .subsets(SubsetPolicy::All)
+        .baselines(Baselines::all().positive("admit"))
+        .run()
+        .unwrap();
+
+    // Record accounting is exact.
+    assert_eq!(report.total_weight, 700.0);
+    assert_eq!(report.n_records, Some(700));
+
+    // Empirical ε (Eq. 6): the paper's 1.511 / 0.2329 / 0.8667.
+    let edf = report.estimator("eps-EDF").unwrap();
+    let eps = |attrs: &[&str]| edf.get(attrs).unwrap().result.epsilon;
+    assert!((eps(&["gender", "race"]) - 1.511).abs() < 1e-3);
+    assert!((eps(&["gender"]) - 0.2329).abs() < 1e-3);
+    assert!((eps(&["race"]) - 0.8667).abs() < 1e-3);
+
+    // Smoothed at α = 1 (Eq. 7) agrees with the direct Eq. 7 path and is
+    // slightly tempered relative to Eq. 6 on this fully populated table.
+    let smoothed = report.estimator("eps-DF(a=1)").unwrap();
+    let direct = table1_counts().edf_smoothed(1.0).unwrap().epsilon;
+    assert!((smoothed.result.epsilon - direct).abs() < 1e-9);
+    assert!(smoothed.result.epsilon < edf.result.epsilon);
+
+    // Headline = last estimator; regime per §3.3.
+    assert_eq!(report.headline, "eps-DF(a=1)");
+    assert_eq!(report.epsilon, smoothed.result);
+    assert_eq!(report.regime, PrivacyRegime::Moderate);
+
+    // Theorem 3.2: the bound check ran and found nothing.
+    assert_eq!(report.bound_violations, Some(vec![]));
+
+    // The witness names real groups in the attr=value convention.
+    let w = edf.result.witness.as_ref().unwrap();
+    assert_eq!(w.outcome, "decline");
+    assert!(w.group_hi.contains("gender=") && w.group_hi.contains("race="));
+}
+
+/// Serialize → deserialize → equal, for a report exercising every optional
+/// stage (subsets, baselines, subgroups, bootstrap, amplification,
+/// equalized odds).
+#[test]
+fn golden_report_json_round_trip() {
+    let eo = EqualizedOddsCounts::from_records(
+        vec!["neg".into(), "pos".into()],
+        vec!["p0".into(), "p1".into()],
+        vec!["a".into(), "b".into()],
+        vec![
+            (0usize, 0usize, 0usize),
+            (0, 0, 1),
+            (0, 1, 1),
+            (1, 1, 0),
+            (1, 1, 1),
+            (1, 0, 0),
+        ],
+    )
+    .unwrap();
+    let report = Audit::of(&table1_counts())
+        .estimator(Empirical)
+        .estimator(Smoothed { alpha: 1.0 })
+        .baselines(Baselines::all().positive("admit"))
+        .bootstrap(50, 17)
+        .equalized_odds(eo, 1.0)
+        .reference_epsilon(1.0)
+        .run()
+        .unwrap();
+
+    let json = serde_json::to_string(&report).unwrap();
+    let back: AuditReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, report);
+
+    // Pretty output round-trips identically too.
+    let pretty = serde_json::to_string_pretty(&report).unwrap();
+    let back: AuditReport = serde_json::from_str(&pretty).unwrap();
+    assert_eq!(back, report);
+
+    // Spot-check the serialized shape downstream pipelines rely on.
+    assert!(json.contains("\"total_weight\""));
+    assert!(json.contains("\"n_records\":700"));
+    assert!(json.contains("\"estimators\""));
+    assert!(json.contains("\"bound_violations\""));
+}
+
+/// ε = ∞ (a structurally gerrymandered table) survives the JSON round-trip
+/// — the vendored serde stub encodes non-finite floats as strings instead
+/// of nulling them out.
+#[test]
+fn golden_infinite_epsilon_round_trips() {
+    let counts = JointCounts::from_records(
+        Axis::from_strs("y", &["no", "yes"]).unwrap(),
+        vec![Axis::from_strs("g", &["a", "b"]).unwrap()],
+        vec![("yes", vec!["a"]), ("no", vec!["b"])],
+    )
+    .unwrap();
+    let report = Audit::of(&counts).estimator(Empirical).run().unwrap();
+    assert!(report.epsilon.epsilon.is_infinite());
+    let json = serde_json::to_string(&report).unwrap();
+    let back: AuditReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, report);
+    assert!(back.epsilon.epsilon.is_infinite());
+}
+
+/// The three estimator strategies order sensibly on sparse data: smoothing
+/// tempers the point estimate, the posterior supremum dominates it.
+#[test]
+fn golden_estimator_ordering() {
+    let counts = table1_counts();
+    let report = Audit::of(&counts)
+        .estimator(Empirical)
+        .estimator(Smoothed { alpha: 1.0 })
+        .estimator(PosteriorSup {
+            alpha: 1.0,
+            samples: 200,
+            seed: 5,
+        })
+        .subsets(SubsetPolicy::None)
+        .run()
+        .unwrap();
+    let by_name = |n: &str| report.estimator(n).unwrap().result.epsilon;
+    let empirical = by_name("eps-EDF");
+    let smoothed = by_name("eps-DF(a=1)");
+    let sup = by_name("eps-sup(a=1,m=200)");
+    assert!(smoothed < empirical);
+    assert!(sup > empirical, "sup {sup} vs point {empirical}");
+}

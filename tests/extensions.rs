@@ -70,6 +70,19 @@ fn bootstrap_interval_contains_point_estimate() {
     // Serializes for report pipelines.
     let json = serde_json::to_string(&boot).unwrap();
     assert!(json.contains("interval"));
+
+    // The builder's bootstrap stage resamples the same way, driven by the
+    // headline estimator, and lands in the report.
+    let report = Audit::of(&counts)
+        .estimator(Smoothed { alpha: 1.0 })
+        .subsets(SubsetPolicy::None)
+        .bootstrap(200, 55)
+        .run()
+        .unwrap();
+    let built = report.bootstrap.unwrap();
+    assert_eq!(built.replicates.len(), 200);
+    assert!((built.point - boot.point).abs() < 1e-9);
+    assert!(built.interval.0 <= built.point && built.point <= built.interval.1 * 1.05);
 }
 
 #[test]

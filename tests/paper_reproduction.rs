@@ -40,21 +40,28 @@ fn figure2_worked_example() {
     assert_close(entry.2, -1.107, 2e-3, "log ratio (yes, 1, 2)");
 }
 
-/// Table 1 / §5.1: Simpson's paradox admissions.
+/// Table 1 / §5.1: Simpson's paradox admissions, through the audit builder.
 #[test]
 fn table1_simpsons_paradox() {
     let counts = JointCounts::from_table(kidney::admissions_counts(), "outcome").unwrap();
-    let audit = subset_audit(&counts, 0.0).unwrap();
-    let eps = |attrs: &[&str]| audit.get(attrs).unwrap().result.epsilon;
+    let report = Audit::of(&counts)
+        .estimator(Empirical)
+        .subsets(SubsetPolicy::All)
+        .run()
+        .unwrap();
+    assert_eq!(report.n_records, Some(700));
+    let edf = report.estimator("eps-EDF").unwrap();
+    let eps = |attrs: &[&str]| edf.get(attrs).unwrap().result.epsilon;
     assert_close(eps(&["gender", "race"]), 1.511, 1e-3, "Gender x Race");
     assert_close(eps(&["gender"]), 0.2329, 1e-3, "Gender");
     assert_close(eps(&["race"]), 0.8667, 1e-3, "Race");
     // Theorem 3.1's quoted bound: at most 2 eps = 3.022.
     assert!(eps(&["gender"]) <= 3.022 && eps(&["race"]) <= 3.022);
-    assert!(audit.verify_bound(1e-9).is_empty());
+    assert_eq!(report.bound_violations, Some(vec![]));
 }
 
-/// Table 2: EDF of the Adult training set for every subset.
+/// Table 2: EDF of the Adult training set for every subset, through the
+/// frame-level audit entry point.
 #[test]
 fn table2_adult_subset_epsilons() {
     let dataset = adult::synth::generate_default()
@@ -63,15 +70,18 @@ fn table2_adult_subset_epsilons() {
         .unwrap();
     assert_eq!(dataset.train.n_rows(), 32_561);
     assert_eq!(dataset.test.n_rows(), 16_281);
-    let counts = JointCounts::from_table(
-        dataset
-            .train
-            .contingency(&["income", "race_m", "gender", "nationality"])
-            .unwrap(),
+    let report = Audit::of_frame(
+        &dataset.train,
         "income",
+        &["race_m", "gender", "nationality"],
     )
+    .unwrap()
+    .estimator(Empirical)
+    .subsets(SubsetPolicy::All)
+    .run()
     .unwrap();
-    let audit = subset_audit(&counts, 0.0).unwrap();
+    assert_eq!(report.n_records, Some(32_561));
+    let audit = report.estimator("eps-EDF").unwrap();
     let rows: [(&[&str], f64); 7] = [
         (&["nationality"], 0.219),
         (&["race_m"], 0.930),

@@ -39,7 +39,31 @@ fn counts_of(frame: &DataFrame, outcome: &str) -> JointCounts {
 fn full_audit_roundtrips_through_json() {
     let dataset = small_adult();
     let counts = counts_of(&dataset.train, "income");
-    let audit = FairnessAudit::run(
+    let report = Audit::of(&counts)
+        .estimator(Empirical)
+        .estimator(Smoothed { alpha: 1.0 })
+        .baselines(Baselines::all().with_subgroups(false).positive(">50K"))
+        .reference_epsilon(2.0)
+        .run()
+        .unwrap();
+    assert!(report.epsilon.epsilon.is_finite());
+    assert_eq!(report.bound_violations, Some(vec![]));
+    let json = serde_json::to_string_pretty(&report).unwrap();
+    assert!(json.contains("race_m"));
+    assert!(json.contains("demographic_parity"));
+    let back: AuditReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, report);
+    // The rendered table mentions every subset.
+    let rendered = report.render_subset_table();
+    assert_eq!(rendered.lines().count(), 2 + 7);
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_shim_agrees_with_builder() {
+    let dataset = small_adult();
+    let counts = counts_of(&dataset.train, "income");
+    let legacy = FairnessAudit::run(
         &counts,
         &AuditConfig {
             alpha: 1.0,
@@ -48,14 +72,22 @@ fn full_audit_roundtrips_through_json() {
         },
     )
     .unwrap();
-    assert!(audit.epsilon.epsilon.is_finite());
-    assert!(audit.bound_violations.is_empty());
-    let json = serde_json::to_string_pretty(&audit).unwrap();
-    assert!(json.contains("race_m"));
-    assert!(json.contains("demographic_parity"));
-    // The rendered table mentions every subset.
-    let rendered = audit.render_subset_table();
-    assert_eq!(rendered.lines().count(), 2 + 7);
+    let report = Audit::of(&counts)
+        .estimator(Empirical)
+        .estimator(Smoothed { alpha: 1.0 })
+        .baselines(Baselines::all().with_subgroups(false).positive(">50K"))
+        .reference_epsilon(2.0)
+        .run()
+        .unwrap();
+    assert_eq!(legacy.n_records, report.total_weight);
+    assert_eq!(legacy.epsilon, report.epsilon);
+    assert_eq!(legacy.regime, report.regime);
+    assert_eq!(Some(legacy.demographic_parity), report.demographic_parity);
+    assert_eq!(legacy.disparate_impact, report.disparate_impact);
+    assert_eq!(
+        legacy.smoothed.full_intersection().result,
+        report.estimator("eps-DF(a=1)").unwrap().result
+    );
 }
 
 #[test]

@@ -1,0 +1,286 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API surface the df-bench benches use — `Criterion`,
+//! benchmark groups, `bench_function` / `bench_with_input`, `Throughput`,
+//! `BenchmarkId`, and the `criterion_group!` / `criterion_main!` macros —
+//! over a simple wall-clock measurement loop: a calibration phase sizes the
+//! batch so one sample takes ≳1 ms, then `sample_size` samples are timed and
+//! the median/min/mean per-iteration latencies (and element throughput, when
+//! configured) are printed. No plotting, no statistics beyond that.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_benchmark(name, self.sample_size, None, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares the amount of work one iteration performs.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&label, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&label, self.sample_size, self.throughput, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id built from a function label and a parameter.
+    pub fn new(label: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            label: format!("{label}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a benchmark label (accepts `BenchmarkId` or strings).
+pub trait IntoBenchmarkId {
+    /// The label to display.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Work performed per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to the benchmark closure; runs and times the measured routine.
+pub struct Bencher {
+    batch: u64,
+    samples: Vec<Duration>,
+    mode: BencherMode,
+}
+
+enum BencherMode {
+    /// Determine a batch size so one sample lasts ≳1 ms.
+    Calibrate,
+    /// Collect timed samples.
+    Measure,
+}
+
+impl Bencher {
+    /// Times `f`, called `batch` times per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            BencherMode::Calibrate => {
+                let target = Duration::from_millis(1);
+                let mut batch = 1u64;
+                loop {
+                    let start = Instant::now();
+                    for _ in 0..batch {
+                        black_box(f());
+                    }
+                    let elapsed = start.elapsed();
+                    if elapsed >= target || batch >= 1 << 24 {
+                        self.batch = batch;
+                        break;
+                    }
+                    batch *= 2;
+                }
+            }
+            BencherMode::Measure => {
+                let start = Instant::now();
+                for _ in 0..self.batch {
+                    black_box(f());
+                }
+                self.samples.push(start.elapsed());
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    // Calibration pass (also serves as warm-up).
+    let mut b = Bencher {
+        batch: 1,
+        samples: Vec::new(),
+        mode: BencherMode::Calibrate,
+    };
+    f(&mut b);
+    let batch = b.batch;
+
+    let mut b = Bencher {
+        batch,
+        samples: Vec::with_capacity(sample_size),
+        mode: BencherMode::Measure,
+    };
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+
+    let mut per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() / batch as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let min = per_iter.first().copied().unwrap_or(0.0);
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+
+    let mut line = format!(
+        "{label:<48} median {:>12}  min {:>12}  mean {:>12}",
+        fmt_time(median),
+        fmt_time(min),
+        fmt_time(mean)
+    );
+    if let Some(Throughput::Elements(n)) = throughput {
+        if median > 0.0 {
+            line.push_str(&format!("  {:>14.0} elem/s", n as f64 / median));
+        }
+    }
+    if let Some(Throughput::Bytes(n)) = throughput {
+        if median > 0.0 {
+            line.push_str(&format!("  {:>14.0} B/s", n as f64 / median));
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a function running the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,44 @@
+//! Offline stand-in for the parts of `rand` this workspace touches.
+//!
+//! The build environment has no network access, so the real crates.io
+//! `rand` cannot be fetched. `df-prob` only *implements* [`RngCore`] for its
+//! own from-scratch generators (PCG32, SplitMix64) so they stay
+//! source-compatible with the wider ecosystem; this crate provides exactly
+//! that trait with the `rand 0.8` method set and nothing else.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Error type mirroring `rand::Error` (infallible for in-process PRNGs).
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core random-number-generator trait, matching `rand 0.8::RngCore`.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible variant of [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}

@@ -1,0 +1,351 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde stub (no `syn`/`quote` available offline).
+//!
+//! Supported shapes — exactly what this workspace uses:
+//! - structs with named fields → JSON objects keyed by field name;
+//! - enums with unit variants → JSON strings of the variant name;
+//! - enums with struct variants → externally tagged objects
+//!   `{"Variant": {..fields..}}` (serde's default representation).
+//!
+//! Tuple structs, tuple variants, and generic types are rejected with a
+//! compile error rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (conversion into `serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` (conversion out of `serde::Value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, field names for struct variants.
+    fields: Option<Vec<String>>,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse(input) {
+        Ok((name, shape)) => {
+            let code = match (&shape, mode) {
+                (Shape::Struct(fields), Mode::Serialize) => struct_serialize(&name, fields),
+                (Shape::Struct(fields), Mode::Deserialize) => struct_deserialize(&name, fields),
+                (Shape::Enum(variants), Mode::Serialize) => enum_serialize(&name, variants),
+                (Shape::Enum(variants), Mode::Deserialize) => enum_deserialize(&name, variants),
+            };
+            code.parse().expect("generated impl parses")
+        }
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skips any number of `#[...]` attributes (doc comments included).
+    fn skip_attrs(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.next();
+            // The bracketed attribute body.
+            self.next();
+        }
+    }
+
+    /// Skips `pub` / `pub(crate)` / `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Skips a type up to (but not past) a top-level `,`, tracking `<...>`
+    /// nesting so commas inside generic arguments don't terminate early.
+    fn skip_type(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    self.next();
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth -= 1;
+                    self.next();
+                }
+                _ => {
+                    self.next();
+                }
+            }
+        }
+    }
+}
+
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_visibility();
+    let kind = c.expect_ident()?;
+    if kind != "struct" && kind != "enum" {
+        return Err(format!("derive supports struct/enum, found `{kind}`"));
+    }
+    let name = c.expect_ident()?;
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            return Err(format!("`{name}`: generic types are not supported"));
+        }
+    }
+    let body = match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(_)) => {
+            return Err(format!("`{name}`: tuple structs are not supported"))
+        }
+        _ => return Err(format!("`{name}`: unit structs are not supported")),
+    };
+    if kind == "struct" {
+        Ok((name, Shape::Struct(parse_named_fields(body)?)))
+    } else {
+        Ok((name, Shape::Enum(parse_variants(body)?)))
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.skip_visibility();
+        let field = c.expect_ident()?;
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{field}`, found {other:?}"
+                ))
+            }
+        }
+        c.skip_type();
+        // Consume the trailing comma if present.
+        c.next();
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident()?;
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                c.next();
+                Some(parse_named_fields(inner)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!("tuple variant `{name}` is not supported"));
+            }
+            _ => None,
+        };
+        // Consume the trailing comma if present.
+        if let Some(TokenTree::Punct(p)) = c.peek() {
+            if p.as_char() == ',' {
+                c.next();
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation.
+// ---------------------------------------------------------------------------
+
+fn struct_serialize(name: &str, fields: &[String]) -> String {
+    let mut pushes = String::new();
+    for f in fields {
+        pushes.push_str(&format!(
+            "obj.push(({f:?}.to_string(), ::serde::Serialize::serialize(&self.{f})));\n"
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{\n\
+                 let mut obj: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Obj(obj)\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn struct_deserialize(name: &str, fields: &[String]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        inits.push_str(&format!(
+            "{f}: ::serde::Deserialize::deserialize(v.field({f:?})).map_err(|e| e.at({f:?}))?,\n"
+        ));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 v.as_obj({name:?})?;\n\
+                 Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            None => arms.push_str(&format!(
+                "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),\n"
+            )),
+            Some(fields) => {
+                let bind = fields.join(", ");
+                let mut pushes = String::new();
+                for f in fields {
+                    pushes.push_str(&format!(
+                        "obj.push(({f:?}.to_string(), ::serde::Serialize::serialize({f})));\n"
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {bind} }} => {{\n\
+                         let mut obj: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Obj(vec![({vn:?}.to_string(), ::serde::Value::Obj(obj))])\n\
+                     }}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            None => unit_arms.push_str(&format!("{vn:?} => Ok({name}::{vn}),\n")),
+            Some(fields) => {
+                let mut inits = String::new();
+                for f in fields {
+                    inits.push_str(&format!(
+                        "{f}: ::serde::Deserialize::deserialize(_inner.field({f:?}))\
+                             .map_err(|e| e.at({f:?}))?,\n"
+                    ));
+                }
+                tagged_arms.push_str(&format!("{vn:?} => Ok({name}::{vn} {{ {inits} }}),\n"));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\
+                         other => Err(::serde::DeError::new(format!(\n\
+                             \"unknown variant `{{other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Obj(pairs) if pairs.len() == 1 => {{\n\
+                         let (tag, _inner) = &pairs[0];\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\
+                             other => Err(::serde::DeError::new(format!(\n\
+                                 \"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => Err(::serde::DeError::new(format!(\n\
+                         \"expected a {name} variant, found {{}}\", other.kind()))),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}
