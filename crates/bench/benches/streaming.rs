@@ -1,0 +1,120 @@
+//! Criterion bench: streaming/sharded ingestion vs the batch tally on a
+//! synthetic million-row audit workload.
+//!
+//! Three contenders over the same 1M-row frame (2 outcomes × 2×4×2
+//! protected attributes):
+//!
+//! - `batch`: the classic path — `DataFrame::contingency` walks every row
+//!   single-threaded, then the audit runs on the counts.
+//! - `stream/{n}`: `Audit::of_stream` over zero-copy `FrameChunks`, with
+//!   `n` worker shards merging partial counts.
+//! - `csv/{n}`: the streaming CSV reader parsing and tallying fixed-size
+//!   row batches (ingestion without materializing a frame), `n` shards.
+//!
+//! The engine guarantees all paths produce byte-identical reports; this
+//! bench measures only throughput (rows/s).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use df_core::builder::{Audit, Smoothed};
+use df_core::{DfError, JointCounts};
+use df_data::chunks::{CsvChunks, FrameChunks};
+use df_data::csv::CsvOptions;
+use df_data::frame::DataFrame;
+use df_data::workloads::{frame_to_csv, synthetic_audit_frame};
+use df_prob::rng::Pcg32;
+use std::hint::black_box;
+
+const N_ROWS: usize = 1_000_000;
+const CHUNK_ROWS: usize = 4_096;
+const COLUMNS: [&str; 4] = ["outcome", "attr0", "attr1", "attr2"];
+
+fn workload() -> DataFrame {
+    let mut rng = Pcg32::new(2024);
+    synthetic_audit_frame(&mut rng, N_ROWS, 2, &[2, 4, 2]).expect("workload generation")
+}
+
+fn bench_ingestion(c: &mut Criterion) {
+    let frame = workload();
+
+    let mut group = c.benchmark_group("streaming/ingest_1m");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N_ROWS as u64));
+
+    // Batch: single-threaded contingency tally + audit.
+    group.bench_function("batch", |b| {
+        b.iter(|| {
+            let table = frame.contingency(&COLUMNS).unwrap();
+            let counts = JointCounts::from_table(table, "outcome").unwrap();
+            black_box(
+                Audit::of_counts(counts)
+                    .unwrap()
+                    .estimator(Smoothed { alpha: 1.0 })
+                    .run()
+                    .unwrap(),
+            )
+        });
+    });
+
+    // Streaming over zero-copy frame chunks, 1..=8 shards.
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("stream", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let chunks = FrameChunks::new(&frame, &COLUMNS, CHUNK_ROWS).unwrap();
+                    let axes = chunks.axes().unwrap();
+                    black_box(
+                        Audit::of_stream("outcome", axes, chunks.map(Ok::<_, DfError>), threads)
+                            .unwrap()
+                            .estimator(Smoothed { alpha: 1.0 })
+                            .run()
+                            .unwrap(),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_csv_ingestion(c: &mut Criterion) {
+    // A smaller CSV body (200k rows) keeps the parse-bound bench quick
+    // while still dwarfing per-chunk overheads.
+    let n_rows = 200_000;
+    let mut rng = Pcg32::new(7);
+    let frame = synthetic_audit_frame(&mut rng, n_rows, 2, &[2, 4, 2]).expect("workload");
+    let csv = frame_to_csv(&frame, &COLUMNS).expect("csv render");
+    let axes = FrameChunks::new(&frame, &COLUMNS, 1)
+        .unwrap()
+        .axes()
+        .unwrap();
+
+    let mut group = c.benchmark_group("streaming/csv_200k");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n_rows as u64));
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let chunks = CsvChunks::new(csv.as_bytes(), CsvOptions::default(), 8_192)
+                        .unwrap()
+                        .map(|r| r.map_err(|e| DfError::Invalid(e.to_string())));
+                    black_box(
+                        Audit::of_stream("outcome", axes.clone(), chunks, threads)
+                            .unwrap()
+                            .estimator(Smoothed { alpha: 1.0 })
+                            .run()
+                            .unwrap(),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingestion, bench_csv_ingestion);
+criterion_main!(benches);

@@ -42,6 +42,7 @@ fn prediction_epsilon(frame: &DataFrame, predictions: &[f64], alpha: f64) -> f64
         .expect("contingency");
     let counts = JointCounts::from_table(table, "prediction").expect("joint counts");
     Audit::of_counts(counts)
+        .expect("finite counts")
         .estimator(Smoothed { alpha })
         .subsets(SubsetPolicy::None)
         .run()

@@ -68,12 +68,65 @@ pub fn bootstrap_epsilon(
 /// engine behind [`bootstrap_epsilon`] (estimate = Eq. 7 at a fixed α) and
 /// the [`crate::builder`] bootstrap stage (estimate = whatever
 /// `EpsilonEstimator` the audit is configured with).
+///
+/// Each replicate runs on its own [`Pcg32`] stream forked deterministically
+/// from `rng`, so the replicate list depends only on the seed — not on the
+/// execution schedule. [`bootstrap_epsilon_sharded`] exploits that to run
+/// replicates across worker threads with bit-identical results.
 pub fn bootstrap_epsilon_with(
     counts: &JointCounts,
     replicates: usize,
     mass: f64,
     rng: &mut Pcg32,
-    estimate: &dyn Fn(&JointCounts) -> Result<f64>,
+    estimate: &(dyn Fn(&JointCounts) -> Result<f64> + Sync),
+) -> Result<BootstrapEpsilon> {
+    bootstrap_epsilon_sharded(counts, replicates, mass, rng, 1, estimate)
+}
+
+/// One multinomial resample of `n` records over the cell CDF, scored by
+/// `estimate`.
+fn one_replicate(
+    table: &ContingencyTable,
+    cdf: &[f64],
+    n: usize,
+    rng: &mut Pcg32,
+    estimate: &(dyn Fn(&JointCounts) -> Result<f64> + Sync),
+) -> Result<f64> {
+    let mut resampled = vec![0.0f64; cdf.len()];
+    for _ in 0..n {
+        let u = rng.next_f64();
+        // Binary search the CDF.
+        let mut lo = 0usize;
+        let mut hi = cdf.len() - 1;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if cdf[mid] < u {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        resampled[lo] += 1.0;
+    }
+    let rep_table = ContingencyTable::from_data(table.axes().to_vec(), resampled)?;
+    let rep = JointCounts::from_table(rep_table, table.axes()[0].name())?;
+    estimate(&rep)
+}
+
+/// [`bootstrap_epsilon_with`], with the replicates fanned out to `threads`
+/// worker threads.
+///
+/// Per-replicate RNG streams are pre-forked from `rng` in replicate order,
+/// so the result is **bit-identical** for every thread count (including 1,
+/// the serial path) — parallelism changes wall-clock time, never the
+/// certificate.
+pub fn bootstrap_epsilon_sharded(
+    counts: &JointCounts,
+    replicates: usize,
+    mass: f64,
+    rng: &mut Pcg32,
+    threads: usize,
+    estimate: &(dyn Fn(&JointCounts) -> Result<f64> + Sync),
 ) -> Result<BootstrapEpsilon> {
     if replicates < 10 {
         return Err(DfError::Invalid(
@@ -84,6 +137,11 @@ pub fn bootstrap_epsilon_with(
         return Err(DfError::Invalid(format!(
             "interval mass must lie in (0, 1), got {mass}"
         )));
+    }
+    if threads == 0 {
+        return Err(DfError::Invalid(
+            "need at least one bootstrap thread".into(),
+        ));
     }
     let table = counts.table();
     let total = table.total();
@@ -101,29 +159,43 @@ pub fn bootstrap_epsilon_with(
     }
 
     let point = estimate(counts)?;
+
+    // Fork one independent stream per replicate *in replicate order*: the
+    // draws are then a pure function of the seed, whatever the schedule.
+    let child_rngs: Vec<Pcg32> = (0..replicates).map(|_| rng.fork()).collect();
+    let results: Vec<Result<f64>> = if threads == 1 {
+        child_rngs
+            .into_iter()
+            .map(|mut child| one_replicate(table, &cdf, n, &mut child, estimate))
+            .collect()
+    } else {
+        let per_worker = replicates.div_ceil(threads);
+        let mut out: Vec<Vec<Result<f64>>> = std::thread::scope(|scope| {
+            let cdf = &cdf;
+            let handles: Vec<_> = child_rngs
+                .chunks(per_worker)
+                .map(|batch| {
+                    let batch = batch.to_vec();
+                    scope.spawn(move || {
+                        batch
+                            .into_iter()
+                            .map(|mut child| one_replicate(table, cdf, n, &mut child, estimate))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("bootstrap worker panicked"))
+                .collect()
+        });
+        out.drain(..).flatten().collect()
+    };
+
     let mut eps_values = Vec::with_capacity(replicates);
     let mut infinite = 0usize;
-    let mut resampled = vec![0.0f64; cells.len()];
-    for _ in 0..replicates {
-        resampled.iter_mut().for_each(|v| *v = 0.0);
-        for _ in 0..n {
-            let u = rng.next_f64();
-            // Binary search the CDF.
-            let mut lo = 0usize;
-            let mut hi = cdf.len() - 1;
-            while lo < hi {
-                let mid = (lo + hi) / 2;
-                if cdf[mid] < u {
-                    lo = mid + 1;
-                } else {
-                    hi = mid;
-                }
-            }
-            resampled[lo] += 1.0;
-        }
-        let rep_table = ContingencyTable::from_data(table.axes().to_vec(), resampled.clone())?;
-        let rep = JointCounts::from_table(rep_table, table.axes()[0].name())?;
-        let e = estimate(&rep)?;
+    for r in results {
+        let e = r?;
         if e.is_finite() {
             eps_values.push(e);
         } else {
@@ -218,6 +290,30 @@ mod tests {
         assert!(bootstrap_epsilon(&counts(1.0), 0.0, 5, 0.9, &mut rng).is_err());
         assert!(bootstrap_epsilon(&counts(1.0), 0.0, 100, 1.5, &mut rng).is_err());
         assert!(bootstrap_epsilon(&counts(1.0), 0.0, 100, 0.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn sharded_bootstrap_is_bit_identical_to_serial() {
+        let jc = counts(1.0);
+        let estimate = |jc: &JointCounts| Ok(jc.edf_smoothed(1.0)?.epsilon);
+        let serial = {
+            let mut rng = Pcg32::new(42);
+            bootstrap_epsilon_sharded(&jc, 64, 0.9, &mut rng, 1, &estimate).unwrap()
+        };
+        for threads in [2, 3, 4, 7] {
+            let mut rng = Pcg32::new(42);
+            let par =
+                bootstrap_epsilon_sharded(&jc, 64, 0.9, &mut rng, threads, &estimate).unwrap();
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sharded_bootstrap_validates_threads() {
+        let jc = counts(1.0);
+        let mut rng = Pcg32::new(1);
+        let estimate = |jc: &JointCounts| Ok(jc.edf_smoothed(1.0)?.epsilon);
+        assert!(bootstrap_epsilon_sharded(&jc, 64, 0.9, &mut rng, 0, &estimate).is_err());
     }
 
     #[test]

@@ -42,7 +42,7 @@ use crate::baselines::{
     demographic_parity_distance, disparate_impact_ratio, subgroup_fairness_violation,
     SubgroupViolation,
 };
-use crate::bootstrap::{bootstrap_epsilon_with, BootstrapEpsilon};
+use crate::bootstrap::{bootstrap_epsilon_sharded, BootstrapEpsilon};
 use crate::edf::JointCounts;
 use crate::epsilon::{EpsilonResult, GroupOutcomes};
 use crate::equalized::EqualizedOddsCounts;
@@ -52,6 +52,7 @@ use crate::privacy::PrivacyRegime;
 use crate::report::{fmt_count, fmt_epsilon, Align, TextTable};
 use crate::subsets::SubsetEpsilon;
 use crate::theta::posterior_theta_from_table;
+use df_prob::partial::Tally;
 use df_prob::rng::Pcg32;
 use serde::{Deserialize, Serialize};
 
@@ -67,8 +68,10 @@ use serde::{Deserialize, Serialize};
 /// The trait is object-safe so audits can hold a heterogeneous list of
 /// strategies; implementations recover per-group counts from the table via
 /// [`GroupOutcomes::implied_counts`] when they need them (smoothing,
-/// posterior sampling).
-pub trait EpsilonEstimator {
+/// posterior sampling). `Send + Sync` is required so the bootstrap stage
+/// can evaluate the headline estimator from worker threads
+/// (see [`Audit::bootstrap_threads`]).
+pub trait EpsilonEstimator: Send + Sync {
     /// Short display name used in report columns (e.g. `eps-DF(a=1)`).
     fn name(&self) -> String;
 
@@ -258,9 +261,29 @@ pub struct Audit<'a> {
     subsets: Option<SubsetPolicy>,
     bootstrap: Option<(usize, u64)>,
     bootstrap_mass: f64,
+    bootstrap_threads: usize,
     baselines: Baselines,
     equalized: Option<(EqualizedOddsCounts, f64)>,
     reference_epsilon: Option<f64>,
+}
+
+/// Scans a counts table for NaN/infinite/negative cells, which would
+/// otherwise propagate NaN silently into ε. (`ContingencyTable::from_data`
+/// validates, but `add` is unchecked for tally speed, so externally
+/// assembled counts can be corrupt.)
+fn validate_counts(counts: &JointCounts) -> Result<()> {
+    match counts
+        .table()
+        .data()
+        .iter()
+        .position(|v| !v.is_finite() || *v < 0.0)
+    {
+        Some(cell) => Err(DfError::CorruptCounts {
+            cell,
+            value: counts.table().data()[cell],
+        }),
+        None => Ok(()),
+    }
 }
 
 impl<'a> Audit<'a> {
@@ -271,6 +294,7 @@ impl<'a> Audit<'a> {
             subsets: None,
             bootstrap: None,
             bootstrap_mass: 0.95,
+            bootstrap_threads: 1,
             baselines: Baselines::none(),
             equalized: None,
             reference_epsilon: None,
@@ -282,9 +306,78 @@ impl<'a> Audit<'a> {
         Self::with_source(Source::Counts(counts))
     }
 
-    /// Audits owned joint counts (used by frame-level entry points).
-    pub fn of_counts(counts: JointCounts) -> Audit<'static> {
-        Audit::with_source(Source::OwnedCounts(counts))
+    /// Audits owned joint counts (used by frame-level and streaming entry
+    /// points). Rejects tables containing NaN, infinite, or negative cells
+    /// with [`DfError::CorruptCounts`] — ε over such a table would be NaN.
+    pub fn of_counts(counts: JointCounts) -> Result<Audit<'static>> {
+        validate_counts(&counts)?;
+        Ok(Audit::with_source(Source::OwnedCounts(counts)))
+    }
+
+    /// Audits a stream of record chunks, tallied by `threads` parallel
+    /// shards (see [`crate::stream::sharded_joint_counts`] for the engine
+    /// and determinism guarantees).
+    ///
+    /// * `axes` — outcome axis plus one axis per protected attribute, in
+    ///   the order chunk records are laid out.
+    /// * `outcome_axis` — which of `axes` holds the outcome.
+    /// * `chunks` — an iterator of fallible [`Tally`] chunks (df-data's
+    ///   `FrameChunks`/`CsvChunks`, or any custom source).
+    ///
+    /// The resulting audit is indistinguishable from one built on
+    /// [`Audit::of_counts`] with a single-pass tally: counts merge as a
+    /// commutative monoid, so the report is byte-identical for every
+    /// shard count.
+    ///
+    /// ```
+    /// use df_core::builder::{Audit, Smoothed};
+    /// use df_prob::contingency::Axis;
+    /// use df_prob::partial::{PartialCounts, Tally};
+    ///
+    /// struct Rows(Vec<[usize; 2]>);
+    /// impl Tally for Rows {
+    ///     fn tally_into(&self, shard: &mut PartialCounts) -> df_prob::Result<()> {
+    ///         for idx in &self.0 {
+    ///             shard.record(idx);
+    ///         }
+    ///         Ok(())
+    ///     }
+    /// }
+    ///
+    /// let axes = vec![
+    ///     Axis::from_strs("y", &["no", "yes"]).unwrap(),
+    ///     Axis::from_strs("g", &["a", "b"]).unwrap(),
+    /// ];
+    /// let chunks: Vec<df_core::Result<Rows>> = vec![
+    ///     Ok(Rows(vec![[0, 0], [1, 0], [1, 1]])),
+    ///     Ok(Rows(vec![[0, 1], [1, 1]])),
+    /// ];
+    /// let report = Audit::of_stream("y", axes, chunks, 2)
+    ///     .unwrap()
+    ///     .estimator(Smoothed { alpha: 1.0 })
+    ///     .run()
+    ///     .unwrap();
+    /// assert_eq!(report.n_records, Some(5));
+    /// ```
+    pub fn of_stream<C, E, I>(
+        outcome_axis: &str,
+        axes: Vec<df_prob::contingency::Axis>,
+        chunks: I,
+        threads: usize,
+    ) -> Result<Audit<'static>>
+    where
+        C: Tally + Send,
+        E: Send,
+        DfError: From<E>,
+        I: IntoIterator<Item = std::result::Result<C, E>>,
+        I::IntoIter: Send,
+    {
+        Audit::of_counts(crate::stream::sharded_joint_counts(
+            axes,
+            outcome_axis,
+            chunks,
+            threads,
+        )?)
     }
 
     /// Audits a raw group-outcome table directly. Weights are interpreted
@@ -348,6 +441,16 @@ impl<'a> Audit<'a> {
         self
     }
 
+    /// Runs the bootstrap replicates on `threads` worker threads
+    /// (default 1). Per-replicate RNG streams are forked deterministically
+    /// from the bootstrap seed, so every thread count produces the
+    /// bit-identical [`BootstrapEpsilon`] — parallelism only changes
+    /// wall-clock time.
+    pub fn bootstrap_threads(mut self, threads: usize) -> Self {
+        self.bootstrap_threads = threads;
+        self
+    }
+
     /// Configures the §7 comparison baselines.
     pub fn baselines(mut self, baselines: Baselines) -> Self {
         self.baselines = baselines;
@@ -377,6 +480,7 @@ impl<'a> Audit<'a> {
             subsets: subset_policy,
             bootstrap: bootstrap_cfg,
             bootstrap_mass,
+            bootstrap_threads,
             baselines,
             equalized,
             reference_epsilon,
@@ -386,6 +490,11 @@ impl<'a> Audit<'a> {
             Source::OwnedCounts(c) => Some(c),
             Source::Table(_) => None,
         };
+        // Owned sources were validated at construction; borrowed counts may
+        // have been mutated since, so re-check before computing ε.
+        if let Some(c) = counts {
+            validate_counts(c)?;
+        }
         let raw_full = match (&source, counts) {
             (_, Some(c)) => c.group_outcomes(0.0)?,
             (Source::Table(t), None) => t.clone(),
@@ -553,11 +662,12 @@ impl<'a> Audit<'a> {
         let bootstrap = match (bootstrap_cfg, counts) {
             (Some((replicates, seed)), Some(c)) => {
                 let mut rng = Pcg32::new(seed);
-                Some(bootstrap_epsilon_with(
+                Some(bootstrap_epsilon_sharded(
                     c,
                     replicates,
                     bootstrap_mass,
                     &mut rng,
+                    bootstrap_threads,
                     &|jc| Ok(headline_est.estimate(&jc.group_outcomes(0.0)?)?.epsilon),
                 )?)
             }
@@ -1028,6 +1138,104 @@ mod tests {
         let summary = report.render_summary();
         assert!(summary.contains("records audited: 700"), "{summary}");
         assert!(!summary.contains("700.0"), "count display must be exact");
+    }
+
+    #[test]
+    fn of_counts_rejects_corrupt_cells_with_typed_error() {
+        // `ContingencyTable::add` is unchecked for tally speed, so NaN and
+        // negative weights can corrupt externally assembled counts; the
+        // builder must refuse them instead of certifying ε = NaN.
+        let corrupt = |weight: f64| {
+            let axes = vec![
+                Axis::from_strs("y", &["0", "1"]).unwrap(),
+                Axis::from_strs("g", &["a", "b"]).unwrap(),
+            ];
+            let mut t = ContingencyTable::zeros(axes).unwrap();
+            t.increment(&[0, 0]);
+            t.increment(&[1, 1]);
+            t.add(&[1, 0], weight);
+            JointCounts::from_table(t, "y").unwrap()
+        };
+        let err = Audit::of_counts(corrupt(f64::NAN)).err().unwrap();
+        assert!(
+            matches!(err, DfError::CorruptCounts { cell: 2, value } if value.is_nan()),
+            "{err:?}"
+        );
+        let err = Audit::of_counts(corrupt(-3.0)).err().unwrap();
+        assert!(
+            matches!(
+                err,
+                DfError::CorruptCounts {
+                    cell: 2,
+                    value: -3.0
+                }
+            ),
+            "{err:?}"
+        );
+        let err = Audit::of_counts(corrupt(f64::INFINITY)).err().unwrap();
+        assert!(matches!(err, DfError::CorruptCounts { .. }), "{err:?}");
+        // The borrowed-counts path catches the same corruption at run().
+        let counts = corrupt(f64::NAN);
+        let err = Audit::of(&counts).run().unwrap_err();
+        assert!(matches!(err, DfError::CorruptCounts { .. }), "{err:?}");
+        // Healthy counts still flow through.
+        assert!(Audit::of_counts(corrupt(1.0)).is_ok());
+    }
+
+    #[test]
+    fn of_stream_matches_of_counts_byte_for_byte() {
+        struct Rows(Vec<[usize; 3]>);
+        impl df_prob::partial::Tally for Rows {
+            fn tally_into(
+                &self,
+                shard: &mut df_prob::partial::PartialCounts,
+            ) -> df_prob::Result<()> {
+                for idx in &self.0 {
+                    shard.record(idx);
+                }
+                Ok(())
+            }
+        }
+        // Table 1 as a record stream.
+        let counts = table1();
+        let mut rows: Vec<[usize; 3]> = Vec::new();
+        for (idx, v) in counts.table().iter_cells() {
+            for _ in 0..v as usize {
+                rows.push([idx[0], idx[1], idx[2]]);
+            }
+        }
+        let axes = counts.table().axes().to_vec();
+        for threads in [1, 2, 4] {
+            let chunks: Vec<Result<Rows>> = rows.chunks(97).map(|c| Ok(Rows(c.to_vec()))).collect();
+            let streamed = Audit::of_stream("outcome", axes.clone(), chunks, threads)
+                .unwrap()
+                .bootstrap(25, 7)
+                .run()
+                .unwrap();
+            let batch = Audit::of(&counts).bootstrap(25, 7).run().unwrap();
+            assert_eq!(streamed, batch, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_bootstrap_is_deterministic_across_thread_counts() {
+        let counts = table1();
+        let serial = Audit::of(&counts)
+            .bootstrap(40, 11)
+            .run()
+            .unwrap()
+            .bootstrap
+            .unwrap();
+        for threads in [2, 4] {
+            let par = Audit::of(&counts)
+                .bootstrap(40, 11)
+                .bootstrap_threads(threads)
+                .run()
+                .unwrap()
+                .bootstrap
+                .unwrap();
+            assert_eq!(par, serial, "threads={threads}");
+        }
     }
 
     #[test]

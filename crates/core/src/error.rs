@@ -18,6 +18,14 @@ pub enum DfError {
         /// Actually present.
         present: usize,
     },
+    /// A counts table held a NaN, infinite, or negative cell — ε over such
+    /// a table would silently propagate NaN instead of certifying anything.
+    CorruptCounts {
+        /// Flat (row-major) index of the first offending cell.
+        cell: usize,
+        /// The offending value.
+        value: f64,
+    },
     /// An invalid argument with a description.
     Invalid(String),
 }
@@ -34,6 +42,11 @@ impl fmt::Display for DfError {
                 needed,
                 present,
             } => write!(f, "need at least {needed} {what}, got {present}"),
+            DfError::CorruptCounts { cell, value } => write!(
+                f,
+                "counts table holds invalid value {value} at flat cell {cell}; \
+                 counts must be finite and non-negative"
+            ),
             DfError::Invalid(msg) => write!(f, "{msg}"),
         }
     }
@@ -73,5 +86,10 @@ mod tests {
         assert!(e.to_string().contains("2"));
         let e: DfError = df_prob::ProbError::EmptyTable("x").into();
         assert!(e.to_string().contains("probability substrate"));
+        let e = DfError::CorruptCounts {
+            cell: 3,
+            value: f64::NAN,
+        };
+        assert!(e.to_string().contains("cell 3"));
     }
 }

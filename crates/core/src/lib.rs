@@ -90,6 +90,7 @@ pub mod error;
 pub mod mechanism;
 pub mod privacy;
 pub mod report;
+pub mod stream;
 pub mod subsets;
 pub mod theta;
 

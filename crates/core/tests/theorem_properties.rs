@@ -99,4 +99,86 @@ proptest! {
         let limit = subset_audit(&jc, 1e7).unwrap();
         prop_assert!(limit.full_intersection().result.epsilon < 1e-4);
     }
+
+    /// Theorem 3.1/3.2 lattice law on the plug-in estimator: for arbitrary
+    /// strictly positive tables, every proper subset's ε is at most twice
+    /// the full intersection's — and, for exact marginalization, at most
+    /// the full ε itself (the sharpened convexity bound).
+    #[test]
+    fn every_subset_respects_the_2eps_bound(
+        cells in proptest::collection::vec(1u32..200, 8),
+    ) {
+        let data: Vec<f64> = cells.into_iter().map(f64::from).collect();
+        let audit = subset_audit(&counts_from(data), 0.0).unwrap();
+        prop_assert!(audit.verify_bound(1e-9).is_empty());
+        prop_assert!(audit.verify_sharpened_bound(1e-9).is_empty());
+        if let Some(t) = audit.bound_tightness() {
+            prop_assert!(t <= 2.0 + 1e-9, "tightness {t} exceeds the theorem");
+        }
+    }
+
+    /// ε = 0 when every group row is identical: build the joint as an
+    /// outer product `P(y)·P(s)` so all conditionals agree exactly — the
+    /// perfectly fair pole of the lattice, for every subset.
+    #[test]
+    fn identical_group_rows_have_zero_epsilon(
+        y_weights in proptest::collection::vec(1u32..50, 2),
+        g_weights in proptest::collection::vec(1u32..50, 4),
+    ) {
+        let mut data = Vec::with_capacity(8);
+        for &y in &y_weights {
+            for &g in &g_weights {
+                data.push(f64::from(y) * f64::from(g));
+            }
+        }
+        let audit = subset_audit(&counts_from(data), 0.0).unwrap();
+        for s in &audit.subsets {
+            prop_assert!(
+                s.result.epsilon.abs() < 1e-12,
+                "subset {:?}: eps {} should vanish on a product table",
+                s.attributes,
+                s.result.epsilon
+            );
+        }
+    }
+
+    /// ε is invariant under permuting category labels: relabeling outcomes
+    /// (reversing the outcome axis) and relabeling groups (reversing an
+    /// attribute axis) permutes cells without changing any probability
+    /// ratio, so every subset's ε is preserved exactly. Monotonicity under
+    /// relabeling follows a fortiori: no permutation can increase ε.
+    #[test]
+    fn epsilon_is_invariant_under_label_permutation(
+        cells in proptest::collection::vec(1u32..120, 8),
+    ) {
+        let data: Vec<f64> = cells.into_iter().map(f64::from).collect();
+        let base = subset_audit(&counts_from(data.clone()), 0.0).unwrap();
+
+        // Swap the outcome labels: data layout [y][a][b] → swap the two
+        // y-planes of 4 cells each.
+        let mut y_swapped = data.clone();
+        y_swapped.rotate_left(4);
+        let y_audit = subset_audit(&counts_from(y_swapped), 0.0).unwrap();
+
+        // Swap attribute a's labels: swap cells within each y-plane.
+        let mut a_swapped = data.clone();
+        for plane in 0..2 {
+            for j in 0..2 {
+                a_swapped.swap(plane * 4 + j, plane * 4 + 2 + j);
+            }
+        }
+        let a_audit = subset_audit(&counts_from(a_swapped), 0.0).unwrap();
+
+        for (label, permuted) in [("outcome", &y_audit), ("attribute", &a_audit)] {
+            for (s, p) in base.subsets.iter().zip(&permuted.subsets) {
+                prop_assert!(
+                    (s.result.epsilon - p.result.epsilon).abs() < 1e-12,
+                    "{label} relabeling changed eps for {:?}: {} vs {}",
+                    s.attributes,
+                    s.result.epsilon,
+                    p.result.epsilon
+                );
+            }
+        }
+    }
 }

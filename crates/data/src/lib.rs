@@ -7,6 +7,9 @@
 //!   interning, filtering, splitting, and contingency-table extraction.
 //! - [`csv`]: from-scratch CSV reader/writer handling the UCI Adult format's
 //!   quirks (", " separators, `?` missing markers, trailing periods).
+//! - [`chunks`]: chunked record sources for the streaming audit engine —
+//!   zero-copy frame batches and a streaming CSV reader that never
+//!   materializes the full table.
 //! - [`encode`]: one-hot encoding and standardization into dense feature
 //!   matrices for the learners.
 //! - [`protected`]: protected-attribute preparation — category merging
@@ -25,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod adult;
+pub mod chunks;
 pub mod csv;
 pub mod encode;
 pub mod error;

@@ -68,6 +68,100 @@ pub fn planted_epsilon_rates(n_groups: usize, base_rate: f64, eps: f64) -> Resul
     Ok((rates, eps.max(comp)))
 }
 
+/// A synthetic row-level audit workload: a frame of `n_rows` categorical
+/// records over `outcome × attr0 × … × attr{p-1}`, with mildly skewed
+/// category frequencies (squared-uniform draws) so the tallied table has
+/// realistic imbalance without empty cells at scale.
+///
+/// Column names and vocabularies match [`random_joint_counts`]
+/// (`outcome` with labels `y0…`, `attr{k}` with labels `v0…`), so the same
+/// axes describe both workloads. This is the generator behind the
+/// million-row streaming-ingestion benchmark.
+pub fn synthetic_audit_frame(
+    rng: &mut Pcg32,
+    n_rows: usize,
+    n_outcomes: usize,
+    arities: &[usize],
+) -> Result<crate::frame::DataFrame> {
+    use crate::frame::{Column, DataFrame};
+    if n_rows == 0 || n_outcomes < 2 || arities.is_empty() {
+        return Err(DataError::Invalid(
+            "need >=1 row, >=2 outcomes, >=1 attribute".into(),
+        ));
+    }
+    if arities.contains(&0) {
+        return Err(DataError::Invalid(
+            "attribute arities must be positive".into(),
+        ));
+    }
+    // Squared-uniform skew: code = ⌊u²·a⌋ gives P(k) = √((k+1)/a) − √(k/a),
+    // decreasing in k — category 0 is the most common (≈ 1/√a mass).
+    let mut draw_codes = |arity: usize| -> Vec<u32> {
+        (0..n_rows)
+            .map(|_| {
+                let u = rng.next_f64();
+                ((u * u * arity as f64) as usize).min(arity - 1) as u32
+            })
+            .collect()
+    };
+    let mut columns = Vec::with_capacity(arities.len() + 1);
+    columns.push(Column::categorical_from_codes(
+        "outcome",
+        draw_codes(n_outcomes),
+        (0..n_outcomes).map(|i| format!("y{i}")).collect(),
+    )?);
+    for (k, &a) in arities.iter().enumerate() {
+        columns.push(Column::categorical_from_codes(
+            format!("attr{k}"),
+            draw_codes(a),
+            (0..a).map(|i| format!("v{i}")).collect(),
+        )?);
+    }
+    DataFrame::new(columns)
+}
+
+/// Renders the named categorical columns of a frame as headerless CSV —
+/// the on-disk shape consumed by the streaming CSV reader
+/// (`df_data::chunks::CsvChunks`). Used to build large ingestion
+/// benchmarks without shipping data files.
+pub fn frame_to_csv(frame: &crate::frame::DataFrame, columns: &[&str]) -> Result<String> {
+    let cols: Vec<(&[u32], &[String])> = columns
+        .iter()
+        .map(|n| frame.column(n)?.as_categorical())
+        .collect::<Result<_>>()?;
+    if cols.is_empty() {
+        return Err(DataError::Invalid("need at least one column".into()));
+    }
+    // Pre-quote each vocabulary entry once (RFC-4180), so labels containing
+    // delimiters, quotes, or newlines survive the round trip.
+    let quoted: Vec<Vec<String>> = cols
+        .iter()
+        .map(|(_, vocab)| {
+            vocab
+                .iter()
+                .map(|label| {
+                    if label.contains([',', '"', '\n', '\r']) {
+                        format!("\"{}\"", label.replace('"', "\"\""))
+                    } else {
+                        label.clone()
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let mut out = String::with_capacity(frame.n_rows() * columns.len() * 4);
+    for row in 0..frame.n_rows() {
+        for (k, (codes, _)) in cols.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            out.push_str(&quoted[k][codes[row] as usize]);
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
 /// Score populations for threshold-mechanism workloads: per-group Gaussian
 /// test-score distributions, as in the paper's Figure 2.
 #[derive(Debug, Clone)]
@@ -156,6 +250,49 @@ mod tests {
         assert!(planted_epsilon_rates(1, 0.3, 1.0).is_err());
         assert!(planted_epsilon_rates(3, 0.0, 1.0).is_err());
         assert!(planted_epsilon_rates(3, 0.3, -1.0).is_err());
+    }
+
+    #[test]
+    fn synthetic_audit_frame_shape_and_coverage() {
+        let mut rng = Pcg32::new(3);
+        let frame = synthetic_audit_frame(&mut rng, 5_000, 2, &[2, 3]).unwrap();
+        assert_eq!(frame.n_rows(), 5_000);
+        assert_eq!(frame.column_names(), vec!["outcome", "attr0", "attr1"]);
+        let t = frame.contingency(&["outcome", "attr0", "attr1"]).unwrap();
+        assert_eq!(t.total(), 5_000.0);
+        // At this scale every cell should be populated.
+        assert!(t.data().iter().all(|&v| v > 0.0));
+        assert!(synthetic_audit_frame(&mut rng, 0, 2, &[2]).is_err());
+        assert!(synthetic_audit_frame(&mut rng, 10, 1, &[2]).is_err());
+        assert!(synthetic_audit_frame(&mut rng, 10, 2, &[]).is_err());
+        assert!(synthetic_audit_frame(&mut rng, 10, 2, &[0]).is_err());
+    }
+
+    #[test]
+    fn frame_to_csv_round_trips_through_contingency() {
+        let mut rng = Pcg32::new(4);
+        let frame = synthetic_audit_frame(&mut rng, 200, 2, &[2]).unwrap();
+        let csv = frame_to_csv(&frame, &["outcome", "attr0"]).unwrap();
+        assert_eq!(csv.lines().count(), 200);
+        let records = crate::csv::read_str(&csv, &crate::csv::CsvOptions::default()).unwrap();
+        assert_eq!(records.len(), 200);
+        assert!(frame_to_csv(&frame, &[]).is_err());
+        assert!(frame_to_csv(&frame, &["nope"]).is_err());
+    }
+
+    #[test]
+    fn frame_to_csv_quotes_metacharacter_labels() {
+        use crate::frame::{Column, DataFrame};
+        let frame = DataFrame::new(vec![
+            Column::categorical("y", &["no", "yes"]),
+            Column::categorical("job", &["self-emp, inc", "say \"hi\""]),
+        ])
+        .unwrap();
+        let csv = frame_to_csv(&frame, &["y", "job"]).unwrap();
+        let records = crate::csv::read_str(&csv, &crate::csv::CsvOptions::default()).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0], vec!["no", "self-emp, inc"]);
+        assert_eq!(records[1], vec!["yes", "say \"hi\""]);
     }
 
     #[test]

@@ -211,6 +211,115 @@ impl ContingencyTable {
         self.add(idx, 1.0);
     }
 
+    /// Bulk-tallies a batch of coded records laid out column-major: one
+    /// code slice per axis, all of equal length, each code indexing that
+    /// axis's labels. Every record gets weight 1.
+    ///
+    /// This is the streaming hot path. It runs columnar on purpose — one
+    /// multiply-add sweep per axis accumulating flat indices, then one
+    /// scatter pass — which the compiler vectorizes, unlike the per-row
+    /// `increment` loop that re-derives the stride arithmetic (and its
+    /// bounds checks) for every record.
+    pub fn tally_codes(&mut self, columns: &[&[u32]]) -> Result<()> {
+        if columns.len() != self.axes.len() {
+            return Err(ProbError::ShapeMismatch {
+                context: "tally_codes: one code column per axis",
+                expected: self.axes.len(),
+                actual: columns.len(),
+            });
+        }
+        // Code-range validation as a dedicated max-reduction per column —
+        // a branchless sweep the compiler turns into SIMD max, unlike a
+        // running max folded into the accumulation arithmetic (which blocks
+        // vectorization of the hot loops).
+        for (col, axis) in columns.iter().zip(&self.axes) {
+            let max_code = col.iter().copied().max().unwrap_or(0);
+            if max_code as usize >= axis.len() {
+                return Err(ProbError::InvalidParameter {
+                    name: "columns",
+                    reason: format!(
+                        "code {max_code} out of range for axis `{}` ({} labels)",
+                        axis.name(),
+                        axis.len()
+                    ),
+                });
+            }
+        }
+        self.tally_codes_trusted(columns)
+    }
+
+    /// [`ContingencyTable::tally_codes`] without the per-code range scan —
+    /// for callers whose codes are in-range *by construction* (e.g. a
+    /// column interned against the very vocabulary the axis was built
+    /// from), where re-reading every code just to validate it would double
+    /// the memory traffic of the hot path.
+    ///
+    /// Shape requirements (one column per axis, equal lengths) are still
+    /// checked. A contract violation — a code not indexing its axis — is
+    /// memory-safe but may tally a wrong cell or panic on a slice bounds
+    /// check; it is never undefined behavior.
+    pub fn tally_codes_trusted(&mut self, columns: &[&[u32]]) -> Result<()> {
+        if columns.len() != self.axes.len() {
+            return Err(ProbError::ShapeMismatch {
+                context: "tally_codes: one code column per axis",
+                expected: self.axes.len(),
+                actual: columns.len(),
+            });
+        }
+        let n = columns[0].len();
+        for col in columns {
+            if col.len() != n {
+                return Err(ProbError::ShapeMismatch {
+                    context: "tally_codes: column lengths",
+                    expected: n,
+                    actual: col.len(),
+                });
+            }
+        }
+        debug_assert!(columns
+            .iter()
+            .zip(&self.axes)
+            .all(|(col, axis)| col.iter().all(|&c| (c as usize) < axis.len())));
+        // Columnar flat-index accumulation, flat[r] = Σ_k codes[k][r]·stride[k],
+        // with axes processed in fused *pairs* to halve the sweeps over the
+        // flat-index buffer.
+        let ndim = self.axes.len();
+        let mut flats: Vec<usize> = Vec::with_capacity(n);
+        if ndim >= 2 {
+            let (s0, s1) = (self.strides[0], self.strides[1]);
+            flats.extend(
+                columns[0]
+                    .iter()
+                    .zip(columns[1])
+                    .map(|(&a, &b)| a as usize * s0 + b as usize * s1),
+            );
+        } else {
+            let stride = self.strides[0];
+            flats.extend(columns[0].iter().map(|&a| a as usize * stride));
+        }
+        let mut k = 2;
+        while k < ndim {
+            if k + 1 < ndim {
+                let (sa, sb) = (self.strides[k], self.strides[k + 1]);
+                for (flat, (&a, &b)) in flats.iter_mut().zip(columns[k].iter().zip(columns[k + 1]))
+                {
+                    *flat += a as usize * sa + b as usize * sb;
+                }
+                k += 2;
+            } else {
+                let stride = self.strides[k];
+                for (flat, &a) in flats.iter_mut().zip(columns[k]) {
+                    *flat += a as usize * stride;
+                }
+                k += 1;
+            }
+        }
+        for &flat in &flats {
+            self.data[flat] += 1.0;
+        }
+        Ok(())
+    }
+
     /// Looks up label indices by name and increments the matching cell.
     pub fn increment_by_labels(&mut self, labels: &[&str]) -> Result<()> {
         if labels.len() != self.axes.len() {
@@ -370,6 +479,41 @@ impl ContingencyTable {
             *v *= factor;
         }
         Ok(())
+    }
+
+    /// Cell-wise adds another table into this one. Both tables must have
+    /// identical axes (same names, same label order); errors otherwise.
+    ///
+    /// This is the merge step of the sharded counting monoid (see
+    /// [`crate::partial`]): counts are additive, so per-shard tables sum to
+    /// exactly the table a single-pass tally would have produced.
+    pub fn merge_from(&mut self, other: &ContingencyTable) -> Result<()> {
+        if self.axes != other.axes {
+            return Err(ProbError::InvalidParameter {
+                name: "other",
+                reason: "cannot merge tables with different axes".into(),
+            });
+        }
+        for (dst, &src) in self.data.iter_mut().zip(&other.data) {
+            *dst += src;
+        }
+        Ok(())
+    }
+
+    /// Folds any number of partial-count shards into one table. All shards
+    /// must share identical axes; errors on an empty iterator or a
+    /// mismatch.
+    pub fn from_partials<I>(partials: I) -> Result<ContingencyTable>
+    where
+        I: IntoIterator<Item = crate::partial::PartialCounts>,
+    {
+        let mut iter = partials.into_iter();
+        let first = iter.next().ok_or(ProbError::EmptyTable("from_partials"))?;
+        let mut table = first.into_table();
+        for shard in iter {
+            table.merge_from(shard.table())?;
+        }
+        Ok(table)
     }
 
     /// Adds `alpha` to every cell (Dirichlet/Laplace smoothing of counts).
@@ -538,6 +682,101 @@ mod tests {
         assert_eq!(t.get(&[0, 1]), 1.0);
         assert!(t.increment_by_labels(&["yes"]).is_err());
         assert!(t.increment_by_labels(&["yes", "x"]).is_err());
+    }
+
+    #[test]
+    fn tally_codes_matches_per_row_increments() {
+        // Three axes of arities 2, 3, 2 — exercises the fused-pair sweep
+        // plus the trailing odd column.
+        let axes = vec![
+            Axis::from_strs("y", &["0", "1"]).unwrap(),
+            Axis::from_strs("a", &["p", "q", "r"]).unwrap(),
+            Axis::from_strs("b", &["x", "z"]).unwrap(),
+        ];
+        let cols: [Vec<u32>; 3] = [
+            vec![0, 1, 1, 0, 1, 0, 0],
+            vec![2, 0, 1, 1, 2, 0, 2],
+            vec![1, 1, 0, 0, 1, 0, 1],
+        ];
+        let mut bulk = ContingencyTable::zeros(axes.clone()).unwrap();
+        bulk.tally_codes(&[&cols[0], &cols[1], &cols[2]]).unwrap();
+        let mut slow = ContingencyTable::zeros(axes).unwrap();
+        for ((&y, &a), &b) in cols[0].iter().zip(&cols[1]).zip(&cols[2]) {
+            slow.increment(&[y as usize, a as usize, b as usize]);
+        }
+        assert_eq!(bulk, slow);
+        assert_eq!(bulk.total(), 7.0);
+        // The trusted path produces the same table on in-contract input.
+        let mut trusted = ContingencyTable::zeros(bulk.axes().to_vec()).unwrap();
+        trusted
+            .tally_codes_trusted(&[&cols[0], &cols[1], &cols[2]])
+            .unwrap();
+        assert_eq!(trusted, slow);
+    }
+
+    #[test]
+    fn tally_codes_validates() {
+        let axes = vec![
+            Axis::from_strs("y", &["0", "1"]).unwrap(),
+            Axis::from_strs("g", &["a", "b"]).unwrap(),
+        ];
+        let mut t = ContingencyTable::zeros(axes).unwrap();
+        // Wrong column count.
+        assert!(t.tally_codes(&[&[0, 1][..]]).is_err());
+        assert!(t.tally_codes_trusted(&[&[0, 1][..]]).is_err());
+        // Mismatched lengths.
+        assert!(t.tally_codes(&[&[0, 1][..], &[0][..]]).is_err());
+        assert!(t.tally_codes_trusted(&[&[0, 1][..], &[0][..]]).is_err());
+        // Out-of-range code caught by the validated path before any cell
+        // is touched.
+        assert!(t.tally_codes(&[&[0, 2][..], &[0, 1][..]]).is_err());
+        assert_eq!(t.total(), 0.0);
+        // Single-axis table takes the non-paired init path.
+        let mut one =
+            ContingencyTable::zeros(vec![Axis::from_strs("y", &["0", "1", "2"]).unwrap()]).unwrap();
+        one.tally_codes(&[&[2, 2, 0][..]]).unwrap();
+        assert_eq!(one.get(&[2]), 2.0);
+        // Empty batch is a no-op.
+        one.tally_codes(&[&[][..]]).unwrap();
+        assert_eq!(one.total(), 3.0);
+    }
+
+    #[test]
+    fn merge_from_adds_cellwise_and_validates_axes() {
+        let mut a = table_2x3();
+        let b = table_2x3();
+        a.merge_from(&b).unwrap();
+        assert!(approx_eq(a.total(), 42.0, 1e-14, 0.0));
+        assert_eq!(a.get(&[1, 2]), 12.0);
+        let other = ContingencyTable::zeros(vec![
+            Axis::from_strs("outcome", &["no", "yes"]).unwrap(),
+            Axis::from_strs("group", &["a", "b"]).unwrap(),
+        ])
+        .unwrap();
+        assert!(a.merge_from(&other).is_err());
+    }
+
+    #[test]
+    fn from_partials_folds_shards() {
+        use crate::partial::PartialCounts;
+        let axes = || {
+            vec![
+                Axis::from_strs("y", &["0", "1"]).unwrap(),
+                Axis::from_strs("g", &["a", "b"]).unwrap(),
+            ]
+        };
+        let mut s1 = PartialCounts::zeros(axes()).unwrap();
+        let mut s2 = PartialCounts::zeros(axes()).unwrap();
+        s1.record(&[0, 0]);
+        s1.record(&[1, 1]);
+        s2.record(&[1, 1]);
+        let t = ContingencyTable::from_partials(vec![s1, s2]).unwrap();
+        assert_eq!(t.get(&[1, 1]), 2.0);
+        assert_eq!(t.total(), 3.0);
+        assert!(matches!(
+            ContingencyTable::from_partials(std::iter::empty()),
+            Err(ProbError::EmptyTable(_))
+        ));
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //!   estimators (the smoothing model of Eq. 7 in the paper).
 //! - [`mcmc`]: posterior samplers and chain diagnostics used to build the
 //!   distribution class Θ from data.
+//! - [`partial`]: mergeable partial counts — the commutative monoid behind
+//!   sharded/streaming tallying of joint counts.
 //! - [`summary`]: streaming moments and quantiles.
 //!
 //! The crate is `no_unsafe` by policy and deterministic by construction: all
@@ -35,10 +37,12 @@ pub mod estimate;
 pub mod ipf;
 pub mod mcmc;
 pub mod numerics;
+pub mod partial;
 pub mod rng;
 pub mod special;
 pub mod summary;
 
 pub use contingency::ContingencyTable;
 pub use error::{ProbError, Result};
+pub use partial::{PartialCounts, Tally};
 pub use rng::{DfRng, Pcg32, SplitMix64};

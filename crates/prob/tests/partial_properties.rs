@@ -1,0 +1,118 @@
+//! Property tests for the partial-counts monoid: the algebraic laws the
+//! sharded streaming engine relies on. Merge must be associative and
+//! commutative with `zeros` as identity — for *arbitrary* shapes, record
+//! placements, and weights — or shard-count invariance of the audit would
+//! be a coincidence instead of a theorem.
+//!
+//! Case budget: `PROPTEST_CASES` (default 48) — see CI.
+
+use df_prob::contingency::{Axis, ContingencyTable};
+use df_prob::partial::PartialCounts;
+use proptest::prelude::*;
+
+/// Axes with 2–4 categories per axis, 1–3 axes.
+fn axes_from(arities: &[usize]) -> Vec<Axis> {
+    arities
+        .iter()
+        .enumerate()
+        .map(|(k, &a)| {
+            Axis::new(format!("ax{k}"), (0..a).map(|i| format!("c{i}")).collect()).unwrap()
+        })
+        .collect()
+}
+
+/// Fills a shard with records decoded from a flat stream of cell picks.
+fn shard_of(arities: &[usize], picks: &[u64]) -> PartialCounts {
+    let mut shard = PartialCounts::zeros(axes_from(arities)).unwrap();
+    let mut idx = vec![0usize; arities.len()];
+    for &p in picks {
+        let mut rem = p as usize;
+        for (slot, &a) in idx.iter_mut().zip(arities) {
+            *slot = rem % a;
+            rem /= a;
+        }
+        shard.record(&idx);
+    }
+    shard
+}
+
+proptest! {
+    /// a ⊕ b = b ⊕ a, exactly (integer counts are exact in f64).
+    #[test]
+    fn merge_is_commutative(
+        arity0 in 2usize..5,
+        arity1 in 2usize..5,
+        picks_a in proptest::collection::vec(any::<u64>(), 0..60),
+        picks_b in proptest::collection::vec(any::<u64>(), 0..60),
+    ) {
+        let arities = [arity0, arity1];
+        let a = shard_of(&arities, &picks_a);
+        let b = shard_of(&arities, &picks_b);
+        let mut ab = a.clone();
+        ab.merge(&b).unwrap();
+        let mut ba = b.clone();
+        ba.merge(&a).unwrap();
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.total(), (picks_a.len() + picks_b.len()) as f64);
+    }
+
+    /// (a ⊕ b) ⊕ c = a ⊕ (b ⊕ c), exactly.
+    #[test]
+    fn merge_is_associative(
+        arity0 in 2usize..4,
+        arity1 in 2usize..4,
+        arity2 in 2usize..4,
+        picks_a in proptest::collection::vec(any::<u64>(), 0..40),
+        picks_b in proptest::collection::vec(any::<u64>(), 0..40),
+        picks_c in proptest::collection::vec(any::<u64>(), 0..40),
+    ) {
+        let arities = [arity0, arity1, arity2];
+        let a = shard_of(&arities, &picks_a);
+        let b = shard_of(&arities, &picks_b);
+        let c = shard_of(&arities, &picks_c);
+        let mut left = a.clone();
+        left.merge(&b).unwrap();
+        left.merge(&c).unwrap();
+        let mut bc = b.clone();
+        bc.merge(&c).unwrap();
+        let mut right = a.clone();
+        right.merge(&bc).unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    /// zeros is a two-sided identity.
+    #[test]
+    fn zeros_is_identity(
+        arity in 2usize..6,
+        picks in proptest::collection::vec(any::<u64>(), 0..80),
+    ) {
+        let arities = [arity, 2];
+        let a = shard_of(&arities, &picks);
+        let zero = PartialCounts::zeros(axes_from(&arities)).unwrap();
+        let mut left = zero.clone();
+        left.merge(&a).unwrap();
+        let mut right = a.clone();
+        right.merge(&zero).unwrap();
+        prop_assert_eq!(&left, &a);
+        prop_assert_eq!(&right, &a);
+    }
+
+    /// Folding any partition of the records through `from_partials` equals
+    /// the single-shard tally — shard-count invariance at the table level.
+    #[test]
+    fn from_partials_is_partition_invariant(
+        arity in 2usize..5,
+        picks in proptest::collection::vec(any::<u64>(), 1..120),
+        n_shards in 1usize..7,
+    ) {
+        let arities = [2, arity];
+        let whole = shard_of(&arities, &picks).into_table();
+        let per_shard = picks.len().div_ceil(n_shards);
+        let shards: Vec<PartialCounts> = picks
+            .chunks(per_shard)
+            .map(|c| shard_of(&arities, c))
+            .collect();
+        let folded = ContingencyTable::from_partials(shards).unwrap();
+        prop_assert_eq!(folded, whole);
+    }
+}

@@ -104,6 +104,7 @@ pub use df_prob as prob;
 
 use df_core::builder::Audit;
 use df_core::JointCounts;
+use df_data::chunks::FrameChunks;
 use df_data::frame::DataFrame;
 
 /// Frame-level entry points for the [`Audit`] builder, where the data layer
@@ -115,6 +116,19 @@ pub trait FrameAudits {
         frame: &DataFrame,
         outcome: &str,
         attrs: &[&str],
+    ) -> df_core::Result<Audit<'static>>;
+
+    /// Streaming twin of [`FrameAudits::of_frame`]: tallies the frame in
+    /// `chunk_rows`-sized batches across `threads` parallel shards via
+    /// `Audit::of_stream`. Produces a byte-identical report to the batch
+    /// path for every chunk size and thread count (counts merge as a
+    /// commutative monoid).
+    fn of_frame_streaming(
+        frame: &DataFrame,
+        outcome: &str,
+        attrs: &[&str],
+        chunk_rows: usize,
+        threads: usize,
     ) -> df_core::Result<Audit<'static>>;
 }
 
@@ -130,7 +144,28 @@ impl FrameAudits for Audit<'static> {
         let table = frame
             .contingency(&columns)
             .map_err(|e| df_core::DfError::Invalid(e.to_string()))?;
-        Ok(Audit::of_counts(JointCounts::from_table(table, outcome)?))
+        Audit::of_counts(JointCounts::from_table(table, outcome)?)
+    }
+
+    fn of_frame_streaming(
+        frame: &DataFrame,
+        outcome: &str,
+        attrs: &[&str],
+        chunk_rows: usize,
+        threads: usize,
+    ) -> df_core::Result<Audit<'static>> {
+        let mut columns = Vec::with_capacity(attrs.len() + 1);
+        columns.push(outcome);
+        columns.extend_from_slice(attrs);
+        let into_core = |e: df_data::DataError| df_core::DfError::Invalid(e.to_string());
+        let chunks = FrameChunks::new(frame, &columns, chunk_rows).map_err(into_core)?;
+        let axes = chunks.axes().map_err(into_core)?;
+        Audit::of_stream(
+            outcome,
+            axes,
+            chunks.map(Ok::<_, df_core::DfError>),
+            threads,
+        )
     }
 }
 
@@ -159,12 +194,14 @@ pub mod prelude {
         ProtectedSpace,
     };
     pub use df_data::adult;
+    pub use df_data::chunks::{CsvChunks, FrameChunks, LabelChunk};
     pub use df_data::frame::{Column, DataFrame};
     pub use df_data::workloads::GaussianScoreGroups;
     pub use df_learn::fair::{FairLogisticConfig, FairLogisticRegression};
     pub use df_learn::logistic::{LogisticConfig, LogisticRegression};
     pub use df_learn::threshold::ThresholdMechanism;
     pub use df_prob::contingency::{Axis, ContingencyTable};
+    pub use df_prob::partial::{PartialCounts, Tally};
     pub use df_prob::rng::{DfRng, Pcg32};
 }
 

@@ -1,0 +1,186 @@
+//! Property tests for the streaming/sharded audit engine: for *arbitrary*
+//! frames, chunk sizes, and thread counts, the streamed audit must be
+//! indistinguishable from the batch audit — same ε (to 1e-12; in fact the
+//! counts are bit-identical), same serialized report, byte for byte.
+//!
+//! Case budget: `PROPTEST_CASES` (default 48) — see CI.
+
+use differential_fairness::prelude::*;
+use proptest::prelude::*;
+
+/// A random categorical frame: outcome column (arity 2–3) plus 1–2
+/// protected attributes (arity 2–4), 1–120 rows, codes drawn arbitrarily.
+#[derive(Debug, Clone)]
+struct ArbitraryFrame {
+    outcome_arity: usize,
+    attr_arities: Vec<usize>,
+    raw: Vec<u64>,
+}
+
+impl ArbitraryFrame {
+    fn build(&self) -> DataFrame {
+        let n_rows = self.raw.len();
+        let col = |name: &str, arity: usize, salt: u64| {
+            let codes: Vec<u32> = self
+                .raw
+                .iter()
+                .map(|&r| ((r.rotate_left(salt as u32 * 13) ^ salt) % arity as u64) as u32)
+                .collect();
+            Column::categorical_from_codes(
+                name,
+                codes,
+                (0..arity).map(|i| format!("c{i}")).collect(),
+            )
+            .unwrap()
+        };
+        let mut columns = vec![col("outcome", self.outcome_arity, 1)];
+        for (k, &a) in self.attr_arities.iter().enumerate() {
+            columns.push(col(&format!("attr{k}"), a, k as u64 + 2));
+        }
+        assert_eq!(columns[0].len(), n_rows);
+        DataFrame::new(columns).unwrap()
+    }
+
+    fn attr_names(&self) -> Vec<String> {
+        (0..self.attr_arities.len())
+            .map(|k| format!("attr{k}"))
+            .collect()
+    }
+}
+
+fn run_batch(frame: &DataFrame, attrs: &[&str]) -> AuditReport {
+    Audit::of_frame(frame, "outcome", attrs)
+        .unwrap()
+        .estimator(Empirical)
+        .estimator(Smoothed { alpha: 1.0 })
+        .run()
+        .unwrap()
+}
+
+proptest! {
+    /// Streaming ≡ batch for every (chunk size, thread count) combination:
+    /// the reports serialize to the identical JSON byte string.
+    #[test]
+    fn streamed_audit_is_byte_identical_to_batch(
+        outcome_arity in 2usize..4,
+        attr_arity in 2usize..5,
+        n_attrs in 1usize..3,
+        raw in proptest::collection::vec(any::<u64>(), 1..120),
+        chunk_rows in 1usize..40,
+        threads in 1usize..5,
+    ) {
+        let spec = ArbitraryFrame {
+            outcome_arity,
+            attr_arities: vec![attr_arity; n_attrs],
+            raw,
+        };
+        let frame = spec.build();
+        let attr_names = spec.attr_names();
+        let attrs: Vec<&str> = attr_names.iter().map(String::as_str).collect();
+
+        let batch = run_batch(&frame, &attrs);
+        let streamed = Audit::of_frame_streaming(&frame, "outcome", &attrs, chunk_rows, threads)
+            .unwrap()
+            .estimator(Empirical)
+            .estimator(Smoothed { alpha: 1.0 })
+            .run()
+            .unwrap();
+
+        prop_assert!(
+            (streamed.epsilon.epsilon - batch.epsilon.epsilon).abs() < 1e-12
+                || (streamed.epsilon.epsilon.is_infinite()
+                    && batch.epsilon.epsilon.is_infinite())
+        );
+        let batch_json = serde_json::to_string(&batch).unwrap();
+        let streamed_json = serde_json::to_string(&streamed).unwrap();
+        prop_assert_eq!(streamed_json, batch_json);
+    }
+
+    /// Shard-count invariance: the same stream tallied with 1–6 shards
+    /// yields one ε, to 1e-12 (the merged counts are in fact identical).
+    #[test]
+    fn epsilon_is_invariant_in_the_shard_count(
+        raw in proptest::collection::vec(any::<u64>(), 1..200),
+        chunk_rows in 1usize..25,
+    ) {
+        let spec = ArbitraryFrame {
+            outcome_arity: 2,
+            attr_arities: vec![2, 2],
+            raw,
+        };
+        let frame = spec.build();
+        let eps_of = |threads: usize| {
+            Audit::of_frame_streaming(
+                &frame,
+                "outcome",
+                &["attr0", "attr1"],
+                chunk_rows,
+                threads,
+            )
+            .unwrap()
+            .estimator(Smoothed { alpha: 1.0 })
+            .run()
+            .unwrap()
+            .epsilon
+            .epsilon
+        };
+        let reference = eps_of(1);
+        for threads in 2..=6 {
+            let eps = eps_of(threads);
+            prop_assert!(
+                (eps - reference).abs() < 1e-12,
+                "threads={threads}: {eps} vs {reference}"
+            );
+        }
+    }
+
+    /// The streaming CSV reader agrees with the in-memory paths: parsing
+    /// the frame's CSV rendering in fixed-size batches tallies the same
+    /// report as the frame itself.
+    #[test]
+    fn csv_stream_matches_frame_audit(
+        raw in proptest::collection::vec(any::<u64>(), 1..80),
+        chunk_rows in 1usize..20,
+        threads in 1usize..4,
+    ) {
+        let spec = ArbitraryFrame {
+            outcome_arity: 2,
+            attr_arities: vec![3],
+            raw,
+        };
+        let frame = spec.build();
+        let batch = run_batch(&frame, &["attr0"]);
+
+        let csv = differential_fairness::data::workloads::frame_to_csv(
+            &frame,
+            &["outcome", "attr0"],
+        )
+        .unwrap();
+        let chunks = CsvChunks::new(
+            csv.as_bytes(),
+            differential_fairness::data::csv::CsvOptions::default(),
+            chunk_rows,
+        )
+        .unwrap();
+        let axes = FrameChunks::new(&frame, &["outcome", "attr0"], 1)
+            .unwrap()
+            .axes()
+            .unwrap();
+        let streamed = Audit::of_stream(
+            "outcome",
+            axes,
+            chunks.map(|r| r.map_err(|e| DfError::Invalid(e.to_string()))),
+            threads,
+        )
+        .unwrap()
+        .estimator(Empirical)
+        .estimator(Smoothed { alpha: 1.0 })
+        .run()
+        .unwrap();
+
+        prop_assert_eq!(
+            serde_json::to_string(&streamed).unwrap(),
+            serde_json::to_string(&batch).unwrap()
+        );
+    }
+}

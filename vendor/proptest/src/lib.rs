@@ -27,8 +27,15 @@ impl ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// 48 cases, overridable via the `PROPTEST_CASES` environment variable
+    /// (mirroring real proptest) so CI can pin an explicit budget.
     fn default() -> Self {
-        Self { cases: 48 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(48);
+        Self { cases }
     }
 }
 
