@@ -11,7 +11,6 @@ use crate::edf::JointCounts;
 use crate::error::{DfError, Result};
 use df_prob::contingency::ContingencyTable;
 use df_prob::rng::Pcg32;
-use df_prob::summary::quantile;
 use serde::{Deserialize, Serialize};
 
 /// Result of a bootstrap run.
@@ -25,13 +24,20 @@ pub struct BootstrapEpsilon {
     pub infinite_replicates: usize,
     /// Requested interval mass.
     pub mass: f64,
-    /// Percentile interval over the finite replicates.
+    /// Percentile interval over the **full** replicate multiset, with `+∞`
+    /// ranked last: when infinite replicates reach into the upper tail the
+    /// upper bound is honestly `inf` instead of silently falling back to
+    /// the largest finite replicate (which biased the CI low exactly on
+    /// the sparse tables where the CI matters most).
     pub interval: (f64, f64),
 }
 
 impl BootstrapEpsilon {
-    /// Bootstrap standard error over the finite replicates.
-    pub fn std_error(&self) -> f64 {
+    /// Bootstrap standard error over the finite replicates, or `None` when
+    /// fewer than two finite replicates exist — the spread of an (almost)
+    /// always-infinite estimator is not a number callers should format
+    /// into reports.
+    pub fn std_error(&self) -> Option<f64> {
         let finite: Vec<f64> = self
             .replicates
             .iter()
@@ -39,10 +45,31 @@ impl BootstrapEpsilon {
             .filter(|e| e.is_finite())
             .collect();
         if finite.len() < 2 {
-            return f64::NAN;
+            return None;
         }
         let mean = finite.iter().sum::<f64>() / finite.len() as f64;
-        (finite.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / (finite.len() - 1) as f64).sqrt()
+        Some(
+            (finite.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / (finite.len() - 1) as f64)
+                .sqrt(),
+        )
+    }
+}
+
+/// Type-7 percentile of an ascending-sorted sample that may end in a run
+/// of `+∞` entries. Matches [`df_prob::summary::quantile`] on all-finite
+/// input; when either interpolation endpoint is infinite the result is
+/// `+∞` (no `∞ − ∞` arithmetic), so infinities rank strictly last.
+fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    let h = (sorted.len() - 1) as f64 * q;
+    let lo = sorted[h.floor() as usize];
+    let hi = sorted[h.ceil() as usize];
+    let frac = h - h.floor();
+    if frac == 0.0 || lo == hi {
+        lo
+    } else if hi.is_infinite() {
+        hi
+    } else {
+        lo + frac * (hi - lo)
     }
 }
 
@@ -204,20 +231,18 @@ pub fn bootstrap_epsilon_sharded(
         }
     }
 
-    let finite: Vec<f64> = eps_values
-        .iter()
-        .copied()
-        .filter(|e| e.is_finite())
-        .collect();
-    if finite.len() < 2 {
-        return Err(DfError::Invalid(
-            "all bootstrap replicates were infinite; use smoothing (alpha > 0)".into(),
-        ));
-    }
+    // Rank the FULL replicate multiset with +∞ ordered last (no NaN can
+    // occur: non-finite estimates were canonicalized to +∞ above). The old
+    // behavior — dropping infinite replicates before taking percentiles —
+    // reported a finite upper bound even when a nontrivial fraction of
+    // replicates diverged, understating the uncertainty precisely on the
+    // sparse tables where it matters.
+    let mut sorted = eps_values.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("replicates are never NaN"));
     let tail = (1.0 - mass) / 2.0;
     let interval = (
-        quantile(&finite, tail).map_err(DfError::from)?,
-        quantile(&finite, 1.0 - tail).map_err(DfError::from)?,
+        percentile_sorted(&sorted, tail),
+        percentile_sorted(&sorted, 1.0 - tail),
     );
     Ok(BootstrapEpsilon {
         point,
@@ -263,7 +288,67 @@ mod tests {
         let mut rng = Pcg32::new(6);
         let small = bootstrap_epsilon(&counts(1.0), 1.0, 200, 0.9, &mut rng).unwrap();
         let large = bootstrap_epsilon(&counts(100.0), 1.0, 200, 0.9, &mut rng).unwrap();
-        assert!(large.std_error() < small.std_error());
+        assert!(large.std_error().unwrap() < small.std_error().unwrap());
+    }
+
+    #[test]
+    fn std_error_is_none_without_two_finite_replicates() {
+        let degenerate = BootstrapEpsilon {
+            point: f64::INFINITY,
+            replicates: vec![f64::INFINITY; 9].into_iter().chain([1.0]).collect(),
+            infinite_replicates: 9,
+            mass: 0.9,
+            interval: (1.0, f64::INFINITY),
+        };
+        assert_eq!(degenerate.std_error(), None);
+    }
+
+    #[test]
+    fn infinite_upper_tail_forces_infinite_upper_bound() {
+        // A 1-count cell in a 10-record table drops out of ≈ 35% of
+        // multinomial resamples, so far more than the upper 5% of replicate
+        // ranks are +∞ — the honest 90% percentile upper bound is inf.
+        let axes = vec![
+            Axis::from_strs("y", &["0", "1"]).unwrap(),
+            Axis::from_strs("g", &["a", "b"]).unwrap(),
+        ];
+        let data = vec![5.0, 1.0, 2.0, 2.0];
+        let jc =
+            JointCounts::from_table(ContingencyTable::from_data(axes, data).unwrap(), "y").unwrap();
+        let mut rng = Pcg32::new(13);
+        let b = bootstrap_epsilon(&jc, 0.0, 200, 0.9, &mut rng).unwrap();
+        assert!(b.infinite_replicates > 10, "{}", b.infinite_replicates);
+        assert!(
+            b.interval.1.is_infinite(),
+            "upper bound must be inf, got {}",
+            b.interval.1
+        );
+        assert!(b.interval.0.is_finite(), "lower bound {}", b.interval.0);
+        assert_eq!(
+            b.replicates.iter().filter(|e| e.is_infinite()).count(),
+            b.infinite_replicates
+        );
+        // The infinite bound survives a JSON round-trip intact.
+        let json = serde_json::to_string(&b).unwrap();
+        let back: BootstrapEpsilon = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, b);
+        assert!(back.interval.1.is_infinite());
+    }
+
+    #[test]
+    fn finite_replicates_keep_the_previous_interval() {
+        // On a fully populated table the full-multiset ranking degenerates
+        // to the old finite-only percentile — the fix changes nothing when
+        // no replicate diverges.
+        let mut rng = Pcg32::new(5);
+        let b = bootstrap_epsilon(&counts(10.0), 0.0, 200, 0.9, &mut rng).unwrap();
+        assert_eq!(b.infinite_replicates, 0);
+        let finite: Vec<f64> = b.replicates.clone();
+        let expect = (
+            df_prob::summary::quantile(&finite, 0.05).unwrap(),
+            df_prob::summary::quantile(&finite, 0.95).unwrap(),
+        );
+        assert_eq!(b.interval, expect);
     }
 
     #[test]

@@ -380,6 +380,23 @@ impl<'a> Audit<'a> {
         )?)
     }
 
+    /// Starts an **online monitor** over the given schema instead of a
+    /// one-shot audit: the returned [`crate::monitor::MonitorBuilder`]
+    /// shares this builder's estimator and subset-policy stages, then
+    /// `build()`s a [`crate::monitor::FairnessMonitor`] maintaining ε over
+    /// a sliding window of the stream (plus an optional exponentially-
+    /// decayed horizon) with hysteresis alerting. See [`crate::monitor`].
+    ///
+    /// * `outcome_axis` — which of `axes` holds the outcome.
+    /// * `axes` — the full schema, in the order chunks tally records
+    ///   (e.g. from `FrameChunks::axes`).
+    pub fn monitor(
+        outcome_axis: &str,
+        axes: Vec<df_prob::contingency::Axis>,
+    ) -> crate::monitor::MonitorBuilder {
+        crate::monitor::MonitorBuilder::new(outcome_axis, axes)
+    }
+
     /// Audits a raw group-outcome table directly. Weights are interpreted
     /// as group tallies by the smoothing/posterior estimators.
     pub fn of_table(table: GroupOutcomes) -> Audit<'static> {

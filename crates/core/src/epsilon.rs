@@ -299,11 +299,22 @@ impl GroupOutcomes {
             return Ok(self.clone());
         }
         let n_outcomes = self.num_outcomes();
+        let k = n_outcomes as f64;
         let mut probs = vec![0.0; self.num_groups() * n_outcomes];
+        // Inlined `dirichlet_posterior_predictive` over the implied counts
+        // (same arithmetic: compensated-sum total, `(c + α)/(N + Kα)` per
+        // cell), reusing one scratch buffer — this sits on the monitor's
+        // per-push hot path, where a Vec allocation per group is the
+        // dominant cost.
+        let mut counts = vec![0.0; n_outcomes];
         for g in 0..self.num_groups() {
-            let counts = self.implied_counts(g);
-            if let Some(p) = df_prob::estimate::dirichlet_posterior_predictive(&counts, alpha)? {
-                probs[g * n_outcomes..(g + 1) * n_outcomes].copy_from_slice(&p);
+            for (y, c) in counts.iter_mut().enumerate() {
+                *c = self.prob(g, y) * self.weights[g];
+            }
+            let total = df_prob::numerics::stable_sum(&counts);
+            let denom = total + k * alpha;
+            for (y, &c) in counts.iter().enumerate() {
+                probs[g * n_outcomes + y] = (c + alpha) / denom;
             }
         }
         GroupOutcomes::new(

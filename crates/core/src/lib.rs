@@ -31,6 +31,9 @@
 //! - [`equalized`]: differential equalized odds — the error-rate analogue
 //!   the paper names as future work (§7.1).
 //! - [`bootstrap`]: frequentist confidence intervals for ε̂.
+//! - [`monitor`]: online sliding-window ε over a prediction stream, with
+//!   an exponentially-decayed trend horizon, hysteresis alerting, and
+//!   shard-mergeable snapshots.
 //! - [`baselines`]: the fairness definitions §7 compares against
 //!   (demographic parity, disparate impact, equalized odds, subgroup
 //!   fairness).
@@ -88,6 +91,7 @@ pub mod epsilon;
 pub mod equalized;
 pub mod error;
 pub mod mechanism;
+pub mod monitor;
 pub mod privacy;
 pub mod report;
 pub mod stream;

@@ -1,0 +1,1084 @@
+//! Online sliding-window fairness monitoring.
+//!
+//! A one-shot audit certifies ε for a dataset frozen in time; a *deployed*
+//! classifier drifts — the joint distribution of `(outcome, s₁, …, s_p)`
+//! shifts under it, and yesterday's certificate goes stale. Because the
+//! ε-DF kernel only ever consumes joint counts, and counts form a
+//! *cancellative* commutative monoid ([`PartialCounts::merge`] /
+//! [`PartialCounts::subtract`]), a continuously-updated windowed ε is one
+//! subtraction away from the streaming engine of [`crate::stream`]:
+//!
+//! - **Sliding window.** Incoming record chunks become buckets in a ring;
+//!   a running [`PartialCounts`] holds the window sum. Appending a bucket
+//!   is `merge`, expiring one is `subtract` — both exact on integer
+//!   tallies — so the windowed ε is *byte-identical* to a batch
+//!   [`crate::builder::Audit`] of the very same records, at every step
+//!   (asserted by the `monitor_equivalence` property suite).
+//! - **Decayed horizon.** An optional exponentially-decayed table tracks
+//!   the long-run distribution; comparing windowed ε against the decayed ε
+//!   separates a transient spike from a secular trend.
+//! - **Alerts with hysteresis.** [`AlertRule::epsilon_above`] fires after
+//!   K *consecutive* breaching windows (no flapping on noise) and attaches
+//!   the worst-pair witness; it re-arms only after ε falls back under the
+//!   threshold.
+//! - **Distribution.** [`MonitorSnapshot`] carries the raw window and
+//!   horizon counts, so snapshots from sharded monitors (one per serving
+//!   replica) merge cell-wise into the fleet-wide monitor state, exactly
+//!   like the partial counts of the sharded audit engine.
+//!
+//! Entry point: [`crate::builder::Audit::monitor`], which shares the
+//! builder's estimator and subset-policy stages.
+//!
+//! ```
+//! use df_core::builder::{Audit, Smoothed};
+//! use df_core::monitor::AlertRule;
+//! use df_prob::contingency::Axis;
+//! use df_prob::partial::{PartialCounts, Tally};
+//!
+//! struct Rows(Vec<[usize; 2]>);
+//! impl Tally for Rows {
+//!     fn tally_into(&self, shard: &mut PartialCounts) -> df_prob::Result<()> {
+//!         for idx in &self.0 {
+//!             shard.record(idx);
+//!         }
+//!         Ok(())
+//!     }
+//! }
+//!
+//! let axes = vec![
+//!     Axis::from_strs("y", &["no", "yes"]).unwrap(),
+//!     Axis::from_strs("g", &["a", "b"]).unwrap(),
+//! ];
+//! let mut monitor = Audit::monitor("y", axes)
+//!     .estimator(Smoothed { alpha: 1.0 })
+//!     .window(4)
+//!     .alert(AlertRule::epsilon_above(0.2).for_consecutive(2))
+//!     .build()
+//!     .unwrap();
+//! let step = monitor
+//!     .push(&Rows(vec![[0, 0], [1, 0], [0, 1], [1, 1]]))
+//!     .unwrap();
+//! assert_eq!(step.window_rows, 4);
+//! assert!(step.epsilon.epsilon.is_finite());
+//! ```
+
+use crate::builder::{EpsilonEstimator, Smoothed, SubsetPolicy};
+use crate::edf::JointCounts;
+use crate::epsilon::{EpsilonResult, EpsilonWitness, GroupOutcomes};
+use crate::error::{DfError, Result};
+use crate::subsets::SubsetEpsilon;
+use df_prob::contingency::{Axis, ContingencyTable};
+use df_prob::numerics::stable_sum;
+use df_prob::partial::{PartialCounts, Tally};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+// ---------------------------------------------------------------------------
+// The cached ε engine.
+// ---------------------------------------------------------------------------
+
+/// Precomputed schema state for the per-push hot path: evaluating ε on
+/// every window update must not re-canonicalize the table or re-format
+/// group labels (both allocate strings), so the flat cell index of every
+/// `(group, outcome)` pair and all display labels are resolved once at
+/// build time. [`WindowEngine::raw_outcomes`] then reads counts straight
+/// out of the schema-order table — producing a [`GroupOutcomes`] that is
+/// **value-identical** to
+/// `JointCounts::from_table(table, outcome).group_outcomes(0.0)` (same
+/// arithmetic, same label strings; asserted by a unit test), at a
+/// fraction of the cost.
+struct WindowEngine {
+    outcome_labels: Vec<String>,
+    group_labels: Vec<String>,
+    /// `flat[g · |Y| + y]` = flat index of `(group g, outcome y)` in the
+    /// schema-order table.
+    flat: Vec<usize>,
+    n_outcomes: usize,
+}
+
+impl WindowEngine {
+    fn new(axes: &[Axis], outcome_axis: &str) -> Result<Self> {
+        let template = ContingencyTable::zeros(axes.to_vec())?;
+        let pos = template.axis_position(outcome_axis)?;
+        let n_outcomes = axes[pos].len();
+        // Attribute axes in canonical order: schema order, outcome removed
+        // — exactly the order `JointCounts::from_table` preserves.
+        let attr_positions: Vec<usize> = (0..axes.len()).filter(|&i| i != pos).collect();
+        let n_groups: usize = attr_positions.iter().map(|&i| axes[i].len()).product();
+        let mut flat = Vec::with_capacity(n_groups * n_outcomes);
+        let mut group_labels = Vec::with_capacity(n_groups);
+        let mut idx = vec![0usize; axes.len()];
+        for g in 0..n_groups {
+            // Mixed-radix decode, last attribute fastest (the kernel's
+            // intersection indexing).
+            let mut rem = g;
+            let mut parts = vec![String::new(); attr_positions.len()];
+            for (k, &p) in attr_positions.iter().enumerate().rev() {
+                let v = rem % axes[p].len();
+                rem /= axes[p].len();
+                idx[p] = v;
+                parts[k] = format!("{}={}", axes[p].name(), axes[p].labels()[v]);
+            }
+            group_labels.push(parts.join(", "));
+            for y in 0..n_outcomes {
+                idx[pos] = y;
+                flat.push(template.flat_index(&idx));
+            }
+        }
+        Ok(Self {
+            outcome_labels: axes[pos].labels().to_vec(),
+            group_labels,
+            flat,
+            n_outcomes,
+        })
+    }
+
+    /// The raw (MLE, α = 0) group-outcome table of a schema-order counts
+    /// table — the input every [`EpsilonEstimator`] consumes. The MLE is
+    /// inlined (same arithmetic as `df_prob::estimate::categorical_mle`:
+    /// compensated-sum total, per-cell division) to avoid one Vec
+    /// allocation per group on the per-push hot path.
+    fn raw_outcomes(&self, table: &ContingencyTable) -> Result<GroupOutcomes> {
+        let data = table.data();
+        let n_groups = self.group_labels.len();
+        let mut probs = vec![0.0; n_groups * self.n_outcomes];
+        let mut weights = vec![0.0; n_groups];
+        let mut counts = vec![0.0; self.n_outcomes];
+        for (g, weight) in weights.iter_mut().enumerate() {
+            let base = g * self.n_outcomes;
+            for (y, c) in counts.iter_mut().enumerate() {
+                *c = data[self.flat[base + y]];
+            }
+            *weight = counts.iter().sum();
+            let total = stable_sum(&counts);
+            if total > 0.0 {
+                for (y, &c) in counts.iter().enumerate() {
+                    probs[base + y] = c / total;
+                }
+            }
+        }
+        GroupOutcomes::new(
+            self.outcome_labels.clone(),
+            self.group_labels.clone(),
+            probs,
+            weights,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Alert rules.
+// ---------------------------------------------------------------------------
+
+/// A threshold rule over the windowed ε, with hysteresis: the rule fires
+/// once ε has exceeded `threshold` for `consecutive` windows in a row, and
+/// does not fire again until ε first falls back below the threshold
+/// (re-arming the rule).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlertRule {
+    /// ε level above which the rule starts counting.
+    pub threshold: f64,
+    /// Number of consecutive breaching windows required to fire (≥ 1).
+    pub consecutive: usize,
+}
+
+impl AlertRule {
+    /// A rule firing as soon as ε exceeds `threshold` (K = 1); chain
+    /// [`AlertRule::for_consecutive`] to require a sustained breach.
+    pub fn epsilon_above(threshold: f64) -> Self {
+        Self {
+            threshold,
+            consecutive: 1,
+        }
+    }
+
+    /// Requires `k` consecutive breaching windows before firing (values
+    /// below 1 are treated as 1).
+    pub fn for_consecutive(mut self, k: usize) -> Self {
+        self.consecutive = k.max(1);
+        self
+    }
+}
+
+/// One fired alert: which rule, where in the stream, and the worst-pair
+/// witness of the breaching window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    /// The rule that fired.
+    pub rule: AlertRule,
+    /// Total records ingested when the rule fired.
+    pub at_record: u64,
+    /// The windowed ε that completed the consecutive run.
+    pub epsilon: f64,
+    /// The worst group pair/outcome of the breaching window.
+    pub witness: Option<EpsilonWitness>,
+}
+
+/// Per-rule hysteresis state.
+#[derive(Debug, Clone, Default)]
+struct RuleState {
+    /// Current run length of breaching windows.
+    streak: usize,
+    /// True between firing and the next sub-threshold window.
+    active: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots.
+// ---------------------------------------------------------------------------
+
+/// A serializable contingency table: named axes plus row-major cell data.
+/// The wire form of the monitor's window and horizon counts (df-prob's
+/// [`ContingencyTable`] itself stays serde-free).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CountsSnapshot {
+    /// `(axis name, ordered labels)` per axis, in storage order.
+    pub axes: Vec<(String, Vec<String>)>,
+    /// Row-major cell values.
+    pub data: Vec<f64>,
+}
+
+impl CountsSnapshot {
+    /// Captures a table.
+    pub fn from_table(table: &ContingencyTable) -> Self {
+        Self {
+            axes: table
+                .axes()
+                .iter()
+                .map(|a| (a.name().to_string(), a.labels().to_vec()))
+                .collect(),
+            data: table.data().to_vec(),
+        }
+    }
+
+    /// Reconstructs the table (validating axes and cell values).
+    pub fn to_table(&self) -> Result<ContingencyTable> {
+        let axes = self
+            .axes
+            .iter()
+            .map(|(name, labels)| Axis::new(name.clone(), labels.clone()))
+            .collect::<df_prob::Result<Vec<_>>>()?;
+        Ok(ContingencyTable::from_data(axes, self.data.clone())?)
+    }
+
+    /// Cell-wise adds another snapshot over identical axes.
+    fn merge(&self, other: &CountsSnapshot) -> Result<CountsSnapshot> {
+        if self.axes != other.axes {
+            return Err(DfError::Invalid(
+                "cannot merge monitor snapshots over different schemas".into(),
+            ));
+        }
+        Ok(CountsSnapshot {
+            axes: self.axes.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a + b)
+                .collect(),
+        })
+    }
+}
+
+/// The monitor's full serializable state at one point in the stream:
+/// window and horizon counts, the ε values derived from them, the
+/// per-subset lattice (per the configured [`SubsetPolicy`]), and the alert
+/// log so far.
+///
+/// Snapshots are **mergeable across shards**: a fleet of monitors (one per
+/// serving replica) each ingests its own slice of traffic, and
+/// [`MonitorSnapshot::merge`] combines their states cell-wise into the ε
+/// of the union of the windows — the same additivity that powers
+/// [`crate::stream::sharded_joint_counts`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonitorSnapshot {
+    /// Name of the outcome axis.
+    pub outcome_axis: String,
+    /// Display name of the ε estimator in force.
+    pub estimator: String,
+    /// Total records ingested over the monitor's lifetime.
+    pub records_seen: u64,
+    /// Records currently inside the window.
+    pub window_rows: u64,
+    /// Joint counts of the window.
+    pub window: CountsSnapshot,
+    /// Exponentially-decayed joint counts (present iff decay configured).
+    pub decayed: Option<CountsSnapshot>,
+    /// The per-bucket retention factor λ, when decay is configured.
+    pub decay: Option<f64>,
+    /// ε of the window under the configured estimator.
+    pub epsilon: EpsilonResult,
+    /// ε of the decayed horizon (present iff decay configured).
+    pub decayed_epsilon: Option<EpsilonResult>,
+    /// Per-subset ε of the window, ordered by subset size with the full
+    /// intersection last (empty under [`SubsetPolicy::None`]).
+    pub subsets: Vec<SubsetEpsilon>,
+    /// Every alert fired so far, in firing order.
+    pub alerts: Vec<Alert>,
+}
+
+impl MonitorSnapshot {
+    /// The drift signal: windowed ε minus horizon ε (positive = fairness
+    /// degrading relative to the long-run distribution). `None` without a
+    /// configured decay, or when either ε is infinite (`∞ − ∞` has no
+    /// meaningful sign).
+    pub fn trend(&self) -> Option<f64> {
+        let horizon = self.decayed_epsilon.as_ref()?;
+        (self.epsilon.epsilon.is_finite() && horizon.epsilon.is_finite())
+            .then_some(self.epsilon.epsilon - horizon.epsilon)
+    }
+
+    /// Merges two shard snapshots into the combined monitor state,
+    /// recomputing every ε with `estimator` over the cell-wise summed
+    /// counts. The shards must share the schema, outcome axis, decay
+    /// configuration, and subset lattice; alert logs concatenate in
+    /// `records_seen` order (each shard's alerts witness its own traffic).
+    pub fn merge(
+        &self,
+        other: &MonitorSnapshot,
+        estimator: &dyn EpsilonEstimator,
+    ) -> Result<MonitorSnapshot> {
+        if self.outcome_axis != other.outcome_axis {
+            return Err(DfError::Invalid(format!(
+                "snapshot outcome axes differ: `{}` vs `{}`",
+                self.outcome_axis, other.outcome_axis
+            )));
+        }
+        if self.decay != other.decay {
+            return Err(DfError::Invalid(
+                "cannot merge snapshots with different decay configurations".into(),
+            ));
+        }
+        let window = self.window.merge(&other.window)?;
+        let decayed = match (&self.decayed, &other.decayed) {
+            (Some(a), Some(b)) => Some(a.merge(b)?),
+            (None, None) => None,
+            _ => unreachable!("decay equality checked above"),
+        };
+        let window_counts = JointCounts::from_table(window.to_table()?, &self.outcome_axis)?;
+        let epsilon = estimator.estimate(&window_counts.group_outcomes(0.0)?)?;
+        let decayed_epsilon = match &decayed {
+            Some(d) => {
+                let jc = JointCounts::from_table(d.to_table()?, &self.outcome_axis)?;
+                Some(estimator.estimate(&jc.group_outcomes(0.0)?)?)
+            }
+            None => None,
+        };
+        let subset_attrs: Vec<Vec<String>> =
+            self.subsets.iter().map(|s| s.attributes.clone()).collect();
+        let other_attrs: Vec<Vec<String>> =
+            other.subsets.iter().map(|s| s.attributes.clone()).collect();
+        if subset_attrs != other_attrs {
+            return Err(DfError::Invalid(
+                "cannot merge snapshots with different subset lattices".into(),
+            ));
+        }
+        let subsets = subset_epsilons(&window_counts, &subset_attrs, &epsilon, estimator)?;
+        let mut alerts: Vec<Alert> = self.alerts.iter().chain(&other.alerts).cloned().collect();
+        alerts.sort_by_key(|a| a.at_record);
+        Ok(MonitorSnapshot {
+            outcome_axis: self.outcome_axis.clone(),
+            estimator: estimator.name(),
+            records_seen: self.records_seen + other.records_seen,
+            window_rows: self.window_rows + other.window_rows,
+            window,
+            decayed,
+            decay: self.decay,
+            epsilon,
+            decayed_epsilon,
+            subsets,
+            alerts,
+        })
+    }
+}
+
+/// Per-subset ε under `estimator`, reusing the precomputed full-
+/// intersection result for the last (full) entry — the exact layout of the
+/// builder's `EstimatorReport::subsets`.
+fn subset_epsilons(
+    counts: &JointCounts,
+    subset_attrs: &[Vec<String>],
+    full: &EpsilonResult,
+    estimator: &dyn EpsilonEstimator,
+) -> Result<Vec<SubsetEpsilon>> {
+    let n_attrs = counts.attribute_names().len();
+    let mut out = Vec::with_capacity(subset_attrs.len());
+    for attrs in subset_attrs {
+        let result = if attrs.len() == n_attrs {
+            full.clone()
+        } else {
+            let names: Vec<&str> = attrs.iter().map(String::as_str).collect();
+            estimator.estimate(&counts.marginal_to(&names)?.group_outcomes(0.0)?)?
+        };
+        out.push(SubsetEpsilon {
+            attributes: attrs.clone(),
+            result,
+        });
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// The step result.
+// ---------------------------------------------------------------------------
+
+/// The lightweight per-push result: the stream position, the freshly
+/// updated windowed (and horizon) ε, and any alerts fired by this window.
+/// The full mergeable state — counts, subsets, alert log — comes from
+/// [`FairnessMonitor::snapshot`], which is heavier (it clones the tables)
+/// and intended for checkpointing and cross-shard merging rather than the
+/// per-chunk hot path.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MonitorStep {
+    /// Total records ingested so far.
+    pub records_seen: u64,
+    /// Records currently inside the window.
+    pub window_rows: u64,
+    /// ε of the window under the configured estimator.
+    pub epsilon: EpsilonResult,
+    /// ε of the decayed horizon (present iff decay configured).
+    pub decayed_epsilon: Option<EpsilonResult>,
+    /// Alerts fired at this step (usually empty).
+    pub fired: Vec<Alert>,
+}
+
+// ---------------------------------------------------------------------------
+// The builder.
+// ---------------------------------------------------------------------------
+
+/// Fluent configuration for a [`FairnessMonitor`]; created by
+/// [`crate::builder::Audit::monitor`] and sharing the audit builder's
+/// estimator/subset-policy stages.
+pub struct MonitorBuilder {
+    outcome_axis: String,
+    axes: Vec<Axis>,
+    estimator: Option<Box<dyn EpsilonEstimator>>,
+    subsets: SubsetPolicy,
+    window_records: usize,
+    decay: Option<f64>,
+    rules: Vec<AlertRule>,
+}
+
+impl MonitorBuilder {
+    /// See [`crate::builder::Audit::monitor`].
+    pub(crate) fn new(outcome_axis: &str, axes: Vec<Axis>) -> Self {
+        Self {
+            outcome_axis: outcome_axis.to_string(),
+            axes,
+            estimator: None,
+            subsets: SubsetPolicy::None,
+            window_records: 10_000,
+            decay: None,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Sets the ε-estimation strategy (default: [`Smoothed`]` { alpha: 1.0 }`,
+    /// the audit builder's headline default).
+    pub fn estimator(mut self, estimator: impl EpsilonEstimator + 'static) -> Self {
+        self.estimator = Some(Box::new(estimator));
+        self
+    }
+
+    /// Sets an already-boxed estimator.
+    pub fn boxed_estimator(mut self, estimator: Box<dyn EpsilonEstimator>) -> Self {
+        self.estimator = Some(estimator);
+        self
+    }
+
+    /// Which attribute subsets [`FairnessMonitor::snapshot`] audits
+    /// (default [`SubsetPolicy::None`]: the full intersection only — the
+    /// per-push hot path never pays for the lattice).
+    pub fn subsets(mut self, policy: SubsetPolicy) -> Self {
+        self.subsets = policy;
+        self
+    }
+
+    /// Window size W in records (default 10 000). The ring keeps the most
+    /// recent chunks whose cumulative size is at most W, so feed uniform
+    /// chunks of a size dividing W for an exact W-record window.
+    pub fn window(mut self, records: usize) -> Self {
+        self.window_records = records;
+        self
+    }
+
+    /// Enables the exponentially-decayed horizon: before each new bucket
+    /// is absorbed, every horizon cell is scaled by `lambda ∈ (0, 1)`.
+    /// The horizon half-life is `ln 2 / ln(1/λ)` buckets — e.g. λ = 0.99
+    /// halves the influence of a bucket after ≈ 69 subsequent buckets.
+    pub fn decay(mut self, lambda: f64) -> Self {
+        self.decay = Some(lambda);
+        self
+    }
+
+    /// Attaches an alert rule; chain multiple calls for multiple rules.
+    pub fn alert(mut self, rule: AlertRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Validates the configuration and builds the monitor.
+    pub fn build(self) -> Result<FairnessMonitor> {
+        if self.window_records == 0 {
+            return Err(DfError::Invalid(
+                "window must hold at least 1 record".into(),
+            ));
+        }
+        if let Some(lambda) = self.decay {
+            if !(lambda > 0.0 && lambda < 1.0) {
+                return Err(DfError::Invalid(format!(
+                    "decay lambda must lie in (0, 1), got {lambda}"
+                )));
+            }
+        }
+        for rule in &self.rules {
+            if !rule.threshold.is_finite() || rule.threshold < 0.0 {
+                return Err(DfError::Invalid(format!(
+                    "alert threshold must be finite and non-negative, got {}",
+                    rule.threshold
+                )));
+            }
+        }
+        // Validate the schema once: the zero window must already be a legal
+        // JointCounts (outcome axis present, ≥ 2 outcomes, ≥ 1 attribute).
+        let window = ContingencyTable::zeros(self.axes.clone())?;
+        let zero = JointCounts::from_table(window.clone(), &self.outcome_axis)?;
+        let attribute_names: Vec<String> = zero
+            .attribute_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let p = attribute_names.len();
+        let limit = match self.subsets {
+            SubsetPolicy::All => p,
+            SubsetPolicy::UpTo { size } => size.min(p),
+            SubsetPolicy::None => 0,
+        };
+        let mut masks: Vec<u32> = (1..(1u32 << p))
+            .filter(|m| {
+                let ones = m.count_ones() as usize;
+                ones <= limit || ones == p
+            })
+            .collect();
+        masks.sort_by_key(|m| (m.count_ones(), *m));
+        let subset_attrs: Vec<Vec<String>> = masks
+            .into_iter()
+            .map(|mask| {
+                (0..p)
+                    .filter(|i| mask & (1 << i) != 0)
+                    .map(|i| attribute_names[i].clone())
+                    .collect()
+            })
+            .collect();
+        let decayed = self
+            .decay
+            .map(|_| ContingencyTable::zeros(self.axes.clone()))
+            .transpose()?;
+        let states = vec![RuleState::default(); self.rules.len()];
+        let engine = WindowEngine::new(&self.axes, &self.outcome_axis)?;
+        let scratch = PartialCounts::zeros(self.axes.clone())?;
+        Ok(FairnessMonitor {
+            engine,
+            outcome_axis: self.outcome_axis,
+            estimator: self
+                .estimator
+                .unwrap_or_else(|| Box::new(Smoothed { alpha: 1.0 })),
+            subset_attrs,
+            window_records: self.window_records,
+            decay: self.decay,
+            rules: self.rules,
+            states,
+            ring: VecDeque::new(),
+            window,
+            scratch,
+            window_rows: 0,
+            decayed,
+            records_seen: 0,
+            alerts: Vec::new(),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The monitor.
+// ---------------------------------------------------------------------------
+
+/// The streaming fairness monitor; see the [module docs](self).
+pub struct FairnessMonitor {
+    engine: WindowEngine,
+    outcome_axis: String,
+    estimator: Box<dyn EpsilonEstimator>,
+    subset_attrs: Vec<Vec<String>>,
+    window_records: usize,
+    decay: Option<f64>,
+    rules: Vec<AlertRule>,
+    states: Vec<RuleState>,
+    /// Sealed buckets currently inside the window, oldest first: the raw
+    /// cell data of each bucket (axes live once on `window`) plus its
+    /// record count.
+    ring: VecDeque<(Vec<f64>, usize)>,
+    /// Running sum of the ring — the window's joint counts.
+    window: ContingencyTable,
+    /// Reused per-push tally shard (cleared between chunks), so ingesting
+    /// a bucket never re-allocates the schema.
+    scratch: PartialCounts,
+    window_rows: usize,
+    /// Exponentially-decayed horizon counts (present iff decay set).
+    decayed: Option<ContingencyTable>,
+    records_seen: u64,
+    alerts: Vec<Alert>,
+}
+
+impl FairnessMonitor {
+    /// Ingests one chunk as a new window bucket, evicts expired buckets,
+    /// recomputes the windowed (and horizon) ε, and evaluates the alert
+    /// rules. Incremental cost is one chunk tally plus O(cells) — never a
+    /// window re-scan (see the `monitor` criterion bench).
+    ///
+    /// A chunk larger than the window itself is rejected: it could never
+    /// fit, and silently truncating it would break the window's
+    /// "last W records" contract.
+    pub fn push<C: Tally + ?Sized>(&mut self, chunk: &C) -> Result<MonitorStep> {
+        self.scratch.clear();
+        chunk.tally_into(&mut self.scratch)?;
+        // Validate per cell, not just the total: `Tally` impls are user
+        // code with access to weighted `add`, and a negative, fractional,
+        // or non-finite cell would silently break the integer-tally
+        // premise the exact merge/subtract window rests on (a negative
+        // count turns ε into NaN, which no alert rule ever fires on).
+        let cells = self.scratch.table().data();
+        if let Some(cell) = cells
+            .iter()
+            .position(|v| !v.is_finite() || *v < 0.0 || v.fract() != 0.0)
+        {
+            return Err(DfError::Invalid(format!(
+                "monitor buckets need finite, non-negative, integer cell tallies; \
+                 cell {cell} holds {}",
+                cells[cell]
+            )));
+        }
+        let rows = self.scratch.total() as usize;
+        if rows > self.window_records {
+            return Err(DfError::Invalid(format!(
+                "chunk of {rows} records exceeds the {}-record window",
+                self.window_records
+            )));
+        }
+        self.window.merge_from(self.scratch.table())?;
+        self.window_rows += rows;
+        if let (Some(lambda), Some(decayed)) = (self.decay, self.decayed.as_mut()) {
+            decayed.scale(lambda)?;
+            decayed.merge_from(self.scratch.table())?;
+        }
+        self.ring
+            .push_back((self.scratch.table().data().to_vec(), rows));
+        while self.window_rows > self.window_records {
+            let (expired, expired_rows) =
+                self.ring.pop_front().expect("over-full ring is nonempty");
+            self.window.subtract_data(&expired)?;
+            self.window_rows -= expired_rows;
+        }
+        self.records_seen += rows as u64;
+
+        let epsilon = self.window_epsilon()?;
+        let decayed_epsilon = self.horizon_epsilon()?;
+        let fired = self.evaluate_rules(&epsilon);
+        Ok(MonitorStep {
+            records_seen: self.records_seen,
+            window_rows: self.window_rows as u64,
+            epsilon,
+            decayed_epsilon,
+            fired,
+        })
+    }
+
+    /// ε of the current window under the configured estimator — the same
+    /// estimate a batch [`crate::builder::Audit`] of the window's records
+    /// would headline, byte for byte (computed through the cached
+    /// [`WindowEngine`], which is value-identical to the audit path).
+    pub fn window_epsilon(&self) -> Result<EpsilonResult> {
+        self.estimator
+            .estimate(&self.engine.raw_outcomes(&self.window)?)
+    }
+
+    fn horizon_epsilon(&self) -> Result<Option<EpsilonResult>> {
+        match &self.decayed {
+            Some(d) => Ok(Some(
+                self.estimator.estimate(&self.engine.raw_outcomes(d)?)?,
+            )),
+            None => Ok(None),
+        }
+    }
+
+    fn evaluate_rules(&mut self, epsilon: &EpsilonResult) -> Vec<Alert> {
+        let mut fired = Vec::new();
+        for (rule, state) in self.rules.iter().zip(&mut self.states) {
+            if epsilon.epsilon > rule.threshold {
+                state.streak += 1;
+                if !state.active && state.streak >= rule.consecutive {
+                    state.active = true;
+                    let alert = Alert {
+                        rule: *rule,
+                        at_record: self.records_seen,
+                        epsilon: epsilon.epsilon,
+                        witness: epsilon.witness.clone(),
+                    };
+                    fired.push(alert.clone());
+                    self.alerts.push(alert);
+                }
+            } else {
+                state.streak = 0;
+                state.active = false;
+            }
+        }
+        fired
+    }
+
+    /// Records currently inside the window.
+    pub fn window_rows(&self) -> usize {
+        self.window_rows
+    }
+
+    /// Total records ingested over the monitor's lifetime.
+    pub fn records_seen(&self) -> u64 {
+        self.records_seen
+    }
+
+    /// The window's joint counts (outcome axis wherever the schema put it).
+    pub fn window_counts(&self) -> &ContingencyTable {
+        &self.window
+    }
+
+    /// Every alert fired so far, in firing order.
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// The full serializable, mergeable monitor state: window and horizon
+    /// counts, ε, the per-subset lattice dictated by the configured
+    /// [`SubsetPolicy`], and the alert log.
+    pub fn snapshot(&self) -> Result<MonitorSnapshot> {
+        let window_counts = JointCounts::from_table(self.window.clone(), &self.outcome_axis)?;
+        let epsilon = self.window_epsilon()?;
+        let subsets = subset_epsilons(
+            &window_counts,
+            &self.subset_attrs,
+            &epsilon,
+            &*self.estimator,
+        )?;
+        Ok(MonitorSnapshot {
+            outcome_axis: self.outcome_axis.clone(),
+            estimator: self.estimator.name(),
+            records_seen: self.records_seen,
+            window_rows: self.window_rows as u64,
+            window: CountsSnapshot::from_table(&self.window),
+            decayed: self.decayed.as_ref().map(CountsSnapshot::from_table),
+            decay: self.decay,
+            epsilon,
+            decayed_epsilon: self.horizon_epsilon()?,
+            subsets,
+            alerts: self.alerts.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{Audit, Empirical};
+
+    /// A chunk of (outcome, group) index pairs.
+    struct Pairs(Vec<[usize; 2]>);
+
+    impl Tally for Pairs {
+        fn tally_into(&self, shard: &mut PartialCounts) -> df_prob::Result<()> {
+            for idx in &self.0 {
+                shard.record(idx);
+            }
+            Ok(())
+        }
+    }
+
+    fn axes() -> Vec<Axis> {
+        vec![
+            Axis::from_strs("y", &["no", "yes"]).unwrap(),
+            Axis::from_strs("g", &["a", "b"]).unwrap(),
+        ]
+    }
+
+    /// A balanced chunk (ε = 0) and a skewed chunk (ε > 0), both 4 records.
+    fn balanced() -> Pairs {
+        Pairs(vec![[0, 0], [1, 0], [0, 1], [1, 1]])
+    }
+
+    fn skewed() -> Pairs {
+        Pairs(vec![[1, 0], [1, 0], [0, 1], [0, 1]])
+    }
+
+    #[test]
+    fn builder_validates_configuration() {
+        assert!(Audit::monitor("y", axes()).window(0).build().is_err());
+        assert!(Audit::monitor("y", axes()).decay(0.0).build().is_err());
+        assert!(Audit::monitor("y", axes()).decay(1.0).build().is_err());
+        assert!(Audit::monitor("nope", axes()).build().is_err());
+        assert!(Audit::monitor("y", axes())
+            .alert(AlertRule::epsilon_above(f64::NAN))
+            .build()
+            .is_err());
+        // A single outcome label is not a legal schema.
+        let bad = vec![
+            Axis::from_strs("y", &["only"]).unwrap(),
+            Axis::from_strs("g", &["a", "b"]).unwrap(),
+        ];
+        assert!(Audit::monitor("y", bad).build().is_err());
+    }
+
+    #[test]
+    fn window_evicts_oldest_buckets_exactly() {
+        let mut m = Audit::monitor("y", axes())
+            .estimator(Empirical)
+            .window(8)
+            .build()
+            .unwrap();
+        // Fill the window with skew, then flush it out with balance.
+        m.push(&skewed()).unwrap();
+        let full_skew = m.push(&skewed()).unwrap();
+        assert_eq!(full_skew.window_rows, 8);
+        assert!(full_skew.epsilon.epsilon.is_infinite());
+        m.push(&balanced()).unwrap();
+        let step = m.push(&balanced()).unwrap();
+        // Both skewed buckets have been evicted: the window is exactly the
+        // two balanced chunks, so ε = 0 and the counts prove it.
+        assert_eq!(step.window_rows, 8);
+        assert_eq!(step.epsilon.epsilon, 0.0);
+        assert_eq!(m.window_counts().data(), &[2.0, 2.0, 2.0, 2.0]);
+        assert_eq!(m.records_seen(), 16);
+    }
+
+    #[test]
+    fn oversized_chunk_is_rejected() {
+        let mut m = Audit::monitor("y", axes()).window(3).build().unwrap();
+        assert!(m.push(&balanced()).is_err());
+    }
+
+    #[test]
+    fn corrupt_buckets_are_rejected_per_cell() {
+        struct Weighted(Vec<([usize; 2], f64)>);
+        impl Tally for Weighted {
+            fn tally_into(&self, shard: &mut PartialCounts) -> df_prob::Result<()> {
+                for (idx, w) in &self.0 {
+                    shard.add(idx, *w);
+                }
+                Ok(())
+            }
+        }
+        let mut m = Audit::monitor("y", axes()).window(8).build().unwrap();
+        // Negative cell masked by a clean total: must be refused.
+        assert!(m
+            .push(&Weighted(vec![([0, 0], -1.0), ([1, 0], 3.0)]))
+            .is_err());
+        // Fractional cells summing to an integer total: refused too.
+        assert!(m
+            .push(&Weighted(vec![([0, 0], 2.5), ([1, 1], 1.5)]))
+            .is_err());
+        // NaN never sneaks in as a count.
+        assert!(m.push(&Weighted(vec![([0, 0], f64::NAN)])).is_err());
+        // The window is untouched by rejected chunks…
+        assert_eq!(m.window_rows(), 0);
+        assert_eq!(m.records_seen(), 0);
+        // …and healthy integer-weighted chunks still flow.
+        let step = m
+            .push(&Weighted(vec![([0, 0], 2.0), ([1, 1], 2.0)]))
+            .unwrap();
+        assert_eq!(step.window_rows, 4);
+    }
+
+    #[test]
+    fn alerts_fire_with_hysteresis_and_witness() {
+        let mut m = Audit::monitor("y", axes())
+            .estimator(Smoothed { alpha: 1.0 })
+            .window(4)
+            .alert(AlertRule::epsilon_above(0.5).for_consecutive(2))
+            .build()
+            .unwrap();
+        // First breach: streak 1, no alert yet.
+        assert!(m.push(&skewed()).unwrap().fired.is_empty());
+        // Second consecutive breach: fires, with the worst pair attached.
+        let step = m.push(&skewed()).unwrap();
+        assert_eq!(step.fired.len(), 1);
+        let alert = &step.fired[0];
+        assert_eq!(alert.at_record, 8);
+        assert!(alert.epsilon > 0.5);
+        assert!(alert.witness.is_some());
+        // Still breaching: hysteresis suppresses a repeat.
+        assert!(m.push(&skewed()).unwrap().fired.is_empty());
+        // Recover below the threshold: the rule re-arms…
+        assert!(m.push(&balanced()).unwrap().fired.is_empty());
+        assert!(m.push(&balanced()).unwrap().fired.is_empty());
+        // …and a fresh sustained breach fires again.
+        assert!(m.push(&skewed()).unwrap().fired.is_empty());
+        assert_eq!(m.push(&skewed()).unwrap().fired.len(), 1);
+        assert_eq!(m.alerts().len(), 2);
+    }
+
+    #[test]
+    fn decayed_horizon_tracks_trend() {
+        let mut m = Audit::monitor("y", axes())
+            .estimator(Smoothed { alpha: 1.0 })
+            .window(4)
+            .decay(0.5)
+            .build()
+            .unwrap();
+        for _ in 0..20 {
+            m.push(&balanced()).unwrap();
+        }
+        let calm = m.snapshot().unwrap();
+        assert_eq!(calm.epsilon.epsilon, 0.0);
+        assert!(calm.trend().unwrap().abs() < 1e-9);
+        // A sudden skew: the window reacts fully, the horizon only partly.
+        let step = m.push(&skewed()).unwrap();
+        let horizon = step.decayed_epsilon.unwrap();
+        assert!(step.epsilon.epsilon > horizon.epsilon);
+        let snap = m.snapshot().unwrap();
+        assert!(snap.trend().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn snapshot_serializes_and_merges_across_shards() {
+        let build = || {
+            Audit::monitor("y", axes())
+                .estimator(Smoothed { alpha: 1.0 })
+                .subsets(SubsetPolicy::All)
+                .window(8)
+                .build()
+                .unwrap()
+        };
+        let mut shard_a = build();
+        let mut shard_b = build();
+        shard_a.push(&skewed()).unwrap();
+        shard_b.push(&balanced()).unwrap();
+        let snap_a = shard_a.snapshot().unwrap();
+        let snap_b = shard_b.snapshot().unwrap();
+
+        // JSON round-trip.
+        let json = serde_json::to_string(&snap_a).unwrap();
+        let back: MonitorSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap_a);
+
+        // Merging shard snapshots equals one monitor that saw all traffic.
+        let merged = snap_a.merge(&snap_b, &Smoothed { alpha: 1.0 }).unwrap();
+        let mut whole = build();
+        whole.push(&skewed()).unwrap();
+        whole.push(&balanced()).unwrap();
+        let direct = whole.snapshot().unwrap();
+        assert_eq!(merged.window, direct.window);
+        assert_eq!(merged.epsilon, direct.epsilon);
+        assert_eq!(merged.subsets, direct.subsets);
+        assert_eq!(merged.window_rows, 8);
+        assert_eq!(merged.records_seen, 8);
+        // Merge is commutative on the counts.
+        let flipped = snap_b.merge(&snap_a, &Smoothed { alpha: 1.0 }).unwrap();
+        assert_eq!(flipped.window, merged.window);
+        assert_eq!(flipped.epsilon, merged.epsilon);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_shards() {
+        let snap = |outcome: &str, axes: Vec<Axis>| {
+            let mut m = Audit::monitor(outcome, axes).window(8).build().unwrap();
+            m.push(&balanced()).unwrap();
+            m.snapshot().unwrap()
+        };
+        let a = snap("y", axes());
+        let other_axes = vec![
+            Axis::from_strs("y", &["no", "yes"]).unwrap(),
+            Axis::from_strs("g", &["a", "b", "c"]).unwrap(),
+        ];
+        let mut m = Audit::monitor("y", other_axes).window(8).build().unwrap();
+        m.push(&balanced()).unwrap();
+        let b = m.snapshot().unwrap();
+        assert!(a.merge(&b, &Smoothed { alpha: 1.0 }).is_err());
+        // Decay configuration must match too.
+        let mut m = Audit::monitor("y", axes())
+            .window(8)
+            .decay(0.9)
+            .build()
+            .unwrap();
+        m.push(&balanced()).unwrap();
+        let c = m.snapshot().unwrap();
+        assert!(a.merge(&c, &Smoothed { alpha: 1.0 }).is_err());
+    }
+
+    #[test]
+    fn snapshot_subsets_follow_the_policy() {
+        let three_axes = vec![
+            Axis::from_strs("y", &["no", "yes"]).unwrap(),
+            Axis::from_strs("g", &["a", "b"]).unwrap(),
+            Axis::from_strs("r", &["x", "z"]).unwrap(),
+        ];
+        struct Triples(Vec<[usize; 3]>);
+        impl Tally for Triples {
+            fn tally_into(&self, shard: &mut PartialCounts) -> df_prob::Result<()> {
+                for idx in &self.0 {
+                    shard.record(idx);
+                }
+                Ok(())
+            }
+        }
+        let rows = Triples(vec![
+            [0, 0, 0],
+            [1, 0, 1],
+            [0, 1, 0],
+            [1, 1, 1],
+            [1, 0, 0],
+            [0, 1, 1],
+        ]);
+        let mut m = Audit::monitor("y", three_axes)
+            .estimator(Smoothed { alpha: 1.0 })
+            .subsets(SubsetPolicy::All)
+            .window(16)
+            .build()
+            .unwrap();
+        m.push(&rows).unwrap();
+        let snap = m.snapshot().unwrap();
+        let sizes: Vec<usize> = snap.subsets.iter().map(|s| s.attributes.len()).collect();
+        assert_eq!(sizes, vec![1, 1, 2]);
+        assert_eq!(snap.subsets.last().unwrap().attributes, vec!["g", "r"]);
+        // The full-intersection subset entry is the headline ε itself.
+        assert_eq!(snap.subsets.last().unwrap().result, snap.epsilon);
+    }
+
+    #[test]
+    fn cached_engine_matches_the_audit_path_exactly() {
+        // Outcome axis deliberately NOT first, sparse cells, an empty
+        // group: the engine's flat-index map and cached labels must
+        // reproduce `JointCounts::group_outcomes(0.0)` value for value.
+        let axes = vec![
+            Axis::from_strs("g", &["a", "b", "c"]).unwrap(),
+            Axis::from_strs("y", &["no", "yes"]).unwrap(),
+            Axis::from_strs("r", &["x", "z"]).unwrap(),
+        ];
+        let data = vec![3.0, 1.0, 0.0, 2.0, 0.0, 0.0, 0.0, 0.0, 5.0, 7.0, 2.0, 1.0];
+        let table = ContingencyTable::from_data(axes.clone(), data).unwrap();
+        let engine = WindowEngine::new(&axes, "y").unwrap();
+        let fast = engine.raw_outcomes(&table).unwrap();
+        let slow = JointCounts::from_table(table, "y")
+            .unwrap()
+            .group_outcomes(0.0)
+            .unwrap();
+        assert_eq!(fast, slow);
+        assert_eq!(
+            serde_json::to_string(&fast.epsilon()).unwrap(),
+            serde_json::to_string(&slow.epsilon()).unwrap()
+        );
+    }
+
+    #[test]
+    fn empty_window_has_vacuous_epsilon() {
+        let m = Audit::monitor("y", axes()).window(4).build().unwrap();
+        let snap = m.snapshot().unwrap();
+        assert_eq!(snap.epsilon.epsilon, 0.0);
+        assert!(snap.epsilon.witness.is_none());
+        assert_eq!(snap.window_rows, 0);
+    }
+}

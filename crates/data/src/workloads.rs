@@ -120,6 +120,85 @@ pub fn synthetic_audit_frame(
     DataFrame::new(columns)
 }
 
+/// A drifting replay workload for online-monitor benchmarks and tests: a
+/// frame of `n_rows` binary-outcome records over uniform intersectional
+/// groups whose **planted ε drifts linearly** from `eps_start` at the top
+/// of the frame to `eps_end` at the bottom.
+///
+/// Row `i` (stream position `t = i / (n_rows − 1)`) draws its group `g`
+/// uniformly over the `∏ arities` intersections and its positive outcome
+/// with probability
+///
+/// ```text
+/// p_g(t) = base_rate · exp(−ε(t) · g / (G − 1)),   ε(t) = lerp(eps_start, eps_end, t)
+/// ```
+///
+/// — the log-linear ramp of [`planted_epsilon_rates`], time-varying. A
+/// sliding window replaying the frame therefore sees its ε climb (or
+/// fall) towards `eps_end`, which is exactly the drift a deployed
+/// fairness monitor must detect. Column names and vocabularies match
+/// [`synthetic_audit_frame`] (`outcome` first — the layout the monitor's
+/// `FrameChunks` sources expect).
+pub fn drift_replay_frame(
+    rng: &mut Pcg32,
+    n_rows: usize,
+    arities: &[usize],
+    base_rate: f64,
+    eps_start: f64,
+    eps_end: f64,
+) -> Result<crate::frame::DataFrame> {
+    use crate::frame::{Column, DataFrame};
+    if n_rows < 2 || arities.is_empty() {
+        return Err(DataError::Invalid("need >=2 rows and >=1 attribute".into()));
+    }
+    if arities.contains(&0) {
+        return Err(DataError::Invalid(
+            "attribute arities must be positive".into(),
+        ));
+    }
+    if !(0.0 < base_rate && base_rate < 1.0) {
+        return Err(DataError::Invalid("base_rate must lie in (0,1)".into()));
+    }
+    if eps_start < 0.0 || eps_end < 0.0 {
+        return Err(DataError::Invalid(
+            "planted epsilons must be non-negative".into(),
+        ));
+    }
+    let n_groups: usize = arities.iter().product();
+    let denom = (n_groups.max(2) - 1) as f64;
+    let mut outcome_codes = Vec::with_capacity(n_rows);
+    let mut attr_codes: Vec<Vec<u32>> =
+        arities.iter().map(|_| Vec::with_capacity(n_rows)).collect();
+    for i in 0..n_rows {
+        let t = i as f64 / (n_rows - 1) as f64;
+        let eps_t = eps_start + (eps_end - eps_start) * t;
+        // Uniform group, decoded mixed-radix (last attribute fastest) to
+        // match the audit kernel's intersection indexing.
+        let g = rng.next_below(n_groups as u32) as usize;
+        let mut rem = g;
+        for (k, &a) in arities.iter().enumerate().rev() {
+            attr_codes[k].push((rem % a) as u32);
+            rem /= a;
+        }
+        let p = base_rate * (-eps_t * g as f64 / denom).exp();
+        outcome_codes.push(u32::from(rng.next_f64() < p));
+    }
+    let mut columns = Vec::with_capacity(arities.len() + 1);
+    columns.push(Column::categorical_from_codes(
+        "outcome",
+        outcome_codes,
+        vec!["y0".to_string(), "y1".to_string()],
+    )?);
+    for (k, codes) in attr_codes.into_iter().enumerate() {
+        columns.push(Column::categorical_from_codes(
+            format!("attr{k}"),
+            codes,
+            (0..arities[k]).map(|i| format!("v{i}")).collect(),
+        )?);
+    }
+    DataFrame::new(columns)
+}
+
 /// Renders the named categorical columns of a frame as headerless CSV —
 /// the on-disk shape consumed by the streaming CSV reader
 /// (`df_data::chunks::CsvChunks`). Used to build large ingestion
@@ -266,6 +345,47 @@ mod tests {
         assert!(synthetic_audit_frame(&mut rng, 10, 1, &[2]).is_err());
         assert!(synthetic_audit_frame(&mut rng, 10, 2, &[]).is_err());
         assert!(synthetic_audit_frame(&mut rng, 10, 2, &[0]).is_err());
+    }
+
+    #[test]
+    fn drift_replay_frame_plants_a_rising_epsilon() {
+        let mut rng = Pcg32::new(11);
+        let n = 120_000;
+        let frame = drift_replay_frame(&mut rng, n, &[2, 2], 0.4, 0.0, 1.5).unwrap();
+        assert_eq!(frame.n_rows(), n);
+        assert_eq!(frame.column_names(), vec!["outcome", "attr0", "attr1"]);
+        // Positive rate of the worst group vs the best, head vs tail of the
+        // stream: the log-ratio must grow towards the planted eps_end.
+        let (outcome, _) = frame.column("outcome").unwrap().as_categorical().unwrap();
+        let (a0, _) = frame.column("attr0").unwrap().as_categorical().unwrap();
+        let (a1, _) = frame.column("attr1").unwrap().as_categorical().unwrap();
+        let log_gap = |range: std::ops::Range<usize>| {
+            let (mut pos, mut tot) = ([0.0f64; 2], [0.0f64; 2]);
+            for i in range {
+                let g = (a0[i] * 2 + a1[i]) as usize;
+                // Compare the extreme groups 0 and 3 only.
+                let slot = match g {
+                    0 => 0,
+                    3 => 1,
+                    _ => continue,
+                };
+                tot[slot] += 1.0;
+                pos[slot] += f64::from(outcome[i]);
+            }
+            ((pos[0] / tot[0]) / (pos[1] / tot[1])).ln()
+        };
+        let head = log_gap(0..20_000);
+        let tail = log_gap(n - 20_000..n);
+        assert!(head.abs() < 0.15, "head gap {head} should be near 0");
+        assert!((tail - 1.5).abs() < 0.25, "tail gap {tail} should near 1.5");
+
+        // Validation.
+        assert!(drift_replay_frame(&mut rng, 1, &[2], 0.4, 0.0, 1.0).is_err());
+        assert!(drift_replay_frame(&mut rng, 10, &[], 0.4, 0.0, 1.0).is_err());
+        assert!(drift_replay_frame(&mut rng, 10, &[0], 0.4, 0.0, 1.0).is_err());
+        assert!(drift_replay_frame(&mut rng, 10, &[2], 0.0, 0.0, 1.0).is_err());
+        assert!(drift_replay_frame(&mut rng, 10, &[2], 0.4, -0.1, 1.0).is_err());
+        assert!(drift_replay_frame(&mut rng, 10, &[2], 0.4, 0.0, -1.0).is_err());
     }
 
     #[test]

@@ -121,9 +121,23 @@ impl FairObjective<'_> {
     }
 }
 
+/// Floor/ceiling keeping the log-ratios of the fairness penalty finite
+/// when a soft group rate saturates at exactly 0.0 or 1.0 — which happens
+/// whenever the sigmoid itself saturates in `f64` (|z| ≳ 37) and α is too
+/// small to pull the rate off the boundary. Without the clamp, `ln 0`
+/// injects `±inf` into the penalty and `inf − inf = NaN` into its
+/// gradient, silently corrupting the optimizer state.
+const RATE_CLAMP: f64 = 1e-12;
+
+#[inline]
+fn clamp_rate(p: f64) -> f64 {
+    p.clamp(RATE_CLAMP, 1.0 - RATE_CLAMP)
+}
+
 impl Objective for FairObjective<'_> {
     fn value_grad(&self, w: &[f64]) -> (f64, Vec<f64>) {
-        let (mut value, mut grad, rates, rate_grad) = self.forward(w);
+        let (mut value, mut grad, raw_rates, rate_grad) = self.forward(w);
+        let rates: Vec<f64> = raw_rates.into_iter().map(clamp_rate).collect();
 
         // L2 (skip intercept).
         for (j, &wj) in w.iter().enumerate().skip(1) {
@@ -177,17 +191,21 @@ impl Objective for FairObjective<'_> {
 }
 
 /// Soft ε of a rate vector: the max pairwise |log-ratio| over both outcomes
-/// for populated groups.
+/// for populated groups. Rates are clamped to `[1e-12, 1 − 1e-12]` first,
+/// so a saturated rate (exactly 0.0 or 1.0) yields a large but *finite*
+/// ε instead of `inf`/NaN.
 pub fn soft_epsilon(rates: &[f64], group_sizes: &[f64]) -> f64 {
     let mut eps = 0.0f64;
     for (i, &ri) in rates.iter().enumerate() {
         if group_sizes[i] == 0.0 {
             continue;
         }
+        let ri = clamp_rate(ri);
         for (j, &rj) in rates.iter().enumerate() {
             if group_sizes[j] == 0.0 || i == j {
                 continue;
             }
+            let rj = clamp_rate(rj);
             eps = eps.max((ri.ln() - rj.ln()).abs());
             eps = eps.max(((1.0 - ri).ln() - (1.0 - rj).ln()).abs());
         }
@@ -457,6 +475,45 @@ mod tests {
         )
         .unwrap();
         assert!(strict.train_soft_epsilon < targeted.train_soft_epsilon + 1e-9);
+    }
+
+    #[test]
+    fn saturated_rates_yield_finite_epsilon_and_gradients() {
+        // Exactly-saturated rates: previously ln(0) → inf, and with both
+        // outcomes saturated in opposite directions, NaN.
+        let eps = soft_epsilon(&[1.0, 0.0], &[5.0, 5.0]);
+        assert!(eps.is_finite(), "{eps}");
+        assert!(eps > 20.0, "saturated gap must still register: {eps}");
+        assert!(soft_epsilon(&[0.0, 0.0], &[1.0, 1.0]).is_finite());
+        assert!(soft_epsilon(&[1.0, 1.0], &[1.0, 1.0]).is_finite());
+
+        // End-to-end regression: extreme feature scale saturates the
+        // sigmoid (|z| ≫ 37 → σ(z) is exactly 0.0/1.0 in f64) and a tiny α
+        // cannot pull the soft group rates off the boundary, so the hinge
+        // gradient used to go NaN and poison gradient descent.
+        let x = matrix(
+            &["score"],
+            vec![vec![1e6], vec![1e6], vec![-1e6], vec![-1e6]],
+        );
+        let y = vec![1.0, 1.0, 0.0, 0.0];
+        let groups = vec![0usize, 0, 1, 1];
+        let cfg = FairLogisticConfig {
+            fairness_weight: 10.0,
+            alpha: 1e-300,
+            max_iter: 50,
+            ..FairLogisticConfig::default()
+        };
+        let model = FairLogisticRegression::fit(&x, &y, &groups, 2, &cfg).unwrap();
+        assert!(
+            model.weights().iter().all(|w| w.is_finite()),
+            "{:?}",
+            model.weights()
+        );
+        assert!(
+            model.train_soft_epsilon.is_finite(),
+            "{}",
+            model.train_soft_epsilon
+        );
     }
 
     #[test]

@@ -500,6 +500,69 @@ impl ContingencyTable {
         Ok(())
     }
 
+    /// Cell-wise subtracts another table from this one — the exact inverse
+    /// of [`ContingencyTable::merge_from`] on integer tallies (integers up
+    /// to 2⁵³ are exact in `f64`, so merge-then-subtract restores the
+    /// original table bit for bit).
+    ///
+    /// Both tables must have identical axes, and every cell of `other` must
+    /// be at most the matching cell of `self`: counts can only be removed
+    /// if they were previously added, so a subtraction that would drive any
+    /// cell negative is rejected *before* any cell is modified (`self` is
+    /// left untouched on error). This non-negativity invariant is what lets
+    /// the sliding-window monitor in df-core evict expired buckets without
+    /// ever materializing a negative "count".
+    pub fn subtract_from(&mut self, other: &ContingencyTable) -> Result<()> {
+        if self.axes != other.axes {
+            return Err(ProbError::InvalidParameter {
+                name: "other",
+                reason: "cannot subtract tables with different axes".into(),
+            });
+        }
+        // Identical axes imply identical shape, so the data twin's length
+        // check cannot fire.
+        self.subtract_data(&other.data)
+    }
+
+    /// [`ContingencyTable::subtract_from`] against raw row-major cell
+    /// data — the allocation-free twin for hot loops that keep expired
+    /// bucket *data* around rather than whole tables (the sliding-window
+    /// monitor's ring). Same contract: length must match, and no cell may
+    /// go negative (checked before any mutation).
+    pub fn subtract_data(&mut self, cells: &[f64]) -> Result<()> {
+        if cells.len() != self.data.len() {
+            return Err(ProbError::ShapeMismatch {
+                context: "subtract_data",
+                expected: self.data.len(),
+                actual: cells.len(),
+            });
+        }
+        if let Some(cell) = self
+            .data
+            .iter()
+            .zip(cells)
+            .position(|(have, take)| take > have)
+        {
+            return Err(ProbError::InvalidParameter {
+                name: "cells",
+                reason: format!(
+                    "subtraction would drive cell {cell} negative ({} - {})",
+                    self.data[cell], cells[cell]
+                ),
+            });
+        }
+        for (dst, &src) in self.data.iter_mut().zip(cells) {
+            *dst -= src;
+        }
+        Ok(())
+    }
+
+    /// Resets every cell to zero, keeping the axes — lets hot loops reuse
+    /// one scratch table instead of re-allocating axes per batch.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
     /// Folds any number of partial-count shards into one table. All shards
     /// must share identical axes; errors on an empty iterator or a
     /// mismatch.
@@ -754,6 +817,49 @@ mod tests {
         ])
         .unwrap();
         assert!(a.merge_from(&other).is_err());
+    }
+
+    #[test]
+    fn subtract_from_inverts_merge_and_guards_negativity() {
+        let mut t = table_2x3();
+        let other = table_2x3();
+        let mut merged = t.clone();
+        merged.merge_from(&other).unwrap();
+        merged.subtract_from(&other).unwrap();
+        assert_eq!(merged, t, "merge then subtract must be the identity");
+        // Subtracting more than a cell holds is refused, leaving the table
+        // untouched.
+        let mut bigger = table_2x3();
+        bigger.add(&[0, 0], 5.0);
+        let before = t.clone();
+        assert!(matches!(
+            t.subtract_from(&bigger),
+            Err(ProbError::InvalidParameter { .. })
+        ));
+        assert_eq!(t, before);
+        // Axis mismatch is refused.
+        let other = ContingencyTable::zeros(vec![
+            Axis::from_strs("outcome", &["no", "yes"]).unwrap(),
+            Axis::from_strs("group", &["a", "b"]).unwrap(),
+        ])
+        .unwrap();
+        assert!(t.subtract_from(&other).is_err());
+        // The data twin agrees with the table form and validates shape.
+        let mut a = table_2x3();
+        let cells: Vec<f64> = table_2x3().data().to_vec();
+        let mut b = a.clone();
+        b.merge_from(&table_2x3()).unwrap();
+        b.subtract_data(&cells).unwrap();
+        assert_eq!(b, a);
+        assert!(a.subtract_data(&[1.0]).is_err());
+        let too_big = vec![100.0; 6];
+        let before = a.clone();
+        assert!(a.subtract_data(&too_big).is_err());
+        assert_eq!(a, before);
+        // clear() zeroes cells, keeps axes.
+        a.clear();
+        assert_eq!(a.total(), 0.0);
+        assert_eq!(a.axes(), before.axes());
     }
 
     #[test]

@@ -97,6 +97,28 @@ impl PartialCounts {
         self.table.merge_from(&other.table)
     }
 
+    /// Subtracts another shard from this one — the exact inverse of
+    /// [`PartialCounts::merge`] on integer tallies, turning the merge
+    /// monoid into a cancellative one.
+    ///
+    /// The shards must share identical axes, and every cell of `other`
+    /// must be at most the matching cell of `self`; a subtraction that
+    /// would drive any cell negative errors *before* modifying anything
+    /// (counts can only be un-tallied if they were tallied in). This is
+    /// the eviction operator behind df-core's sliding-window monitor: a
+    /// window is a sum of bucket shards, and expiring a bucket is exactly
+    /// `window.subtract(&bucket)`.
+    pub fn subtract(&mut self, other: &PartialCounts) -> Result<()> {
+        self.table.subtract_from(&other.table)
+    }
+
+    /// Resets the shard to the monoid identity (all cells zero), keeping
+    /// its axes — reusing one scratch shard beats re-allocating axes for
+    /// every incoming batch on streaming hot paths.
+    pub fn clear(&mut self) {
+        self.table.clear();
+    }
+
     /// Consumes the shard, yielding the accumulated table.
     pub fn into_table(self) -> ContingencyTable {
         self.table
@@ -185,6 +207,29 @@ mod tests {
             a.merge(&other),
             Err(ProbError::InvalidParameter { .. })
         ));
+    }
+
+    #[test]
+    fn subtract_inverts_merge_exactly() {
+        let mut window = PartialCounts::zeros(axes()).unwrap();
+        window.record(&[0, 0]);
+        window.record(&[1, 1]);
+        let reference = window.clone();
+        let mut bucket = PartialCounts::zeros(axes()).unwrap();
+        bucket.record(&[0, 1]);
+        bucket.record(&[1, 1]);
+        window.merge(&bucket).unwrap();
+        window.subtract(&bucket).unwrap();
+        assert_eq!(window, reference);
+        // Evicting a bucket that was never merged in is refused (cell
+        // would go negative) and leaves the window untouched.
+        let mut alien = PartialCounts::zeros(axes()).unwrap();
+        alien.record(&[0, 1]);
+        assert!(matches!(
+            window.subtract(&alien),
+            Err(ProbError::InvalidParameter { .. })
+        ));
+        assert_eq!(window, reference);
     }
 
     #[test]

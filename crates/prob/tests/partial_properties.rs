@@ -97,6 +97,56 @@ proptest! {
         prop_assert_eq!(&right, &a);
     }
 
+    /// merge then subtract is the identity — the exact inverse the
+    /// sliding-window monitor relies on to evict expired buckets — and the
+    /// difference never holds a negative cell.
+    #[test]
+    fn subtract_round_trips_merge(
+        arity0 in 2usize..5,
+        arity1 in 2usize..5,
+        picks_window in proptest::collection::vec(any::<u64>(), 0..60),
+        picks_bucket in proptest::collection::vec(any::<u64>(), 0..60),
+    ) {
+        let arities = [arity0, arity1];
+        let reference = shard_of(&arities, &picks_window);
+        let bucket = shard_of(&arities, &picks_bucket);
+        let mut window = reference.clone();
+        window.merge(&bucket).unwrap();
+        window.subtract(&bucket).unwrap();
+        prop_assert_eq!(&window, &reference);
+        prop_assert!(window.table().data().iter().all(|&v| v >= 0.0));
+        // Subtracting the window from itself reaches the monoid identity.
+        let mut drained = window.clone();
+        drained.subtract(&window).unwrap();
+        prop_assert_eq!(drained.total(), 0.0);
+        prop_assert!(drained.table().data().iter().all(|&v| v == 0.0));
+    }
+
+    /// Subtracting mass that was never merged in errors and leaves the
+    /// minuend untouched — the non-negativity invariant.
+    #[test]
+    fn subtract_never_goes_negative(
+        arity in 2usize..5,
+        picks in proptest::collection::vec(any::<u64>(), 0..40),
+        extra in any::<u64>(),
+    ) {
+        let arities = [2, arity];
+        let window = shard_of(&arities, &picks);
+        // A bucket strictly exceeding the window in one cell.
+        let mut bucket = window.clone();
+        let mut idx = vec![0usize; 2];
+        let mut rem = extra as usize;
+        for (slot, &a) in idx.iter_mut().zip(&arities) {
+            *slot = rem % a;
+            rem /= a;
+        }
+        bucket.record(&idx);
+        let before = window.clone();
+        let mut window = window;
+        prop_assert!(window.subtract(&bucket).is_err());
+        prop_assert_eq!(&window, &before);
+    }
+
     /// Folding any partition of the records through `from_partials` equals
     /// the single-shard tally — shard-count invariance at the table level.
     #[test]

@@ -51,10 +51,11 @@ fn main() {
     }
     let boot = report.bootstrap.as_ref().unwrap();
     println!(
-        "bootstrap (300 replicates of the headline): 95% CI [{:.3}, {:.3}], se = {:.3}, {} infinite",
+        "bootstrap (300 replicates of the headline): 95% CI [{:.3}, {:.3}], se = {}, {} infinite",
         boot.interval.0,
         boot.interval.1,
-        boot.std_error(),
+        boot.std_error()
+            .map_or("n/a".to_string(), |se| format!("{se:.3}")),
         boot.infinite_replicates
     );
     println!(

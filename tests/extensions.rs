@@ -66,7 +66,7 @@ fn bootstrap_interval_contains_point_estimate() {
         boot.interval.0,
         boot.interval.1
     );
-    assert!(boot.std_error() > 0.0);
+    assert!(boot.std_error().unwrap() > 0.0);
     // Serializes for report pipelines.
     let json = serde_json::to_string(&boot).unwrap();
     assert!(json.contains("interval"));
