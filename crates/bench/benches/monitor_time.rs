@@ -1,0 +1,130 @@
+//! Criterion bench: wall-clock windowed monitoring vs full recomputation
+//! on a timestamped drifting replay with a planted change-point.
+//!
+//! The stream is Poisson traffic at 1 000 records/s for 600 s (≈ 600k
+//! records), windowed over the last 60 s at 1 s buckets (≈ 60k in-window
+//! records when warm), with CUSUM and Page–Hinkley detectors attached.
+//! Both contenders process one chunk per 1 s bucket and produce the
+//! identical windowed ε at every step; they differ only in how:
+//!
+//! - `incremental`: `FairnessMonitor::push_at` — tally the chunk, merge
+//!   it into its time bucket, subtract expired buckets, recompute ε from
+//!   the counts, and feed the detectors. Per-step work is
+//!   O(chunk + cells), independent of the window population.
+//! - `full_recompute`: the naive online audit — re-tally all in-window
+//!   rows from scratch and run a batch `Audit` per bucket. Per-step work
+//!   is O(window population) ≈ 60× the per-bucket arrivals.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use df_core::builder::{Audit, Smoothed, SubsetPolicy};
+use df_core::monitor::{Cusum, PageHinkley};
+use df_core::JointCounts;
+use df_data::workloads::{timestamped_drift_stream, ArrivalProcess, DriftSegment, TimedChunk};
+use df_prob::contingency::Axis;
+use df_prob::partial::{PartialCounts, Tally};
+use df_prob::rng::Pcg32;
+use std::collections::VecDeque;
+use std::hint::black_box;
+
+const RATE: f64 = 1_000.0;
+const STREAM_SECONDS: f64 = 600.0;
+const WINDOW_SECONDS: f64 = 60.0;
+const BUCKET_SECONDS: f64 = 1.0;
+
+fn schema() -> Vec<Axis> {
+    vec![
+        Axis::from_strs("outcome", &["y0", "y1"]).unwrap(),
+        Axis::from_strs("attr0", &["v0", "v1"]).unwrap(),
+        Axis::from_strs("attr1", &["v0", "v1"]).unwrap(),
+    ]
+}
+
+/// The replay, pre-grouped into one chunk per 1 s bucket so both
+/// contenders measure monitor work, not row grouping.
+fn workload() -> Vec<TimedChunk> {
+    let mut rng = Pcg32::new(2026);
+    timestamped_drift_stream(
+        &mut rng,
+        &[2, 2],
+        0.35,
+        &[
+            DriftSegment::new(STREAM_SECONDS / 2.0, 0.2),
+            DriftSegment::new(STREAM_SECONDS / 2.0, 1.8),
+        ],
+        ArrivalProcess::Poisson { rate: RATE },
+    )
+    .expect("workload generation")
+    .bucket_chunks(BUCKET_SECONDS)
+    .expect("bucket grouping")
+}
+
+fn bench_monitor_time(c: &mut Criterion) {
+    let chunks = workload();
+    let n_rows: usize = chunks.iter().map(TimedChunk::n_rows).sum();
+
+    let mut group = c.benchmark_group("monitor_time/replay_600k_w60s");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n_rows as u64));
+
+    // Incremental: time-bucket merge/subtract, ε + detectors per bucket.
+    group.bench_function("incremental", |b| {
+        b.iter(|| {
+            let mut monitor = Audit::monitor("outcome", schema())
+                .estimator(Smoothed { alpha: 1.0 })
+                .window_seconds(WINDOW_SECONDS)
+                .bucket_seconds(BUCKET_SECONDS)
+                .changepoint(Cusum::new(0.25, 0.05, 1.0))
+                .changepoint(PageHinkley::new(0.25, 0.05, 1.0))
+                .build()
+                .unwrap();
+            let mut last = 0.0;
+            for chunk in &chunks {
+                last = monitor
+                    .push_at(chunk, chunk.timestamp)
+                    .unwrap()
+                    .epsilon
+                    .epsilon;
+            }
+            black_box(last)
+        });
+    });
+
+    // Full recompute: re-tally every in-window bucket and batch-audit it,
+    // per bucket — the naive wall-clock online audit.
+    group.bench_function("full_recompute", |b| {
+        let horizon_buckets = (WINDOW_SECONDS / BUCKET_SECONDS).ceil() as i64;
+        b.iter(|| {
+            let axes = schema();
+            let mut ring: VecDeque<(i64, &TimedChunk)> = VecDeque::new();
+            let mut last = 0.0;
+            for chunk in &chunks {
+                let bucket = (chunk.timestamp / BUCKET_SECONDS).floor() as i64;
+                ring.push_back((bucket, chunk));
+                while ring
+                    .front()
+                    .is_some_and(|(b0, _)| *b0 <= bucket - horizon_buckets)
+                {
+                    ring.pop_front();
+                }
+                let mut window = PartialCounts::zeros(axes.clone()).unwrap();
+                for (_, rows) in &ring {
+                    rows.tally_into(&mut window).unwrap();
+                }
+                let counts = JointCounts::from_table(window.into_table(), "outcome").unwrap();
+                let report = Audit::of_counts(counts)
+                    .unwrap()
+                    .estimator(Smoothed { alpha: 1.0 })
+                    .subsets(SubsetPolicy::None)
+                    .run()
+                    .unwrap();
+                last = report.epsilon.epsilon;
+            }
+            black_box(last)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_monitor_time);
+criterion_main!(benches);

@@ -384,8 +384,12 @@ impl<'a> Audit<'a> {
     /// one-shot audit: the returned [`crate::monitor::MonitorBuilder`]
     /// shares this builder's estimator and subset-policy stages, then
     /// `build()`s a [`crate::monitor::FairnessMonitor`] maintaining ε over
-    /// a sliding window of the stream (plus an optional exponentially-
-    /// decayed horizon) with hysteresis alerting. See [`crate::monitor`].
+    /// a sliding window of the stream — the last W records, or the last T
+    /// wall-clock seconds at bucket granularity
+    /// (`.window_seconds(T).bucket_seconds(b)`) — plus an optional
+    /// exponentially-decayed horizon, hysteresis alerting, and
+    /// CUSUM/Page–Hinkley change-point detection
+    /// (`.changepoint(Cusum::new(..))`). See [`crate::monitor`].
     ///
     /// * `outcome_axis` — which of `axes` holds the outcome.
     /// * `axes` — the full schema, in the order chunks tally records

@@ -1,0 +1,426 @@
+//! Sequential change-point detection over the monitored fairness signal.
+//!
+//! The decayed-horizon trend of [`super::MonitorSnapshot::trend`] is a
+//! *lagging* drift indicator: by the time the horizon ε has moved, the
+//! window has been unfair for a while. Sequential rules react faster with
+//! a *bounded false-positive rate*: they accumulate evidence that the
+//! signal's mean has shifted above an in-control target and alarm only
+//! when the cumulated evidence clears a threshold.
+//!
+//! Two classic rules are provided, both one-sided (fairness *degradation*
+//! — the signal rising — is the alarm-worthy direction):
+//!
+//! - **CUSUM** (Page's cumulative sum):
+//!   `g ← max(0, g + x − target − drift)`, alarm when `g > threshold`.
+//!   `drift` (the slack `k`) absorbs in-control noise; `threshold` (`h`)
+//!   trades detection delay against false alarms.
+//! - **Page–Hinkley:** `m ← m + x − target − delta`, `M ← min(M, m)`,
+//!   alarm when `m − M > lambda`. Equivalent sensitivity with a running-
+//!   minimum formulation that tolerates a slowly wandering baseline.
+//!
+//! Both sample once per monitor step (one `push`/`push_at`/`advance_to`
+//! call), over either the windowed ε under the configured estimator
+//! ([`ChangeSignal::Epsilon`]) or the raw empirical worst-pair log-ratio
+//! ([`ChangeSignal::RawLogRatio`] — unsmoothed, so it reacts faster on
+//! sparse windows but can be infinite; non-finite samples are skipped,
+//! since the threshold [`super::AlertRule`] already covers ε = ∞). After
+//! an alarm the statistic resets and the rule keeps watching, so repeated
+//! drifts raise repeated alarms.
+
+use crate::error::{DfError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Which per-step scalar a change-point detector watches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChangeSignal {
+    /// The windowed ε under the monitor's configured estimator (the
+    /// headline, smoothing included).
+    Epsilon,
+    /// The raw (MLE, α = 0) worst-pair log-ratio of the window — exactly
+    /// the empirical ε. More sensitive on sparse windows, possibly ∞
+    /// (non-finite samples are skipped).
+    RawLogRatio,
+}
+
+/// Fluent CUSUM configuration; convert into a detector via
+/// [`super::MonitorBuilder::changepoint`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cusum {
+    /// In-control mean of the signal (μ₀).
+    pub target: f64,
+    /// Per-sample slack `k`: deviations below `target + drift` accumulate
+    /// no evidence.
+    pub drift: f64,
+    /// Alarm threshold `h` on the cumulated statistic.
+    pub threshold: f64,
+    /// The watched signal (default [`ChangeSignal::Epsilon`]).
+    pub signal: ChangeSignal,
+}
+
+impl Cusum {
+    /// A one-sided CUSUM watching the windowed ε.
+    pub fn new(target: f64, drift: f64, threshold: f64) -> Self {
+        Self {
+            target,
+            drift,
+            threshold,
+            signal: ChangeSignal::Epsilon,
+        }
+    }
+
+    /// Switches the watched signal.
+    pub fn over(mut self, signal: ChangeSignal) -> Self {
+        self.signal = signal;
+        self
+    }
+}
+
+/// Fluent Page–Hinkley configuration; convert into a detector via
+/// [`super::MonitorBuilder::changepoint`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageHinkley {
+    /// In-control mean of the signal (μ₀).
+    pub target: f64,
+    /// Per-sample slack δ.
+    pub delta: f64,
+    /// Alarm threshold λ on `m − min(m)`.
+    pub lambda: f64,
+    /// The watched signal (default [`ChangeSignal::Epsilon`]).
+    pub signal: ChangeSignal,
+}
+
+impl PageHinkley {
+    /// A one-sided Page–Hinkley rule watching the windowed ε.
+    pub fn new(target: f64, delta: f64, lambda: f64) -> Self {
+        Self {
+            target,
+            delta,
+            lambda,
+            signal: ChangeSignal::Epsilon,
+        }
+    }
+
+    /// Switches the watched signal.
+    pub fn over(mut self, signal: ChangeSignal) -> Self {
+        self.signal = signal;
+        self
+    }
+}
+
+/// A fully specified change-point detector — the serializable union of
+/// [`Cusum`] and [`PageHinkley`] configurations carried by alarms and
+/// snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ChangepointSpec {
+    /// Page's cumulative-sum rule.
+    Cusum {
+        /// In-control mean of the signal (μ₀).
+        target: f64,
+        /// Per-sample slack `k`.
+        drift: f64,
+        /// Alarm threshold `h`.
+        threshold: f64,
+        /// The watched signal.
+        signal: ChangeSignal,
+    },
+    /// The Page–Hinkley rule.
+    PageHinkley {
+        /// In-control mean of the signal (μ₀).
+        target: f64,
+        /// Per-sample slack δ.
+        delta: f64,
+        /// Alarm threshold λ.
+        lambda: f64,
+        /// The watched signal.
+        signal: ChangeSignal,
+    },
+}
+
+impl From<Cusum> for ChangepointSpec {
+    fn from(c: Cusum) -> Self {
+        ChangepointSpec::Cusum {
+            target: c.target,
+            drift: c.drift,
+            threshold: c.threshold,
+            signal: c.signal,
+        }
+    }
+}
+
+impl From<PageHinkley> for ChangepointSpec {
+    fn from(p: PageHinkley) -> Self {
+        ChangepointSpec::PageHinkley {
+            target: p.target,
+            delta: p.delta,
+            lambda: p.lambda,
+            signal: p.signal,
+        }
+    }
+}
+
+impl ChangepointSpec {
+    /// The watched signal.
+    pub fn signal(&self) -> ChangeSignal {
+        match self {
+            ChangepointSpec::Cusum { signal, .. } | ChangepointSpec::PageHinkley { signal, .. } => {
+                *signal
+            }
+        }
+    }
+
+    /// Short display name of the rule family.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChangepointSpec::Cusum { .. } => "cusum",
+            ChangepointSpec::PageHinkley { .. } => "page-hinkley",
+        }
+    }
+
+    pub(super) fn validate(&self) -> Result<()> {
+        let (target, slack, threshold) = match *self {
+            ChangepointSpec::Cusum {
+                target,
+                drift,
+                threshold,
+                ..
+            } => (target, drift, threshold),
+            ChangepointSpec::PageHinkley {
+                target,
+                delta,
+                lambda,
+                ..
+            } => (target, delta, lambda),
+        };
+        if !target.is_finite() || target < 0.0 {
+            return Err(DfError::Invalid(format!(
+                "change-point target must be a finite non-negative signal level, got {target}"
+            )));
+        }
+        if !slack.is_finite() || slack < 0.0 {
+            return Err(DfError::Invalid(format!(
+                "change-point drift/delta slack must be finite and non-negative, got {slack}"
+            )));
+        }
+        if !threshold.is_finite() || threshold <= 0.0 {
+            return Err(DfError::Invalid(format!(
+                "change-point threshold must be finite and positive, got {threshold}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// One raised change-point alarm: which detector, where in the stream,
+/// and the statistic/sample that crossed the threshold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChangepointAlarm {
+    /// The detector that alarmed.
+    pub detector: ChangepointSpec,
+    /// Total records ingested when the alarm was raised.
+    pub at_record: u64,
+    /// The monitor clock at the alarm (wall-clock windows only).
+    pub at_seconds: Option<f64>,
+    /// The detector statistic at the alarm (CUSUM `g`, Page–Hinkley
+    /// `m − min(m)`).
+    pub statistic: f64,
+    /// The signal sample that completed the crossing.
+    pub signal: f64,
+}
+
+/// One detector's serializable state inside a
+/// [`super::MonitorSnapshot`]: its configuration, the current evidence
+/// statistic, and every alarm it has raised.
+///
+/// Shard merging is conservative: specs must match position-wise, merged
+/// `statistic` is the **max** across shards (the fleet is at least as
+/// close to alarming as its worst shard; max is commutative, associative,
+/// and has the fresh detector's 0 as identity — the statistic is never
+/// negative), and alarm logs concatenate in canonical order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChangepointStatus {
+    /// The detector configuration.
+    pub spec: ChangepointSpec,
+    /// Current evidence statistic (CUSUM `g`, Page–Hinkley `m − min(m)`;
+    /// always ≥ 0, reset to 0 by each alarm).
+    pub statistic: f64,
+    /// Every alarm this detector has raised, in raising order.
+    pub alarms: Vec<ChangepointAlarm>,
+}
+
+/// The runtime state of one configured detector.
+pub(super) struct DetectorState {
+    spec: ChangepointSpec,
+    /// CUSUM `g`, or Page–Hinkley running sum `m`.
+    sum: f64,
+    /// Page–Hinkley running minimum of `m` (unused by CUSUM).
+    min: f64,
+    alarms: Vec<ChangepointAlarm>,
+}
+
+impl DetectorState {
+    pub(super) fn new(spec: ChangepointSpec) -> Self {
+        Self {
+            spec,
+            sum: 0.0,
+            min: 0.0,
+            alarms: Vec::new(),
+        }
+    }
+
+    pub(super) fn spec(&self) -> &ChangepointSpec {
+        &self.spec
+    }
+
+    /// The current evidence statistic (always ≥ 0).
+    pub(super) fn gauge(&self) -> f64 {
+        match self.spec {
+            ChangepointSpec::Cusum { .. } => self.sum,
+            ChangepointSpec::PageHinkley { .. } => self.sum - self.min,
+        }
+    }
+
+    pub(super) fn alarms(&self) -> &[ChangepointAlarm] {
+        &self.alarms
+    }
+
+    /// Feeds one sample; on an alarm, logs it (stamped with the stream
+    /// position) and resets the statistic. Non-finite samples are
+    /// skipped. Returns the alarm, if one was raised.
+    pub(super) fn observe(
+        &mut self,
+        sample: f64,
+        at_record: u64,
+        at_seconds: Option<f64>,
+    ) -> Option<ChangepointAlarm> {
+        if !sample.is_finite() {
+            return None;
+        }
+        let crossed = match self.spec {
+            ChangepointSpec::Cusum {
+                target,
+                drift,
+                threshold,
+                ..
+            } => {
+                self.sum = (self.sum + sample - target - drift).max(0.0);
+                (self.sum > threshold).then_some(self.sum)
+            }
+            ChangepointSpec::PageHinkley {
+                target,
+                delta,
+                lambda,
+                ..
+            } => {
+                self.sum += sample - target - delta;
+                self.min = self.min.min(self.sum);
+                let gauge = self.sum - self.min;
+                (gauge > lambda).then_some(gauge)
+            }
+        };
+        let statistic = crossed?;
+        self.sum = 0.0;
+        self.min = 0.0;
+        let alarm = ChangepointAlarm {
+            detector: self.spec,
+            at_record,
+            at_seconds,
+            statistic,
+            signal: sample,
+        };
+        self.alarms.push(alarm.clone());
+        Some(alarm)
+    }
+
+    /// Reconstructs the snapshot-side view.
+    pub(super) fn status(&self) -> ChangepointStatus {
+        ChangepointStatus {
+            spec: self.spec,
+            statistic: self.gauge(),
+            alarms: self.alarms.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cusum_accumulates_slack_adjusted_evidence_and_resets() {
+        let mut d = DetectorState::new(Cusum::new(0.1, 0.05, 0.5).into());
+        // In-control samples at the target accumulate nothing.
+        for _ in 0..100 {
+            assert!(d.observe(0.1, 0, None).is_none());
+        }
+        assert_eq!(d.gauge(), 0.0);
+        // A shift to 0.35 accumulates 0.35 − 0.1 − 0.05 = 0.2 of evidence
+        // per sample → alarm on the 3rd sample (0.2, 0.4, 0.6 > 0.5).
+        assert!(d.observe(0.35, 1, None).is_none());
+        assert!(d.observe(0.35, 2, None).is_none());
+        let alarm = d.observe(0.35, 3, None).expect("third sample crosses");
+        assert_eq!(alarm.at_record, 3);
+        assert!((alarm.statistic - 0.6).abs() < 1e-12);
+        assert_eq!(alarm.signal, 0.35);
+        // The statistic reset; the rule keeps watching.
+        assert_eq!(d.gauge(), 0.0);
+        assert_eq!(d.alarms().len(), 1);
+        // Non-finite samples are skipped outright.
+        assert!(d.observe(f64::INFINITY, 4, None).is_none());
+        assert_eq!(d.gauge(), 0.0);
+    }
+
+    #[test]
+    fn page_hinkley_tracks_the_running_minimum() {
+        let mut d = DetectorState::new(PageHinkley::new(0.2, 0.0, 0.3).into());
+        // Samples below target push m down; the min follows, so the gauge
+        // stays 0 — a falling signal never alarms a one-sided rule.
+        for _ in 0..10 {
+            assert!(d.observe(0.0, 0, None).is_none());
+        }
+        assert_eq!(d.gauge(), 0.0);
+        // A rise of +0.2 over target needs two samples to clear λ = 0.3.
+        assert!(d.observe(0.4, 1, None).is_none());
+        let alarm = d
+            .observe(0.4, 2, Some(12.5))
+            .expect("second sample crosses");
+        assert!((alarm.statistic - 0.4).abs() < 1e-12);
+        assert_eq!(alarm.at_seconds, Some(12.5));
+        assert_eq!(d.gauge(), 0.0);
+    }
+
+    #[test]
+    fn specs_validate_parameters() {
+        assert!(ChangepointSpec::from(Cusum::new(0.1, 0.05, 0.5))
+            .validate()
+            .is_ok());
+        assert!(ChangepointSpec::from(Cusum::new(f64::NAN, 0.05, 0.5))
+            .validate()
+            .is_err());
+        assert!(ChangepointSpec::from(Cusum::new(-0.1, 0.05, 0.5))
+            .validate()
+            .is_err());
+        assert!(ChangepointSpec::from(Cusum::new(0.1, -0.05, 0.5))
+            .validate()
+            .is_err());
+        assert!(ChangepointSpec::from(Cusum::new(0.1, 0.05, 0.0))
+            .validate()
+            .is_err());
+        assert!(
+            ChangepointSpec::from(PageHinkley::new(0.1, 0.0, f64::INFINITY))
+                .validate()
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec: ChangepointSpec = Cusum::new(0.1, 0.05, 0.5)
+            .over(ChangeSignal::RawLogRatio)
+            .into();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ChangepointSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(spec.signal(), ChangeSignal::RawLogRatio);
+        assert_eq!(spec.name(), "cusum");
+    }
+}

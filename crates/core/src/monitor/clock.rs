@@ -1,0 +1,214 @@
+//! Wall-clock bucketed windowing: `window = last T seconds` at
+//! `bucket_seconds` granularity, on the same exact merge/subtract counts
+//! ring as the record-count window.
+//!
+//! Timestamps are **caller-supplied** (seconds; epoch or any monotonic
+//! clock) — core never reads `Instant::now()`, so a wall-clock monitor is
+//! fully replayable: feeding the same `(chunk, timestamp)` sequence
+//! reproduces every ε and every alarm byte for byte.
+//!
+//! Time is partitioned into fixed buckets `[k·b, (k+1)·b)`; a timestamp
+//! `t` lands in bucket `⌊t / b⌋`. With `now` = the largest timestamp seen
+//! and `n = ⌈T / b⌉`, the window holds exactly the buckets with index
+//! `> ⌊now / b⌋ − n` — "the last T seconds" resolved at bucket
+//! granularity. Arrivals may be out of order: a chunk whose bucket is
+//! still inside the window merges into that bucket wherever it sits in
+//! the ring; only a timestamp older than the whole window is refused
+//! (absorbing it would silently violate the window contract). Advancing
+//! time evicts buckets through the exact `subtract` path, so the windowed
+//! counts stay byte-identical to a fresh tally of the in-window records —
+//! including all the way down to the empty window when time advances with
+//! no arrivals.
+
+use crate::error::{DfError, Result};
+use df_prob::contingency::{Axis, ContingencyTable};
+use std::collections::VecDeque;
+
+/// Largest accepted timestamp, in seconds. Generous for epoch seconds
+/// (~31 million years) while keeping `⌊t / b⌋` safely inside `i64` for
+/// every legal bucket width: the builder floors `bucket_seconds` at
+/// 1 ms, so `t / b ≤ 1e15 / 1e-3 = 1e18 < i64::MAX` and the float→int
+/// cast can never saturate.
+pub(super) const MAX_TIMESTAMP_SECONDS: f64 = 1e15;
+
+pub(super) fn validate_timestamp(ts: f64) -> Result<()> {
+    if !ts.is_finite() || !(0.0..=MAX_TIMESTAMP_SECONDS).contains(&ts) {
+        return Err(DfError::Invalid(format!(
+            "monitor timestamps must be finite seconds in [0, {MAX_TIMESTAMP_SECONDS:e}], got {ts}"
+        )));
+    }
+    Ok(())
+}
+
+/// One sealed time bucket: its index `⌊t / b⌋`, raw cell data, row count.
+struct TimeBucket {
+    index: i64,
+    cells: Vec<f64>,
+    rows: usize,
+}
+
+/// The time-indexed bucket ring; see the module docs.
+pub(super) struct TimeRing {
+    /// Running sum of the ring — the window's joint counts.
+    window: ContingencyTable,
+    /// In-window buckets, ascending index; empty buckets are not stored.
+    ring: VecDeque<TimeBucket>,
+    bucket_seconds: f64,
+    /// Window span in buckets: `⌈window_seconds / bucket_seconds⌉`.
+    n_buckets: i64,
+    /// Largest timestamp seen so far.
+    now: Option<f64>,
+    rows: usize,
+}
+
+impl TimeRing {
+    pub(super) fn new(axes: Vec<Axis>, window_seconds: f64, bucket_seconds: f64) -> Result<Self> {
+        let n_buckets = (window_seconds / bucket_seconds).ceil();
+        Ok(Self {
+            window: ContingencyTable::zeros(axes)?,
+            ring: VecDeque::new(),
+            bucket_seconds,
+            n_buckets: n_buckets as i64,
+            now: None,
+            rows: 0,
+        })
+    }
+
+    pub(super) fn bucket_of(&self, ts: f64) -> i64 {
+        (ts / self.bucket_seconds).floor() as i64
+    }
+
+    pub(super) fn now(&self) -> Option<f64> {
+        self.now
+    }
+
+    pub(super) fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub(super) fn table(&self) -> &ContingencyTable {
+        &self.window
+    }
+
+    /// The newest bucket index already expired: in-window buckets are
+    /// exactly those with `index > horizon`.
+    fn horizon(&self) -> Option<i64> {
+        self.now
+            .map(|t| self.bucket_of(t).saturating_sub(self.n_buckets))
+    }
+
+    /// Merges one chunk into the bucket its timestamp lands in (appending
+    /// a fresh bucket, or folding into an existing in-window one for
+    /// out-of-order arrivals), then advances `now` and evicts.
+    pub(super) fn ingest_at(
+        &mut self,
+        bucket: &ContingencyTable,
+        rows: usize,
+        ts: f64,
+    ) -> Result<()> {
+        validate_timestamp(ts)?;
+        let index = self.bucket_of(ts);
+        if let Some(horizon) = self.horizon() {
+            if index <= horizon {
+                return Err(DfError::Invalid(format!(
+                    "timestamp {ts} lands in bucket {index}, which already left the \
+                     window (in-window buckets start at {})",
+                    horizon + 1
+                )));
+            }
+        }
+        self.window.merge_from(bucket)?;
+        self.rows += rows;
+        let pos = self.ring.partition_point(|b| b.index < index);
+        match self.ring.get_mut(pos) {
+            Some(b) if b.index == index => {
+                for (cell, v) in b.cells.iter_mut().zip(bucket.data()) {
+                    *cell += v;
+                }
+                b.rows += rows;
+            }
+            _ => self.ring.insert(
+                pos,
+                TimeBucket {
+                    index,
+                    cells: bucket.data().to_vec(),
+                    rows,
+                },
+            ),
+        }
+        self.advance_to(ts)
+    }
+
+    /// Advances the clock to `ts` (no-op when `ts` is not ahead of `now`
+    /// — `now` is the max over everything seen) and evicts every bucket
+    /// that fell out of the window, through the exact subtract path.
+    pub(super) fn advance_to(&mut self, ts: f64) -> Result<()> {
+        validate_timestamp(ts)?;
+        if self.now.is_none_or(|now| ts > now) {
+            self.now = Some(ts);
+        }
+        let Some(horizon) = self.horizon() else {
+            return Ok(());
+        };
+        while self.ring.front().is_some_and(|b| b.index <= horizon) {
+            let expired = self.ring.pop_front().expect("front checked above");
+            self.window.subtract_data(&expired.cells)?;
+            self.rows -= expired.rows;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn axes() -> Vec<Axis> {
+        vec![
+            Axis::from_strs("y", &["no", "yes"]).unwrap(),
+            Axis::from_strs("g", &["a", "b"]).unwrap(),
+        ]
+    }
+
+    fn bucket(cells: [f64; 4]) -> ContingencyTable {
+        ContingencyTable::from_data(axes(), cells.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn buckets_merge_out_of_order_and_evict_in_order() {
+        // T = 10 s, b = 2 s → 5 buckets in the window.
+        let mut ring = TimeRing::new(axes(), 10.0, 2.0).unwrap();
+        ring.ingest_at(&bucket([1.0, 0.0, 0.0, 0.0]), 1, 4.0)
+            .unwrap();
+        ring.ingest_at(&bucket([0.0, 1.0, 0.0, 0.0]), 1, 9.0)
+            .unwrap();
+        // Out of order, but bucket ⌊5/2⌋ = 2 is still in-window: merges.
+        ring.ingest_at(&bucket([0.0, 0.0, 1.0, 0.0]), 1, 5.0)
+            .unwrap();
+        assert_eq!(ring.rows(), 3);
+        assert_eq!(ring.table().data(), &[1.0, 1.0, 1.0, 0.0]);
+        // Advance far enough to expire buckets 2 (ts 4, 5) but not 4 (ts 9):
+        // now = 15 → horizon = ⌊15/2⌋ − 5 = 2.
+        ring.advance_to(15.0).unwrap();
+        assert_eq!(ring.rows(), 1);
+        assert_eq!(ring.table().data(), &[0.0, 1.0, 0.0, 0.0]);
+        // A timestamp in an evicted bucket is refused.
+        let err = ring.ingest_at(&bucket([1.0, 0.0, 0.0, 0.0]), 1, 4.5);
+        assert!(err.is_err());
+        // Advancing with zero arrivals drains to the empty window.
+        ring.advance_to(100.0).unwrap();
+        assert_eq!(ring.rows(), 0);
+        assert!(ring.table().data().iter().all(|&v| v == 0.0));
+        // The clock never runs backwards.
+        ring.advance_to(50.0).unwrap();
+        assert_eq!(ring.now(), Some(100.0));
+    }
+
+    #[test]
+    fn timestamps_are_validated() {
+        let mut ring = TimeRing::new(axes(), 10.0, 2.0).unwrap();
+        for bad in [f64::NAN, f64::INFINITY, -1.0, 2e15] {
+            assert!(ring.advance_to(bad).is_err(), "accepted {bad}");
+        }
+    }
+}

@@ -13,7 +13,17 @@
 //!   is `merge`, expiring one is `subtract` — both exact on integer
 //!   tallies — so the windowed ε is *byte-identical* to a batch
 //!   [`crate::builder::Audit`] of the very same records, at every step
-//!   (asserted by the `monitor_equivalence` property suite).
+//!   (asserted by the `monitor_equivalence` property suite). Windows come
+//!   in two flavours:
+//!   - **by record count** ([`MonitorBuilder::window`]): the last W
+//!     records, fed via [`FairnessMonitor::push`];
+//!   - **by wall-clock time** ([`MonitorBuilder::window_seconds`] +
+//!     [`MonitorBuilder::bucket_seconds`]): the last T seconds at bucket
+//!     granularity, fed via [`FairnessMonitor::push_at`] with
+//!     caller-supplied timestamps (core never reads `Instant::now()`, so
+//!     wall-clock monitoring stays replayable and testable), advanced —
+//!     and drained — by [`FairnessMonitor::advance_to`] even when no
+//!     records arrive (see the `monitor_time_equivalence` suite).
 //! - **Decayed horizon.** An optional exponentially-decayed table tracks
 //!   the long-run distribution; comparing windowed ε against the decayed ε
 //!   separates a transient spike from a secular trend.
@@ -21,17 +31,26 @@
 //!   K *consecutive* breaching windows (no flapping on noise) and attaches
 //!   the worst-pair witness; it re-arms only after ε falls back under the
 //!   threshold.
+//! - **Change-point detection.** The hysteresis rule reacts to levels;
+//!   [`Cusum`] and [`PageHinkley`] detectors
+//!   ([`MonitorBuilder::changepoint`]) accumulate evidence of a *mean
+//!   shift* in the windowed ε (or the raw worst-pair log-ratio) and alarm
+//!   with bounded false-positive rate — the fast drift signal the decayed
+//!   trend cannot be (see [`changepoint`](self) docs and the
+//!   `monitor_changepoint` golden suite).
 //! - **Distribution.** [`MonitorSnapshot`] carries the raw window and
-//!   horizon counts, so snapshots from sharded monitors (one per serving
-//!   replica) merge cell-wise into the fleet-wide monitor state, exactly
-//!   like the partial counts of the sharded audit engine.
+//!   horizon counts plus detector states, so snapshots from sharded
+//!   monitors (one per serving replica) merge cell-wise into the
+//!   fleet-wide monitor state, exactly like the partial counts of the
+//!   sharded audit engine — commutatively and associatively, so
+//!   aggregation-tree order never matters.
 //!
 //! Entry point: [`crate::builder::Audit::monitor`], which shares the
 //! builder's estimator and subset-policy stages.
 //!
 //! ```
 //! use df_core::builder::{Audit, Smoothed};
-//! use df_core::monitor::AlertRule;
+//! use df_core::monitor::{AlertRule, Cusum};
 //! use df_prob::contingency::Axis;
 //! use df_prob::partial::{PartialCounts, Tally};
 //!
@@ -49,7 +68,8 @@
 //!     Axis::from_strs("y", &["no", "yes"]).unwrap(),
 //!     Axis::from_strs("g", &["a", "b"]).unwrap(),
 //! ];
-//! let mut monitor = Audit::monitor("y", axes)
+//! // A record-count window with a hysteresis alert…
+//! let mut monitor = Audit::monitor("y", axes.clone())
 //!     .estimator(Smoothed { alpha: 1.0 })
 //!     .window(4)
 //!     .alert(AlertRule::epsilon_above(0.2).for_consecutive(2))
@@ -60,111 +80,44 @@
 //!     .unwrap();
 //! assert_eq!(step.window_rows, 4);
 //! assert!(step.epsilon.epsilon.is_finite());
+//!
+//! // …and a wall-clock window (last 60 s, 5 s buckets) with CUSUM.
+//! let mut clocked = Audit::monitor("y", axes)
+//!     .window_seconds(60.0)
+//!     .bucket_seconds(5.0)
+//!     .changepoint(Cusum::new(0.2, 0.05, 0.5))
+//!     .build()
+//!     .unwrap();
+//! clocked
+//!     .push_at(&Rows(vec![[0, 0], [1, 1]]), 12.0)
+//!     .unwrap();
+//! assert_eq!(clocked.window_rows(), 2);
+//! // Advancing past 12.0 + 60 s with zero arrivals drains the window.
+//! let idle = clocked.advance_to(100.0).unwrap();
+//! assert_eq!(idle.window_rows, 0);
 //! ```
+
+mod changepoint;
+mod clock;
+mod ring;
+mod snapshot;
+
+pub use changepoint::{
+    ChangeSignal, ChangepointAlarm, ChangepointSpec, ChangepointStatus, Cusum, PageHinkley,
+};
+pub use snapshot::{CountsSnapshot, MonitorSnapshot};
 
 use crate::builder::{EpsilonEstimator, Smoothed, SubsetPolicy};
 use crate::edf::JointCounts;
-use crate::epsilon::{EpsilonResult, EpsilonWitness, GroupOutcomes};
+use crate::epsilon::{EpsilonResult, EpsilonWitness};
 use crate::error::{DfError, Result};
-use crate::subsets::SubsetEpsilon;
+use changepoint::DetectorState;
+use clock::TimeRing;
 use df_prob::contingency::{Axis, ContingencyTable};
-use df_prob::numerics::stable_sum;
 use df_prob::partial::{PartialCounts, Tally};
+use ring::{CountRing, WindowEngine};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
-
-// ---------------------------------------------------------------------------
-// The cached ε engine.
-// ---------------------------------------------------------------------------
-
-/// Precomputed schema state for the per-push hot path: evaluating ε on
-/// every window update must not re-canonicalize the table or re-format
-/// group labels (both allocate strings), so the flat cell index of every
-/// `(group, outcome)` pair and all display labels are resolved once at
-/// build time. [`WindowEngine::raw_outcomes`] then reads counts straight
-/// out of the schema-order table — producing a [`GroupOutcomes`] that is
-/// **value-identical** to
-/// `JointCounts::from_table(table, outcome).group_outcomes(0.0)` (same
-/// arithmetic, same label strings; asserted by a unit test), at a
-/// fraction of the cost.
-struct WindowEngine {
-    outcome_labels: Vec<String>,
-    group_labels: Vec<String>,
-    /// `flat[g · |Y| + y]` = flat index of `(group g, outcome y)` in the
-    /// schema-order table.
-    flat: Vec<usize>,
-    n_outcomes: usize,
-}
-
-impl WindowEngine {
-    fn new(axes: &[Axis], outcome_axis: &str) -> Result<Self> {
-        let template = ContingencyTable::zeros(axes.to_vec())?;
-        let pos = template.axis_position(outcome_axis)?;
-        let n_outcomes = axes[pos].len();
-        // Attribute axes in canonical order: schema order, outcome removed
-        // — exactly the order `JointCounts::from_table` preserves.
-        let attr_positions: Vec<usize> = (0..axes.len()).filter(|&i| i != pos).collect();
-        let n_groups: usize = attr_positions.iter().map(|&i| axes[i].len()).product();
-        let mut flat = Vec::with_capacity(n_groups * n_outcomes);
-        let mut group_labels = Vec::with_capacity(n_groups);
-        let mut idx = vec![0usize; axes.len()];
-        for g in 0..n_groups {
-            // Mixed-radix decode, last attribute fastest (the kernel's
-            // intersection indexing).
-            let mut rem = g;
-            let mut parts = vec![String::new(); attr_positions.len()];
-            for (k, &p) in attr_positions.iter().enumerate().rev() {
-                let v = rem % axes[p].len();
-                rem /= axes[p].len();
-                idx[p] = v;
-                parts[k] = format!("{}={}", axes[p].name(), axes[p].labels()[v]);
-            }
-            group_labels.push(parts.join(", "));
-            for y in 0..n_outcomes {
-                idx[pos] = y;
-                flat.push(template.flat_index(&idx));
-            }
-        }
-        Ok(Self {
-            outcome_labels: axes[pos].labels().to_vec(),
-            group_labels,
-            flat,
-            n_outcomes,
-        })
-    }
-
-    /// The raw (MLE, α = 0) group-outcome table of a schema-order counts
-    /// table — the input every [`EpsilonEstimator`] consumes. The MLE is
-    /// inlined (same arithmetic as `df_prob::estimate::categorical_mle`:
-    /// compensated-sum total, per-cell division) to avoid one Vec
-    /// allocation per group on the per-push hot path.
-    fn raw_outcomes(&self, table: &ContingencyTable) -> Result<GroupOutcomes> {
-        let data = table.data();
-        let n_groups = self.group_labels.len();
-        let mut probs = vec![0.0; n_groups * self.n_outcomes];
-        let mut weights = vec![0.0; n_groups];
-        let mut counts = vec![0.0; self.n_outcomes];
-        for (g, weight) in weights.iter_mut().enumerate() {
-            let base = g * self.n_outcomes;
-            for (y, c) in counts.iter_mut().enumerate() {
-                *c = data[self.flat[base + y]];
-            }
-            *weight = counts.iter().sum();
-            let total = stable_sum(&counts);
-            if total > 0.0 {
-                for (y, &c) in counts.iter().enumerate() {
-                    probs[base + y] = c / total;
-                }
-            }
-        }
-        GroupOutcomes::new(
-            self.outcome_labels.clone(),
-            self.group_labels.clone(),
-            probs,
-            weights,
-        )
-    }
-}
+use snapshot::subset_epsilons;
 
 // ---------------------------------------------------------------------------
 // Alert rules.
@@ -208,6 +161,8 @@ pub struct Alert {
     pub rule: AlertRule,
     /// Total records ingested when the rule fired.
     pub at_record: u64,
+    /// The monitor clock when the rule fired (wall-clock windows only).
+    pub at_seconds: Option<f64>,
     /// The windowed ε that completed the consecutive run.
     pub epsilon: f64,
     /// The worst group pair/outcome of the breaching window.
@@ -224,207 +179,13 @@ struct RuleState {
 }
 
 // ---------------------------------------------------------------------------
-// Snapshots.
-// ---------------------------------------------------------------------------
-
-/// A serializable contingency table: named axes plus row-major cell data.
-/// The wire form of the monitor's window and horizon counts (df-prob's
-/// [`ContingencyTable`] itself stays serde-free).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct CountsSnapshot {
-    /// `(axis name, ordered labels)` per axis, in storage order.
-    pub axes: Vec<(String, Vec<String>)>,
-    /// Row-major cell values.
-    pub data: Vec<f64>,
-}
-
-impl CountsSnapshot {
-    /// Captures a table.
-    pub fn from_table(table: &ContingencyTable) -> Self {
-        Self {
-            axes: table
-                .axes()
-                .iter()
-                .map(|a| (a.name().to_string(), a.labels().to_vec()))
-                .collect(),
-            data: table.data().to_vec(),
-        }
-    }
-
-    /// Reconstructs the table (validating axes and cell values).
-    pub fn to_table(&self) -> Result<ContingencyTable> {
-        let axes = self
-            .axes
-            .iter()
-            .map(|(name, labels)| Axis::new(name.clone(), labels.clone()))
-            .collect::<df_prob::Result<Vec<_>>>()?;
-        Ok(ContingencyTable::from_data(axes, self.data.clone())?)
-    }
-
-    /// Cell-wise adds another snapshot over identical axes.
-    fn merge(&self, other: &CountsSnapshot) -> Result<CountsSnapshot> {
-        if self.axes != other.axes {
-            return Err(DfError::Invalid(
-                "cannot merge monitor snapshots over different schemas".into(),
-            ));
-        }
-        Ok(CountsSnapshot {
-            axes: self.axes.clone(),
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(a, b)| a + b)
-                .collect(),
-        })
-    }
-}
-
-/// The monitor's full serializable state at one point in the stream:
-/// window and horizon counts, the ε values derived from them, the
-/// per-subset lattice (per the configured [`SubsetPolicy`]), and the alert
-/// log so far.
-///
-/// Snapshots are **mergeable across shards**: a fleet of monitors (one per
-/// serving replica) each ingests its own slice of traffic, and
-/// [`MonitorSnapshot::merge`] combines their states cell-wise into the ε
-/// of the union of the windows — the same additivity that powers
-/// [`crate::stream::sharded_joint_counts`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct MonitorSnapshot {
-    /// Name of the outcome axis.
-    pub outcome_axis: String,
-    /// Display name of the ε estimator in force.
-    pub estimator: String,
-    /// Total records ingested over the monitor's lifetime.
-    pub records_seen: u64,
-    /// Records currently inside the window.
-    pub window_rows: u64,
-    /// Joint counts of the window.
-    pub window: CountsSnapshot,
-    /// Exponentially-decayed joint counts (present iff decay configured).
-    pub decayed: Option<CountsSnapshot>,
-    /// The per-bucket retention factor λ, when decay is configured.
-    pub decay: Option<f64>,
-    /// ε of the window under the configured estimator.
-    pub epsilon: EpsilonResult,
-    /// ε of the decayed horizon (present iff decay configured).
-    pub decayed_epsilon: Option<EpsilonResult>,
-    /// Per-subset ε of the window, ordered by subset size with the full
-    /// intersection last (empty under [`SubsetPolicy::None`]).
-    pub subsets: Vec<SubsetEpsilon>,
-    /// Every alert fired so far, in firing order.
-    pub alerts: Vec<Alert>,
-}
-
-impl MonitorSnapshot {
-    /// The drift signal: windowed ε minus horizon ε (positive = fairness
-    /// degrading relative to the long-run distribution). `None` without a
-    /// configured decay, or when either ε is infinite (`∞ − ∞` has no
-    /// meaningful sign).
-    pub fn trend(&self) -> Option<f64> {
-        let horizon = self.decayed_epsilon.as_ref()?;
-        (self.epsilon.epsilon.is_finite() && horizon.epsilon.is_finite())
-            .then_some(self.epsilon.epsilon - horizon.epsilon)
-    }
-
-    /// Merges two shard snapshots into the combined monitor state,
-    /// recomputing every ε with `estimator` over the cell-wise summed
-    /// counts. The shards must share the schema, outcome axis, decay
-    /// configuration, and subset lattice; alert logs concatenate in
-    /// `records_seen` order (each shard's alerts witness its own traffic).
-    pub fn merge(
-        &self,
-        other: &MonitorSnapshot,
-        estimator: &dyn EpsilonEstimator,
-    ) -> Result<MonitorSnapshot> {
-        if self.outcome_axis != other.outcome_axis {
-            return Err(DfError::Invalid(format!(
-                "snapshot outcome axes differ: `{}` vs `{}`",
-                self.outcome_axis, other.outcome_axis
-            )));
-        }
-        if self.decay != other.decay {
-            return Err(DfError::Invalid(
-                "cannot merge snapshots with different decay configurations".into(),
-            ));
-        }
-        let window = self.window.merge(&other.window)?;
-        let decayed = match (&self.decayed, &other.decayed) {
-            (Some(a), Some(b)) => Some(a.merge(b)?),
-            (None, None) => None,
-            _ => unreachable!("decay equality checked above"),
-        };
-        let window_counts = JointCounts::from_table(window.to_table()?, &self.outcome_axis)?;
-        let epsilon = estimator.estimate(&window_counts.group_outcomes(0.0)?)?;
-        let decayed_epsilon = match &decayed {
-            Some(d) => {
-                let jc = JointCounts::from_table(d.to_table()?, &self.outcome_axis)?;
-                Some(estimator.estimate(&jc.group_outcomes(0.0)?)?)
-            }
-            None => None,
-        };
-        let subset_attrs: Vec<Vec<String>> =
-            self.subsets.iter().map(|s| s.attributes.clone()).collect();
-        let other_attrs: Vec<Vec<String>> =
-            other.subsets.iter().map(|s| s.attributes.clone()).collect();
-        if subset_attrs != other_attrs {
-            return Err(DfError::Invalid(
-                "cannot merge snapshots with different subset lattices".into(),
-            ));
-        }
-        let subsets = subset_epsilons(&window_counts, &subset_attrs, &epsilon, estimator)?;
-        let mut alerts: Vec<Alert> = self.alerts.iter().chain(&other.alerts).cloned().collect();
-        alerts.sort_by_key(|a| a.at_record);
-        Ok(MonitorSnapshot {
-            outcome_axis: self.outcome_axis.clone(),
-            estimator: estimator.name(),
-            records_seen: self.records_seen + other.records_seen,
-            window_rows: self.window_rows + other.window_rows,
-            window,
-            decayed,
-            decay: self.decay,
-            epsilon,
-            decayed_epsilon,
-            subsets,
-            alerts,
-        })
-    }
-}
-
-/// Per-subset ε under `estimator`, reusing the precomputed full-
-/// intersection result for the last (full) entry — the exact layout of the
-/// builder's `EstimatorReport::subsets`.
-fn subset_epsilons(
-    counts: &JointCounts,
-    subset_attrs: &[Vec<String>],
-    full: &EpsilonResult,
-    estimator: &dyn EpsilonEstimator,
-) -> Result<Vec<SubsetEpsilon>> {
-    let n_attrs = counts.attribute_names().len();
-    let mut out = Vec::with_capacity(subset_attrs.len());
-    for attrs in subset_attrs {
-        let result = if attrs.len() == n_attrs {
-            full.clone()
-        } else {
-            let names: Vec<&str> = attrs.iter().map(String::as_str).collect();
-            estimator.estimate(&counts.marginal_to(&names)?.group_outcomes(0.0)?)?
-        };
-        out.push(SubsetEpsilon {
-            attributes: attrs.clone(),
-            result,
-        });
-    }
-    Ok(out)
-}
-
-// ---------------------------------------------------------------------------
 // The step result.
 // ---------------------------------------------------------------------------
 
 /// The lightweight per-push result: the stream position, the freshly
-/// updated windowed (and horizon) ε, and any alerts fired by this window.
-/// The full mergeable state — counts, subsets, alert log — comes from
+/// updated windowed (and horizon) ε, and any alerts or change-point
+/// alarms raised by this window. The full mergeable state — counts,
+/// subsets, detector statistics, alert log — comes from
 /// [`FairnessMonitor::snapshot`], which is heavier (it clones the tables)
 /// and intended for checkpointing and cross-shard merging rather than the
 /// per-chunk hot path.
@@ -434,12 +195,16 @@ pub struct MonitorStep {
     pub records_seen: u64,
     /// Records currently inside the window.
     pub window_rows: u64,
+    /// Largest timestamp seen so far (wall-clock windows only).
+    pub now_seconds: Option<f64>,
     /// ε of the window under the configured estimator.
     pub epsilon: EpsilonResult,
     /// ε of the decayed horizon (present iff decay configured).
     pub decayed_epsilon: Option<EpsilonResult>,
     /// Alerts fired at this step (usually empty).
     pub fired: Vec<Alert>,
+    /// Change-point alarms raised at this step (usually empty).
+    pub alarms: Vec<ChangepointAlarm>,
 }
 
 // ---------------------------------------------------------------------------
@@ -454,9 +219,12 @@ pub struct MonitorBuilder {
     axes: Vec<Axis>,
     estimator: Option<Box<dyn EpsilonEstimator>>,
     subsets: SubsetPolicy,
-    window_records: usize,
+    window_records: Option<usize>,
+    window_seconds: Option<f64>,
+    bucket_seconds: Option<f64>,
     decay: Option<f64>,
     rules: Vec<AlertRule>,
+    changepoints: Vec<ChangepointSpec>,
 }
 
 impl MonitorBuilder {
@@ -467,9 +235,12 @@ impl MonitorBuilder {
             axes,
             estimator: None,
             subsets: SubsetPolicy::None,
-            window_records: 10_000,
+            window_records: None,
+            window_seconds: None,
+            bucket_seconds: None,
             decay: None,
             rules: Vec::new(),
+            changepoints: Vec::new(),
         }
     }
 
@@ -494,11 +265,35 @@ impl MonitorBuilder {
         self
     }
 
-    /// Window size W in records (default 10 000). The ring keeps the most
-    /// recent chunks whose cumulative size is at most W, so feed uniform
-    /// chunks of a size dividing W for an exact W-record window.
+    /// Window size W in records (default 10 000 when no wall-clock window
+    /// is configured). The ring keeps the most recent chunks whose
+    /// cumulative size is at most W, so feed uniform chunks of a size
+    /// dividing W for an exact W-record window. Mutually exclusive with
+    /// [`MonitorBuilder::window_seconds`].
     pub fn window(mut self, records: usize) -> Self {
-        self.window_records = records;
+        self.window_records = Some(records);
+        self
+    }
+
+    /// Switches to a **wall-clock window**: the monitor keeps the last
+    /// `seconds` of traffic (resolved at [`MonitorBuilder::bucket_seconds`]
+    /// granularity) instead of the last W records, and is fed through
+    /// [`FairnessMonitor::push_at`] / [`FairnessMonitor::advance_to`] with
+    /// caller-supplied timestamps. Mutually exclusive with
+    /// [`MonitorBuilder::window`].
+    pub fn window_seconds(mut self, seconds: f64) -> Self {
+        self.window_seconds = Some(seconds);
+        self
+    }
+
+    /// Bucket granularity for the wall-clock window: timestamps are
+    /// quantized to `⌊t / seconds⌋` buckets, and the window holds the last
+    /// `⌈T / b⌉` buckets. Smaller buckets track the window edge more
+    /// finely at the cost of a longer ring. Defaults to the full window
+    /// span (a single bucket); requires
+    /// [`MonitorBuilder::window_seconds`].
+    pub fn bucket_seconds(mut self, seconds: f64) -> Self {
+        self.bucket_seconds = Some(seconds);
         self
     }
 
@@ -517,13 +312,15 @@ impl MonitorBuilder {
         self
     }
 
+    /// Attaches a change-point detector ([`Cusum`] or [`PageHinkley`]);
+    /// chain multiple calls for multiple detectors.
+    pub fn changepoint(mut self, detector: impl Into<ChangepointSpec>) -> Self {
+        self.changepoints.push(detector.into());
+        self
+    }
+
     /// Validates the configuration and builds the monitor.
     pub fn build(self) -> Result<FairnessMonitor> {
-        if self.window_records == 0 {
-            return Err(DfError::Invalid(
-                "window must hold at least 1 record".into(),
-            ));
-        }
         if let Some(lambda) = self.decay {
             if !(lambda > 0.0 && lambda < 1.0) {
                 return Err(DfError::Invalid(format!(
@@ -539,10 +336,15 @@ impl MonitorBuilder {
                 )));
             }
         }
+        for spec in &self.changepoints {
+            spec.validate()?;
+        }
         // Validate the schema once: the zero window must already be a legal
         // JointCounts (outcome axis present, ≥ 2 outcomes, ≥ 1 attribute).
-        let window = ContingencyTable::zeros(self.axes.clone())?;
-        let zero = JointCounts::from_table(window.clone(), &self.outcome_axis)?;
+        let zero = JointCounts::from_table(
+            ContingencyTable::zeros(self.axes.clone())?,
+            &self.outcome_axis,
+        )?;
         let attribute_names: Vec<String> = zero
             .attribute_names()
             .iter()
@@ -570,13 +372,71 @@ impl MonitorBuilder {
                     .collect()
             })
             .collect();
+        let window = match (self.window_records, self.window_seconds) {
+            (Some(_), Some(_)) => {
+                return Err(DfError::Invalid(
+                    "configure either a record-count window or a wall-clock window, not both"
+                        .into(),
+                ));
+            }
+            (records, None) => {
+                if self.bucket_seconds.is_some() {
+                    return Err(DfError::Invalid(
+                        "bucket_seconds requires a wall-clock window (set window_seconds)".into(),
+                    ));
+                }
+                let capacity = records.unwrap_or(10_000);
+                if capacity == 0 {
+                    return Err(DfError::Invalid(
+                        "window must hold at least 1 record".into(),
+                    ));
+                }
+                WindowState::Count(CountRing::new(self.axes.clone(), capacity)?)
+            }
+            (None, Some(span)) => {
+                if !span.is_finite() || span <= 0.0 {
+                    return Err(DfError::Invalid(format!(
+                        "window_seconds must be finite and positive, got {span}"
+                    )));
+                }
+                let bucket = self.bucket_seconds.unwrap_or(span);
+                if !bucket.is_finite() || bucket <= 0.0 || bucket > span {
+                    return Err(DfError::Invalid(format!(
+                        "bucket_seconds must be finite, positive, and at most the \
+                         {span}-second window, got {bucket}"
+                    )));
+                }
+                // Millisecond floor: `⌊t / b⌋` must stay inside i64 for
+                // every legal timestamp (≤ 1e15 s), or the saturating
+                // float→int cast would silently collapse distinct times
+                // into one never-evicted bucket. 1e15 / 1e-3 = 1e18,
+                // comfortably under i64::MAX ≈ 9.2e18.
+                if bucket < 1e-3 {
+                    return Err(DfError::Invalid(format!(
+                        "bucket_seconds must be at least 1 ms, got {bucket}"
+                    )));
+                }
+                if (span / bucket).ceil() > 1e9 {
+                    return Err(DfError::Invalid(format!(
+                        "window of {span} s at {bucket} s buckets needs more than 1e9 \
+                         buckets; coarsen the granularity"
+                    )));
+                }
+                WindowState::Time(TimeRing::new(self.axes.clone(), span, bucket)?)
+            }
+        };
+        let states = vec![RuleState::default(); self.rules.len()];
+        let detectors = self
+            .changepoints
+            .into_iter()
+            .map(DetectorState::new)
+            .collect();
+        let engine = WindowEngine::new(&self.axes, &self.outcome_axis)?;
+        let scratch = PartialCounts::zeros(self.axes.clone())?;
         let decayed = self
             .decay
             .map(|_| ContingencyTable::zeros(self.axes.clone()))
             .transpose()?;
-        let states = vec![RuleState::default(); self.rules.len()];
-        let engine = WindowEngine::new(&self.axes, &self.outcome_axis)?;
-        let scratch = PartialCounts::zeros(self.axes.clone())?;
         Ok(FairnessMonitor {
             engine,
             outcome_axis: self.outcome_axis,
@@ -584,14 +444,16 @@ impl MonitorBuilder {
                 .estimator
                 .unwrap_or_else(|| Box::new(Smoothed { alpha: 1.0 })),
             subset_attrs,
-            window_records: self.window_records,
             decay: self.decay,
             rules: self.rules,
             states,
-            ring: VecDeque::new(),
+            detectors,
+            window_seconds: self.window_seconds,
+            bucket_seconds: self
+                .window_seconds
+                .map(|span| self.bucket_seconds.unwrap_or(span)),
             window,
             scratch,
-            window_rows: 0,
             decayed,
             records_seen: 0,
             alerts: Vec::new(),
@@ -603,26 +465,52 @@ impl MonitorBuilder {
 // The monitor.
 // ---------------------------------------------------------------------------
 
+/// The window policy in force: last-W-records or last-T-seconds.
+enum WindowState {
+    Count(CountRing),
+    Time(TimeRing),
+}
+
+impl WindowState {
+    fn table(&self) -> &ContingencyTable {
+        match self {
+            WindowState::Count(ring) => ring.table(),
+            WindowState::Time(ring) => ring.table(),
+        }
+    }
+
+    fn rows(&self) -> usize {
+        match self {
+            WindowState::Count(ring) => ring.rows(),
+            WindowState::Time(ring) => ring.rows(),
+        }
+    }
+
+    fn now(&self) -> Option<f64> {
+        match self {
+            WindowState::Count(_) => None,
+            WindowState::Time(ring) => ring.now(),
+        }
+    }
+}
+
 /// The streaming fairness monitor; see the [module docs](self).
 pub struct FairnessMonitor {
     engine: WindowEngine,
     outcome_axis: String,
     estimator: Box<dyn EpsilonEstimator>,
     subset_attrs: Vec<Vec<String>>,
-    window_records: usize,
     decay: Option<f64>,
     rules: Vec<AlertRule>,
     states: Vec<RuleState>,
-    /// Sealed buckets currently inside the window, oldest first: the raw
-    /// cell data of each bucket (axes live once on `window`) plus its
-    /// record count.
-    ring: VecDeque<(Vec<f64>, usize)>,
-    /// Running sum of the ring — the window's joint counts.
-    window: ContingencyTable,
+    detectors: Vec<DetectorState>,
+    /// Config echo for snapshots (wall-clock monitors only).
+    window_seconds: Option<f64>,
+    bucket_seconds: Option<f64>,
+    window: WindowState,
     /// Reused per-push tally shard (cleared between chunks), so ingesting
     /// a bucket never re-allocates the schema.
     scratch: PartialCounts,
-    window_rows: usize,
     /// Exponentially-decayed horizon counts (present iff decay set).
     decayed: Option<ContingencyTable>,
     records_seen: u64,
@@ -632,20 +520,84 @@ pub struct FairnessMonitor {
 impl FairnessMonitor {
     /// Ingests one chunk as a new window bucket, evicts expired buckets,
     /// recomputes the windowed (and horizon) ε, and evaluates the alert
-    /// rules. Incremental cost is one chunk tally plus O(cells) — never a
-    /// window re-scan (see the `monitor` criterion bench).
+    /// rules and change-point detectors. Incremental cost is one chunk
+    /// tally plus O(cells) — never a window re-scan (see the `monitor`
+    /// criterion bench).
     ///
-    /// A chunk larger than the window itself is rejected: it could never
-    /// fit, and silently truncating it would break the window's
-    /// "last W records" contract.
+    /// Record-count windows only (the default, and
+    /// [`MonitorBuilder::window`]); a wall-clock monitor must be fed
+    /// through [`FairnessMonitor::push_at`]. A chunk larger than the
+    /// window itself is rejected: it could never fit, and silently
+    /// truncating it would break the window's "last W records" contract.
     pub fn push<C: Tally + ?Sized>(&mut self, chunk: &C) -> Result<MonitorStep> {
+        let rows = self.seal_chunk(chunk)?;
+        let WindowState::Count(ring) = &mut self.window else {
+            return Err(DfError::Invalid(
+                "this monitor windows by wall-clock time; push chunks with \
+                 push_at(chunk, timestamp)"
+                    .into(),
+            ));
+        };
+        if rows > ring.capacity() {
+            return Err(DfError::Invalid(format!(
+                "chunk of {rows} records exceeds the {}-record window",
+                ring.capacity()
+            )));
+        }
+        ring.ingest(self.scratch.table(), rows)?;
+        self.absorb_into_horizon()?;
+        self.finish(rows)
+    }
+
+    /// Wall-clock twin of [`FairnessMonitor::push`]: ingests one chunk at
+    /// the caller-supplied timestamp (seconds; see
+    /// [`MonitorBuilder::window_seconds`]), merging it into the bucket the
+    /// timestamp lands in — out-of-order arrivals are folded into any
+    /// bucket still inside the window; a timestamp older than the whole
+    /// window is refused. Advancing timestamps evict expired buckets
+    /// through the exact subtract path before ε is recomputed.
+    pub fn push_at<C: Tally + ?Sized>(&mut self, chunk: &C, timestamp: f64) -> Result<MonitorStep> {
+        let rows = self.seal_chunk(chunk)?;
+        let WindowState::Time(ring) = &mut self.window else {
+            return Err(DfError::Invalid(
+                "this monitor windows by record count; push chunks with push(chunk), \
+                 or configure window_seconds for wall-clock windowing"
+                    .into(),
+            ));
+        };
+        ring.ingest_at(self.scratch.table(), rows, timestamp)?;
+        self.absorb_into_horizon()?;
+        self.finish(rows)
+    }
+
+    /// Advances a wall-clock monitor's clock with **zero arrivals**:
+    /// evicts every bucket older than `timestamp − T`, recomputes ε over
+    /// what remains (down to the vacuous ε = 0 of the empty window), and
+    /// evaluates alert rules and change-point detectors on the new state.
+    /// Timestamps behind the current clock are a no-op evaluation (the
+    /// clock is the max over everything seen). Serving fleets call this
+    /// on a timer so a silent upstream cannot freeze the window contents.
+    pub fn advance_to(&mut self, timestamp: f64) -> Result<MonitorStep> {
+        let WindowState::Time(ring) = &mut self.window else {
+            return Err(DfError::Invalid(
+                "advance_to is only meaningful for wall-clock windows \
+                 (configure window_seconds)"
+                    .into(),
+            ));
+        };
+        ring.advance_to(timestamp)?;
+        self.finish(0)
+    }
+
+    /// Clears and re-fills the scratch tally from `chunk`, validating
+    /// every cell: `Tally` impls are user code with access to weighted
+    /// `add`, and a negative, fractional, or non-finite cell would
+    /// silently break the integer-tally premise the exact merge/subtract
+    /// window rests on (a negative count turns ε into NaN, which no alert
+    /// rule ever fires on). Returns the chunk's record count.
+    fn seal_chunk<C: Tally + ?Sized>(&mut self, chunk: &C) -> Result<usize> {
         self.scratch.clear();
         chunk.tally_into(&mut self.scratch)?;
-        // Validate per cell, not just the total: `Tally` impls are user
-        // code with access to weighted `add`, and a negative, fractional,
-        // or non-finite cell would silently break the integer-tally
-        // premise the exact merge/subtract window rests on (a negative
-        // count turns ε into NaN, which no alert rule ever fires on).
         let cells = self.scratch.table().data();
         if let Some(cell) = cells
             .iter()
@@ -657,48 +609,62 @@ impl FairnessMonitor {
                 cells[cell]
             )));
         }
-        let rows = self.scratch.total() as usize;
-        if rows > self.window_records {
-            return Err(DfError::Invalid(format!(
-                "chunk of {rows} records exceeds the {}-record window",
-                self.window_records
-            )));
-        }
-        self.window.merge_from(self.scratch.table())?;
-        self.window_rows += rows;
+        Ok(self.scratch.total() as usize)
+    }
+
+    /// Scales the decayed horizon and absorbs the freshly sealed bucket.
+    fn absorb_into_horizon(&mut self) -> Result<()> {
         if let (Some(lambda), Some(decayed)) = (self.decay, self.decayed.as_mut()) {
             decayed.scale(lambda)?;
             decayed.merge_from(self.scratch.table())?;
         }
-        self.ring
-            .push_back((self.scratch.table().data().to_vec(), rows));
-        while self.window_rows > self.window_records {
-            let (expired, expired_rows) =
-                self.ring.pop_front().expect("over-full ring is nonempty");
-            self.window.subtract_data(&expired)?;
-            self.window_rows -= expired_rows;
-        }
-        self.records_seen += rows as u64;
+        Ok(())
+    }
 
-        let epsilon = self.window_epsilon()?;
+    /// Shared post-ingest tail: account the rows, recompute ε, evaluate
+    /// alert rules and change-point detectors, assemble the step.
+    fn finish(&mut self, rows: usize) -> Result<MonitorStep> {
+        self.records_seen += rows as u64;
+        let raw = self.engine.raw_outcomes(self.window.table())?;
+        let epsilon = self.estimator.estimate(&raw)?;
         let decayed_epsilon = self.horizon_epsilon()?;
-        let fired = self.evaluate_rules(&epsilon);
+        let now_seconds = self.window.now();
+        let fired = self.evaluate_rules(&epsilon, now_seconds);
+        // The raw worst-pair log-ratio is only computed when a detector
+        // actually watches it (one extra ε kernel pass).
+        let raw_epsilon = self
+            .detectors
+            .iter()
+            .any(|d| d.spec().signal() == ChangeSignal::RawLogRatio)
+            .then(|| raw.epsilon().epsilon);
+        let mut alarms = Vec::new();
+        for detector in &mut self.detectors {
+            let sample = match detector.spec().signal() {
+                ChangeSignal::Epsilon => epsilon.epsilon,
+                ChangeSignal::RawLogRatio => raw_epsilon.expect("computed when watched"),
+            };
+            if let Some(alarm) = detector.observe(sample, self.records_seen, now_seconds) {
+                alarms.push(alarm);
+            }
+        }
         Ok(MonitorStep {
             records_seen: self.records_seen,
-            window_rows: self.window_rows as u64,
+            window_rows: self.window.rows() as u64,
+            now_seconds,
             epsilon,
             decayed_epsilon,
             fired,
+            alarms,
         })
     }
 
     /// ε of the current window under the configured estimator — the same
     /// estimate a batch [`crate::builder::Audit`] of the window's records
     /// would headline, byte for byte (computed through the cached
-    /// [`WindowEngine`], which is value-identical to the audit path).
+    /// `WindowEngine`, which is value-identical to the audit path).
     pub fn window_epsilon(&self) -> Result<EpsilonResult> {
         self.estimator
-            .estimate(&self.engine.raw_outcomes(&self.window)?)
+            .estimate(&self.engine.raw_outcomes(self.window.table())?)
     }
 
     fn horizon_epsilon(&self) -> Result<Option<EpsilonResult>> {
@@ -710,7 +676,7 @@ impl FairnessMonitor {
         }
     }
 
-    fn evaluate_rules(&mut self, epsilon: &EpsilonResult) -> Vec<Alert> {
+    fn evaluate_rules(&mut self, epsilon: &EpsilonResult, now_seconds: Option<f64>) -> Vec<Alert> {
         let mut fired = Vec::new();
         for (rule, state) in self.rules.iter().zip(&mut self.states) {
             if epsilon.epsilon > rule.threshold {
@@ -720,6 +686,7 @@ impl FairnessMonitor {
                     let alert = Alert {
                         rule: *rule,
                         at_record: self.records_seen,
+                        at_seconds: now_seconds,
                         epsilon: epsilon.epsilon,
                         witness: epsilon.witness.clone(),
                     };
@@ -736,7 +703,7 @@ impl FairnessMonitor {
 
     /// Records currently inside the window.
     pub fn window_rows(&self) -> usize {
-        self.window_rows
+        self.window.rows()
     }
 
     /// Total records ingested over the monitor's lifetime.
@@ -744,9 +711,15 @@ impl FairnessMonitor {
         self.records_seen
     }
 
+    /// Largest timestamp seen so far (wall-clock monitors only; `None`
+    /// for record-count windows and before the first push).
+    pub fn now_seconds(&self) -> Option<f64> {
+        self.window.now()
+    }
+
     /// The window's joint counts (outcome axis wherever the schema put it).
     pub fn window_counts(&self) -> &ContingencyTable {
-        &self.window
+        self.window.table()
     }
 
     /// Every alert fired so far, in firing order.
@@ -754,11 +727,24 @@ impl FairnessMonitor {
         &self.alerts
     }
 
+    /// Every change-point alarm raised so far, across all detectors, in
+    /// stream order.
+    pub fn changepoint_alarms(&self) -> Vec<ChangepointAlarm> {
+        let mut all: Vec<ChangepointAlarm> = self
+            .detectors
+            .iter()
+            .flat_map(|d| d.alarms().iter().cloned())
+            .collect();
+        all.sort_by_key(|a| a.at_record);
+        all
+    }
+
     /// The full serializable, mergeable monitor state: window and horizon
     /// counts, ε, the per-subset lattice dictated by the configured
-    /// [`SubsetPolicy`], and the alert log.
+    /// [`SubsetPolicy`], change-point detector states, and the alert log.
     pub fn snapshot(&self) -> Result<MonitorSnapshot> {
-        let window_counts = JointCounts::from_table(self.window.clone(), &self.outcome_axis)?;
+        let window_counts =
+            JointCounts::from_table(self.window.table().clone(), &self.outcome_axis)?;
         let epsilon = self.window_epsilon()?;
         let subsets = subset_epsilons(
             &window_counts,
@@ -770,14 +756,18 @@ impl FairnessMonitor {
             outcome_axis: self.outcome_axis.clone(),
             estimator: self.estimator.name(),
             records_seen: self.records_seen,
-            window_rows: self.window_rows as u64,
-            window: CountsSnapshot::from_table(&self.window),
+            window_rows: self.window.rows() as u64,
+            window_seconds: self.window_seconds,
+            bucket_seconds: self.bucket_seconds,
+            now_seconds: self.window.now(),
+            window: CountsSnapshot::from_table(self.window.table()),
             decayed: self.decayed.as_ref().map(CountsSnapshot::from_table),
             decay: self.decay,
             epsilon,
             decayed_epsilon: self.horizon_epsilon()?,
             subsets,
             alerts: self.alerts.clone(),
+            changepoints: self.detectors.iter().map(|d| d.status()).collect(),
         })
     }
 }
@@ -831,6 +821,51 @@ mod tests {
             Axis::from_strs("g", &["a", "b"]).unwrap(),
         ];
         assert!(Audit::monitor("y", bad).build().is_err());
+        // Wall-clock configuration: both window kinds at once, bucket
+        // without a span, degenerate spans/buckets, bad detector params.
+        assert!(Audit::monitor("y", axes())
+            .window(8)
+            .window_seconds(60.0)
+            .build()
+            .is_err());
+        assert!(Audit::monitor("y", axes())
+            .bucket_seconds(5.0)
+            .build()
+            .is_err());
+        assert!(Audit::monitor("y", axes())
+            .window_seconds(0.0)
+            .build()
+            .is_err());
+        assert!(Audit::monitor("y", axes())
+            .window_seconds(f64::INFINITY)
+            .build()
+            .is_err());
+        assert!(Audit::monitor("y", axes())
+            .window_seconds(60.0)
+            .bucket_seconds(0.0)
+            .build()
+            .is_err());
+        assert!(Audit::monitor("y", axes())
+            .window_seconds(60.0)
+            .bucket_seconds(120.0)
+            .build()
+            .is_err());
+        assert!(Audit::monitor("y", axes())
+            .window_seconds(1e12)
+            .bucket_seconds(1e-3)
+            .build()
+            .is_err());
+        // Sub-millisecond buckets would let `⌊t / b⌋` saturate i64 at
+        // legal timestamps (a silently never-evicted bucket): refused.
+        assert!(Audit::monitor("y", axes())
+            .window_seconds(1.0)
+            .bucket_seconds(1e-5)
+            .build()
+            .is_err());
+        assert!(Audit::monitor("y", axes())
+            .changepoint(Cusum::new(0.1, 0.05, 0.0))
+            .build()
+            .is_err());
     }
 
     #[test]
@@ -908,6 +943,7 @@ mod tests {
         assert_eq!(step.fired.len(), 1);
         let alert = &step.fired[0];
         assert_eq!(alert.at_record, 8);
+        assert_eq!(alert.at_seconds, None);
         assert!(alert.epsilon > 0.5);
         assert!(alert.witness.is_some());
         // Still breaching: hysteresis suppresses a repeat.
@@ -1007,6 +1043,30 @@ mod tests {
         m.push(&balanced()).unwrap();
         let c = m.snapshot().unwrap();
         assert!(a.merge(&c, &Smoothed { alpha: 1.0 }).is_err());
+        // Wall-clock configuration must match: a record-count shard never
+        // merges with a time-windowed one, nor two different spans.
+        let time_snap = |span: f64| {
+            let mut m = Audit::monitor("y", axes())
+                .window_seconds(span)
+                .build()
+                .unwrap();
+            m.push_at(&balanced(), 1.0).unwrap();
+            m.snapshot().unwrap()
+        };
+        let t60 = time_snap(60.0);
+        assert!(a.merge(&t60, &Smoothed { alpha: 1.0 }).is_err());
+        assert!(t60
+            .merge(&time_snap(30.0), &Smoothed { alpha: 1.0 })
+            .is_err());
+        // Change-point detector lists must match.
+        let mut m = Audit::monitor("y", axes())
+            .window(8)
+            .changepoint(Cusum::new(0.1, 0.05, 0.5))
+            .build()
+            .unwrap();
+        m.push(&balanced()).unwrap();
+        let d = m.snapshot().unwrap();
+        assert!(a.merge(&d, &Smoothed { alpha: 1.0 }).is_err());
     }
 
     #[test]
@@ -1080,5 +1140,98 @@ mod tests {
         assert_eq!(snap.epsilon.epsilon, 0.0);
         assert!(snap.epsilon.witness.is_none());
         assert_eq!(snap.window_rows, 0);
+        assert_eq!(snap.window_seconds, None);
+        assert_eq!(snap.now_seconds, None);
+    }
+
+    #[test]
+    fn window_modes_reject_the_wrong_feed() {
+        let mut by_count = Audit::monitor("y", axes()).window(8).build().unwrap();
+        assert!(by_count.push_at(&balanced(), 1.0).is_err());
+        assert!(by_count.advance_to(1.0).is_err());
+        let mut by_time = Audit::monitor("y", axes())
+            .window_seconds(60.0)
+            .build()
+            .unwrap();
+        assert!(by_time.push(&balanced()).is_err());
+        // Rejections leave both monitors untouched.
+        assert_eq!(by_count.records_seen(), 0);
+        assert_eq!(by_time.records_seen(), 0);
+    }
+
+    #[test]
+    fn wall_clock_window_slides_and_drains() {
+        let mut m = Audit::monitor("y", axes())
+            .estimator(Empirical)
+            .window_seconds(10.0)
+            .bucket_seconds(1.0)
+            .build()
+            .unwrap();
+        m.push_at(&skewed(), 0.5).unwrap();
+        let step = m.push_at(&balanced(), 5.0).unwrap();
+        assert_eq!(step.window_rows, 8);
+        assert_eq!(step.now_seconds, Some(5.0));
+        // Window = skew + balance: P(yes|a) = 3/4 vs P(yes|b) = 1/4 → ln 3.
+        assert!((step.epsilon.epsilon - 3.0f64.ln()).abs() < 1e-12);
+        // t = 12: bucket 0 (the skew) leaves the 10-bucket window; only
+        // the balanced chunk remains, so ε collapses to 0.
+        let step = m.advance_to(12.0).unwrap();
+        assert_eq!(step.window_rows, 4);
+        assert_eq!(step.epsilon.epsilon, 0.0);
+        assert_eq!(m.window_counts().data(), &[1.0, 1.0, 1.0, 1.0]);
+        // Idle long enough and the window drains to vacuous ε.
+        let step = m.advance_to(100.0).unwrap();
+        assert_eq!(step.window_rows, 0);
+        assert_eq!(step.epsilon.epsilon, 0.0);
+        assert_eq!(m.records_seen(), 8);
+        let snap = m.snapshot().unwrap();
+        assert_eq!(snap.window_seconds, Some(10.0));
+        assert_eq!(snap.bucket_seconds, Some(1.0));
+        assert_eq!(snap.now_seconds, Some(100.0));
+    }
+
+    #[test]
+    fn changepoint_detectors_alarm_and_merge() {
+        let build = || {
+            Audit::monitor("y", axes())
+                .estimator(Smoothed { alpha: 1.0 })
+                .window_seconds(4.0)
+                .bucket_seconds(1.0)
+                .changepoint(Cusum::new(0.0, 0.1, 1.0))
+                .changepoint(PageHinkley::new(0.0, 0.1, 1.0))
+                .build()
+                .unwrap()
+        };
+        let mut m = build();
+        // A calm stream accumulates nothing.
+        for t in 0..6 {
+            let step = m.push_at(&balanced(), t as f64).unwrap();
+            assert!(step.alarms.is_empty());
+        }
+        // Sustained skew: windowed ε jumps to ~1.1, both detectors cross
+        // their thresholds within two steps.
+        let mut raised = Vec::new();
+        for t in 6..10 {
+            raised.extend(m.push_at(&skewed(), t as f64).unwrap().alarms);
+        }
+        assert!(!raised.is_empty());
+        assert!(raised.iter().any(|a| a.detector.name() == "cusum"));
+        assert!(raised.iter().any(|a| a.detector.name() == "page-hinkley"));
+        assert_eq!(m.changepoint_alarms().len(), raised.len());
+
+        // Snapshots carry detector state; the JSON round-trips; merging
+        // keeps the worst shard's statistic and the union of alarms.
+        let snap = m.snapshot().unwrap();
+        assert_eq!(snap.changepoints.len(), 2);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MonitorSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        let calm = build().snapshot().unwrap();
+        let merged = snap.merge(&calm, &Smoothed { alpha: 1.0 }).unwrap();
+        assert_eq!(merged.changepoints.len(), 2);
+        for (m_st, s_st) in merged.changepoints.iter().zip(&snap.changepoints) {
+            assert_eq!(m_st.statistic, s_st.statistic);
+            assert_eq!(m_st.alarms, s_st.alarms);
+        }
     }
 }

@@ -1,0 +1,146 @@
+//! The record-count bucket ring and the cached per-push ε engine.
+
+use crate::epsilon::GroupOutcomes;
+use crate::error::Result;
+use df_prob::contingency::{Axis, ContingencyTable};
+use df_prob::numerics::stable_sum;
+use std::collections::VecDeque;
+
+/// Precomputed schema state for the per-push hot path: evaluating ε on
+/// every window update must not re-canonicalize the table or re-format
+/// group labels (both allocate strings), so the flat cell index of every
+/// `(group, outcome)` pair and all display labels are resolved once at
+/// build time. [`WindowEngine::raw_outcomes`] then reads counts straight
+/// out of the schema-order table — producing a [`GroupOutcomes`] that is
+/// **value-identical** to
+/// `JointCounts::from_table(table, outcome).group_outcomes(0.0)` (same
+/// arithmetic, same label strings; asserted by a unit test), at a
+/// fraction of the cost.
+pub(super) struct WindowEngine {
+    outcome_labels: Vec<String>,
+    group_labels: Vec<String>,
+    /// `flat[g · |Y| + y]` = flat index of `(group g, outcome y)` in the
+    /// schema-order table.
+    flat: Vec<usize>,
+    n_outcomes: usize,
+}
+
+impl WindowEngine {
+    pub(super) fn new(axes: &[Axis], outcome_axis: &str) -> Result<Self> {
+        let template = ContingencyTable::zeros(axes.to_vec())?;
+        let pos = template.axis_position(outcome_axis)?;
+        let n_outcomes = axes[pos].len();
+        // Attribute axes in canonical order: schema order, outcome removed
+        // — exactly the order `JointCounts::from_table` preserves.
+        let attr_positions: Vec<usize> = (0..axes.len()).filter(|&i| i != pos).collect();
+        let n_groups: usize = attr_positions.iter().map(|&i| axes[i].len()).product();
+        let mut flat = Vec::with_capacity(n_groups * n_outcomes);
+        let mut group_labels = Vec::with_capacity(n_groups);
+        let mut idx = vec![0usize; axes.len()];
+        for g in 0..n_groups {
+            // Mixed-radix decode, last attribute fastest (the kernel's
+            // intersection indexing).
+            let mut rem = g;
+            let mut parts = vec![String::new(); attr_positions.len()];
+            for (k, &p) in attr_positions.iter().enumerate().rev() {
+                let v = rem % axes[p].len();
+                rem /= axes[p].len();
+                idx[p] = v;
+                parts[k] = format!("{}={}", axes[p].name(), axes[p].labels()[v]);
+            }
+            group_labels.push(parts.join(", "));
+            for y in 0..n_outcomes {
+                idx[pos] = y;
+                flat.push(template.flat_index(&idx));
+            }
+        }
+        Ok(Self {
+            outcome_labels: axes[pos].labels().to_vec(),
+            group_labels,
+            flat,
+            n_outcomes,
+        })
+    }
+
+    /// The raw (MLE, α = 0) group-outcome table of a schema-order counts
+    /// table — the input every
+    /// [`crate::builder::EpsilonEstimator`] consumes. The MLE is
+    /// inlined (same arithmetic as `df_prob::estimate::categorical_mle`:
+    /// compensated-sum total, per-cell division) to avoid one Vec
+    /// allocation per group on the per-push hot path.
+    pub(super) fn raw_outcomes(&self, table: &ContingencyTable) -> Result<GroupOutcomes> {
+        let data = table.data();
+        let n_groups = self.group_labels.len();
+        let mut probs = vec![0.0; n_groups * self.n_outcomes];
+        let mut weights = vec![0.0; n_groups];
+        let mut counts = vec![0.0; self.n_outcomes];
+        for (g, weight) in weights.iter_mut().enumerate() {
+            let base = g * self.n_outcomes;
+            for (y, c) in counts.iter_mut().enumerate() {
+                *c = data[self.flat[base + y]];
+            }
+            *weight = counts.iter().sum();
+            let total = stable_sum(&counts);
+            if total > 0.0 {
+                for (y, &c) in counts.iter().enumerate() {
+                    probs[base + y] = c / total;
+                }
+            }
+        }
+        GroupOutcomes::new(
+            self.outcome_labels.clone(),
+            self.group_labels.clone(),
+            probs,
+            weights,
+        )
+    }
+}
+
+/// The record-count bucket ring: sealed buckets oldest-first (raw cell
+/// data; axes live once on the running window table), a running window
+/// sum, and eviction of whole oldest buckets — via the exact
+/// `subtract` path — while the ring holds more than `capacity` records.
+pub(super) struct CountRing {
+    /// Running sum of the ring — the window's joint counts.
+    window: ContingencyTable,
+    ring: VecDeque<(Vec<f64>, usize)>,
+    capacity: usize,
+    rows: usize,
+}
+
+impl CountRing {
+    pub(super) fn new(axes: Vec<Axis>, capacity: usize) -> Result<Self> {
+        Ok(Self {
+            window: ContingencyTable::zeros(axes)?,
+            ring: VecDeque::new(),
+            capacity,
+            rows: 0,
+        })
+    }
+
+    pub(super) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub(super) fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub(super) fn table(&self) -> &ContingencyTable {
+        &self.window
+    }
+
+    /// Appends one sealed bucket and evicts expired buckets, exactly.
+    pub(super) fn ingest(&mut self, bucket: &ContingencyTable, rows: usize) -> Result<()> {
+        self.window.merge_from(bucket)?;
+        self.rows += rows;
+        self.ring.push_back((bucket.data().to_vec(), rows));
+        while self.rows > self.capacity {
+            let (expired, expired_rows) =
+                self.ring.pop_front().expect("over-full ring is nonempty");
+            self.window.subtract_data(&expired)?;
+            self.rows -= expired_rows;
+        }
+        Ok(())
+    }
+}

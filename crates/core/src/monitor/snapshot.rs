@@ -1,0 +1,290 @@
+//! Serializable, shard-mergeable monitor state.
+
+use super::changepoint::ChangepointStatus;
+use super::{Alert, ChangepointAlarm};
+use crate::builder::EpsilonEstimator;
+use crate::edf::JointCounts;
+use crate::epsilon::EpsilonResult;
+use crate::error::{DfError, Result};
+use crate::subsets::SubsetEpsilon;
+use df_prob::contingency::{Axis, ContingencyTable};
+use serde::{Deserialize, Serialize};
+
+/// A serializable contingency table: named axes plus row-major cell data.
+/// The wire form of the monitor's window and horizon counts (df-prob's
+/// [`ContingencyTable`] itself stays serde-free).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CountsSnapshot {
+    /// `(axis name, ordered labels)` per axis, in storage order.
+    pub axes: Vec<(String, Vec<String>)>,
+    /// Row-major cell values.
+    pub data: Vec<f64>,
+}
+
+impl CountsSnapshot {
+    /// Captures a table.
+    pub fn from_table(table: &ContingencyTable) -> Self {
+        Self {
+            axes: table
+                .axes()
+                .iter()
+                .map(|a| (a.name().to_string(), a.labels().to_vec()))
+                .collect(),
+            data: table.data().to_vec(),
+        }
+    }
+
+    /// Reconstructs the table (validating axes and cell values).
+    pub fn to_table(&self) -> Result<ContingencyTable> {
+        let axes = self
+            .axes
+            .iter()
+            .map(|(name, labels)| Axis::new(name.clone(), labels.clone()))
+            .collect::<df_prob::Result<Vec<_>>>()?;
+        Ok(ContingencyTable::from_data(axes, self.data.clone())?)
+    }
+
+    /// Cell-wise adds another snapshot over identical axes.
+    fn merge(&self, other: &CountsSnapshot) -> Result<CountsSnapshot> {
+        if self.axes != other.axes {
+            return Err(DfError::Invalid(
+                "cannot merge monitor snapshots over different schemas".into(),
+            ));
+        }
+        Ok(CountsSnapshot {
+            axes: self.axes.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a + b)
+                .collect(),
+        })
+    }
+}
+
+/// The monitor's full serializable state at one point in the stream:
+/// window and horizon counts, the ε values derived from them, the
+/// per-subset lattice (per the configured
+/// [`crate::builder::SubsetPolicy`]), change-point detector states, and
+/// the alert log so far.
+///
+/// Snapshots are **mergeable across shards**: a fleet of monitors (one per
+/// serving replica) each ingests its own slice of traffic, and
+/// [`MonitorSnapshot::merge`] combines their states cell-wise into the ε
+/// of the union of the windows — the same additivity that powers
+/// [`crate::stream::sharded_joint_counts`]. Because window cells are
+/// integer tallies (and the remaining merged state is built from max,
+/// sum, and canonically ordered concatenation), merging is commutative
+/// and associative with the untouched monitor's snapshot as identity —
+/// shard aggregation order can never change the fleet-wide ε or alarm
+/// state (property-tested in `monitor_time_equivalence`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonitorSnapshot {
+    /// Name of the outcome axis.
+    pub outcome_axis: String,
+    /// Display name of the ε estimator in force.
+    pub estimator: String,
+    /// Total records ingested over the monitor's lifetime.
+    pub records_seen: u64,
+    /// Records currently inside the window.
+    pub window_rows: u64,
+    /// The window span T in seconds (wall-clock monitors only).
+    pub window_seconds: Option<f64>,
+    /// The bucket granularity in seconds (wall-clock monitors only).
+    pub bucket_seconds: Option<f64>,
+    /// Largest timestamp seen so far (wall-clock monitors only).
+    pub now_seconds: Option<f64>,
+    /// Joint counts of the window.
+    pub window: CountsSnapshot,
+    /// Exponentially-decayed joint counts (present iff decay configured).
+    pub decayed: Option<CountsSnapshot>,
+    /// The per-bucket retention factor λ, when decay is configured.
+    pub decay: Option<f64>,
+    /// ε of the window under the configured estimator.
+    pub epsilon: EpsilonResult,
+    /// ε of the decayed horizon (present iff decay configured).
+    pub decayed_epsilon: Option<EpsilonResult>,
+    /// Per-subset ε of the window, ordered by subset size with the full
+    /// intersection last (empty under [`crate::builder::SubsetPolicy::None`]).
+    pub subsets: Vec<SubsetEpsilon>,
+    /// Every alert fired so far, in canonical order.
+    pub alerts: Vec<Alert>,
+    /// One entry per configured change-point detector, in configuration
+    /// order.
+    pub changepoints: Vec<ChangepointStatus>,
+}
+
+/// A canonical total order on alerts, so concatenating shard logs is
+/// deterministic regardless of merge order (stream position first; the
+/// remaining fields only break ties between distinct alerts at the same
+/// position).
+fn alert_key(a: &Alert) -> (u64, u64, u64, u64, usize, String) {
+    (
+        a.at_record,
+        a.epsilon.to_bits(),
+        a.at_seconds.map_or(0, f64::to_bits),
+        a.rule.threshold.to_bits(),
+        a.rule.consecutive,
+        a.witness
+            .as_ref()
+            .map(|w| format!("{}/{}/{}", w.outcome, w.group_hi, w.group_lo))
+            .unwrap_or_default(),
+    )
+}
+
+/// The alarm twin of [`alert_key`].
+fn alarm_key(a: &ChangepointAlarm) -> (u64, u64, u64, u64) {
+    (
+        a.at_record,
+        a.statistic.to_bits(),
+        a.signal.to_bits(),
+        a.at_seconds.map_or(0, f64::to_bits),
+    )
+}
+
+impl MonitorSnapshot {
+    /// The drift signal: windowed ε minus horizon ε (positive = fairness
+    /// degrading relative to the long-run distribution). `None` without a
+    /// configured decay, or when either ε is infinite (`∞ − ∞` has no
+    /// meaningful sign).
+    pub fn trend(&self) -> Option<f64> {
+        let horizon = self.decayed_epsilon.as_ref()?;
+        (self.epsilon.epsilon.is_finite() && horizon.epsilon.is_finite())
+            .then_some(self.epsilon.epsilon - horizon.epsilon)
+    }
+
+    /// Merges two shard snapshots into the combined monitor state,
+    /// recomputing every ε with `estimator` over the cell-wise summed
+    /// counts. The shards must share the schema, outcome axis, window
+    /// configuration (decay, wall-clock span and granularity), subset
+    /// lattice, and change-point detector list; alert and alarm logs
+    /// concatenate in canonical `records_seen` order (each shard's
+    /// entries witness its own traffic), detector statistics combine
+    /// conservatively by max, and the merged clock is the latest shard
+    /// clock.
+    pub fn merge(
+        &self,
+        other: &MonitorSnapshot,
+        estimator: &dyn EpsilonEstimator,
+    ) -> Result<MonitorSnapshot> {
+        if self.outcome_axis != other.outcome_axis {
+            return Err(DfError::Invalid(format!(
+                "snapshot outcome axes differ: `{}` vs `{}`",
+                self.outcome_axis, other.outcome_axis
+            )));
+        }
+        if self.decay != other.decay {
+            return Err(DfError::Invalid(
+                "cannot merge snapshots with different decay configurations".into(),
+            ));
+        }
+        if self.window_seconds != other.window_seconds
+            || self.bucket_seconds != other.bucket_seconds
+        {
+            return Err(DfError::Invalid(
+                "cannot merge snapshots with different wall-clock window configurations".into(),
+            ));
+        }
+        let window = self.window.merge(&other.window)?;
+        let decayed = match (&self.decayed, &other.decayed) {
+            (Some(a), Some(b)) => Some(a.merge(b)?),
+            (None, None) => None,
+            _ => unreachable!("decay equality checked above"),
+        };
+        let window_counts = JointCounts::from_table(window.to_table()?, &self.outcome_axis)?;
+        let epsilon = estimator.estimate(&window_counts.group_outcomes(0.0)?)?;
+        let decayed_epsilon = match &decayed {
+            Some(d) => {
+                let jc = JointCounts::from_table(d.to_table()?, &self.outcome_axis)?;
+                Some(estimator.estimate(&jc.group_outcomes(0.0)?)?)
+            }
+            None => None,
+        };
+        let subset_attrs: Vec<Vec<String>> =
+            self.subsets.iter().map(|s| s.attributes.clone()).collect();
+        let other_attrs: Vec<Vec<String>> =
+            other.subsets.iter().map(|s| s.attributes.clone()).collect();
+        if subset_attrs != other_attrs {
+            return Err(DfError::Invalid(
+                "cannot merge snapshots with different subset lattices".into(),
+            ));
+        }
+        let subsets = subset_epsilons(&window_counts, &subset_attrs, &epsilon, estimator)?;
+        let mut alerts: Vec<Alert> = self.alerts.iter().chain(&other.alerts).cloned().collect();
+        alerts.sort_by_key(alert_key);
+        if self.changepoints.len() != other.changepoints.len()
+            || self
+                .changepoints
+                .iter()
+                .zip(&other.changepoints)
+                .any(|(a, b)| a.spec != b.spec)
+        {
+            return Err(DfError::Invalid(
+                "cannot merge snapshots with different change-point detectors".into(),
+            ));
+        }
+        let changepoints = self
+            .changepoints
+            .iter()
+            .zip(&other.changepoints)
+            .map(|(a, b)| {
+                let mut alarms: Vec<ChangepointAlarm> =
+                    a.alarms.iter().chain(&b.alarms).cloned().collect();
+                alarms.sort_by_key(alarm_key);
+                ChangepointStatus {
+                    spec: a.spec,
+                    statistic: a.statistic.max(b.statistic),
+                    alarms,
+                }
+            })
+            .collect();
+        let now_seconds = match (self.now_seconds, other.now_seconds) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        Ok(MonitorSnapshot {
+            outcome_axis: self.outcome_axis.clone(),
+            estimator: estimator.name(),
+            records_seen: self.records_seen + other.records_seen,
+            window_rows: self.window_rows + other.window_rows,
+            window_seconds: self.window_seconds,
+            bucket_seconds: self.bucket_seconds,
+            now_seconds,
+            window,
+            decayed,
+            decay: self.decay,
+            epsilon,
+            decayed_epsilon,
+            subsets,
+            alerts,
+            changepoints,
+        })
+    }
+}
+
+/// Per-subset ε under `estimator`, reusing the precomputed full-
+/// intersection result for the last (full) entry — the exact layout of the
+/// builder's `EstimatorReport::subsets`.
+pub(super) fn subset_epsilons(
+    counts: &JointCounts,
+    subset_attrs: &[Vec<String>],
+    full: &EpsilonResult,
+    estimator: &dyn EpsilonEstimator,
+) -> Result<Vec<SubsetEpsilon>> {
+    let n_attrs = counts.attribute_names().len();
+    let mut out = Vec::with_capacity(subset_attrs.len());
+    for attrs in subset_attrs {
+        let result = if attrs.len() == n_attrs {
+            full.clone()
+        } else {
+            let names: Vec<&str> = attrs.iter().map(String::as_str).collect();
+            estimator.estimate(&counts.marginal_to(&names)?.group_outcomes(0.0)?)?
+        };
+        out.push(SubsetEpsilon {
+            attributes: attrs.clone(),
+            result,
+        });
+    }
+    Ok(out)
+}

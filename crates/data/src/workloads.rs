@@ -199,6 +199,279 @@ pub fn drift_replay_frame(
     DataFrame::new(columns)
 }
 
+/// The arrival process of a timestamped replay: how record timestamps
+/// advance between consecutive rows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Evenly spaced arrivals: one record every `1 / rate` seconds.
+    Uniform {
+        /// Mean arrivals per second.
+        rate: f64,
+    },
+    /// A Poisson process: i.i.d. exponential gaps with mean `1 / rate` —
+    /// the usual model for independent user traffic.
+    Poisson {
+        /// Mean arrivals per second.
+        rate: f64,
+    },
+    /// Bursty traffic: records arrive in back-to-back groups of `burst`
+    /// sharing one timestamp, with `burst / rate`-second gaps between
+    /// groups (same long-run rate). Stresses out-of-order-friendly
+    /// bucketing: many records per instant, then silence.
+    Bursty {
+        /// Mean arrivals per second (long-run).
+        rate: f64,
+        /// Records per burst (≥ 1).
+        burst: usize,
+    },
+}
+
+impl ArrivalProcess {
+    fn rate(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Uniform { rate }
+            | ArrivalProcess::Poisson { rate }
+            | ArrivalProcess::Bursty { rate, .. } => rate,
+        }
+    }
+}
+
+/// One constant-ε segment of a timestamped replay; consecutive segments
+/// meet at a **planted change-point**.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftSegment {
+    /// Segment length in seconds.
+    pub duration: f64,
+    /// Planted ε over the segment (the log-linear group ramp of
+    /// [`planted_epsilon_rates`]).
+    pub epsilon: f64,
+}
+
+impl DriftSegment {
+    /// A constant-ε stretch of stream time.
+    pub fn new(duration: f64, epsilon: f64) -> Self {
+        Self { duration, epsilon }
+    }
+}
+
+/// A timestamped replay stream: the rows, their arrival timestamps, and
+/// where the planted change-points sit.
+#[derive(Debug, Clone)]
+pub struct TimestampedReplay {
+    /// The records, in arrival order (`outcome`, `attr0`, …, as in
+    /// [`synthetic_audit_frame`]).
+    pub frame: crate::frame::DataFrame,
+    /// Per-row arrival timestamp in seconds, non-decreasing from 0.
+    pub timestamps: Vec<f64>,
+    /// The planted change-point times: the boundary between segment `k`
+    /// and `k + 1` sits at `change_points[k]` seconds.
+    pub change_points: Vec<f64>,
+}
+
+/// One time bucket of a [`TimestampedReplay`], ready to feed a wall-clock
+/// monitor: the coded rows of a single `⌊t / b⌋` bucket (column order of
+/// the frame: outcome first), stamped with the bucket's first arrival.
+#[derive(Debug, Clone)]
+pub struct TimedChunk {
+    rows: Vec<Vec<usize>>,
+    /// Timestamp of the bucket's first arrival, in seconds.
+    pub timestamp: f64,
+}
+
+impl TimedChunk {
+    /// Records in the chunk.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+impl df_prob::partial::Tally for TimedChunk {
+    fn tally_into(&self, shard: &mut df_prob::partial::PartialCounts) -> df_prob::Result<()> {
+        for row in &self.rows {
+            shard.record(row);
+        }
+        Ok(())
+    }
+}
+
+impl TimestampedReplay {
+    /// Groups the replay into one [`TimedChunk`] per `⌊t / bucket_seconds⌋`
+    /// time bucket (rows arrive in time order, so buckets are contiguous
+    /// runs). This is the canonical feed shape for
+    /// `FairnessMonitor::push_at`: one push per bucket gives change-point
+    /// detectors a fixed `bucket_seconds` sampling cadence.
+    pub fn bucket_chunks(&self, bucket_seconds: f64) -> Result<Vec<TimedChunk>> {
+        if !(bucket_seconds.is_finite() && bucket_seconds > 0.0) {
+            return Err(DataError::Invalid(format!(
+                "bucket_seconds must be finite and positive, got {bucket_seconds}"
+            )));
+        }
+        let names = self.frame.column_names();
+        let columns: Vec<&[u32]> = names
+            .iter()
+            .map(|name| Ok(self.frame.column(name)?.as_categorical()?.0))
+            .collect::<Result<_>>()?;
+        let mut chunks: Vec<TimedChunk> = Vec::new();
+        let mut current_bucket = None;
+        for (i, &ts) in self.timestamps.iter().enumerate() {
+            let bucket = (ts / bucket_seconds).floor() as i64;
+            if current_bucket != Some(bucket) {
+                current_bucket = Some(bucket);
+                chunks.push(TimedChunk {
+                    rows: Vec::new(),
+                    timestamp: ts,
+                });
+            }
+            let row = columns.iter().map(|codes| codes[i] as usize).collect();
+            chunks
+                .last_mut()
+                .expect("chunk pushed above")
+                .rows
+                .push(row);
+        }
+        Ok(chunks)
+    }
+}
+
+/// A **timestamped** drift replay for wall-clock monitors and change-point
+/// golden tests: records arrive under `arrival` (uniform / Poisson /
+/// bursty), and the planted ε is **piecewise constant** over `segments` —
+/// crisp mean shifts at known instants, exactly what CUSUM/Page–Hinkley
+/// rules are meant to catch (and what the linear ramp of
+/// [`drift_replay_frame`] deliberately is not).
+///
+/// Per row at stream time `t` inside segment `s`: the group `g` is uniform
+/// over the `∏ arities` intersections, and the positive outcome fires with
+/// probability `base_rate · exp(−ε_s · g / (G − 1))` — the planted ε of
+/// [`planted_epsilon_rates`]. Column names and vocabularies match
+/// [`synthetic_audit_frame`].
+pub fn timestamped_drift_stream(
+    rng: &mut Pcg32,
+    arities: &[usize],
+    base_rate: f64,
+    segments: &[DriftSegment],
+    arrival: ArrivalProcess,
+) -> Result<TimestampedReplay> {
+    if arities.is_empty() || arities.contains(&0) {
+        return Err(DataError::Invalid(
+            "need >=1 attribute, all arities positive".into(),
+        ));
+    }
+    if !(0.0 < base_rate && base_rate < 1.0) {
+        return Err(DataError::Invalid("base_rate must lie in (0,1)".into()));
+    }
+    if segments.is_empty() {
+        return Err(DataError::Invalid("need at least one segment".into()));
+    }
+    for seg in segments {
+        if !(seg.duration.is_finite() && seg.duration > 0.0) {
+            return Err(DataError::Invalid(format!(
+                "segment durations must be finite and positive, got {}",
+                seg.duration
+            )));
+        }
+        if !(seg.epsilon.is_finite() && seg.epsilon >= 0.0) {
+            return Err(DataError::Invalid(format!(
+                "planted epsilons must be finite and non-negative, got {}",
+                seg.epsilon
+            )));
+        }
+    }
+    let rate = arrival.rate();
+    if !(rate.is_finite() && rate > 0.0) {
+        return Err(DataError::Invalid(format!(
+            "arrival rate must be finite and positive, got {rate}"
+        )));
+    }
+    if let ArrivalProcess::Bursty { burst, .. } = arrival {
+        if burst == 0 {
+            return Err(DataError::Invalid("burst size must be >= 1".into()));
+        }
+    }
+    let change_points: Vec<f64> = segments
+        .iter()
+        .take(segments.len() - 1)
+        .scan(0.0, |acc, seg| {
+            *acc += seg.duration;
+            Some(*acc)
+        })
+        .collect();
+    let total: f64 = segments.iter().map(|s| s.duration).sum();
+    let n_groups: usize = arities.iter().product();
+    let denom = (n_groups.max(2) - 1) as f64;
+    let mut t = 0.0f64;
+    let mut outcome_codes = Vec::new();
+    let mut attr_codes: Vec<Vec<u32>> = arities.iter().map(|_| Vec::new()).collect();
+    let mut timestamps = Vec::new();
+    let mut arrived = 0usize;
+    loop {
+        // Advance the clock to the next arrival.
+        t += match arrival {
+            ArrivalProcess::Uniform { rate } => 1.0 / rate,
+            ArrivalProcess::Poisson { rate } => {
+                // Inverse-CDF exponential gap; 1 − u ∈ (0, 1] keeps ln finite.
+                -(1.0 - rng.next_f64()).ln() / rate
+            }
+            ArrivalProcess::Bursty { rate, burst } => {
+                if arrived.is_multiple_of(burst) {
+                    burst as f64 / rate
+                } else {
+                    0.0
+                }
+            }
+        };
+        if t >= total {
+            break;
+        }
+        arrived += 1;
+        // The segment this instant falls in (piecewise-constant ε).
+        let mut rem_t = t;
+        let mut eps = segments[segments.len() - 1].epsilon;
+        for seg in segments {
+            if rem_t < seg.duration {
+                eps = seg.epsilon;
+                break;
+            }
+            rem_t -= seg.duration;
+        }
+        // Uniform group, decoded mixed-radix (last attribute fastest) to
+        // match the audit kernel's intersection indexing.
+        let g = rng.next_below(n_groups as u32) as usize;
+        let mut rem = g;
+        for (k, &a) in arities.iter().enumerate().rev() {
+            attr_codes[k].push((rem % a) as u32);
+            rem /= a;
+        }
+        let p = base_rate * (-eps * g as f64 / denom).exp();
+        outcome_codes.push(u32::from(rng.next_f64() < p));
+        timestamps.push(t);
+    }
+    if timestamps.len() < 2 {
+        return Err(DataError::Invalid(
+            "segments too short for the arrival rate: fewer than 2 records generated".into(),
+        ));
+    }
+    use crate::frame::{Column, DataFrame};
+    let mut columns = Vec::with_capacity(arities.len() + 1);
+    columns.push(Column::categorical_from_codes(
+        "outcome",
+        outcome_codes,
+        vec!["y0".to_string(), "y1".to_string()],
+    )?);
+    for (k, codes) in attr_codes.into_iter().enumerate() {
+        columns.push(Column::categorical_from_codes(
+            format!("attr{k}"),
+            codes,
+            (0..arities[k]).map(|i| format!("v{i}")).collect(),
+        )?);
+    }
+    Ok(TimestampedReplay {
+        frame: DataFrame::new(columns)?,
+        timestamps,
+        change_points,
+    })
+}
+
 /// Renders the named categorical columns of a frame as headerless CSV —
 /// the on-disk shape consumed by the streaming CSV reader
 /// (`df_data::chunks::CsvChunks`). Used to build large ingestion
@@ -386,6 +659,183 @@ mod tests {
         assert!(drift_replay_frame(&mut rng, 10, &[2], 0.0, 0.0, 1.0).is_err());
         assert!(drift_replay_frame(&mut rng, 10, &[2], 0.4, -0.1, 1.0).is_err());
         assert!(drift_replay_frame(&mut rng, 10, &[2], 0.4, 0.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn timestamped_stream_plants_a_step_change() {
+        let mut rng = Pcg32::new(9);
+        let segments = [DriftSegment::new(200.0, 0.0), DriftSegment::new(200.0, 1.5)];
+        let replay = timestamped_drift_stream(
+            &mut rng,
+            &[2, 2],
+            0.4,
+            &segments,
+            ArrivalProcess::Poisson { rate: 100.0 },
+        )
+        .unwrap();
+        assert_eq!(replay.change_points, vec![200.0]);
+        let n = replay.frame.n_rows();
+        assert_eq!(replay.timestamps.len(), n);
+        // Poisson at 100/s over 400 s ≈ 40k rows.
+        assert!((35_000..45_000).contains(&n), "n = {n}");
+        // Timestamps are non-decreasing and inside the stream span.
+        assert!(replay.timestamps.windows(2).all(|w| w[0] <= w[1]));
+        assert!(replay.timestamps[0] >= 0.0);
+        assert!(*replay.timestamps.last().unwrap() < 400.0);
+        // The group-0 vs group-3 log-gap steps from ≈0 to ≈1.5 across the
+        // planted change-point.
+        let (outcome, _) = replay
+            .frame
+            .column("outcome")
+            .unwrap()
+            .as_categorical()
+            .unwrap();
+        let (a0, _) = replay
+            .frame
+            .column("attr0")
+            .unwrap()
+            .as_categorical()
+            .unwrap();
+        let (a1, _) = replay
+            .frame
+            .column("attr1")
+            .unwrap()
+            .as_categorical()
+            .unwrap();
+        let log_gap = |pred: &dyn Fn(f64) -> bool| {
+            let (mut pos, mut tot) = ([0.0f64; 2], [0.0f64; 2]);
+            for i in 0..n {
+                if !pred(replay.timestamps[i]) {
+                    continue;
+                }
+                let slot = match (a0[i] * 2 + a1[i]) as usize {
+                    0 => 0,
+                    3 => 1,
+                    _ => continue,
+                };
+                tot[slot] += 1.0;
+                pos[slot] += f64::from(outcome[i]);
+            }
+            ((pos[0] / tot[0]) / (pos[1] / tot[1])).ln()
+        };
+        let before = log_gap(&|t| t < 200.0);
+        let after = log_gap(&|t| t >= 200.0);
+        assert!(before.abs() < 0.2, "pre-change gap {before} should be ~0");
+        assert!(
+            (after - 1.5).abs() < 0.3,
+            "post-change gap {after} should be ~1.5"
+        );
+    }
+
+    #[test]
+    fn arrival_processes_shape_the_timeline() {
+        let mut rng = Pcg32::new(21);
+        let segments = [DriftSegment::new(50.0, 0.5)];
+        // Uniform: exactly even spacing.
+        let uni = timestamped_drift_stream(
+            &mut rng,
+            &[2],
+            0.3,
+            &segments,
+            ArrivalProcess::Uniform { rate: 10.0 },
+        )
+        .unwrap();
+        assert!(uni
+            .timestamps
+            .windows(2)
+            .all(|w| (w[1] - w[0] - 0.1).abs() < 1e-9));
+        assert!(uni.change_points.is_empty());
+        // Bursty: groups of 5 share one timestamp (out-of-order-within-
+        // bucket stress), with 0.5 s between groups.
+        let bursty = timestamped_drift_stream(
+            &mut rng,
+            &[2],
+            0.3,
+            &segments,
+            ArrivalProcess::Bursty {
+                rate: 10.0,
+                burst: 5,
+            },
+        )
+        .unwrap();
+        let same = bursty
+            .timestamps
+            .windows(2)
+            .filter(|w| w[0] == w[1])
+            .count();
+        // 4 of every 5 consecutive gaps are zero.
+        assert!(same as f64 / bursty.timestamps.len() as f64 > 0.7);
+        // Long-run rates agree (~10/s over 50 s → ~500 rows).
+        assert!((400..600).contains(&uni.frame.n_rows()));
+        assert!((400..600).contains(&bursty.frame.n_rows()));
+    }
+
+    #[test]
+    fn bucket_chunks_partition_the_replay_by_time_bucket() {
+        use df_prob::partial::{PartialCounts, Tally};
+        let mut rng = Pcg32::new(5);
+        let replay = timestamped_drift_stream(
+            &mut rng,
+            &[2, 2],
+            0.4,
+            &[DriftSegment::new(60.0, 0.8)],
+            ArrivalProcess::Poisson { rate: 20.0 },
+        )
+        .unwrap();
+        let chunks = replay.bucket_chunks(5.0).unwrap();
+        // Every row lands in exactly one chunk…
+        let total: usize = chunks.iter().map(TimedChunk::n_rows).sum();
+        assert_eq!(total, replay.frame.n_rows());
+        // …chunks are stamped with a timestamp inside their own bucket,
+        // in strictly increasing bucket order…
+        let buckets: Vec<i64> = chunks
+            .iter()
+            .map(|c| (c.timestamp / 5.0).floor() as i64)
+            .collect();
+        assert!(buckets.windows(2).all(|w| w[0] < w[1]));
+        // …and tallying all chunks reproduces the frame's joint counts.
+        let axes = vec![
+            Axis::new("outcome", vec!["y0".into(), "y1".into()]).unwrap(),
+            Axis::new("attr0", vec!["v0".into(), "v1".into()]).unwrap(),
+            Axis::new("attr1", vec!["v0".into(), "v1".into()]).unwrap(),
+        ];
+        let mut shard = PartialCounts::zeros(axes).unwrap();
+        for chunk in &chunks {
+            chunk.tally_into(&mut shard).unwrap();
+        }
+        let direct = replay
+            .frame
+            .contingency(&["outcome", "attr0", "attr1"])
+            .unwrap();
+        assert_eq!(shard.table().data(), direct.data());
+        // Validation.
+        assert!(replay.bucket_chunks(0.0).is_err());
+        assert!(replay.bucket_chunks(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn timestamped_stream_validation() {
+        let mut rng = Pcg32::new(1);
+        let seg = [DriftSegment::new(10.0, 0.5)];
+        let uni = ArrivalProcess::Uniform { rate: 10.0 };
+        assert!(timestamped_drift_stream(&mut rng, &[], 0.4, &seg, uni).is_err());
+        assert!(timestamped_drift_stream(&mut rng, &[0], 0.4, &seg, uni).is_err());
+        assert!(timestamped_drift_stream(&mut rng, &[2], 0.0, &seg, uni).is_err());
+        assert!(timestamped_drift_stream(&mut rng, &[2], 0.4, &[], uni).is_err());
+        let bad_dur = [DriftSegment::new(0.0, 0.5)];
+        assert!(timestamped_drift_stream(&mut rng, &[2], 0.4, &bad_dur, uni).is_err());
+        let bad_eps = [DriftSegment::new(10.0, -0.5)];
+        assert!(timestamped_drift_stream(&mut rng, &[2], 0.4, &bad_eps, uni).is_err());
+        let bad_rate = ArrivalProcess::Uniform { rate: 0.0 };
+        assert!(timestamped_drift_stream(&mut rng, &[2], 0.4, &seg, bad_rate).is_err());
+        let bad_burst = ArrivalProcess::Bursty {
+            rate: 10.0,
+            burst: 0,
+        };
+        assert!(timestamped_drift_stream(&mut rng, &[2], 0.4, &seg, bad_burst).is_err());
+        // Too sparse to make a stream.
+        let sparse = ArrivalProcess::Uniform { rate: 0.01 };
+        assert!(timestamped_drift_stream(&mut rng, &[2], 0.4, &seg, sparse).is_err());
     }
 
     #[test]

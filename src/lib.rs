@@ -187,8 +187,9 @@ pub mod prelude {
     pub use df_core::equalized::{opportunity_epsilon, EqualizedOddsCounts};
     pub use df_core::mechanism::{estimate_group_outcomes, FnMechanism, Mechanism};
     pub use df_core::monitor::{
-        Alert, AlertRule, CountsSnapshot, FairnessMonitor, MonitorBuilder, MonitorSnapshot,
-        MonitorStep,
+        Alert, AlertRule, ChangeSignal, ChangepointAlarm, ChangepointSpec, ChangepointStatus,
+        CountsSnapshot, Cusum, FairnessMonitor, MonitorBuilder, MonitorSnapshot, MonitorStep,
+        PageHinkley,
     };
     pub use df_core::privacy::{PrivacyRegime, RANDOMIZED_RESPONSE_EPSILON};
     pub use df_core::subsets::{subset_audit, SubsetAudit};
@@ -200,7 +201,10 @@ pub mod prelude {
     pub use df_data::adult;
     pub use df_data::chunks::{CsvChunks, FrameChunks, LabelChunk};
     pub use df_data::frame::{Column, DataFrame};
-    pub use df_data::workloads::{drift_replay_frame, GaussianScoreGroups};
+    pub use df_data::workloads::{
+        drift_replay_frame, timestamped_drift_stream, ArrivalProcess, DriftSegment,
+        GaussianScoreGroups, TimedChunk, TimestampedReplay,
+    };
     pub use df_learn::fair::{FairLogisticConfig, FairLogisticRegression};
     pub use df_learn::logistic::{LogisticConfig, LogisticRegression};
     pub use df_learn::threshold::ThresholdMechanism;

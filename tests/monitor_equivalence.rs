@@ -139,25 +139,33 @@ proptest! {
     }
 }
 
+/// Window size of the drift replay; also the boundary chunk size (a
+/// chunk exactly filling the window replaces it wholesale on each push).
+const DRIFT_WINDOW: usize = 3_000;
+const DRIFT_ROWS: usize = 24_000;
+
 /// End-to-end drift replay through the facade: a `FrameChunks` source
 /// feeds the monitor, the planted drift pushes ε through the alert
 /// threshold, and spot-checked windows stay byte-identical to batch
-/// audits of the same rows.
-#[test]
-fn drift_replay_raises_epsilon_and_fires_the_alert() {
-    let mut rng = Pcg32::new(42);
-    let n_rows = 60_000;
-    let frame = drift_replay_frame(&mut rng, n_rows, &[2, 2], 0.4, 0.0, 2.0).unwrap();
+/// audits of the same rows. `chunk_rows` parameterizes the feed
+/// granularity — from per-record pushes to chunk == window.
+fn drift_replay(workload_seed: u64, chunk_rows: usize) -> Result<(), TestCaseError> {
+    let mut rng = Pcg32::new(workload_seed);
+    let frame = drift_replay_frame(&mut rng, DRIFT_ROWS, &[2, 2], 0.4, 0.0, 2.0).unwrap();
     let columns = ["outcome", "attr0", "attr1"];
-    let chunk_rows = 500;
-    let window = 5_000;
 
     let chunks = FrameChunks::new(&frame, &columns, chunk_rows).unwrap();
     let schema = chunks.axes().unwrap();
+    // Decay is applied once per absorbed bucket, so the horizon's
+    // timescale is `chunk_rows / ln(1/λ)` *records* — hold that constant
+    // across chunk sizes (≈ 25k records, λ = 0.98 at 500-row chunks) or
+    // per-record pushes would turn the "long-run" horizon into a
+    // 50-record EMA that outruns the window.
+    let lambda = 0.98f64.powf(chunk_rows as f64 / 500.0);
     let mut monitor = Audit::monitor("outcome", schema.clone())
         .estimator(Smoothed { alpha: 1.0 })
-        .window(window)
-        .decay(0.98)
+        .window(DRIFT_WINDOW)
+        .decay(lambda)
         .alert(AlertRule::epsilon_above(1.0).for_consecutive(3))
         .build()
         .unwrap();
@@ -169,15 +177,22 @@ fn drift_replay_raises_epsilon_and_fires_the_alert() {
 
     let mut early = None;
     let mut late = None;
+    let mut checked = 0usize;
     let mut processed = 0usize;
     for chunk in chunks {
         let step = monitor.push(&chunk).unwrap();
         processed += chunk.n_rows();
-        // Byte-identity spot checks once the window is warm.
-        if processed == 10_000 || processed == n_rows {
-            let start = processed - window;
+        // Byte-identity spot checks: once warm (first push past 2 W), and
+        // on the final window. `window_rows` sizes the re-tally — when
+        // the chunk size does not divide W, the ring legitimately holds
+        // slightly fewer than W rows.
+        let warm_check = early.is_none() && processed >= 2 * DRIFT_WINDOW;
+        if warm_check || processed == DRIFT_ROWS {
+            let held = monitor.window_rows();
+            prop_assert_eq!(step.window_rows as usize, held);
+            prop_assert!(held <= DRIFT_WINDOW);
             let mut fresh = PartialCounts::zeros(schema.clone()).unwrap();
-            for i in start..processed {
+            for i in processed - held..processed {
                 fresh.record(&[outcome[i] as usize, a0[i] as usize, a1[i] as usize]);
             }
             let counts = JointCounts::from_table(fresh.into_table(), "outcome").unwrap();
@@ -187,35 +202,59 @@ fn drift_replay_raises_epsilon_and_fires_the_alert() {
                 .subsets(SubsetPolicy::None)
                 .run()
                 .unwrap();
-            assert_eq!(
-                serde_json::to_string(&step.epsilon).unwrap(),
-                serde_json::to_string(&batch.epsilon).unwrap(),
-                "windowed eps must match the batch audit at record {processed}"
+            let monitor_json = serde_json::to_string(&step.epsilon).unwrap();
+            let batch_json = serde_json::to_string(&batch.epsilon).unwrap();
+            prop_assert!(
+                monitor_json == batch_json,
+                "windowed eps must match the batch audit at record {processed} \
+                 (chunk {chunk_rows}): {monitor_json} vs {batch_json}"
             );
+            checked += 1;
         }
-        if processed == 10_000 {
+        if warm_check {
             early = Some(step.epsilon.epsilon);
         }
-        if processed == n_rows {
+        if processed == DRIFT_ROWS {
             late = Some(step.epsilon.epsilon);
         }
     }
+    prop_assert_eq!(checked, 2);
     let (early, late) = (early.unwrap(), late.unwrap());
-    assert!(
+    prop_assert!(
         late > early + 0.5,
         "drift must raise windowed eps: early {early}, late {late}"
     );
     // The sustained breach fired (hysteresis suppresses refires while ε
-    // stays above threshold; noise dipping across it may re-arm the rule,
-    // so the log can hold a couple of alerts — never one per window).
+    // stays above threshold; noise dipping across it may re-arm the rule
+    // — the finer the chunks, the more often ε is sampled near the
+    // threshold — but the log never approaches one alert per window).
     let snap = monitor.snapshot().unwrap();
-    assert!(!snap.alerts.is_empty());
-    assert!(snap.alerts.len() < 10, "alerts: {:?}", snap.alerts);
+    prop_assert!(!snap.alerts.is_empty());
+    prop_assert!(
+        snap.alerts.len() < 100,
+        "alert flood: {} alerts",
+        snap.alerts.len()
+    );
     let alert = &snap.alerts[0];
-    assert!(alert.epsilon > 1.0);
-    assert!(alert.witness.is_some(), "worst-group witness attached");
+    prop_assert!(alert.epsilon > 1.0);
+    prop_assert!(alert.witness.is_some(), "worst-group witness attached");
     // The decayed horizon lags the window on a monotone drift.
-    assert!(snap.trend().unwrap() > 0.0);
-    assert_eq!(snap.window_rows as usize, window);
-    assert_eq!(snap.records_seen as usize, n_rows);
+    prop_assert!(snap.trend().unwrap() > 0.0);
+    prop_assert_eq!(snap.records_seen as usize, DRIFT_ROWS);
+    Ok(())
+}
+
+proptest! {
+    // Every case sweeps all four chunk sizes — per-record, non-dividing,
+    // the classic mid-size, and the chunk == window boundary — so the
+    // boundary cases are exercised deterministically each run; proptest
+    // varies the drifting workload underneath them. The sweep re-audits
+    // windows from scratch, so a few cases already cost seconds.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+    #[test]
+    fn drift_replay_raises_epsilon_for_every_chunk_size(workload_seed in any::<u64>()) {
+        for chunk_rows in [1usize, 7, 100, DRIFT_WINDOW] {
+            drift_replay(workload_seed, chunk_rows)?;
+        }
+    }
 }

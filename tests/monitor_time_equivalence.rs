@@ -1,0 +1,205 @@
+//! The wall-clock monitor's core guarantees, made observable at the API
+//! surface:
+//!
+//! 1. **Windowed ε is byte-identical to a batch audit** of exactly the
+//!    in-window records — for arbitrary timestamp sequences (bursty,
+//!    sparse, out-of-order within a bucket *and* across in-window
+//!    buckets) and arbitrary chunk splits. A record at time `t` is
+//!    in-window iff `⌊t / b⌋ > ⌊now / b⌋ − ⌈T / b⌉` with `now` the
+//!    largest timestamp seen; the reference model below recomputes that
+//!    membership from scratch at every step while the monitor maintains
+//!    it incrementally through exact merge/subtract.
+//! 2. **Advancing time with zero arrivals evicts correctly**, all the way
+//!    down to the empty window (vacuous ε = 0).
+//! 3. **`MonitorSnapshot::merge` is a commutative monoid** up to the
+//!    fleet-relevant state: commutative, associative, with the untouched
+//!    monitor's snapshot as identity — so shard aggregation order can
+//!    never change fleet-wide ε or alarm state.
+//!
+//! Case budget: `PROPTEST_CASES` (CI pins 64).
+
+use differential_fairness::prelude::*;
+use proptest::prelude::*;
+
+/// A chunk of `(outcome, group)` index pairs.
+#[derive(Debug, Clone)]
+struct Pairs(Vec<[usize; 2]>);
+
+impl Tally for Pairs {
+    fn tally_into(&self, shard: &mut PartialCounts) -> differential_fairness::prob::Result<()> {
+        for idx in &self.0 {
+            shard.record(idx);
+        }
+        Ok(())
+    }
+}
+
+fn axes(arity: usize) -> Vec<Axis> {
+    vec![
+        Axis::from_strs("y", &["no", "yes"]).unwrap(),
+        Axis::new("g", (0..arity).map(|i| format!("g{i}")).collect()).unwrap(),
+    ]
+}
+
+/// Batch-audits `rows` and returns the headline ε, serialized.
+fn batch_epsilon_json(rows: &[[usize; 2]], arity: usize) -> String {
+    let mut shard = PartialCounts::zeros(axes(arity)).unwrap();
+    for idx in rows {
+        shard.record(idx);
+    }
+    let counts = JointCounts::from_table(shard.into_table(), "y").unwrap();
+    let report = Audit::of_counts(counts)
+        .unwrap()
+        .estimator(Smoothed { alpha: 1.0 })
+        .subsets(SubsetPolicy::None)
+        .run()
+        .unwrap();
+    serde_json::to_string(&report.epsilon).unwrap()
+}
+
+proptest! {
+    /// At every push — through warm-up, out-of-order arrivals, bursts
+    /// landing in one bucket, sparse stretches skipping many buckets, and
+    /// the final idle drain — the wall-clock monitor's ε serializes to
+    /// the same bytes as a batch `Audit` of the records the window claims
+    /// to hold, and the window counts equal a fresh tally of those
+    /// records bit for bit.
+    #[test]
+    fn wall_clock_epsilon_is_byte_identical_to_batch_audit(
+        arity in 2usize..4,
+        window_buckets in 3i64..8,
+        chunks in proptest::collection::vec(
+            // (row picks, bucket advance 0..3, in-window backdate, sub-bucket jitter)
+            (
+                proptest::collection::vec(any::<u64>(), 1..8),
+                0i64..3,
+                any::<u64>(),
+                any::<u64>(),
+            ),
+            1..30,
+        ),
+    ) {
+        // b = 1 s buckets, T = window_buckets seconds → the window spans
+        // exactly `window_buckets` buckets.
+        let mut monitor = Audit::monitor("y", axes(arity))
+            .estimator(Smoothed { alpha: 1.0 })
+            .window_seconds(window_buckets as f64)
+            .bucket_seconds(1.0)
+            .build()
+            .unwrap();
+        // The reference model: every arrival with its bucket, membership
+        // recomputed from scratch at each step. The monitor's clock is
+        // the max over the timestamps it has actually seen — the model
+        // must track exactly that, never a virtual "current time" no
+        // arrival has carried.
+        let mut log: Vec<(i64, Vec<[usize; 2]>)> = Vec::new();
+        let mut now_bucket = 0i64;
+        for (picks, advance, backdate, jitter) in &chunks {
+            let rows: Vec<[usize; 2]> = picks
+                .iter()
+                .map(|&p| [(p % 2) as usize, (p as usize / 2) % arity])
+                .collect();
+            // Either advance the clock 1..3 buckets (2 = a sparse skip),
+            // or stay at `advance == 0` and possibly backdate the chunk
+            // into any bucket still inside the window (0 buckets back =
+            // a burst, more = an out-of-order arrival).
+            let bucket = if *advance > 0 {
+                now_bucket + advance
+            } else {
+                let max_back = (window_buckets - 1).min(now_bucket);
+                now_bucket - (*backdate % (max_back as u64 + 1)) as i64
+            };
+            let ts = bucket as f64 + (*jitter % 100) as f64 / 100.0;
+            let step = monitor.push_at(&Pairs(rows.clone()), ts).unwrap();
+            log.push((bucket, rows));
+            now_bucket = now_bucket.max(bucket);
+            let horizon = now_bucket - window_buckets;
+            let window_rows: Vec<[usize; 2]> = log
+                .iter()
+                .filter(|(b, _)| *b > horizon)
+                .flat_map(|(_, r)| r.iter().copied())
+                .collect();
+            prop_assert_eq!(step.window_rows as usize, window_rows.len());
+            // Counts: bit-identical to a fresh tally of the in-window rows.
+            let mut fresh = PartialCounts::zeros(axes(arity)).unwrap();
+            for idx in &window_rows {
+                fresh.record(idx);
+            }
+            prop_assert_eq!(monitor.window_counts().data(), fresh.table().data());
+            // ε: byte-identical to the batch audit.
+            let monitor_json = serde_json::to_string(&step.epsilon).unwrap();
+            prop_assert_eq!(monitor_json, batch_epsilon_json(&window_rows, arity));
+        }
+        // Idle drain: advancing the clock with zero arrivals evicts the
+        // whole ring — empty window, vacuous ε, untouched records_seen.
+        let total: usize = log.iter().map(|(_, r)| r.len()).sum();
+        let step = monitor
+            .advance_to((now_bucket + window_buckets + 1) as f64)
+            .unwrap();
+        prop_assert_eq!(step.window_rows, 0);
+        prop_assert_eq!(step.epsilon.epsilon, 0.0);
+        prop_assert!(monitor.window_counts().data().iter().all(|&v| v == 0.0));
+        prop_assert_eq!(monitor.records_seen() as usize, total);
+        let empty_json = serde_json::to_string(&step.epsilon).unwrap();
+        prop_assert_eq!(empty_json, batch_epsilon_json(&[], arity));
+    }
+
+    /// `MonitorSnapshot::merge` algebra over wall-clock shards carrying
+    /// live alert and change-point state: commutative, associative, and
+    /// the untouched monitor's snapshot is the identity. Window cells are
+    /// integer tallies and every other merged field is built from max,
+    /// sum, or canonically ordered concatenation, so aggregation-tree
+    /// order cannot leak into fleet-wide ε or alarm state.
+    #[test]
+    fn snapshot_merge_is_a_commutative_monoid(
+        arity in 2usize..4,
+        shards in proptest::collection::vec(
+            proptest::collection::vec(
+                (proptest::collection::vec(any::<u64>(), 1..6), 0i64..3),
+                1..8,
+            ),
+            3..4,
+        ),
+    ) {
+        let estimator = Smoothed { alpha: 1.0 };
+        let build = || {
+            Audit::monitor("y", axes(arity))
+                .estimator(Smoothed { alpha: 1.0 })
+                .window_seconds(6.0)
+                .bucket_seconds(1.0)
+                .alert(AlertRule::epsilon_above(0.1))
+                .changepoint(Cusum::new(0.0, 0.05, 0.4))
+                .changepoint(PageHinkley::new(0.0, 0.05, 0.4))
+                .build()
+                .unwrap()
+        };
+        let mut monitors: Vec<FairnessMonitor> = (0..3).map(|_| build()).collect();
+        for (monitor, stream) in monitors.iter_mut().zip(&shards) {
+            let mut bucket = 0i64;
+            for (picks, advance) in stream {
+                bucket += advance;
+                let rows: Vec<[usize; 2]> = picks
+                    .iter()
+                    .map(|&p| [(p % 2) as usize, (p as usize / 2) % arity])
+                    .collect();
+                monitor.push_at(&Pairs(rows), bucket as f64).unwrap();
+            }
+        }
+        let a = monitors[0].snapshot().unwrap();
+        let b = monitors[1].snapshot().unwrap();
+        let c = monitors[2].snapshot().unwrap();
+        // Identity: merging with a fresh shard changes nothing.
+        let empty = build().snapshot().unwrap();
+        prop_assert_eq!(&a.merge(&empty, &estimator).unwrap(), &a);
+        prop_assert_eq!(&empty.merge(&a, &estimator).unwrap(), &a);
+        // Commutativity.
+        let ab = a.merge(&b, &estimator).unwrap();
+        prop_assert_eq!(&ab, &b.merge(&a, &estimator).unwrap());
+        // Associativity.
+        let bc = b.merge(&c, &estimator).unwrap();
+        prop_assert_eq!(
+            ab.merge(&c, &estimator).unwrap(),
+            a.merge(&bc, &estimator).unwrap()
+        );
+    }
+}
