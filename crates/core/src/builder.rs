@@ -84,6 +84,18 @@ pub trait EpsilonEstimator: Send + Sync {
     fn estimate(&self, raw: &GroupOutcomes) -> Result<EpsilonResult> {
         Ok(self.estimate_table(raw)?.epsilon())
     }
+
+    /// Clones the strategy behind the trait object — what lets one
+    /// monitor configuration be replicated across fleet shards (every
+    /// shard must certify ε with the *same* estimator, or merging their
+    /// snapshots would compare incomparable numbers).
+    fn clone_box(&self) -> Box<dyn EpsilonEstimator>;
+}
+
+impl Clone for Box<dyn EpsilonEstimator> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// Eq. 6: the plug-in (maximum-likelihood) estimator — ε of the raw table.
@@ -97,6 +109,10 @@ impl EpsilonEstimator for Empirical {
 
     fn estimate_table(&self, raw: &GroupOutcomes) -> Result<GroupOutcomes> {
         Ok(raw.clone())
+    }
+
+    fn clone_box(&self) -> Box<dyn EpsilonEstimator> {
+        Box::new(*self)
     }
 }
 
@@ -115,6 +131,10 @@ impl EpsilonEstimator for Smoothed {
 
     fn estimate_table(&self, raw: &GroupOutcomes) -> Result<GroupOutcomes> {
         raw.smoothed(self.alpha)
+    }
+
+    fn clone_box(&self) -> Box<dyn EpsilonEstimator> {
+        Box::new(*self)
     }
 }
 
@@ -150,6 +170,10 @@ impl EpsilonEstimator for PosteriorSup {
         let mut rng = Pcg32::new(self.seed);
         let theta = posterior_theta_from_table(raw, self.alpha, self.samples, &mut rng)?;
         theta.epsilon()
+    }
+
+    fn clone_box(&self) -> Box<dyn EpsilonEstimator> {
+        Box::new(*self)
     }
 }
 

@@ -1,0 +1,563 @@
+//! Backpressure-free concurrent ingestion: N producers, N private
+//! monitors, one merged fleet ε.
+//!
+//! The monitor is single-threaded by design — its hot path is an exact
+//! merge/subtract over one ring, and a mutex around it would serialize
+//! every producer in the process. [`FleetIngest`] shards instead, the
+//! same pattern as [`crate::stream::sharded_joint_counts`]: each producer
+//! owns a private channel into a dedicated worker thread holding its own
+//! [`FairnessMonitor`], so the ingest hot path takes **no lock shared
+//! between producers** and never blocks on aggregation
+//! (`std::sync::mpsc` senders never wait on the receiver). Aggregation
+//! happens only when someone asks: [`FleetIngest::snapshot`] enqueues a
+//! snapshot command behind each shard's pending chunks (a consistent
+//! cut: everything sent before the call is included), aligns every
+//! shard's clock to the fleet-wide maximum, and folds the shard
+//! snapshots through the aggregation tree ([`super::merge_many`]).
+//!
+//! Because each shard feeds its monitor in its own timestamp order and
+//! snapshot merging is the counts monoid, the merged fleet snapshot is
+//! **byte-identical** to one monitor ingesting the concatenated stream
+//! in timestamp order — the union-of-traffic ε that per-silo monitoring
+//! cannot see (Ghosh et al. 2021 call the gap *fairness
+//! gerrymandering across silos*). The `fleet_equivalence` suite pins
+//! exactly that, JSON byte for byte. Per-shard alert rules and
+//! change-point detectors still run (each shard witnesses its own
+//! traffic slice); configure none when bit-exact global-vs-local parity
+//! of the *full* snapshot, logs included, is required.
+//!
+//! Entry point: [`crate::monitor::MonitorBuilder::fleet`] —
+//! `Audit::monitor(..).window_seconds(T).bucket_seconds(b).fleet(n)`.
+
+use crate::builder::EpsilonEstimator;
+use crate::epsilon::EpsilonResult;
+use crate::error::{DfError, Result};
+use crate::monitor::{FairnessMonitor, MonitorBuilder, MonitorSnapshot};
+use df_prob::partial::Tally;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// Commands a shard worker understands.
+enum ShardMsg<C> {
+    /// Ingest one chunk at a timestamp (`FairnessMonitor::push_at`).
+    Chunk { chunk: C, at: f64 },
+    /// Advance the shard clock with zero arrivals
+    /// (`FairnessMonitor::advance_to`).
+    Advance { at: f64 },
+    /// Report the shard's current clock (cheap: no ε work, no mutation).
+    Clock { reply: Sender<Option<f64>> },
+    /// Optionally advance to a fleet-wide clock, then snapshot.
+    Snapshot {
+        advance_to: Option<f64>,
+        reply: Sender<Result<MonitorSnapshot>>,
+    },
+    /// Exit the worker loop — even while producer handles (cloned
+    /// senders) are still alive somewhere.
+    Shutdown,
+}
+
+/// A handle for one producer: owns a sender into its shard's private
+/// channel. Clone it to let several sources feed the same shard (their
+/// sends interleave in channel order; the shard still processes
+/// single-threaded).
+pub struct FleetProducer<C: Tally + Send + 'static> {
+    shard: usize,
+    sender: Sender<ShardMsg<C>>,
+}
+
+impl<C: Tally + Send + 'static> Clone for FleetProducer<C> {
+    fn clone(&self) -> Self {
+        Self {
+            shard: self.shard,
+            sender: self.sender.clone(),
+        }
+    }
+}
+
+impl<C: Tally + Send + 'static> FleetProducer<C> {
+    /// The shard this producer feeds.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Enqueues one chunk at `at` seconds — returns immediately, never
+    /// waiting on the worker (backpressure-free by construction). Chunk
+    /// validation happens on the worker; a bad chunk poisons its shard
+    /// and surfaces as a typed error from the next
+    /// [`FleetIngest::snapshot`].
+    pub fn send(&self, chunk: C, at: f64) -> Result<()> {
+        self.sender
+            .send(ShardMsg::Chunk { chunk, at })
+            .map_err(|_| disconnected(self.shard))
+    }
+
+    /// Enqueues a zero-arrival clock advance, so an idle source keeps its
+    /// shard's window draining.
+    pub fn advance_to(&self, at: f64) -> Result<()> {
+        self.sender
+            .send(ShardMsg::Advance { at })
+            .map_err(|_| disconnected(self.shard))
+    }
+}
+
+fn disconnected(shard: usize) -> DfError {
+    DfError::Invalid(format!(
+        "fleet shard {shard} worker has shut down; the FleetIngest was \
+         finished or dropped"
+    ))
+}
+
+/// The concurrent sharded front-end; see the [module docs](self). Built
+/// by [`MonitorBuilder::fleet`].
+pub struct FleetIngest<C: Tally + Send + 'static> {
+    senders: Vec<Sender<ShardMsg<C>>>,
+    workers: Vec<JoinHandle<()>>,
+    estimator: Box<dyn EpsilonEstimator>,
+}
+
+impl<C: Tally + Send + 'static> FleetIngest<C> {
+    fn spawn(monitors: Vec<FairnessMonitor>, estimator: Box<dyn EpsilonEstimator>) -> Self {
+        let mut senders = Vec::with_capacity(monitors.len());
+        let mut workers = Vec::with_capacity(monitors.len());
+        for monitor in monitors {
+            let (tx, rx) = channel();
+            senders.push(tx);
+            workers.push(std::thread::spawn(move || shard_worker(monitor, rx)));
+        }
+        Self {
+            senders,
+            workers,
+            estimator,
+        }
+    }
+
+    /// Number of shards (= workers = independent producers).
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// A producer handle for the given shard.
+    pub fn producer(&self, shard: usize) -> Result<FleetProducer<C>> {
+        let sender = self.senders.get(shard).ok_or_else(|| {
+            DfError::Invalid(format!(
+                "no shard {shard}: this fleet has {} shards",
+                self.senders.len()
+            ))
+        })?;
+        Ok(FleetProducer {
+            shard,
+            sender: sender.clone(),
+        })
+    }
+
+    /// One producer handle per shard, in shard order.
+    pub fn producers(&self) -> Vec<FleetProducer<C>> {
+        (0..self.shards())
+            .map(|i| self.producer(i).expect("index in range"))
+            .collect()
+    }
+
+    /// Drains and merges: waits for every shard to process everything
+    /// enqueued before this call, aligns all shard clocks to the
+    /// fleet-wide maximum (so every window evicts against the same
+    /// horizon), and folds the shard snapshots through the aggregation
+    /// tree. The first shard error (a corrupt chunk, a pre-window
+    /// timestamp) surfaces here, typed.
+    pub fn snapshot(&self) -> Result<MonitorSnapshot> {
+        self.collect(None)
+    }
+
+    /// [`FleetIngest::snapshot`] against an explicit fleet clock: every
+    /// shard advances to `now` (shards already ahead keep their own
+    /// clock) before snapshotting. Use when the caller owns the clock —
+    /// e.g. a 1 Hz aggregation timer stamping each tick.
+    pub fn snapshot_at(&self, now: f64) -> Result<MonitorSnapshot> {
+        if !now.is_finite() {
+            return Err(DfError::Invalid(format!(
+                "fleet snapshot timestamp must be finite, got {now}"
+            )));
+        }
+        self.collect(Some(now))
+    }
+
+    /// The fleet-wide ε: the headline of [`FleetIngest::snapshot`].
+    pub fn epsilon(&self) -> Result<EpsilonResult> {
+        Ok(self.snapshot()?.epsilon)
+    }
+
+    /// Final snapshot, then shutdown: drains every shard, joins the
+    /// workers, and returns the merged fleet state.
+    pub fn finish(mut self) -> Result<MonitorSnapshot> {
+        let snap = self.snapshot();
+        self.shutdown();
+        snap
+    }
+
+    /// Upper bound on snapshot rounds per [`FleetIngest::snapshot`] call.
+    /// Re-aligning is what keeps the cut consistent when a newer-stamped
+    /// chunk races in between rounds — but under *sustained* concurrent
+    /// traffic each round could observe a newer clock forever, so after
+    /// this many rounds the freshest round is merged as-is (a valid
+    /// monoid merge whose shard clocks may trail the in-flight traffic
+    /// by the last few milliseconds). Callers needing a perfectly
+    /// clock-aligned cut quiesce their producers first, or stamp ticks
+    /// themselves via [`FleetIngest::snapshot_at`].
+    const MAX_ALIGN_ROUNDS: usize = 3;
+
+    /// Clock discovery plus bounded alignment: a cheap clock round finds
+    /// the fleet-wide maximum (no ε work), then snapshot rounds advance
+    /// every shard to it; if a round observes a clock *ahead* of the
+    /// target — a chunk raced in mid-snapshot — the round repeats with
+    /// the newer clock, up to [`Self::MAX_ALIGN_ROUNDS`], so the merged
+    /// state never mixes a fresh shard clock with another shard's stale
+    /// eviction horizon. One clock round plus one snapshot round in the
+    /// common case.
+    fn collect(&self, target: Option<f64>) -> Result<MonitorSnapshot> {
+        let mut target = match target {
+            Some(t) => Some(t),
+            None => self.clock_round()?,
+        };
+        for round in 1.. {
+            let snapshots = self.snapshot_round(target)?;
+            let observed = snapshots
+                .iter()
+                .filter_map(|s| s.now_seconds)
+                .fold(None, |acc: Option<f64>, now| {
+                    Some(acc.map_or(now, |a| a.max(now)))
+                });
+            // Aligned when no clocked shard sits ahead of the target the
+            // whole fleet was advanced to (clockless shards hold empty
+            // windows — nothing to evict).
+            let aligned = match observed {
+                None => true,
+                Some(fleet_now) => target.is_some_and(|t| fleet_now <= t),
+            };
+            if aligned || round >= Self::MAX_ALIGN_ROUNDS {
+                return super::merge_many(&snapshots, &*self.estimator);
+            }
+            target = observed;
+        }
+        unreachable!("the loop returns within MAX_ALIGN_ROUNDS")
+    }
+
+    /// The fleet-wide maximum shard clock — a cheap query (no ε kernel),
+    /// consistent with everything enqueued before the call (the reply is
+    /// queued behind each shard's pending chunks).
+    fn clock_round(&self) -> Result<Option<f64>> {
+        let mut replies = Vec::with_capacity(self.shards());
+        for (shard, sender) in self.senders.iter().enumerate() {
+            let (tx, rx) = channel();
+            sender
+                .send(ShardMsg::Clock { reply: tx })
+                .map_err(|_| disconnected(shard))?;
+            replies.push((shard, rx));
+        }
+        let mut fleet_now: Option<f64> = None;
+        for (shard, rx) in replies {
+            if let Some(now) = recv(shard, &rx)? {
+                fleet_now = Some(fleet_now.map_or(now, |a: f64| a.max(now)));
+            }
+        }
+        Ok(fleet_now)
+    }
+
+    /// One snapshot command to every shard, replies collected in order.
+    fn snapshot_round(&self, advance_to: Option<f64>) -> Result<Vec<MonitorSnapshot>> {
+        let mut replies = Vec::with_capacity(self.shards());
+        for (shard, sender) in self.senders.iter().enumerate() {
+            let (tx, rx) = channel();
+            sender
+                .send(ShardMsg::Snapshot {
+                    advance_to,
+                    reply: tx,
+                })
+                .map_err(|_| disconnected(shard))?;
+            replies.push((shard, rx));
+        }
+        replies
+            .into_iter()
+            .map(|(shard, rx)| recv(shard, &rx)?)
+            .collect()
+    }
+
+    fn shutdown(&mut self) {
+        // An explicit shutdown message, not just dropping our senders:
+        // producer handles are cloned senders, and a worker blocked on
+        // `recv` would otherwise wait on every outstanding clone.
+        for sender in self.senders.drain(..) {
+            let _ = sender.send(ShardMsg::Shutdown);
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl<C: Tally + Send + 'static> Drop for FleetIngest<C> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn recv<T>(shard: usize, rx: &Receiver<T>) -> Result<T> {
+    rx.recv().map_err(|_| {
+        DfError::Invalid(format!(
+            "fleet shard {shard} worker died before replying (panicked \
+             while ingesting?)"
+        ))
+    })
+}
+
+/// One shard's event loop: a private monitor fed from a private channel.
+/// The first ingest error poisons the shard — later chunks are discarded
+/// and every subsequent snapshot reports the original error (matching the
+/// streaming engine's abort-on-first-error contract).
+fn shard_worker<C: Tally + Send>(mut monitor: FairnessMonitor, rx: Receiver<ShardMsg<C>>) {
+    let mut failed: Option<DfError> = None;
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Chunk { chunk, at } => {
+                if failed.is_none() {
+                    if let Err(e) = monitor.push_at(&chunk, at) {
+                        failed = Some(e);
+                    }
+                }
+            }
+            ShardMsg::Advance { at } => {
+                if failed.is_none() {
+                    if let Err(e) = monitor.advance_to(at) {
+                        failed = Some(e);
+                    }
+                }
+            }
+            ShardMsg::Clock { reply } => {
+                let _ = reply.send(monitor.now_seconds());
+            }
+            ShardMsg::Snapshot { advance_to, reply } => {
+                // Only advance when the target actually moves this
+                // shard's clock: `advance_to` evaluates alert rules and
+                // change-point detectors (a genuine monitor step), and a
+                // no-op alignment round must not feed them spurious
+                // zero-arrival samples — snapshotting an already-aligned
+                // fleet repeatedly has to leave every shard's detector
+                // state untouched, no matter how often it is polled.
+                // Clockless shards hold empty windows: nothing to evict,
+                // so they are never advanced (or mutated) by alignment.
+                let moves =
+                    advance_to.is_some_and(|at| monitor.now_seconds().is_some_and(|now| at > now));
+                let result = match &failed {
+                    Some(e) => Err(e.clone()),
+                    None if moves => monitor
+                        .advance_to(advance_to.expect("moves implies Some"))
+                        .and_then(|_| monitor.snapshot()),
+                    None => monitor.snapshot(),
+                };
+                let _ = reply.send(result);
+            }
+            ShardMsg::Shutdown => return,
+        }
+    }
+}
+
+impl MonitorBuilder {
+    /// Turns this monitor configuration into a **fleet**: `shards`
+    /// identical wall-clock monitors, each on its own worker thread
+    /// behind its own channel, merged on demand into the fleet-wide ε.
+    ///
+    /// Requires a wall-clock window
+    /// ([`MonitorBuilder::window_seconds`]): fleet aggregation aligns
+    /// shard windows on the shared clock, which a record-count window
+    /// does not have (the global "last W records" is not a union of
+    /// per-shard "last W records").
+    ///
+    /// ```
+    /// use df_core::builder::{Audit, Smoothed};
+    /// use df_prob::contingency::Axis;
+    /// use df_prob::partial::{PartialCounts, Tally};
+    ///
+    /// struct Rows(Vec<[usize; 2]>);
+    /// impl Tally for Rows {
+    ///     fn tally_into(&self, shard: &mut PartialCounts) -> df_prob::Result<()> {
+    ///         for idx in &self.0 {
+    ///             shard.record(idx);
+    ///         }
+    ///         Ok(())
+    ///     }
+    /// }
+    ///
+    /// let axes = vec![
+    ///     Axis::from_strs("y", &["no", "yes"]).unwrap(),
+    ///     Axis::from_strs("g", &["a", "b"]).unwrap(),
+    /// ];
+    /// let fleet = Audit::monitor("y", axes)
+    ///     .estimator(Smoothed { alpha: 1.0 })
+    ///     .window_seconds(60.0)
+    ///     .bucket_seconds(5.0)
+    ///     .fleet::<Rows>(2)
+    ///     .unwrap();
+    /// let producers = fleet.producers();
+    /// producers[0].send(Rows(vec![[1, 0], [0, 1]]), 3.0).unwrap();
+    /// producers[1].send(Rows(vec![[0, 0], [1, 1]]), 4.5).unwrap();
+    /// let snap = fleet.finish().unwrap();
+    /// assert_eq!(snap.records_seen, 4);
+    /// assert_eq!(snap.now_seconds, Some(4.5));
+    /// ```
+    pub fn fleet<C: Tally + Send + 'static>(self, shards: usize) -> Result<FleetIngest<C>> {
+        if shards == 0 {
+            return Err(DfError::Invalid("a fleet needs at least one shard".into()));
+        }
+        if !self.is_wall_clock() {
+            return Err(DfError::Invalid(
+                "fleet ingestion needs a wall-clock window: configure \
+                 window_seconds (and optionally bucket_seconds) before fleet()"
+                    .into(),
+            ));
+        }
+        let estimator = self.shared_estimator();
+        let monitors: Vec<FairnessMonitor> = (0..shards)
+            .map(|_| self.clone().build())
+            .collect::<Result<_>>()?;
+        Ok(FleetIngest::spawn(monitors, estimator))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{Audit, Smoothed};
+    use df_prob::contingency::Axis;
+    use df_prob::partial::PartialCounts;
+
+    struct Pairs(Vec<[usize; 2]>);
+
+    impl Tally for Pairs {
+        fn tally_into(&self, shard: &mut PartialCounts) -> df_prob::Result<()> {
+            for idx in &self.0 {
+                shard.record(idx);
+            }
+            Ok(())
+        }
+    }
+
+    fn axes() -> Vec<Axis> {
+        vec![
+            Axis::from_strs("y", &["no", "yes"]).unwrap(),
+            Axis::from_strs("g", &["a", "b"]).unwrap(),
+        ]
+    }
+
+    fn fleet(shards: usize) -> FleetIngest<Pairs> {
+        Audit::monitor("y", axes())
+            .estimator(Smoothed { alpha: 1.0 })
+            .window_seconds(10.0)
+            .bucket_seconds(1.0)
+            .fleet(shards)
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_validates_fleet_configuration() {
+        assert!(Audit::monitor("y", axes())
+            .window_seconds(10.0)
+            .fleet::<Pairs>(0)
+            .is_err());
+        // A record-count window cannot be fleet-aggregated.
+        assert!(Audit::monitor("y", axes())
+            .window(100)
+            .fleet::<Pairs>(2)
+            .is_err());
+        assert!(Audit::monitor("y", axes()).fleet::<Pairs>(2).is_err());
+    }
+
+    #[test]
+    fn concurrent_producers_merge_into_one_window() {
+        let fleet = fleet(4);
+        assert_eq!(fleet.shards(), 4);
+        assert!(fleet.producer(4).is_err());
+        let producers = fleet.producers();
+        std::thread::scope(|scope| {
+            for (i, producer) in producers.into_iter().enumerate() {
+                scope.spawn(move || {
+                    for t in 0..5 {
+                        producer
+                            .send(Pairs(vec![[1, i % 2], [0, 1 - i % 2]]), t as f64)
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        let snap = fleet.snapshot().unwrap();
+        assert_eq!(snap.records_seen, 40);
+        assert_eq!(snap.window_rows, 40);
+        assert_eq!(snap.now_seconds, Some(4.0));
+        // The fleet is balanced overall: 10 of each (y, g) cell.
+        assert_eq!(snap.window.data, vec![10.0, 10.0, 10.0, 10.0]);
+        assert_eq!(snap.epsilon.epsilon, 0.0);
+        // finish() drains and shuts down; producers then error.
+        let producer = fleet.producer(0).unwrap();
+        let last = fleet.finish().unwrap();
+        assert_eq!(last.records_seen, 40);
+        assert!(producer.send(Pairs(vec![[0, 0]]), 9.0).is_err());
+    }
+
+    #[test]
+    fn snapshot_aligns_stale_shard_clocks() {
+        let fleet = fleet(2);
+        let fast = fleet.producer(0).unwrap();
+        let slow = fleet.producer(1).unwrap();
+        // The slow shard's traffic is old enough to be outside the window
+        // relative to the fast shard's clock.
+        slow.send(Pairs(vec![[1, 0], [1, 0]]), 2.0).unwrap();
+        fast.send(Pairs(vec![[0, 1], [1, 1]]), 30.0).unwrap();
+        let snap = fleet.snapshot().unwrap();
+        // Clock alignment evicted the slow shard's stale bucket: only the
+        // fast shard's chunk remains in the fleet window.
+        assert_eq!(snap.now_seconds, Some(30.0));
+        assert_eq!(snap.window_rows, 2);
+        assert_eq!(snap.records_seen, 4);
+    }
+
+    #[test]
+    fn idle_advance_keeps_draining() {
+        let fleet = fleet(1);
+        let producer = fleet.producer(0).unwrap();
+        producer.send(Pairs(vec![[1, 0], [0, 1]]), 1.0).unwrap();
+        producer.advance_to(100.0).unwrap();
+        let snap = fleet.snapshot().unwrap();
+        assert_eq!(snap.window_rows, 0);
+        assert_eq!(snap.records_seen, 2);
+        assert_eq!(snap.now_seconds, Some(100.0));
+    }
+
+    #[test]
+    fn empty_fleet_snapshot_is_the_zero_state() {
+        let fleet = fleet(3);
+        let snap = fleet.snapshot().unwrap();
+        assert_eq!(snap.records_seen, 0);
+        assert_eq!(snap.window_rows, 0);
+        assert_eq!(snap.now_seconds, None);
+        assert_eq!(snap.epsilon.epsilon, 0.0);
+    }
+
+    #[test]
+    fn corrupt_chunks_poison_their_shard_with_a_typed_error() {
+        struct Weighted(f64);
+        impl Tally for Weighted {
+            fn tally_into(&self, shard: &mut PartialCounts) -> df_prob::Result<()> {
+                shard.add(&[0, 0], self.0);
+                Ok(())
+            }
+        }
+        let fleet: FleetIngest<Weighted> = Audit::monitor("y", axes())
+            .window_seconds(10.0)
+            .fleet(2)
+            .unwrap();
+        let producer = fleet.producer(0).unwrap();
+        producer.send(Weighted(-1.0), 1.0).unwrap();
+        producer.send(Weighted(2.0), 2.0).unwrap();
+        let err = fleet.snapshot().unwrap_err();
+        assert!(err.to_string().contains("finite, non-negative"));
+        // The error is sticky: reported again on the next snapshot.
+        assert!(fleet.snapshot().is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! Fleet aggregation: turning per-replica monitors into one global ε.
+//!
+//! The ε-DF audit is a function of joint counts, and PR 2–4 made those
+//! counts a commutative monoid — mergeable, subtractable, snapshot-able.
+//! This module is where that algebra pays off at fleet scale: a serving
+//! fleet runs one [`crate::monitor::FairnessMonitor`] per replica, and
+//! the *fleet-wide* ε — the worst-case-over-groups measure of Foulds et
+//! al. (ICDE 2020), computed over the **union** of traffic rather than
+//! per silo — falls out of three layers:
+//!
+//! - [`codec`]: a compact, versioned binary encoding for
+//!   [`crate::monitor::MonitorSnapshot`] with schema interning — a
+//!   replica ships its axis vocabularies once, then every tick is a
+//!   small delta frame. JSON stays for dashboards; this is for
+//!   1 000 replicas × 1 Hz.
+//! - [`tree`]: [`merge_many`] / [`merge_tree`] fold any number of
+//!   snapshots through a k-ary aggregation tree with in-place cell
+//!   accumulation, byte-identical to the sequential pairwise
+//!   [`crate::monitor::MonitorSnapshot::merge`] fold for every tree
+//!   shape and leaf order.
+//! - [`ingest`]: [`FleetIngest`] — a backpressure-free concurrent
+//!   front-end: N producers feed N private per-shard monitors over
+//!   channels (no shared lock on the hot path), and
+//!   [`FleetIngest::snapshot`] drains, clock-aligns, and merges. Built
+//!   from the fluent chain:
+//!   `Audit::monitor(..).window_seconds(T).fleet(n)`.
+//!
+//! Why the union matters: Ghosh et al. (2021) show per-silo fairness
+//! certificates do not compose — each replica can look fair on its own
+//! slice while the fleet as a whole discriminates (the streaming twin of
+//! fairness gerrymandering). The merged snapshot *is* the audit of the
+//! concatenated traffic, proven byte-identical in `fleet_equivalence`.
+
+pub mod codec;
+pub mod ingest;
+pub mod tree;
+
+pub use codec::{decode_snapshot, encode_snapshot, SnapshotDecoder, SnapshotEncoder};
+pub use ingest::{FleetIngest, FleetProducer};
+pub use tree::{merge_many, merge_tree};

@@ -90,6 +90,7 @@ pub mod edf;
 pub mod epsilon;
 pub mod equalized;
 pub mod error;
+pub mod fleet;
 pub mod mechanism;
 pub mod monitor;
 pub mod privacy;

@@ -176,7 +176,7 @@ impl ChangepointSpec {
         }
     }
 
-    pub(super) fn validate(&self) -> Result<()> {
+    pub(crate) fn validate(&self) -> Result<()> {
         let (target, slack, threshold) = match *self {
             ChangepointSpec::Cusum {
                 target,

@@ -213,7 +213,10 @@ pub struct MonitorStep {
 
 /// Fluent configuration for a [`FairnessMonitor`]; created by
 /// [`crate::builder::Audit::monitor`] and sharing the audit builder's
-/// estimator/subset-policy stages.
+/// estimator/subset-policy stages. `Clone` (via
+/// [`EpsilonEstimator::clone_box`]) is what lets the fleet front-end
+/// replicate one configuration into N identical shard monitors.
+#[derive(Clone)]
 pub struct MonitorBuilder {
     outcome_axis: String,
     axes: Vec<Axis>,
@@ -242,6 +245,28 @@ impl MonitorBuilder {
             rules: Vec::new(),
             changepoints: Vec::new(),
         }
+    }
+
+    /// Whether this configuration windows by wall-clock time.
+    pub(crate) fn is_wall_clock(&self) -> bool {
+        self.window_seconds.is_some()
+    }
+
+    /// The estimator used when none is configured: [`Smoothed`]
+    /// `{ alpha: 1.0 }`, the audit builder's headline default. One
+    /// definition shared by [`MonitorBuilder::build`] and the fleet
+    /// aggregator, so shard monitors and the snapshot merge can never
+    /// silently fall back to different strategies.
+    fn default_estimator() -> Box<dyn EpsilonEstimator> {
+        Box::new(Smoothed { alpha: 1.0 })
+    }
+
+    /// The configured estimator (or the builder's default), cloned out —
+    /// the fleet aggregator needs its own copy to merge shard snapshots.
+    pub(crate) fn shared_estimator(&self) -> Box<dyn EpsilonEstimator> {
+        self.estimator
+            .clone()
+            .unwrap_or_else(Self::default_estimator)
     }
 
     /// Sets the ε-estimation strategy (default: [`Smoothed`]` { alpha: 1.0 }`,
@@ -440,9 +465,7 @@ impl MonitorBuilder {
         Ok(FairnessMonitor {
             engine,
             outcome_axis: self.outcome_axis,
-            estimator: self
-                .estimator
-                .unwrap_or_else(|| Box::new(Smoothed { alpha: 1.0 })),
+            estimator: self.estimator.unwrap_or_else(Self::default_estimator),
             subset_attrs,
             decay: self.decay,
             rules: self.rules,

@@ -34,8 +34,20 @@ impl CountsSnapshot {
         }
     }
 
-    /// Reconstructs the table (validating axes and cell values).
+    /// Reconstructs the table, validating axes and cell values.
+    ///
+    /// Snapshots arrive over the wire (JSON dashboards, the binary fleet
+    /// codec), so the cells are untrusted: a NaN, infinite, or negative
+    /// cell is rejected with the same typed [`DfError::CorruptCounts`]
+    /// that guards [`crate::builder::Audit::of_counts`] — ε over such a
+    /// table would silently propagate NaN instead of certifying anything.
     pub fn to_table(&self) -> Result<ContingencyTable> {
+        if let Some(cell) = self.data.iter().position(|v| !v.is_finite() || *v < 0.0) {
+            return Err(DfError::CorruptCounts {
+                cell,
+                value: self.data[cell],
+            });
+        }
         let axes = self
             .axes
             .iter()
@@ -44,22 +56,31 @@ impl CountsSnapshot {
         Ok(ContingencyTable::from_data(axes, self.data.clone())?)
     }
 
-    /// Cell-wise adds another snapshot over identical axes.
-    fn merge(&self, other: &CountsSnapshot) -> Result<CountsSnapshot> {
+    /// Cell-wise adds another snapshot into this one, in place. The two
+    /// snapshots must agree on axes *and* cell count (wire data can lie
+    /// about either independently; a silent `zip` truncation would drop
+    /// mass). This is the accumulation step behind both
+    /// [`MonitorSnapshot::merge`] and the fleet aggregation tree
+    /// ([`crate::fleet::merge_many`]), which folds thousands of shard
+    /// snapshots without re-cloning axes per pair.
+    pub fn merge_from(&mut self, other: &CountsSnapshot) -> Result<()> {
         if self.axes != other.axes {
             return Err(DfError::Invalid(
                 "cannot merge monitor snapshots over different schemas".into(),
             ));
         }
-        Ok(CountsSnapshot {
-            axes: self.axes.clone(),
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(a, b)| a + b)
-                .collect(),
-        })
+        if self.data.len() != other.data.len() {
+            return Err(DfError::Invalid(format!(
+                "snapshot cell counts differ ({} vs {}) despite identical axes; \
+                 one side's data vector is corrupt",
+                self.data.len(),
+                other.data.len()
+            )));
+        }
+        for (dst, src) in self.data.iter_mut().zip(&other.data) {
+            *dst += src;
+        }
+        Ok(())
     }
 }
 
@@ -116,10 +137,14 @@ pub struct MonitorSnapshot {
 }
 
 /// A canonical total order on alerts, so concatenating shard logs is
-/// deterministic regardless of merge order (stream position first; the
-/// remaining fields only break ties between distinct alerts at the same
-/// position).
-fn alert_key(a: &Alert) -> (u64, u64, u64, u64, usize, String) {
+/// deterministic regardless of merge order — stream position first; the
+/// remaining fields (every serialized field of the alert, witness
+/// probabilities included) only break ties between distinct alerts at the
+/// same position. Distinct alerts always compare unequal under this key,
+/// which is what makes the fleet aggregation tree's one-shot sort
+/// byte-identical to the pairwise fold's repeated sorts for *any* leaf
+/// permutation.
+fn alert_key(a: &Alert) -> (u64, u64, u64, u64, usize, String, u64, u64) {
     (
         a.at_record,
         a.epsilon.to_bits(),
@@ -130,6 +155,8 @@ fn alert_key(a: &Alert) -> (u64, u64, u64, u64, usize, String) {
             .as_ref()
             .map(|w| format!("{}/{}/{}", w.outcome, w.group_hi, w.group_lo))
             .unwrap_or_default(),
+        a.witness.as_ref().map_or(0, |w| w.prob_hi.to_bits()),
+        a.witness.as_ref().map_or(0, |w| w.prob_lo.to_bits()),
     )
 }
 
@@ -163,11 +190,25 @@ impl MonitorSnapshot {
     /// entries witness its own traffic), detector statistics combine
     /// conservatively by max, and the merged clock is the latest shard
     /// clock.
+    ///
+    /// Pairwise merging recomputes ε per pair; to fold a whole fleet's
+    /// snapshots, [`crate::fleet::merge_many`] accumulates cells in place
+    /// and recomputes ε once at the root, producing byte-identical output.
     pub fn merge(
         &self,
         other: &MonitorSnapshot,
         estimator: &dyn EpsilonEstimator,
     ) -> Result<MonitorSnapshot> {
+        let mut out = self.clone();
+        out.absorb_counts(other)?;
+        out.canonicalize_and_recompute(estimator)?;
+        Ok(out)
+    }
+
+    /// Checks that `other` is configuration-compatible for merging: same
+    /// outcome axis, decay, wall-clock window, subset lattice, and
+    /// change-point detector list.
+    pub(crate) fn mergeable_with(&self, other: &MonitorSnapshot) -> Result<()> {
         if self.outcome_axis != other.outcome_axis {
             return Err(DfError::Invalid(format!(
                 "snapshot outcome axes differ: `{}` vs `{}`",
@@ -186,33 +227,17 @@ impl MonitorSnapshot {
                 "cannot merge snapshots with different wall-clock window configurations".into(),
             ));
         }
-        let window = self.window.merge(&other.window)?;
-        let decayed = match (&self.decayed, &other.decayed) {
-            (Some(a), Some(b)) => Some(a.merge(b)?),
-            (None, None) => None,
-            _ => unreachable!("decay equality checked above"),
-        };
-        let window_counts = JointCounts::from_table(window.to_table()?, &self.outcome_axis)?;
-        let epsilon = estimator.estimate(&window_counts.group_outcomes(0.0)?)?;
-        let decayed_epsilon = match &decayed {
-            Some(d) => {
-                let jc = JointCounts::from_table(d.to_table()?, &self.outcome_axis)?;
-                Some(estimator.estimate(&jc.group_outcomes(0.0)?)?)
-            }
-            None => None,
-        };
-        let subset_attrs: Vec<Vec<String>> =
-            self.subsets.iter().map(|s| s.attributes.clone()).collect();
-        let other_attrs: Vec<Vec<String>> =
-            other.subsets.iter().map(|s| s.attributes.clone()).collect();
-        if subset_attrs != other_attrs {
+        if self.subsets.len() != other.subsets.len()
+            || self
+                .subsets
+                .iter()
+                .zip(&other.subsets)
+                .any(|(a, b)| a.attributes != b.attributes)
+        {
             return Err(DfError::Invalid(
                 "cannot merge snapshots with different subset lattices".into(),
             ));
         }
-        let subsets = subset_epsilons(&window_counts, &subset_attrs, &epsilon, estimator)?;
-        let mut alerts: Vec<Alert> = self.alerts.iter().chain(&other.alerts).cloned().collect();
-        alerts.sort_by_key(alert_key);
         if self.changepoints.len() != other.changepoints.len()
             || self
                 .changepoints
@@ -224,49 +249,72 @@ impl MonitorSnapshot {
                 "cannot merge snapshots with different change-point detectors".into(),
             ));
         }
-        let changepoints = self
-            .changepoints
-            .iter()
-            .zip(&other.changepoints)
-            .map(|(a, b)| {
-                let mut alarms: Vec<ChangepointAlarm> =
-                    a.alarms.iter().chain(&b.alarms).cloned().collect();
-                alarms.sort_by_key(alarm_key);
-                ChangepointStatus {
-                    spec: a.spec,
-                    statistic: a.statistic.max(b.statistic),
-                    alarms,
-                }
-            })
-            .collect();
-        let now_seconds = match (self.now_seconds, other.now_seconds) {
+        Ok(())
+    }
+
+    /// Accumulates `other`'s raw mergeable state into `self` in place:
+    /// cell-wise count sums, record totals, max clock, max detector
+    /// statistics, and concatenated (not yet canonically ordered) alert
+    /// and alarm logs. Derived fields — ε, subset results, the estimator
+    /// echo — are left stale; callers finish with
+    /// [`MonitorSnapshot::canonicalize_and_recompute`]. Splitting the two
+    /// is what lets an aggregation tree absorb thousands of shard
+    /// snapshots paying one ε kernel pass total instead of one per pair.
+    pub(crate) fn absorb_counts(&mut self, other: &MonitorSnapshot) -> Result<()> {
+        self.mergeable_with(other)?;
+        self.window.merge_from(&other.window)?;
+        match (&mut self.decayed, &other.decayed) {
+            (Some(a), Some(b)) => a.merge_from(b)?,
+            (None, None) => {}
+            _ => unreachable!("decay equality checked by mergeable_with"),
+        }
+        self.records_seen += other.records_seen;
+        self.window_rows += other.window_rows;
+        self.now_seconds = match (self.now_seconds, other.now_seconds) {
             (Some(a), Some(b)) => Some(a.max(b)),
             (a, b) => a.or(b),
         };
-        Ok(MonitorSnapshot {
-            outcome_axis: self.outcome_axis.clone(),
-            estimator: estimator.name(),
-            records_seen: self.records_seen + other.records_seen,
-            window_rows: self.window_rows + other.window_rows,
-            window_seconds: self.window_seconds,
-            bucket_seconds: self.bucket_seconds,
-            now_seconds,
-            window,
-            decayed,
-            decay: self.decay,
-            epsilon,
-            decayed_epsilon,
-            subsets,
-            alerts,
-            changepoints,
-        })
+        self.alerts.extend(other.alerts.iter().cloned());
+        for (dst, src) in self.changepoints.iter_mut().zip(&other.changepoints) {
+            dst.statistic = dst.statistic.max(src.statistic);
+            dst.alarms.extend(src.alarms.iter().cloned());
+        }
+        Ok(())
+    }
+
+    /// Restores the derived half of the snapshot after one or more
+    /// [`MonitorSnapshot::absorb_counts`] calls: sorts the alert and alarm
+    /// logs into canonical order and recomputes ε, the decayed ε, and the
+    /// per-subset lattice from the accumulated counts under `estimator`.
+    pub(crate) fn canonicalize_and_recompute(
+        &mut self,
+        estimator: &dyn EpsilonEstimator,
+    ) -> Result<()> {
+        self.alerts.sort_by_key(alert_key);
+        for status in &mut self.changepoints {
+            status.alarms.sort_by_key(alarm_key);
+        }
+        let window_counts = JointCounts::from_table(self.window.to_table()?, &self.outcome_axis)?;
+        self.epsilon = estimator.estimate(&window_counts.group_outcomes(0.0)?)?;
+        self.decayed_epsilon = match &self.decayed {
+            Some(d) => {
+                let jc = JointCounts::from_table(d.to_table()?, &self.outcome_axis)?;
+                Some(estimator.estimate(&jc.group_outcomes(0.0)?)?)
+            }
+            None => None,
+        };
+        let subset_attrs: Vec<Vec<String>> =
+            self.subsets.iter().map(|s| s.attributes.clone()).collect();
+        self.subsets = subset_epsilons(&window_counts, &subset_attrs, &self.epsilon, estimator)?;
+        self.estimator = estimator.name();
+        Ok(())
     }
 }
 
 /// Per-subset ε under `estimator`, reusing the precomputed full-
 /// intersection result for the last (full) entry — the exact layout of the
 /// builder's `EstimatorReport::subsets`.
-pub(super) fn subset_epsilons(
+pub(crate) fn subset_epsilons(
     counts: &JointCounts,
     subset_attrs: &[Vec<String>],
     full: &EpsilonResult,
@@ -287,4 +335,72 @@ pub(super) fn subset_epsilons(
         });
     }
     Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(data: Vec<f64>) -> CountsSnapshot {
+        CountsSnapshot {
+            axes: vec![
+                ("y".to_string(), vec!["no".to_string(), "yes".to_string()]),
+                ("g".to_string(), vec!["a".to_string(), "b".to_string()]),
+            ],
+            data,
+        }
+    }
+
+    /// Regression: a wire snapshot is untrusted — `to_table` must reject
+    /// non-finite and negative cells with the typed `CorruptCounts` error
+    /// (mirroring `Audit::of_counts`), not hand them to the ε kernel.
+    #[test]
+    fn to_table_rejects_corrupt_wire_cells() {
+        // A hand-corrupted JSON snapshot, exactly as it would arrive from
+        // a hostile or buggy replica: a negative cell.
+        let json = r#"{"axes":[["y",["no","yes"]],["g",["a","b"]]],"data":[1.0,-3.0,2.0,4.0]}"#;
+        let from_wire: CountsSnapshot = serde_json::from_str(json).unwrap();
+        match from_wire.to_table() {
+            Err(DfError::CorruptCounts { cell, value }) => {
+                assert_eq!(cell, 1);
+                assert_eq!(value, -3.0);
+            }
+            other => panic!("expected CorruptCounts, got {other:?}"),
+        }
+        // Non-finite cells (not representable in JSON, but constructible
+        // by any in-process caller) are refused the same way.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let s = snap(vec![1.0, 2.0, bad, 0.0]);
+            assert!(
+                matches!(s.to_table(), Err(DfError::CorruptCounts { cell: 2, .. })),
+                "accepted {bad}"
+            );
+        }
+        // Healthy cells still reconstruct.
+        assert_eq!(
+            snap(vec![1.0, 2.0, 3.0, 4.0]).to_table().unwrap().total(),
+            10.0
+        );
+    }
+
+    #[test]
+    fn merge_from_adds_in_place_and_validates_shape() {
+        let mut a = snap(vec![1.0, 2.0, 3.0, 4.0]);
+        let b = snap(vec![10.0, 20.0, 30.0, 40.0]);
+        a.merge_from(&b).unwrap();
+        assert_eq!(a.data, vec![11.0, 22.0, 33.0, 44.0]);
+        // Axis mismatch is refused.
+        let mut other = snap(vec![0.0; 4]);
+        other.axes[1].1.push("c".to_string());
+        assert!(a.merge_from(&other).is_err());
+        // A lying data vector (axes match, length doesn't) is refused
+        // instead of silently zip-truncating.
+        let short = CountsSnapshot {
+            axes: a.axes.clone(),
+            data: vec![1.0, 2.0],
+        };
+        let before = a.clone();
+        assert!(a.merge_from(&short).is_err());
+        assert_eq!(a, before);
+    }
 }

@@ -472,6 +472,153 @@ pub fn timestamped_drift_stream(
     })
 }
 
+/// Which replicas of a fleet replay drift, and how: the replicas named
+/// in `drift_replicas` follow the `drifted` segments; every other
+/// replica follows `calm`.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetDriftPlan<'a> {
+    /// Number of replicas in the fleet (≥ 1).
+    pub replicas: usize,
+    /// Segments for the healthy replicas.
+    pub calm: &'a [DriftSegment],
+    /// Segments for the drifting replicas.
+    pub drifted: &'a [DriftSegment],
+    /// Indices (into `0..replicas`, no duplicates) of the replicas that
+    /// follow `drifted`.
+    pub drift_replicas: &'a [usize],
+}
+
+/// Per-replica timestamped replay streams for **fleet** workloads: one
+/// [`TimestampedReplay`] per serving replica, all over the same schema
+/// and arrival process, with a *planted per-shard drift* per the
+/// [`FleetDriftPlan`].
+///
+/// This is the canonical fleet-aggregation stress: every calm replica's
+/// own windowed ε stays near its planted level, the drifting replicas'
+/// climb, and only the merged (union-of-traffic) snapshot measures the
+/// fleet-wide ε — per-silo monitoring provably under-reports it. Streams
+/// draw from one shared RNG sequentially, so a fleet is as reproducible
+/// as a single stream.
+pub fn fleet_drift_streams(
+    rng: &mut Pcg32,
+    arities: &[usize],
+    base_rate: f64,
+    plan: FleetDriftPlan<'_>,
+    arrival: ArrivalProcess,
+) -> Result<Vec<TimestampedReplay>> {
+    if plan.replicas == 0 {
+        return Err(DataError::Invalid("need at least one replica".into()));
+    }
+    for (i, &r) in plan.drift_replicas.iter().enumerate() {
+        if r >= plan.replicas {
+            return Err(DataError::Invalid(format!(
+                "drift replica index {r} out of range for {} replicas",
+                plan.replicas
+            )));
+        }
+        if plan.drift_replicas[..i].contains(&r) {
+            return Err(DataError::Invalid(format!(
+                "drift replica index {r} listed twice"
+            )));
+        }
+    }
+    (0..plan.replicas)
+        .map(|r| {
+            let segments = if plan.drift_replicas.contains(&r) {
+                plan.drifted
+            } else {
+                plan.calm
+            };
+            timestamped_drift_stream(rng, arities, base_rate, segments, arrival)
+        })
+        .collect()
+}
+
+/// Interleaves per-replica replays into the single global stream a
+/// lone monitor would have seen: rows merged in timestamp order (ties
+/// keep replica order — immaterial to any counts-derived state, since
+/// same-bucket arrivals commute), change-points unioned. This is the
+/// reference side of the fleet equivalence property: a fleet of monitors
+/// over [`fleet_drift_streams`] must merge to byte-identical state as
+/// one monitor over the interleaved stream.
+pub fn interleave_replays(replays: &[TimestampedReplay]) -> Result<TimestampedReplay> {
+    use crate::frame::{Column, DataFrame};
+    let first = replays
+        .first()
+        .ok_or_else(|| DataError::Invalid("need at least one replay".into()))?;
+    let names = first.frame.column_names();
+    let mut vocabs: Vec<&[String]> = Vec::with_capacity(names.len());
+    for name in &names {
+        vocabs.push(first.frame.column(name)?.as_categorical()?.1);
+    }
+    let mut arrivals: Vec<(f64, usize, usize)> = Vec::new();
+    for (replica, replay) in replays.iter().enumerate() {
+        if replay.timestamps.len() != replay.frame.n_rows() {
+            return Err(DataError::Invalid(format!(
+                "replica {replica}: {} timestamps for {} rows",
+                replay.timestamps.len(),
+                replay.frame.n_rows()
+            )));
+        }
+        if replay.frame.column_names() != names {
+            return Err(DataError::Invalid(format!(
+                "replica {replica} has a different column schema"
+            )));
+        }
+        for (name, vocab) in names.iter().zip(&vocabs) {
+            if replay.frame.column(name)?.as_categorical()?.1 != *vocab {
+                return Err(DataError::Invalid(format!(
+                    "replica {replica} column `{name}` has a different vocabulary"
+                )));
+            }
+        }
+        for (row, &ts) in replay.timestamps.iter().enumerate() {
+            if !ts.is_finite() {
+                return Err(DataError::Invalid(format!(
+                    "replica {replica} row {row} has non-finite timestamp {ts}"
+                )));
+            }
+            arrivals.push((ts, replica, row));
+        }
+    }
+    // Stable sort on the timestamp alone: same-instant arrivals keep
+    // replica-then-row order.
+    arrivals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite timestamps"));
+    let per_replica_codes: Vec<Vec<&[u32]>> = replays
+        .iter()
+        .map(|replay| {
+            names
+                .iter()
+                .map(|name| Ok(replay.frame.column(name)?.as_categorical()?.0))
+                .collect::<Result<_>>()
+        })
+        .collect::<Result<_>>()?;
+    let mut columns = Vec::with_capacity(names.len());
+    for (c, (name, vocab)) in names.iter().zip(&vocabs).enumerate() {
+        let codes: Vec<u32> = arrivals
+            .iter()
+            .map(|&(_, replica, row)| per_replica_codes[replica][c][row])
+            .collect();
+        columns.push(Column::categorical_from_codes(
+            name.to_string(),
+            codes,
+            vocab.to_vec(),
+        )?);
+    }
+    let timestamps: Vec<f64> = arrivals.iter().map(|&(ts, _, _)| ts).collect();
+    let mut change_points: Vec<f64> = replays
+        .iter()
+        .flat_map(|r| r.change_points.iter().copied())
+        .collect();
+    change_points.sort_by(|a, b| a.partial_cmp(b).expect("finite change-points"));
+    change_points.dedup();
+    Ok(TimestampedReplay {
+        frame: DataFrame::new(columns)?,
+        timestamps,
+        change_points,
+    })
+}
+
 /// Renders the named categorical columns of a frame as headerless CSV —
 /// the on-disk shape consumed by the streaming CSV reader
 /// (`df_data::chunks::CsvChunks`). Used to build large ingestion
@@ -836,6 +983,101 @@ mod tests {
         // Too sparse to make a stream.
         let sparse = ArrivalProcess::Uniform { rate: 0.01 };
         assert!(timestamped_drift_stream(&mut rng, &[2], 0.4, &seg, sparse).is_err());
+    }
+
+    #[test]
+    fn fleet_streams_plant_per_shard_drift() {
+        let mut rng = Pcg32::new(31);
+        let calm = [DriftSegment::new(120.0, 0.0)];
+        let drifted = [DriftSegment::new(60.0, 0.0), DriftSegment::new(60.0, 1.5)];
+        let fleet = fleet_drift_streams(
+            &mut rng,
+            &[2, 2],
+            0.4,
+            FleetDriftPlan {
+                replicas: 4,
+                calm: &calm,
+                drifted: &drifted,
+                drift_replicas: &[2],
+            },
+            ArrivalProcess::Poisson { rate: 60.0 },
+        )
+        .unwrap();
+        assert_eq!(fleet.len(), 4);
+        // Only the drifting replica carries the planted change-point.
+        assert!(fleet[0].change_points.is_empty());
+        assert_eq!(fleet[2].change_points, vec![60.0]);
+        // Every replica sees its own traffic at the shared rate.
+        for replay in &fleet {
+            assert!((5_000..10_000).contains(&replay.frame.n_rows()));
+        }
+        // Validation.
+        let uni = ArrivalProcess::Uniform { rate: 10.0 };
+        let plan = |replicas: usize, drift_replicas: &'static [usize]| FleetDriftPlan {
+            replicas,
+            calm: &[DriftSegment {
+                duration: 120.0,
+                epsilon: 0.0,
+            }],
+            drifted: &[DriftSegment {
+                duration: 120.0,
+                epsilon: 1.0,
+            }],
+            drift_replicas,
+        };
+        assert!(fleet_drift_streams(&mut rng, &[2], 0.4, plan(0, &[]), uni).is_err());
+        assert!(fleet_drift_streams(&mut rng, &[2], 0.4, plan(2, &[2]), uni).is_err());
+        assert!(fleet_drift_streams(&mut rng, &[2], 0.4, plan(2, &[0, 0]), uni).is_err());
+    }
+
+    #[test]
+    fn interleaving_preserves_every_row_in_timestamp_order() {
+        let mut rng = Pcg32::new(17);
+        let calm = [DriftSegment::new(40.0, 0.2)];
+        let fleet = fleet_drift_streams(
+            &mut rng,
+            &[2, 2],
+            0.4,
+            FleetDriftPlan {
+                replicas: 3,
+                calm: &calm,
+                drifted: &calm,
+                drift_replicas: &[],
+            },
+            ArrivalProcess::Bursty {
+                rate: 25.0,
+                burst: 5,
+            },
+        )
+        .unwrap();
+        let merged = interleave_replays(&fleet).unwrap();
+        let total: usize = fleet.iter().map(|r| r.frame.n_rows()).sum();
+        assert_eq!(merged.frame.n_rows(), total);
+        assert_eq!(merged.timestamps.len(), total);
+        assert!(merged.timestamps.windows(2).all(|w| w[0] <= w[1]));
+        // The union of the per-replica joint counts is the merged frame's.
+        let cols = ["outcome", "attr0", "attr1"];
+        let mut summed = fleet[0].frame.contingency(&cols).unwrap();
+        for replay in &fleet[1..] {
+            summed
+                .merge_from(&replay.frame.contingency(&cols).unwrap())
+                .unwrap();
+        }
+        assert_eq!(
+            summed.data(),
+            merged.frame.contingency(&cols).unwrap().data()
+        );
+        // Validation: empty input and schema mismatches are refused.
+        assert!(interleave_replays(&[]).is_err());
+        let other = timestamped_drift_stream(
+            &mut rng,
+            &[3],
+            0.4,
+            &calm,
+            ArrivalProcess::Uniform { rate: 25.0 },
+        )
+        .unwrap();
+        assert!(interleave_replays(&[fleet[0].clone(), other]).is_err());
     }
 
     #[test]

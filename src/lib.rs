@@ -185,6 +185,10 @@ pub mod prelude {
     };
     pub use df_core::data_fairness::{dataset_epsilon, DataModel};
     pub use df_core::equalized::{opportunity_epsilon, EqualizedOddsCounts};
+    pub use df_core::fleet::{
+        decode_snapshot, encode_snapshot, merge_many, merge_tree, FleetIngest, FleetProducer,
+        SnapshotDecoder, SnapshotEncoder,
+    };
     pub use df_core::mechanism::{estimate_group_outcomes, FnMechanism, Mechanism};
     pub use df_core::monitor::{
         Alert, AlertRule, ChangeSignal, ChangepointAlarm, ChangepointSpec, ChangepointStatus,
@@ -202,8 +206,9 @@ pub mod prelude {
     pub use df_data::chunks::{CsvChunks, FrameChunks, LabelChunk};
     pub use df_data::frame::{Column, DataFrame};
     pub use df_data::workloads::{
-        drift_replay_frame, timestamped_drift_stream, ArrivalProcess, DriftSegment,
-        GaussianScoreGroups, TimedChunk, TimestampedReplay,
+        drift_replay_frame, fleet_drift_streams, interleave_replays, timestamped_drift_stream,
+        ArrivalProcess, DriftSegment, FleetDriftPlan, GaussianScoreGroups, TimedChunk,
+        TimestampedReplay,
     };
     pub use df_learn::fair::{FairLogisticConfig, FairLogisticRegression};
     pub use df_learn::logistic::{LogisticConfig, LogisticRegression};
