@@ -49,7 +49,7 @@ use crate::equalized::EqualizedOddsCounts;
 use crate::error::{DfError, Result};
 use crate::mechanism::{estimate_group_outcomes, Mechanism};
 use crate::privacy::PrivacyRegime;
-use crate::report::{fmt_count, fmt_epsilon, Align, TextTable};
+use crate::report::{fmt_count, fmt_epsilon, Align, ResponseFormat, TextTable};
 use crate::subsets::SubsetEpsilon;
 use crate::theta::posterior_theta_from_table;
 use df_prob::partial::Tally;
@@ -953,6 +953,29 @@ impl AuditReport {
     /// The report for one estimator by display name.
     pub fn estimator(&self, name: &str) -> Option<&EstimatorReport> {
         self.estimators.iter().find(|e| e.name == name)
+    }
+
+    /// Renders the report in the requested [`ResponseFormat`]: the full
+    /// serde document for JSON, the per-subset ε table for CSV, and the
+    /// summary paragraph plus the subset table for text/markdown. This is
+    /// the single render entry point serving layers should negotiate into.
+    pub fn render(&self, format: ResponseFormat) -> Result<String> {
+        match format {
+            ResponseFormat::Json => {
+                serde_json::to_string(self).map_err(|e| DfError::Invalid(e.to_string()))
+            }
+            ResponseFormat::Csv => Ok(self.subset_table().render_csv()),
+            ResponseFormat::Markdown => Ok(format!(
+                "{}\n{}",
+                self.render_summary(),
+                self.render_subset_table_markdown()
+            )),
+            ResponseFormat::Text => Ok(format!(
+                "{}\n{}",
+                self.render_summary(),
+                self.render_subset_table()
+            )),
+        }
     }
 }
 

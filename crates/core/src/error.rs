@@ -26,6 +26,15 @@ pub enum DfError {
         /// The offending value.
         value: f64,
     },
+    /// A bounded wait (e.g. a fleet consistent-cut round) did not finish
+    /// before its deadline. The operation may still complete in the
+    /// background; retrying later is safe.
+    Timeout {
+        /// What was being waited on.
+        what: &'static str,
+        /// The budget that elapsed, in milliseconds.
+        waited_ms: u64,
+    },
     /// An invalid argument with a description.
     Invalid(String),
 }
@@ -47,6 +56,9 @@ impl fmt::Display for DfError {
                 "counts table holds invalid value {value} at flat cell {cell}; \
                  counts must be finite and non-negative"
             ),
+            DfError::Timeout { what, waited_ms } => {
+                write!(f, "{what} did not complete within {waited_ms} ms")
+            }
             DfError::Invalid(msg) => write!(f, "{msg}"),
         }
     }
@@ -91,5 +103,10 @@ mod tests {
             value: f64::NAN,
         };
         assert!(e.to_string().contains("cell 3"));
+        let e = DfError::Timeout {
+            what: "fleet snapshot",
+            waited_ms: 250,
+        };
+        assert!(e.to_string().contains("250 ms"));
     }
 }

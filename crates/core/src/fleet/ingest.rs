@@ -34,8 +34,18 @@ use crate::epsilon::EpsilonResult;
 use crate::error::{DfError, Result};
 use crate::monitor::{FairnessMonitor, MonitorBuilder, MonitorSnapshot};
 use df_prob::partial::Tally;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A bounded wait: the absolute deadline plus the original budget (echoed
+/// in the timeout error so callers see what they asked for, not the
+/// remainder that happened to be left on the final `recv`).
+#[derive(Clone, Copy)]
+struct Deadline {
+    at: Instant,
+    budget: Duration,
+}
 
 /// Commands a shard worker understands.
 enum ShardMsg<C> {
@@ -164,7 +174,23 @@ impl<C: Tally + Send + 'static> FleetIngest<C> {
     /// tree. The first shard error (a corrupt chunk, a pre-window
     /// timestamp) surfaces here, typed.
     pub fn snapshot(&self) -> Result<MonitorSnapshot> {
-        self.collect(None)
+        self.collect(None, None)
+    }
+
+    /// [`FleetIngest::snapshot`] with a bounded wait: if any shard fails
+    /// to reply within `timeout` (measured across the whole consistent-cut
+    /// round, not per shard), returns [`DfError::Timeout`] instead of
+    /// blocking — so a stuck or overloaded shard cannot hang a serving
+    /// request forever. The snapshot command stays queued on the slow
+    /// shard; its eventual reply is discarded, and retrying later is safe.
+    pub fn try_snapshot_timeout(&self, timeout: Duration) -> Result<MonitorSnapshot> {
+        self.collect(
+            None,
+            Some(Deadline {
+                at: Instant::now() + timeout,
+                budget: timeout,
+            }),
+        )
     }
 
     /// [`FleetIngest::snapshot`] against an explicit fleet clock: every
@@ -177,7 +203,7 @@ impl<C: Tally + Send + 'static> FleetIngest<C> {
                 "fleet snapshot timestamp must be finite, got {now}"
             )));
         }
-        self.collect(Some(now))
+        self.collect(Some(now), None)
     }
 
     /// The fleet-wide ε: the headline of [`FleetIngest::snapshot`].
@@ -212,13 +238,13 @@ impl<C: Tally + Send + 'static> FleetIngest<C> {
     /// state never mixes a fresh shard clock with another shard's stale
     /// eviction horizon. One clock round plus one snapshot round in the
     /// common case.
-    fn collect(&self, target: Option<f64>) -> Result<MonitorSnapshot> {
+    fn collect(&self, target: Option<f64>, deadline: Option<Deadline>) -> Result<MonitorSnapshot> {
         let mut target = match target {
             Some(t) => Some(t),
-            None => self.clock_round()?,
+            None => self.clock_round(deadline)?,
         };
         for round in 1.. {
-            let snapshots = self.snapshot_round(target)?;
+            let snapshots = self.snapshot_round(target, deadline)?;
             let observed = snapshots
                 .iter()
                 .filter_map(|s| s.now_seconds)
@@ -243,7 +269,7 @@ impl<C: Tally + Send + 'static> FleetIngest<C> {
     /// The fleet-wide maximum shard clock — a cheap query (no ε kernel),
     /// consistent with everything enqueued before the call (the reply is
     /// queued behind each shard's pending chunks).
-    fn clock_round(&self) -> Result<Option<f64>> {
+    fn clock_round(&self, deadline: Option<Deadline>) -> Result<Option<f64>> {
         let mut replies = Vec::with_capacity(self.shards());
         for (shard, sender) in self.senders.iter().enumerate() {
             let (tx, rx) = channel();
@@ -254,7 +280,7 @@ impl<C: Tally + Send + 'static> FleetIngest<C> {
         }
         let mut fleet_now: Option<f64> = None;
         for (shard, rx) in replies {
-            if let Some(now) = recv(shard, &rx)? {
+            if let Some(now) = recv(shard, &rx, deadline)? {
                 fleet_now = Some(fleet_now.map_or(now, |a: f64| a.max(now)));
             }
         }
@@ -262,7 +288,11 @@ impl<C: Tally + Send + 'static> FleetIngest<C> {
     }
 
     /// One snapshot command to every shard, replies collected in order.
-    fn snapshot_round(&self, advance_to: Option<f64>) -> Result<Vec<MonitorSnapshot>> {
+    fn snapshot_round(
+        &self,
+        advance_to: Option<f64>,
+        deadline: Option<Deadline>,
+    ) -> Result<Vec<MonitorSnapshot>> {
         let mut replies = Vec::with_capacity(self.shards());
         for (shard, sender) in self.senders.iter().enumerate() {
             let (tx, rx) = channel();
@@ -276,7 +306,7 @@ impl<C: Tally + Send + 'static> FleetIngest<C> {
         }
         replies
             .into_iter()
-            .map(|(shard, rx)| recv(shard, &rx)?)
+            .map(|(shard, rx)| recv(shard, &rx, deadline)?)
             .collect()
     }
 
@@ -299,13 +329,24 @@ impl<C: Tally + Send + 'static> Drop for FleetIngest<C> {
     }
 }
 
-fn recv<T>(shard: usize, rx: &Receiver<T>) -> Result<T> {
-    rx.recv().map_err(|_| {
+fn recv<T>(shard: usize, rx: &Receiver<T>, deadline: Option<Deadline>) -> Result<T> {
+    let died = || {
         DfError::Invalid(format!(
             "fleet shard {shard} worker died before replying (panicked \
              while ingesting?)"
         ))
-    })
+    };
+    match deadline {
+        None => rx.recv().map_err(|_| died()),
+        Some(d) => match rx.recv_timeout(d.at.saturating_duration_since(Instant::now())) {
+            Ok(v) => Ok(v),
+            Err(RecvTimeoutError::Disconnected) => Err(died()),
+            Err(RecvTimeoutError::Timeout) => Err(DfError::Timeout {
+                what: "fleet snapshot",
+                waited_ms: u64::try_from(d.budget.as_millis()).unwrap_or(u64::MAX),
+            }),
+        },
+    }
 }
 
 /// One shard's event loop: a private monitor fed from a private channel.
@@ -537,6 +578,42 @@ mod tests {
         assert_eq!(snap.window_rows, 0);
         assert_eq!(snap.now_seconds, None);
         assert_eq!(snap.epsilon.epsilon, 0.0);
+    }
+
+    #[test]
+    fn try_snapshot_timeout_bounds_the_wait_on_a_stuck_shard() {
+        struct Stall(Duration);
+        impl Tally for Stall {
+            fn tally_into(&self, shard: &mut PartialCounts) -> df_prob::Result<()> {
+                std::thread::sleep(self.0);
+                shard.record(&[0, 0]);
+                Ok(())
+            }
+        }
+        let fleet: FleetIngest<Stall> = Audit::monitor("y", axes())
+            .estimator(Smoothed { alpha: 1.0 })
+            .window_seconds(10.0)
+            .fleet(2)
+            .unwrap();
+        let producer = fleet.producer(0).unwrap();
+        // The shard worker sleeps half a second tallying this chunk; the
+        // bounded snapshot gives up long before that.
+        producer
+            .send(Stall(Duration::from_millis(500)), 1.0)
+            .unwrap();
+        let err = fleet
+            .try_snapshot_timeout(Duration::from_millis(20))
+            .unwrap_err();
+        assert!(
+            matches!(err, DfError::Timeout { waited_ms: 20, .. }),
+            "expected Timeout, got {err:?}"
+        );
+        // The cut was only delayed, not lost: an unbounded snapshot later
+        // sees the chunk, and a generous bounded wait succeeds too.
+        let snap = fleet.snapshot().unwrap();
+        assert_eq!(snap.records_seen, 1);
+        let snap = fleet.try_snapshot_timeout(Duration::from_secs(30)).unwrap();
+        assert_eq!(snap.records_seen, 1);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::builder::EpsilonEstimator;
 use crate::edf::JointCounts;
 use crate::epsilon::EpsilonResult;
 use crate::error::{DfError, Result};
+use crate::report::{fmt_count, fmt_epsilon, Align, ResponseFormat, TextTable};
 use crate::subsets::SubsetEpsilon;
 use df_prob::contingency::{Axis, ContingencyTable};
 use serde::{Deserialize, Serialize};
@@ -207,8 +208,11 @@ impl MonitorSnapshot {
 
     /// Checks that `other` is configuration-compatible for merging: same
     /// outcome axis, decay, wall-clock window, subset lattice, and
-    /// change-point detector list.
-    pub(crate) fn mergeable_with(&self, other: &MonitorSnapshot) -> Result<()> {
+    /// change-point detector list. Public so ingestion layers (e.g. an
+    /// audit server accepting wire snapshots from remote replicas) can
+    /// reject an incompatible snapshot at the door with a typed error
+    /// instead of failing later inside a merge.
+    pub fn mergeable_with(&self, other: &MonitorSnapshot) -> Result<()> {
         if self.outcome_axis != other.outcome_axis {
             return Err(DfError::Invalid(format!(
                 "snapshot outcome axes differ: `{}` vs `{}`",
@@ -309,6 +313,134 @@ impl MonitorSnapshot {
         self.estimator = estimator.name();
         Ok(())
     }
+
+    /// The window's joint counts as a labelled table: one row per cell in
+    /// row-major order (last axis fastest), axis-label columns followed by
+    /// the cell count. Shared by the CSV/text/markdown renderers.
+    fn cells_table(&self) -> TextTable {
+        let axis_names: Vec<&str> = self.window.axes.iter().map(|(n, _)| n.as_str()).collect();
+        let mut headers = axis_names;
+        headers.push("count");
+        let mut aligns = vec![Align::Left; headers.len() - 1];
+        aligns.push(Align::Right);
+        let mut t = TextTable::new(&headers).align(&aligns);
+        let dims: Vec<usize> = self.window.axes.iter().map(|(_, l)| l.len()).collect();
+        for (idx, value) in self.window.data.iter().enumerate() {
+            let mut row = Vec::with_capacity(dims.len() + 1);
+            let mut rest = idx;
+            // Row-major unravel: divide by the trailing strides.
+            for (k, (_, labels)) in self.window.axes.iter().enumerate() {
+                let stride: usize = dims[k + 1..].iter().product();
+                row.push(labels[(rest / stride) % labels.len()].clone());
+                rest %= stride.max(1);
+            }
+            row.push(fmt_count(*value));
+            t.row(&row);
+        }
+        t
+    }
+
+    /// The scalar summary as `(metric, value)` pairs — the second CSV
+    /// section and the text/markdown headline block.
+    fn summary_rows(&self) -> Vec<(String, String)> {
+        let mut rows = vec![
+            ("estimator".to_string(), self.estimator.clone()),
+            ("records_seen".to_string(), self.records_seen.to_string()),
+            ("window_rows".to_string(), self.window_rows.to_string()),
+            ("epsilon".to_string(), fmt_epsilon(self.epsilon.epsilon)),
+        ];
+        if let Some(d) = &self.decayed_epsilon {
+            rows.push(("decayed_epsilon".to_string(), fmt_epsilon(d.epsilon)));
+        }
+        if let Some(t) = self.trend() {
+            rows.push(("trend".to_string(), format!("{t:+.4}")));
+        }
+        if let Some(w) = self.window_seconds {
+            rows.push(("window_seconds".to_string(), fmt_count(w)));
+        }
+        if let Some(now) = self.now_seconds {
+            rows.push(("now_seconds".to_string(), fmt_count(now)));
+        }
+        for s in &self.subsets {
+            rows.push((
+                format!("epsilon[{}]", s.attributes.join("+")),
+                fmt_epsilon(s.result.epsilon),
+            ));
+        }
+        rows.push(("alerts".to_string(), self.alerts.len().to_string()));
+        if let Some(last) = self.alerts.last() {
+            rows.push((
+                "last_alert".to_string(),
+                format!(
+                    "eps {} > {} at record {}",
+                    fmt_epsilon(last.epsilon),
+                    fmt_epsilon(last.rule.threshold),
+                    last.at_record
+                ),
+            ));
+        }
+        let alarms: usize = self.changepoints.iter().map(|c| c.alarms.len()).sum();
+        if !self.changepoints.is_empty() {
+            rows.push(("changepoint_alarms".to_string(), alarms.to_string()));
+        }
+        if let Some(last) = self
+            .changepoints
+            .iter()
+            .flat_map(|c| c.alarms.iter())
+            .max_by_key(|a| a.at_record)
+        {
+            rows.push((
+                "last_alarm".to_string(),
+                format!(
+                    "statistic {:.4} at record {}",
+                    last.statistic, last.at_record
+                ),
+            ));
+        }
+        rows
+    }
+
+    /// Renders the snapshot in the requested [`ResponseFormat`]: the full
+    /// serde document for JSON; for CSV, the labelled table of window
+    /// cells followed by a blank line and a `metric,value` section with
+    /// the ε values, trend, and alert/alarm tallies; for text/markdown,
+    /// the same summary above the cells table.
+    pub fn render(&self, format: ResponseFormat) -> Result<String> {
+        match format {
+            ResponseFormat::Json => {
+                serde_json::to_string(self).map_err(|e| DfError::Invalid(e.to_string()))
+            }
+            ResponseFormat::Csv => {
+                let mut metrics = TextTable::new(&["metric", "value"]);
+                for (k, v) in self.summary_rows() {
+                    metrics.row(&[k, v]);
+                }
+                Ok(format!(
+                    "{}\n{}",
+                    self.cells_table().render_csv(),
+                    metrics.render_csv()
+                ))
+            }
+            ResponseFormat::Markdown => {
+                let mut out = String::new();
+                for (k, v) in self.summary_rows() {
+                    out.push_str(&format!("- **{k}**: {v}\n"));
+                }
+                out.push('\n');
+                out.push_str(&self.cells_table().render_markdown());
+                Ok(out)
+            }
+            ResponseFormat::Text => {
+                let mut out = String::new();
+                for (k, v) in self.summary_rows() {
+                    out.push_str(&format!("{k}: {v}\n"));
+                }
+                out.push('\n');
+                out.push_str(&self.cells_table().render());
+                Ok(out)
+            }
+        }
+    }
 }
 
 /// Per-subset ε under `estimator`, reusing the precomputed full-
@@ -381,6 +513,46 @@ mod tests {
             snap(vec![1.0, 2.0, 3.0, 4.0]).to_table().unwrap().total(),
             10.0
         );
+    }
+
+    #[test]
+    fn render_covers_all_formats() {
+        use crate::builder::{Audit, Smoothed};
+        use df_prob::partial::{PartialCounts, Tally};
+
+        struct Rows(Vec<[usize; 2]>);
+        impl Tally for Rows {
+            fn tally_into(&self, shard: &mut PartialCounts) -> df_prob::Result<()> {
+                for idx in &self.0 {
+                    shard.record(idx);
+                }
+                Ok(())
+            }
+        }
+        let axes = vec![
+            Axis::from_strs("y", &["no", "yes"]).unwrap(),
+            Axis::from_strs("g", &["a", "b"]).unwrap(),
+        ];
+        let mut m = Audit::monitor("y", axes)
+            .estimator(Smoothed { alpha: 1.0 })
+            .window_seconds(60.0)
+            .build()
+            .unwrap();
+        m.push_at(&Rows(vec![[0, 0], [1, 1], [1, 0], [0, 1]]), 1.0)
+            .unwrap();
+        let snap = m.snapshot().unwrap();
+        let json = snap.render(ResponseFormat::Json).unwrap();
+        assert!(json.contains("\"records_seen\":4"));
+        let csv = snap.render(ResponseFormat::Csv).unwrap();
+        assert!(csv.starts_with("y,g,count\n"), "got {csv}");
+        assert!(csv.contains("metric,value"));
+        assert!(csv.contains("epsilon,"));
+        // Row-major order: last axis fastest, so (no, a) is the first cell.
+        assert!(csv.contains("no,a,1"));
+        let text = snap.render(ResponseFormat::Text).unwrap();
+        assert!(text.contains("records_seen: 4"));
+        let md = snap.render(ResponseFormat::Markdown).unwrap();
+        assert!(md.contains("| y | g | count |"));
     }
 
     #[test]

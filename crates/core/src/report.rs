@@ -3,7 +3,95 @@
 //! The experiment binaries print paper-style tables; this module keeps the
 //! column alignment logic in one place.
 
+use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
+
+/// A wire/display format for rendered reports, selected by value rather
+/// than by renderer method name so serving layers can negotiate it from an
+/// `Accept` header or a `?format=` query parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResponseFormat {
+    /// `application/json` — the serde representation of the report.
+    Json,
+    /// `text/csv` — RFC 4180 comma-separated values.
+    Csv,
+    /// `text/markdown` — GitHub-flavoured markdown tables.
+    Markdown,
+    /// `text/plain` — aligned ASCII tables for terminals and logs.
+    Text,
+}
+
+impl ResponseFormat {
+    /// All formats, in negotiation-preference order (JSON first).
+    pub const ALL: [ResponseFormat; 4] = [
+        ResponseFormat::Json,
+        ResponseFormat::Csv,
+        ResponseFormat::Markdown,
+        ResponseFormat::Text,
+    ];
+
+    /// Parses a short format name as used in `?format=` query parameters.
+    /// Accepts common aliases (`md`, `txt`); case-insensitive.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "json" => Some(ResponseFormat::Json),
+            "csv" => Some(ResponseFormat::Csv),
+            "markdown" | "md" => Some(ResponseFormat::Markdown),
+            "text" | "txt" | "plain" => Some(ResponseFormat::Text),
+            _ => None,
+        }
+    }
+
+    /// Parses a MIME type (without parameters) as found in `Accept`.
+    pub fn from_mime(mime: &str) -> Option<Self> {
+        match mime.trim().to_ascii_lowercase().as_str() {
+            "application/json" | "text/json" => Some(ResponseFormat::Json),
+            "text/csv" | "application/csv" => Some(ResponseFormat::Csv),
+            "text/markdown" => Some(ResponseFormat::Markdown),
+            "text/plain" => Some(ResponseFormat::Text),
+            _ => None,
+        }
+    }
+
+    /// The canonical MIME type for `Content-Type` headers.
+    pub fn mime(self) -> &'static str {
+        match self {
+            ResponseFormat::Json => "application/json",
+            ResponseFormat::Csv => "text/csv",
+            ResponseFormat::Markdown => "text/markdown",
+            ResponseFormat::Text => "text/plain; charset=utf-8",
+        }
+    }
+
+    /// The canonical short name (round-trips through [`Self::from_name`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            ResponseFormat::Json => "json",
+            ResponseFormat::Csv => "csv",
+            ResponseFormat::Markdown => "markdown",
+            ResponseFormat::Text => "text",
+        }
+    }
+}
+
+/// Escapes one CSV field per RFC 4180: fields containing commas, quotes,
+/// or newlines are quoted, with embedded quotes doubled.
+pub fn csv_field(cell: &str) -> String {
+    if cell.contains([',', '"', '\n', '\r']) {
+        let mut out = String::with_capacity(cell.len() + 2);
+        out.push('"');
+        for ch in cell.chars() {
+            if ch == '"' {
+                out.push('"');
+            }
+            out.push(ch);
+        }
+        out.push('"');
+        out
+    } else {
+        cell.to_string()
+    }
+}
 
 /// Column alignment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,6 +194,25 @@ impl TextTable {
         out
     }
 
+    /// Renders as RFC 4180 CSV (header row first, `\n` line endings).
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        let csv_line = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&csv_field(cell));
+            }
+            out.push('\n');
+        };
+        csv_line(&self.headers, &mut out);
+        for row in &self.rows {
+            csv_line(row, &mut out);
+        }
+        out
+    }
+
     /// Renders as a GitHub-flavoured markdown table.
     pub fn render_markdown(&self) -> String {
         let mut out = String::new();
@@ -203,5 +310,32 @@ mod tests {
     fn fmt_epsilon_handles_infinity() {
         assert_eq!(fmt_epsilon(f64::INFINITY), "inf");
         assert_eq!(fmt_epsilon(1.5114), "1.511"); // rounds to 3 decimals
+    }
+
+    #[test]
+    fn render_csv_escapes_fields() {
+        let mut t = TextTable::new(&["subset", "eps"]);
+        t.row_strs(&["race, gender", "1.76"]);
+        t.row_strs(&["say \"hi\"", "0.10"]);
+        let csv = t.render_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "subset,eps");
+        assert_eq!(lines[1], "\"race, gender\",1.76");
+        assert_eq!(lines[2], "\"say \"\"hi\"\"\",0.10");
+    }
+
+    #[test]
+    fn response_format_round_trips() {
+        for fmt in ResponseFormat::ALL {
+            assert_eq!(ResponseFormat::from_name(fmt.name()), Some(fmt));
+            let mime = fmt.mime().split(';').next().unwrap();
+            assert_eq!(ResponseFormat::from_mime(mime), Some(fmt));
+        }
+        assert_eq!(
+            ResponseFormat::from_name("MD"),
+            Some(ResponseFormat::Markdown)
+        );
+        assert_eq!(ResponseFormat::from_name("proto"), None);
+        assert_eq!(ResponseFormat::from_mime("image/png"), None);
     }
 }

@@ -1,0 +1,381 @@
+//! A minimal, dependency-free HTTP/1.1 request parser and response writer.
+//!
+//! Scope: exactly what a counts-serving audit endpoint needs — request
+//! line, headers, `Content-Length` bodies, keep-alive, and
+//! `Expect: 100-continue`. No chunked transfer encoding (501), no TLS.
+//! Limits are explicit: a header-block cap and a configurable body cap,
+//! each mapping to its own typed error so the connection handler can
+//! answer with the right status before closing.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Cap on the request line plus headers, pre-body. Oversized header
+/// blocks answer `431`.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Granularity of the read poll loop: how often a blocked worker rechecks
+/// the shutdown flag and the idle deadline.
+pub const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method token as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Percent-decoded path component, query stripped.
+    pub path: String,
+    /// Raw query string without the leading `?` (possibly empty).
+    pub query: String,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+    /// Whether the connection may serve another request afterwards.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First header value by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read. Each variant carries enough to write
+/// a correct error response (where the peer is still listening).
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line, header, or body framing — `400`.
+    BadRequest(String),
+    /// Declared body larger than the configured cap — `413`.
+    BodyTooLarge {
+        /// The configured cap the declaration exceeded.
+        limit: usize,
+    },
+    /// Request line + headers exceeded [`MAX_HEAD_BYTES`] — `431`.
+    HeadersTooLarge,
+    /// A feature this parser deliberately lacks — `501`.
+    NotImplemented(String),
+}
+
+/// Outcome of waiting for the next request on a keep-alive connection.
+pub enum NextRequest {
+    /// A complete request.
+    Ready(Box<Request>),
+    /// Close quietly: clean EOF, idle expiry, or server shutdown.
+    Close,
+}
+
+/// Reads one request off the stream. The stream must have a read timeout
+/// of [`POLL_INTERVAL`] set; between polls the loop honours `shutdown`
+/// and gives up after `idle` with no complete request. A declared body
+/// over `max_body` is refused *before* it is read.
+pub fn read_request(
+    stream: &mut TcpStream,
+    max_body: usize,
+    shutdown: &AtomicBool,
+    idle: Duration,
+) -> Result<NextRequest, HttpError> {
+    let start = Instant::now();
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        if shutdown.load(Ordering::Relaxed) || start.elapsed() > idle {
+            return Ok(NextRequest::Close);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(NextRequest::Close), // EOF (possibly mid-head)
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if would_block(&e) => continue,
+            Err(_) => return Ok(NextRequest::Close),
+        }
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::BadRequest("request head is not valid UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(HttpError::BadRequest(format!(
+                "malformed request line: `{request_line}`"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported protocol version `{version}`"
+        )));
+    }
+    let http10 = version == "HTTP/1.0";
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest(format!(
+                "malformed header line: `{line}`"
+            )));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let header = |name: &str| {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+
+    if header("transfer-encoding").is_some() {
+        return Err(HttpError::NotImplemented(
+            "chunked transfer encoding is not supported; send Content-Length".into(),
+        ));
+    }
+    let content_length = match header("content-length") {
+        None => 0usize,
+        Some(raw) => raw.trim().parse::<usize>().map_err(|_| {
+            HttpError::BadRequest(format!("bad Content-Length: `{raw}` is not a length"))
+        })?,
+    };
+    if content_length > max_body {
+        return Err(HttpError::BodyTooLarge { limit: max_body });
+    }
+    if header("expect").is_some_and(|e| e.eq_ignore_ascii_case("100-continue")) {
+        let _ = stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
+    }
+
+    let keep_alive = match header("connection").map(str::to_ascii_lowercase) {
+        Some(c) if c == "close" => false,
+        Some(c) if c == "keep-alive" => true,
+        _ => !http10,
+    };
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let method = method.to_string();
+    let path = percent_decode(path);
+    let query = query.to_string();
+
+    // Body: whatever followed the head in the buffer, then the remainder
+    // off the socket.
+    let mut body = buf.split_off(head_end);
+    body.drain(..4); // the CRLFCRLF itself
+    while body.len() < content_length {
+        if shutdown.load(Ordering::Relaxed) || start.elapsed() > idle {
+            return Err(HttpError::BadRequest(
+                "timed out reading request body".into(),
+            ));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(HttpError::BadRequest(format!(
+                    "body truncated: Content-Length {content_length}, got {}",
+                    body.len()
+                )))
+            }
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if would_block(&e) => continue,
+            Err(e) => return Err(HttpError::BadRequest(format!("read error: {e}"))),
+        }
+    }
+    body.truncate(content_length);
+
+    Ok(NextRequest::Ready(Box::new(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+        keep_alive,
+    })))
+}
+
+fn would_block(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// One response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: String,
+    /// Response body.
+    pub body: Vec<u8>,
+    /// Extra headers (e.g. `Allow` on 405).
+    pub extra_headers: Vec<(String, String)>,
+}
+
+impl Response {
+    /// A response with a body and content type.
+    pub fn new(status: u16, content_type: impl Into<String>, body: Vec<u8>) -> Self {
+        Self {
+            status,
+            content_type: content_type.into(),
+            body,
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// Attaches an extra header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.extra_headers.push((name.into(), value.into()));
+        self
+    }
+}
+
+/// The reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        406 => "Not Acceptable",
+        413 => "Payload Too Large",
+        415 => "Unsupported Media Type",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes the response, always with an explicit `Content-Length` and
+/// a `Connection` header reflecting `keep_alive`.
+pub fn write_response(
+    stream: &mut TcpStream,
+    resp: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in &resp.extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&resp.body)?;
+    stream.flush()
+}
+
+/// Decodes `%XX` escapes and `+` (as space) in a path or query component.
+/// Invalid escapes pass through verbatim rather than erroring — the router
+/// compares decoded strings, so a junk escape simply fails to match.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() => {
+                let hex = |b: u8| (b as char).to_digit(16);
+                match (hex(bytes[i + 1]), hex(bytes[i + 2])) {
+                    (Some(hi), Some(lo)) => {
+                        out.push((hi * 16 + lo) as u8);
+                        i += 3;
+                    }
+                    _ => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Parses a query string into decoded `(name, value)` pairs, preserving
+/// duplicates and order.
+pub fn parse_query(query: &str) -> Vec<(String, String)> {
+    query
+        .split('&')
+        .filter(|p| !p.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect()
+}
+
+/// First value for a query parameter.
+pub fn query_param<'a>(params: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    params
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%2Cb+c"), "a,b c");
+        assert_eq!(percent_decode("plain"), "plain");
+        // Invalid escapes pass through instead of erroring.
+        assert_eq!(percent_decode("50%"), "50%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn query_parsing_keeps_duplicates_in_order() {
+        let q = parse_query("estimator=empirical&estimator=smoothed&alpha=1.5&flag");
+        assert_eq!(q.len(), 4);
+        assert_eq!(query_param(&q, "estimator"), Some("empirical"));
+        assert_eq!(query_param(&q, "alpha"), Some("1.5"));
+        assert_eq!(query_param(&q, "flag"), Some(""));
+        assert_eq!(query_param(&q, "absent"), None);
+    }
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+}

@@ -1,0 +1,117 @@
+//! Content negotiation: `?format=` query override first, then the
+//! `Accept` header, defaulting to JSON.
+
+use crate::http::{query_param, Request};
+use df_core::report::ResponseFormat;
+
+/// Why negotiation failed, with the status it maps to.
+#[derive(Debug, PartialEq, Eq)]
+pub enum NegotiateError {
+    /// An explicit `?format=` value this server does not render — `400`.
+    UnknownFormat(String),
+    /// An `Accept` header naming only types this server cannot produce —
+    /// `406`.
+    NotAcceptable(String),
+}
+
+/// Resolves the response format for a request. Precedence:
+///
+/// 1. `?format=json|csv|markdown|text` (aliases `md`, `txt`, `plain`) —
+///    an unknown value is a client error, not a fallback;
+/// 2. the `Accept` header, honouring client order, with `*/*` and
+///    `text/*` / `application/*` wildcards;
+/// 3. JSON, when neither expresses a preference.
+pub fn response_format(
+    req: &Request,
+    params: &[(String, String)],
+) -> Result<ResponseFormat, NegotiateError> {
+    if let Some(name) = query_param(params, "format") {
+        return ResponseFormat::from_name(name)
+            .ok_or_else(|| NegotiateError::UnknownFormat(name.to_string()));
+    }
+    let Some(accept) = req.header("accept") else {
+        return Ok(ResponseFormat::Json);
+    };
+    let mut any_named = false;
+    for item in accept.split(',') {
+        let mime = item.split(';').next().unwrap_or("").trim();
+        if mime.is_empty() {
+            continue;
+        }
+        any_named = true;
+        if mime == "*/*" {
+            return Ok(ResponseFormat::Json);
+        }
+        if let Some(fmt) = ResponseFormat::from_mime(mime) {
+            return Ok(fmt);
+        }
+        // Wildcard subtypes pick the first format of that top-level type.
+        match mime {
+            "application/*" => return Ok(ResponseFormat::Json),
+            "text/*" => return Ok(ResponseFormat::Csv),
+            _ => {}
+        }
+    }
+    if any_named {
+        Err(NegotiateError::NotAcceptable(accept.to_string()))
+    } else {
+        Ok(ResponseFormat::Json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::parse_query;
+
+    fn req(accept: Option<&str>) -> Request {
+        Request {
+            method: "GET".into(),
+            path: "/v1/audit".into(),
+            query: String::new(),
+            headers: accept
+                .map(|a| vec![("accept".to_string(), a.to_string())])
+                .unwrap_or_default(),
+            body: Vec::new(),
+            keep_alive: true,
+        }
+    }
+
+    #[test]
+    fn format_param_wins_over_accept() {
+        let params = parse_query("format=csv");
+        let r = req(Some("application/json"));
+        assert_eq!(response_format(&r, &params), Ok(ResponseFormat::Csv));
+    }
+
+    #[test]
+    fn unknown_format_param_is_an_error_not_a_fallback() {
+        let params = parse_query("format=yaml");
+        assert!(matches!(
+            response_format(&req(None), &params),
+            Err(NegotiateError::UnknownFormat(_))
+        ));
+    }
+
+    #[test]
+    fn accept_header_honours_client_order_and_wildcards() {
+        let none: Vec<(String, String)> = Vec::new();
+        assert_eq!(
+            response_format(&req(Some("text/markdown, application/json")), &none),
+            Ok(ResponseFormat::Markdown)
+        );
+        assert_eq!(
+            response_format(&req(Some("text/csv;q=0.9")), &none),
+            Ok(ResponseFormat::Csv)
+        );
+        assert_eq!(
+            response_format(&req(Some("*/*")), &none),
+            Ok(ResponseFormat::Json)
+        );
+        assert_eq!(response_format(&req(None), &none), Ok(ResponseFormat::Json));
+        assert!(matches!(
+            response_format(&req(Some("image/png")), &none),
+            Err(NegotiateError::NotAcceptable(_))
+        ));
+    }
+}

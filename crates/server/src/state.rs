@@ -1,0 +1,329 @@
+//! The long-lived server state: one [`FleetIngest`] owning the live
+//! counts, a schema catalog the router validates against, a wire-snapshot
+//! store for remote replicas, and the version-keyed caches behind the
+//! warm read path.
+//!
+//! ## Consistency and the warm path
+//!
+//! Every successful ingest bumps a version counter. Read endpoints
+//! (`/v1/audit`, `/v1/monitor`) resolve their merged fleet snapshot
+//! through a version-tagged cache: while no ingest has landed since the
+//! last resolution, reads reuse the merged snapshot (and the rendered
+//! response bytes) without touching the fleet at all — that is what makes
+//! tens of thousands of audit requests per second cheap between ingest
+//! bursts. The first read after an ingest pays one consistent-cut round
+//! plus one ε recomputation.
+//!
+//! ## Why bad input cannot poison a shard
+//!
+//! [`df_core::fleet::FleetIngest`] deliberately validates chunks on the
+//! worker and poisons the shard on the first error (sticky, like the
+//! streaming engine). A public HTTP endpoint cannot afford an input that
+//! bricks a shard, so the handlers validate *everything* before anything
+//! is enqueued: row arity and labels against the schema catalog, and
+//! timestamps against a conservative lower bound (`max_seen − T + b`)
+//! that provably can never land behind any shard's window horizon.
+
+use crate::http::Response;
+use df_core::builder::{Audit, EpsilonEstimator, SubsetPolicy};
+use df_core::fleet::{merge_many, FleetIngest, SnapshotDecoder};
+use df_core::monitor::{AlertRule, ChangepointSpec, MonitorBuilder, MonitorSnapshot};
+use df_core::{DfError, Result};
+use df_data::chunks::LabelChunk;
+use df_prob::contingency::Axis;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// Upper bound on distinct cached rendered responses between ingests.
+const RESPONSE_CACHE_CAP: usize = 256;
+
+/// Everything [`crate::ServerBuilder`] resolved; owned by the state.
+pub(crate) struct StateConfig {
+    pub outcome: String,
+    pub axes: Vec<Axis>,
+    pub estimator: Box<dyn EpsilonEstimator>,
+    pub window_seconds: f64,
+    pub bucket_seconds: f64,
+    pub decay: Option<f64>,
+    pub subsets: SubsetPolicy,
+    pub alerts: Vec<AlertRule>,
+    pub changepoints: Vec<ChangepointSpec>,
+    pub shards: usize,
+    pub snapshot_timeout: Duration,
+}
+
+/// The shared, long-lived server state; one instance per [`crate::Server`].
+pub struct ServerState {
+    outcome: String,
+    axes: Vec<Axis>,
+    vocab: Vec<HashSet<String>>,
+    estimator: Box<dyn EpsilonEstimator>,
+    window_seconds: f64,
+    bucket_seconds: f64,
+    decay: Option<f64>,
+    snapshot_timeout: Duration,
+    fleet: FleetIngest<LabelChunk>,
+    /// The zero snapshot of an identically configured monitor; the
+    /// compatibility yardstick for posted wire snapshots.
+    reference: MonitorSnapshot,
+    decoder: Mutex<SnapshotDecoder>,
+    /// Latest wire snapshot per remote replica (BTreeMap: deterministic
+    /// merge order).
+    remote: Mutex<BTreeMap<String, MonitorSnapshot>>,
+    version: AtomicU64,
+    next_shard: AtomicUsize,
+    max_seen: Mutex<Option<f64>>,
+    snap_cache: Mutex<Option<(u64, MonitorSnapshot)>>,
+    resp_cache: Mutex<(u64, HashMap<String, Response>)>,
+}
+
+impl ServerState {
+    pub(crate) fn new(cfg: StateConfig) -> Result<Self> {
+        let builder = || -> MonitorBuilder {
+            let mut b = Audit::monitor(&cfg.outcome, cfg.axes.clone())
+                .boxed_estimator(cfg.estimator.clone_box())
+                .window_seconds(cfg.window_seconds)
+                .bucket_seconds(cfg.bucket_seconds)
+                .subsets(cfg.subsets);
+            if let Some(lambda) = cfg.decay {
+                b = b.decay(lambda);
+            }
+            for rule in &cfg.alerts {
+                b = b.alert(*rule);
+            }
+            for spec in &cfg.changepoints {
+                b = b.changepoint(*spec);
+            }
+            b
+        };
+        let reference = builder().build()?.snapshot()?;
+        let fleet = builder().fleet::<LabelChunk>(cfg.shards)?;
+        let vocab = cfg
+            .axes
+            .iter()
+            .map(|a| a.labels().iter().cloned().collect())
+            .collect();
+        Ok(Self {
+            outcome: cfg.outcome,
+            axes: cfg.axes,
+            vocab,
+            estimator: cfg.estimator,
+            window_seconds: cfg.window_seconds,
+            bucket_seconds: cfg.bucket_seconds,
+            decay: cfg.decay,
+            snapshot_timeout: cfg.snapshot_timeout,
+            fleet,
+            reference,
+            decoder: Mutex::new(SnapshotDecoder::new()),
+            remote: Mutex::new(BTreeMap::new()),
+            version: AtomicU64::new(1),
+            next_shard: AtomicUsize::new(0),
+            max_seen: Mutex::new(None),
+            snap_cache: Mutex::new(None),
+            resp_cache: Mutex::new((0, HashMap::new())),
+        })
+    }
+
+    /// The outcome axis name.
+    pub fn outcome(&self) -> &str {
+        &self.outcome
+    }
+
+    /// The schema axes (outcome included), in record order.
+    pub fn axes(&self) -> &[Axis] {
+        &self.axes
+    }
+
+    /// Number of ingest shards.
+    pub fn shards(&self) -> usize {
+        self.fleet.shards()
+    }
+
+    /// Display name of the configured ε estimator.
+    pub fn estimator_name(&self) -> String {
+        self.estimator.name()
+    }
+
+    /// `(window_seconds, bucket_seconds, decay)` as configured.
+    pub fn window_config(&self) -> (f64, f64, Option<f64>) {
+        (self.window_seconds, self.bucket_seconds, self.decay)
+    }
+
+    /// Default bounded wait for consistent-cut rounds.
+    pub fn snapshot_timeout(&self) -> Duration {
+        self.snapshot_timeout
+    }
+
+    /// The current ingest version (bumped by every accepted ingest).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::SeqCst)
+    }
+
+    fn bump_version(&self) {
+        self.version.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Wall clock as UNIX seconds, the default record timestamp.
+    pub fn now_unix(&self) -> f64 {
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(0.0)
+    }
+
+    /// Validates rows + timestamp against the catalog and enqueues them.
+    /// Returns `(rows accepted, shard used)`. Nothing reaches the fleet
+    /// unless every row is valid — an atomic accept/reject per request,
+    /// and the reason shard workers can never be poisoned over HTTP.
+    pub fn ingest_rows(
+        &self,
+        rows: Vec<Vec<String>>,
+        at: f64,
+        shard: Option<usize>,
+    ) -> Result<(usize, usize)> {
+        if rows.is_empty() {
+            return Err(DfError::Invalid("no records in request body".into()));
+        }
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != self.axes.len() {
+                return Err(DfError::Invalid(format!(
+                    "row {i} has {} fields; the schema has {} axes ({})",
+                    row.len(),
+                    self.axes.len(),
+                    self.axes
+                        .iter()
+                        .map(Axis::name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+            for (label, (axis, vocab)) in row.iter().zip(self.axes.iter().zip(&self.vocab)) {
+                if !vocab.contains(label) {
+                    return Err(DfError::Invalid(format!(
+                        "row {i}: `{label}` is not a label of axis `{}`",
+                        axis.name()
+                    )));
+                }
+            }
+        }
+        self.check_timestamp(at)?;
+        let shard = match shard {
+            Some(s) if s < self.shards() => s,
+            Some(s) => {
+                return Err(DfError::Invalid(format!(
+                    "no shard {s}: this server has {} shards",
+                    self.shards()
+                )))
+            }
+            None => self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards(),
+        };
+        let accepted = rows.len();
+        self.fleet
+            .producer(shard)?
+            .send(LabelChunk::new(rows), at)?;
+        self.bump_version();
+        Ok((accepted, shard))
+    }
+
+    /// Refuses timestamps the window could reject: non-finite, or older
+    /// than `max_seen − T + b`. Every shard clock is at most `max_seen`,
+    /// and a timestamp at least `now − T + b` always lands in an
+    /// in-window bucket, so anything passing this check is provably safe
+    /// on whichever shard it reaches.
+    fn check_timestamp(&self, at: f64) -> Result<()> {
+        if !at.is_finite() {
+            return Err(DfError::Invalid(format!(
+                "record timestamp must be finite, got {at}"
+            )));
+        }
+        let mut max_seen = self.max_seen.lock().expect("timestamp lock");
+        if let Some(max) = *max_seen {
+            let floor = max - self.window_seconds + self.bucket_seconds;
+            if at < floor {
+                return Err(DfError::Invalid(format!(
+                    "timestamp {at} is too old: the window has advanced to {max} \
+                     and only accepts arrivals from {floor}"
+                )));
+            }
+        }
+        if max_seen.is_none_or(|m| at > m) {
+            *max_seen = Some(at);
+        }
+        Ok(())
+    }
+
+    /// Decodes one binary `DFLT` frame, checks it is merge-compatible
+    /// with this server's configuration (schema, outcome, window, decay,
+    /// subsets, detectors), and stores it as `replica`'s latest state
+    /// (last write wins). Returns the decoded snapshot's record count.
+    pub fn ingest_snapshot(&self, bytes: &[u8], replica: &str) -> Result<(u64, u64)> {
+        let snap = self.decoder.lock().expect("decoder lock").decode(bytes)?;
+        self.reference.mergeable_with(&snap)?;
+        if snap.window.axes != self.reference.window.axes {
+            return Err(DfError::Invalid(
+                "snapshot schema does not match this server's catalog \
+                 (different axes or label sets)"
+                    .into(),
+            ));
+        }
+        let totals = (snap.records_seen, snap.window_rows);
+        self.remote
+            .lock()
+            .expect("remote lock")
+            .insert(replica.to_string(), snap);
+        self.bump_version();
+        Ok(totals)
+    }
+
+    /// The fleet-wide merged snapshot: a consistent cut of the local
+    /// fleet folded with the latest snapshot of every remote replica.
+    fn merged_snapshot(&self, timeout: Duration) -> Result<MonitorSnapshot> {
+        let local = self.fleet.try_snapshot_timeout(timeout)?;
+        let remote = self.remote.lock().expect("remote lock");
+        if remote.is_empty() {
+            return Ok(local);
+        }
+        let mut all = Vec::with_capacity(1 + remote.len());
+        all.push(local);
+        all.extend(remote.values().cloned());
+        drop(remote);
+        merge_many(&all, &*self.estimator)
+    }
+
+    /// [`Self::merged_snapshot`] behind the version-tagged cache: the
+    /// warm path clones the cached merge instead of re-cutting the fleet.
+    pub fn merged_cached(&self, timeout: Duration) -> Result<(u64, MonitorSnapshot)> {
+        let version = self.version();
+        if let Some((v, snap)) = &*self.snap_cache.lock().expect("snapshot cache lock") {
+            if *v == version {
+                return Ok((version, snap.clone()));
+            }
+        }
+        let snap = self.merged_snapshot(timeout)?;
+        *self.snap_cache.lock().expect("snapshot cache lock") = Some((version, snap.clone()));
+        Ok((version, snap))
+    }
+
+    /// A cached rendered response, valid only at the given version.
+    pub fn cached_response(&self, version: u64, key: &str) -> Option<Response> {
+        let cache = self.resp_cache.lock().expect("response cache lock");
+        (cache.0 == version)
+            .then(|| cache.1.get(key).cloned())
+            .flatten()
+    }
+
+    /// Stores a rendered response under the given version, resetting the
+    /// cache when the version moved and capping its size.
+    pub fn store_response(&self, version: u64, key: &str, resp: &Response) {
+        let mut cache = self.resp_cache.lock().expect("response cache lock");
+        if cache.0 != version {
+            cache.0 = version;
+            cache.1.clear();
+        }
+        if cache.1.len() < RESPONSE_CACHE_CAP {
+            cache.1.insert(key.to_string(), resp.clone());
+        }
+    }
+}

@@ -90,6 +90,7 @@
 //! | `prob` (df_prob) | distributions, special functions, RNGs, contingency tables, IPF, posterior samplers |
 //! | `data` (df_data) | data frames, CSV, encoders, the calibrated synthetic Adult benchmark, Table 1 data |
 //! | `learn` (df_learn) | logistic regression (plain and DF-regularized), naive Bayes, trees, metrics, threshold mechanisms |
+//! | `server` (df_server) | the ε-DF audit query service: HTTP/1.1 ingest + audit/monitor endpoints over a long-lived fleet, with content negotiation |
 //!
 //! The `df-bench` crate (not re-exported) regenerates every table and
 //! figure of the paper; see `EXPERIMENTS.md`.
@@ -101,6 +102,7 @@ pub use df_core as core;
 pub use df_data as data;
 pub use df_learn as learn;
 pub use df_prob as prob;
+pub use df_server as server;
 
 use df_core::builder::Audit;
 use df_core::JointCounts;
@@ -196,6 +198,7 @@ pub mod prelude {
         PageHinkley,
     };
     pub use df_core::privacy::{PrivacyRegime, RANDOMIZED_RESPONSE_EPSILON};
+    pub use df_core::report::ResponseFormat;
     pub use df_core::subsets::{subset_audit, SubsetAudit};
     pub use df_core::theta::{posterior_theta, ThetaClass};
     pub use df_core::{
@@ -216,6 +219,8 @@ pub mod prelude {
     pub use df_prob::contingency::{Axis, ContingencyTable};
     pub use df_prob::partial::{PartialCounts, Tally};
     pub use df_prob::rng::{DfRng, Pcg32};
+    pub use df_server::client::{ClientResponse, Http1Client};
+    pub use df_server::{Server, ServerBuilder};
 }
 
 #[cfg(test)]
