@@ -48,6 +48,7 @@ use crate::epsilon::{EpsilonResult, GroupOutcomes};
 use crate::equalized::EqualizedOddsCounts;
 use crate::error::{DfError, Result};
 use crate::mechanism::{estimate_group_outcomes, Mechanism};
+use crate::metric::{EpsilonDf, Metric};
 use crate::privacy::PrivacyRegime;
 use crate::report::{fmt_count, fmt_epsilon, Align, ResponseFormat, TextTable};
 use crate::subsets::SubsetEpsilon;
@@ -282,6 +283,7 @@ enum Source<'a> {
 pub struct Audit<'a> {
     source: Source<'a>,
     estimators: Vec<Box<dyn EpsilonEstimator>>,
+    metric: Option<Box<dyn Metric>>,
     subsets: Option<SubsetPolicy>,
     bootstrap: Option<(usize, u64)>,
     bootstrap_mass: f64,
@@ -315,6 +317,7 @@ impl<'a> Audit<'a> {
         Self {
             source,
             estimators: Vec::new(),
+            metric: None,
             subsets: None,
             bootstrap: None,
             bootstrap_mass: 0.95,
@@ -463,6 +466,21 @@ impl<'a> Audit<'a> {
         self
     }
 
+    /// Sets the fairness metric every configured estimator is evaluated
+    /// under (see [`crate::metric`]). Defaults to [`EpsilonDf`], which
+    /// reproduces the pre-metric behavior byte for byte.
+    pub fn metric(mut self, metric: impl Metric + 'static) -> Self {
+        self.metric = Some(Box::new(metric));
+        self
+    }
+
+    /// Sets an already-boxed metric (for dynamically assembled audits,
+    /// e.g. from a [`crate::metric::metric_from_tag`] lookup).
+    pub fn boxed_metric(mut self, metric: Box<dyn Metric>) -> Self {
+        self.metric = Some(metric);
+        self
+    }
+
     /// Sets the subset-audit policy. Defaults to [`SubsetPolicy::All`] for
     /// counts sources and [`SubsetPolicy::None`] for flat tables (which
     /// have no attribute factorization to marginalize — requesting anything
@@ -522,6 +540,7 @@ impl<'a> Audit<'a> {
         let Audit {
             source,
             estimators: configured_estimators,
+            metric,
             subsets: subset_policy,
             bootstrap: bootstrap_cfg,
             bootstrap_mass,
@@ -550,6 +569,7 @@ impl<'a> Audit<'a> {
         } else {
             configured_estimators
         };
+        let metric: Box<dyn Metric> = metric.unwrap_or_else(|| Box::new(EpsilonDf));
 
         // Subset lattice (size-then-declaration order; full set last).
         let policy = match (subset_policy, counts.is_some()) {
@@ -608,13 +628,20 @@ impl<'a> Audit<'a> {
 
         let mut estimator_reports = Vec::with_capacity(estimators.len());
         for est in &estimators {
-            let result = est.estimate(&raw_full)?;
+            let result = match counts {
+                Some(c) if metric.requires_counts() => metric.evaluate_counts(c, &**est)?,
+                _ => metric.evaluate(&raw_full, &**est)?,
+            };
             let mut subsets = Vec::with_capacity(subset_attrs.len());
             for (attrs, raw) in subset_attrs.iter().zip(&raw_subsets) {
                 let sub_result = if attrs.len() == attribute_names.len() {
                     result.clone()
+                } else if metric.requires_counts() {
+                    let names: Vec<&str> = attrs.iter().map(String::as_str).collect();
+                    let c = counts.expect("subset lattice implies a counts source");
+                    metric.evaluate_marginal(c, &names, &**est)?
                 } else {
-                    est.estimate(raw)?
+                    metric.evaluate(raw, &**est)?
                 };
                 subsets.push(SubsetEpsilon {
                     attributes: attrs.clone(),
@@ -637,9 +664,11 @@ impl<'a> Audit<'a> {
         // (exact marginalization ⇒ must be empty; violations indicate
         // upstream data corruption). Performed whenever the audited lattice
         // is complete — `All`, or `UpTo` with a size covering every subset.
+        // The 2ε bound is a theorem about ε specifically; under any other
+        // metric the check is not defined and stays `None`.
         let lattice_complete = !attribute_names.is_empty()
             && subset_attrs.len() == (1usize << attribute_names.len()) - 1;
-        let bound_violations = if lattice_complete {
+        let bound_violations = if lattice_complete && metric.tag() == "eps-df" {
             // Reuse the Empirical estimator's results when configured;
             // otherwise compute the plug-in ε per subset once.
             let empirical: Vec<f64> = match estimator_reports.iter().find(|e| e.name == "eps-EDF") {
@@ -713,7 +742,7 @@ impl<'a> Audit<'a> {
                     bootstrap_mass,
                     &mut rng,
                     bootstrap_threads,
-                    &|jc| Ok(headline_est.estimate(&jc.group_outcomes(0.0)?)?.epsilon),
+                    &|jc| Ok(metric.evaluate_counts(jc, &**headline_est)?.epsilon),
                 )?)
             }
             (Some(_), None) => {
@@ -734,6 +763,7 @@ impl<'a> Audit<'a> {
             attributes: attribute_names,
             outcomes: raw_full.outcome_labels().to_vec(),
             estimators: estimator_reports,
+            metric: metric.tag(),
             epsilon,
             headline: headline.name,
             regime,
@@ -797,6 +827,9 @@ pub struct AuditReport {
     pub outcomes: Vec<String>,
     /// Per-estimator results, in configuration order.
     pub estimators: Vec<EstimatorReport>,
+    /// Canonical tag of the fairness metric every value was computed
+    /// under (`eps-df` unless [`Audit::metric`] was called).
+    pub metric: String,
     /// The headline ε: the last estimator's full-intersection result.
     pub epsilon: EpsilonResult,
     /// Name of the headline estimator.
@@ -883,6 +916,9 @@ impl AuditReport {
                 None => fmt_count(self.total_weight),
             }
         );
+        if self.metric != "eps-df" {
+            let _ = writeln!(out, "metric: {}", self.metric);
+        }
         let _ = writeln!(
             out,
             "headline {} = {} ({:?}; outcome-ratio bound e^eps = {:.2}x)",

@@ -20,8 +20,9 @@
 //! ```text
 //! frame   := magic "DFLT" | version u8 | kind u8 | schema_hash u64 | body
 //! kind    := 1 (full: body = schema ++ state) | 2 (delta: body = state)
-//! schema  := outcome_axis str | estimator str | window_s opt_f64
-//!          | bucket_s opt_f64 | decay opt_f64 | axes | subsets | specs
+//! schema  := outcome_axis str | estimator str | metric str
+//!          | window_s opt_f64 | bucket_s opt_f64 | decay opt_f64
+//!          | axes | subsets | specs
 //! state   := records_seen varint | window_rows varint | now opt_f64
 //!          | window cells | [decayed cells] | eps | [decayed eps]
 //!          | subset eps × n_subsets | alerts | detector states
@@ -53,8 +54,10 @@ use std::collections::HashMap;
 
 /// The frame magic: `DFLT` ("differential-fairness fleet transport").
 pub const MAGIC: [u8; 4] = *b"DFLT";
-/// Current wire-format version.
-pub const VERSION: u8 = 1;
+/// Current wire-format version. Version 2 added the metric tag to the
+/// schema (inside the fingerprint, so snapshots of different metrics can
+/// never be confused for delta frames of one another).
+pub const VERSION: u8 = 2;
 
 const KIND_FULL: u8 = 1;
 const KIND_DELTA: u8 = 2;
@@ -228,6 +231,7 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 struct SnapshotSchema {
     outcome_axis: String,
     estimator: String,
+    metric: String,
     window_seconds: Option<f64>,
     bucket_seconds: Option<f64>,
     decay: Option<f64>,
@@ -276,6 +280,7 @@ impl SnapshotSchema {
         SnapshotSchema {
             outcome_axis: snap.outcome_axis.clone(),
             estimator: snap.estimator.clone(),
+            metric: snap.metric.clone(),
             window_seconds: snap.window_seconds,
             bucket_seconds: snap.bucket_seconds,
             decay: snap.decay,
@@ -291,6 +296,7 @@ impl SnapshotSchema {
     fn matches(&self, snap: &MonitorSnapshot) -> bool {
         self.outcome_axis == snap.outcome_axis
             && self.estimator == snap.estimator
+            && self.metric == snap.metric
             && self.window_seconds == snap.window_seconds
             && self.bucket_seconds == snap.bucket_seconds
             && self.decay == snap.decay
@@ -322,6 +328,7 @@ impl SnapshotSchema {
     fn encode(&self, out: &mut Vec<u8>) {
         put_str(out, &self.outcome_axis);
         put_str(out, &self.estimator);
+        put_str(out, &self.metric);
         put_opt_f64(out, self.window_seconds);
         put_opt_f64(out, self.bucket_seconds);
         put_opt_f64(out, self.decay);
@@ -349,6 +356,7 @@ impl SnapshotSchema {
     fn decode(r: &mut Reader<'_>) -> Result<SnapshotSchema> {
         let outcome_axis = r.str()?;
         let estimator = r.str()?;
+        let metric = r.str()?;
         let window_seconds = r.opt_f64()?;
         let bucket_seconds = r.opt_f64()?;
         let decay = r.opt_f64()?;
@@ -369,6 +377,7 @@ impl SnapshotSchema {
         let schema = SnapshotSchema {
             outcome_axis,
             estimator,
+            metric,
             window_seconds,
             bucket_seconds,
             decay,
@@ -439,6 +448,10 @@ impl SnapshotSchema {
                 }
             }
         }
+        // An unknown metric tag is a typed decode error: the snapshot's
+        // statistic is meaningless without the metric that computed it,
+        // and a silent ε-DF fallback would let merges mix definitions.
+        crate::metric::metric_from_tag(&self.metric)?;
         for spec in &self.specs {
             spec.validate()?;
         }
@@ -758,6 +771,7 @@ fn get_state(r: &mut Reader<'_>, schema: &SnapshotSchema) -> Result<MonitorSnaps
     Ok(MonitorSnapshot {
         outcome_axis: schema.outcome_axis.clone(),
         estimator: schema.estimator.clone(),
+        metric: schema.metric.clone(),
         records_seen,
         window_rows,
         window_seconds: schema.window_seconds,
@@ -1175,6 +1189,26 @@ mod tests {
         assert!(dec.decode(&delta).is_ok());
     }
 
+    /// A frame whose schema names a metric this build does not know must
+    /// be refused with a typed error — never silently decoded as ε-DF,
+    /// which would let a later merge mix two different definitions.
+    #[test]
+    fn unknown_metric_tag_is_a_typed_decode_error() {
+        let mut snap = live_snapshot();
+        snap.metric = "martian".to_string();
+        let frame = encode_snapshot(&snap).unwrap();
+        let err = SnapshotDecoder::new().decode(&frame).unwrap_err();
+        assert!(matches!(err, DfError::Invalid(_)));
+        assert!(err.to_string().contains("unknown metric"), "got: {err}");
+        // Every known tag round-trips through the same path.
+        for tag in ["eps-df", "wc-ratio", "wc-diff", "alpha-if(alpha=0.5)"] {
+            let mut snap = live_snapshot();
+            snap.metric = tag.to_string();
+            let back = decode_snapshot(&encode_snapshot(&snap).unwrap()).unwrap();
+            assert_eq!(back, snap);
+        }
+    }
+
     /// A hostile full frame whose few-KB schema implies terabytes of
     /// cells (6 axes × 200 labels → 200⁶ = 6.4e13) must be refused
     /// *without* allocating anything proportional to that product — the
@@ -1185,6 +1219,7 @@ mod tests {
             let schema = SnapshotSchema {
                 outcome_axis: "a0".to_string(),
                 estimator: "evil".to_string(),
+                metric: "eps-df".to_string(),
                 window_seconds: None,
                 bucket_seconds: None,
                 decay: None,

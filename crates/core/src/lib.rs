@@ -31,6 +31,11 @@
 //! - [`equalized`]: differential equalized odds — the error-rate analogue
 //!   the paper names as future work (§7.1).
 //! - [`bootstrap`]: frequentist confidence intervals for ε̂.
+//! - [`metric`]: the generic fairness-metric layer — ε-DF, worst-case
+//!   ratio/difference (Ghosh et al. 2021), α-intersectional fairness with
+//!   leveling-down diagnostics (Maheshwari et al. 2023), and differential
+//!   equalized odds, all interchangeable across audits, monitors, and
+//!   fleet snapshots.
 //! - [`monitor`]: online sliding-window ε over a prediction stream, with
 //!   an exponentially-decayed trend horizon, hysteresis alerting, and
 //!   shard-mergeable snapshots.
@@ -92,6 +97,7 @@ pub mod equalized;
 pub mod error;
 pub mod fleet;
 pub mod mechanism;
+pub mod metric;
 pub mod monitor;
 pub mod privacy;
 pub mod report;
@@ -104,3 +110,4 @@ pub use builder::{Audit, AuditReport, EpsilonEstimator};
 pub use edf::JointCounts;
 pub use epsilon::{EpsilonResult, EpsilonWitness, GroupOutcomes};
 pub use error::{DfError, Result};
+pub use metric::{metric_from_tag, EpsilonDf, Metric};

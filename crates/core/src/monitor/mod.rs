@@ -111,6 +111,7 @@ use crate::builder::{EpsilonEstimator, Smoothed, SubsetPolicy};
 use crate::edf::JointCounts;
 use crate::epsilon::{EpsilonResult, EpsilonWitness};
 use crate::error::{DfError, Result};
+use crate::metric::{EpsilonDf, Metric};
 use changepoint::DetectorState;
 use clock::TimeRing;
 use df_prob::contingency::{Axis, ContingencyTable};
@@ -221,6 +222,7 @@ pub struct MonitorBuilder {
     outcome_axis: String,
     axes: Vec<Axis>,
     estimator: Option<Box<dyn EpsilonEstimator>>,
+    metric: Option<Box<dyn Metric>>,
     subsets: SubsetPolicy,
     window_records: Option<usize>,
     window_seconds: Option<f64>,
@@ -237,6 +239,7 @@ impl MonitorBuilder {
             outcome_axis: outcome_axis.to_string(),
             axes,
             estimator: None,
+            metric: None,
             subsets: SubsetPolicy::None,
             window_records: None,
             window_seconds: None,
@@ -269,6 +272,14 @@ impl MonitorBuilder {
             .unwrap_or_else(Self::default_estimator)
     }
 
+    /// The metric used when none is configured: ε-DF, the paper's
+    /// headline definition and the byte-identical historical behaviour.
+    /// The fleet aggregator never needs a copy: merged snapshots carry
+    /// the metric tag and recompute through [`crate::metric::metric_from_tag`].
+    fn default_metric() -> Box<dyn Metric> {
+        Box::new(EpsilonDf)
+    }
+
     /// Sets the ε-estimation strategy (default: [`Smoothed`]` { alpha: 1.0 }`,
     /// the audit builder's headline default).
     pub fn estimator(mut self, estimator: impl EpsilonEstimator + 'static) -> Self {
@@ -279,6 +290,20 @@ impl MonitorBuilder {
     /// Sets an already-boxed estimator.
     pub fn boxed_estimator(mut self, estimator: Box<dyn EpsilonEstimator>) -> Self {
         self.estimator = Some(estimator);
+        self
+    }
+
+    /// Sets the fairness metric the monitor tracks (default:
+    /// [`EpsilonDf`], the paper's ε-DF). Every windowed statistic, subset
+    /// entry, alert, and change-point sample is computed under it.
+    pub fn metric(mut self, metric: impl Metric + 'static) -> Self {
+        self.metric = Some(Box::new(metric));
+        self
+    }
+
+    /// Sets an already-boxed metric (see [`MonitorBuilder::metric`]).
+    pub fn boxed_metric(mut self, metric: Box<dyn Metric>) -> Self {
+        self.metric = Some(metric);
         self
     }
 
@@ -466,6 +491,7 @@ impl MonitorBuilder {
             engine,
             outcome_axis: self.outcome_axis,
             estimator: self.estimator.unwrap_or_else(Self::default_estimator),
+            metric: self.metric.unwrap_or_else(Self::default_metric),
             subset_attrs,
             decay: self.decay,
             rules: self.rules,
@@ -522,6 +548,7 @@ pub struct FairnessMonitor {
     engine: WindowEngine,
     outcome_axis: String,
     estimator: Box<dyn EpsilonEstimator>,
+    metric: Box<dyn Metric>,
     subset_attrs: Vec<Vec<String>>,
     decay: Option<f64>,
     rules: Vec<AlertRule>,
@@ -649,7 +676,14 @@ impl FairnessMonitor {
     fn finish(&mut self, rows: usize) -> Result<MonitorStep> {
         self.records_seen += rows as u64;
         let raw = self.engine.raw_outcomes(self.window.table())?;
-        let epsilon = self.estimator.estimate(&raw)?;
+        let epsilon = if self.metric.requires_counts() {
+            // Label-conditioned metrics (differential equalized odds) need
+            // the full joint table, not the flattened group×outcome view.
+            let jc = JointCounts::from_table(self.window.table().clone(), &self.outcome_axis)?;
+            self.metric.evaluate_counts(&jc, &*self.estimator)?
+        } else {
+            self.metric.evaluate(&raw, &*self.estimator)?
+        };
         let decayed_epsilon = self.horizon_epsilon()?;
         let now_seconds = self.window.now();
         let fired = self.evaluate_rules(&epsilon, now_seconds);
@@ -681,20 +715,28 @@ impl FairnessMonitor {
         })
     }
 
-    /// ε of the current window under the configured estimator — the same
-    /// estimate a batch [`crate::builder::Audit`] of the window's records
+    /// The configured metric's statistic of the current window — the same
+    /// value a batch [`crate::builder::Audit`] of the window's records
     /// would headline, byte for byte (computed through the cached
     /// `WindowEngine`, which is value-identical to the audit path).
     pub fn window_epsilon(&self) -> Result<EpsilonResult> {
-        self.estimator
-            .estimate(&self.engine.raw_outcomes(self.window.table())?)
+        self.evaluate_table(self.window.table())
+    }
+
+    /// Evaluates the configured metric over one counts table.
+    fn evaluate_table(&self, table: &ContingencyTable) -> Result<EpsilonResult> {
+        if self.metric.requires_counts() {
+            let jc = JointCounts::from_table(table.clone(), &self.outcome_axis)?;
+            self.metric.evaluate_counts(&jc, &*self.estimator)
+        } else {
+            self.metric
+                .evaluate(&self.engine.raw_outcomes(table)?, &*self.estimator)
+        }
     }
 
     fn horizon_epsilon(&self) -> Result<Option<EpsilonResult>> {
         match &self.decayed {
-            Some(d) => Ok(Some(
-                self.estimator.estimate(&self.engine.raw_outcomes(d)?)?,
-            )),
+            Some(d) => Ok(Some(self.evaluate_table(d)?)),
             None => Ok(None),
         }
     }
@@ -773,11 +815,13 @@ impl FairnessMonitor {
             &window_counts,
             &self.subset_attrs,
             &epsilon,
+            &*self.metric,
             &*self.estimator,
         )?;
         Ok(MonitorSnapshot {
             outcome_axis: self.outcome_axis.clone(),
             estimator: self.estimator.name(),
+            metric: self.metric.tag(),
             records_seen: self.records_seen,
             window_rows: self.window.rows() as u64,
             window_seconds: self.window_seconds,
@@ -1039,6 +1083,60 @@ mod tests {
         let flipped = snap_b.merge(&snap_a, &Smoothed { alpha: 1.0 }).unwrap();
         assert_eq!(flipped.window, merged.window);
         assert_eq!(flipped.epsilon, merged.epsilon);
+    }
+
+    /// Regression for the metric layer: merging used to recompute the
+    /// statistic with bare ε semantics regardless of what the shards
+    /// tracked. A two-shard min/max-ratio fleet must recompute the
+    /// *ratio* over the summed cells — hand-checked below — and a
+    /// min/max-ratio shard must refuse to merge with an ε-DF shard.
+    #[test]
+    fn merged_snapshots_recompute_under_the_shard_metric_not_epsilon() {
+        use crate::metric::WorstCaseRatio;
+        let build = || {
+            Audit::monitor("y", axes())
+                .estimator(Smoothed { alpha: 1.0 })
+                .metric(WorstCaseRatio)
+                .window(8)
+                .build()
+                .unwrap()
+        };
+        let mut shard_a = build();
+        let mut shard_b = build();
+        shard_a.push(&skewed()).unwrap();
+        shard_b.push(&balanced()).unwrap();
+        let merged = shard_a
+            .snapshot()
+            .unwrap()
+            .merge(&shard_b.snapshot().unwrap(), &Smoothed { alpha: 1.0 })
+            .unwrap();
+        assert_eq!(merged.metric, "wc-ratio");
+        // Union window: yes = (a: 3, b: 1), no = (a: 1, b: 3). Smoothed
+        // with α = 1: P(yes|a) = 4/6, P(yes|b) = 2/6, so the worst-case
+        // min/max ratio shortfall is 1 − (1/3)/(2/3) = 0.5 — not ln 2,
+        // which is what the old ε-semantics recompute would report.
+        assert!((merged.epsilon.epsilon - 0.5).abs() < 1e-12);
+        assert!((merged.epsilon.epsilon - 2.0f64.ln()).abs() > 0.1);
+        // Byte-identical to one monitor that saw all the traffic.
+        let mut whole = build();
+        whole.push(&skewed()).unwrap();
+        whole.push(&balanced()).unwrap();
+        let direct = whole.snapshot().unwrap();
+        assert_eq!(merged.epsilon, direct.epsilon);
+        assert_eq!(merged.window, direct.window);
+        // Cross-metric merges fail typed at the compatibility gate.
+        let mut eps_shard = Audit::monitor("y", axes())
+            .estimator(Smoothed { alpha: 1.0 })
+            .window(8)
+            .build()
+            .unwrap();
+        eps_shard.push(&balanced()).unwrap();
+        let err = shard_a
+            .snapshot()
+            .unwrap()
+            .merge(&eps_shard.snapshot().unwrap(), &Smoothed { alpha: 1.0 })
+            .unwrap_err();
+        assert!(err.to_string().contains("metric"), "got: {err}");
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::builder::EpsilonEstimator;
 use crate::edf::JointCounts;
 use crate::epsilon::EpsilonResult;
 use crate::error::{DfError, Result};
+use crate::metric::{metric_from_tag, Metric};
 use crate::report::{fmt_count, fmt_epsilon, Align, ResponseFormat, TextTable};
 use crate::subsets::SubsetEpsilon;
 use df_prob::contingency::{Axis, ContingencyTable};
@@ -107,6 +108,10 @@ pub struct MonitorSnapshot {
     pub outcome_axis: String,
     /// Display name of the ε estimator in force.
     pub estimator: String,
+    /// Canonical tag of the fairness metric every statistic in this
+    /// snapshot was computed under (see [`crate::metric::metric_from_tag`]).
+    /// Snapshots of different metrics never merge.
+    pub metric: String,
     /// Total records ingested over the monitor's lifetime.
     pub records_seen: u64,
     /// Records currently inside the window.
@@ -219,6 +224,13 @@ impl MonitorSnapshot {
                 self.outcome_axis, other.outcome_axis
             )));
         }
+        if self.metric != other.metric {
+            return Err(DfError::Invalid(format!(
+                "cannot merge snapshots computed under different metrics: \
+                 `{}` vs `{}`",
+                self.metric, other.metric
+            )));
+        }
         if self.decay != other.decay {
             return Err(DfError::Invalid(
                 "cannot merge snapshots with different decay configurations".into(),
@@ -256,6 +268,26 @@ impl MonitorSnapshot {
         Ok(())
     }
 
+    /// Re-derives this snapshot's statistics under a different metric.
+    /// The window and horizon counts are metric-agnostic, so any metric
+    /// can be evaluated over them after the fact: the returned snapshot
+    /// carries `tag` and has its headline statistic, decayed statistic,
+    /// and subset lattice recomputed under it with `estimator`. An
+    /// unknown tag is a typed error before anything is cloned. The
+    /// alert and alarm logs are historical records of what fired under
+    /// the original metric and are carried over unchanged.
+    pub fn with_metric(
+        &self,
+        tag: &str,
+        estimator: &dyn EpsilonEstimator,
+    ) -> Result<MonitorSnapshot> {
+        metric_from_tag(tag)?;
+        let mut out = self.clone();
+        out.metric = tag.to_string();
+        out.canonicalize_and_recompute(estimator)?;
+        Ok(out)
+    }
+
     /// Accumulates `other`'s raw mergeable state into `self` in place:
     /// cell-wise count sums, record totals, max clock, max detector
     /// statistics, and concatenated (not yet canonically ordered) alert
@@ -288,28 +320,38 @@ impl MonitorSnapshot {
 
     /// Restores the derived half of the snapshot after one or more
     /// [`MonitorSnapshot::absorb_counts`] calls: sorts the alert and alarm
-    /// logs into canonical order and recomputes ε, the decayed ε, and the
-    /// per-subset lattice from the accumulated counts under `estimator`.
+    /// logs into canonical order and recomputes the headline statistic,
+    /// the decayed statistic, and the per-subset lattice from the
+    /// accumulated counts under `estimator` — routed through the metric
+    /// named by the snapshot's own tag, so a merge of min/max-ratio
+    /// shards recomputes a min/max ratio, never a silently substituted ε.
     pub(crate) fn canonicalize_and_recompute(
         &mut self,
         estimator: &dyn EpsilonEstimator,
     ) -> Result<()> {
+        let metric = metric_from_tag(&self.metric)?;
         self.alerts.sort_by_key(alert_key);
         for status in &mut self.changepoints {
             status.alarms.sort_by_key(alarm_key);
         }
         let window_counts = JointCounts::from_table(self.window.to_table()?, &self.outcome_axis)?;
-        self.epsilon = estimator.estimate(&window_counts.group_outcomes(0.0)?)?;
+        self.epsilon = metric.evaluate_counts(&window_counts, estimator)?;
         self.decayed_epsilon = match &self.decayed {
             Some(d) => {
                 let jc = JointCounts::from_table(d.to_table()?, &self.outcome_axis)?;
-                Some(estimator.estimate(&jc.group_outcomes(0.0)?)?)
+                Some(metric.evaluate_counts(&jc, estimator)?)
             }
             None => None,
         };
         let subset_attrs: Vec<Vec<String>> =
             self.subsets.iter().map(|s| s.attributes.clone()).collect();
-        self.subsets = subset_epsilons(&window_counts, &subset_attrs, &self.epsilon, estimator)?;
+        self.subsets = subset_epsilons(
+            &window_counts,
+            &subset_attrs,
+            &self.epsilon,
+            &*metric,
+            estimator,
+        )?;
         self.estimator = estimator.name();
         Ok(())
     }
@@ -346,9 +388,14 @@ impl MonitorSnapshot {
         let mut rows = vec![
             ("estimator".to_string(), self.estimator.clone()),
             ("records_seen".to_string(), self.records_seen.to_string()),
+        ];
+        if self.metric != "eps-df" {
+            rows.insert(1, ("metric".to_string(), self.metric.clone()));
+        }
+        rows.extend([
             ("window_rows".to_string(), self.window_rows.to_string()),
             ("epsilon".to_string(), fmt_epsilon(self.epsilon.epsilon)),
-        ];
+        ]);
         if let Some(d) = &self.decayed_epsilon {
             rows.push(("decayed_epsilon".to_string(), fmt_epsilon(d.epsilon)));
         }
@@ -443,13 +490,14 @@ impl MonitorSnapshot {
     }
 }
 
-/// Per-subset ε under `estimator`, reusing the precomputed full-
-/// intersection result for the last (full) entry — the exact layout of the
-/// builder's `EstimatorReport::subsets`.
+/// Per-subset statistic of `metric` under `estimator`, reusing the
+/// precomputed full-intersection result for the last (full) entry — the
+/// exact layout of the builder's `EstimatorReport::subsets`.
 pub(crate) fn subset_epsilons(
     counts: &JointCounts,
     subset_attrs: &[Vec<String>],
     full: &EpsilonResult,
+    metric: &dyn Metric,
     estimator: &dyn EpsilonEstimator,
 ) -> Result<Vec<SubsetEpsilon>> {
     let n_attrs = counts.attribute_names().len();
@@ -459,7 +507,7 @@ pub(crate) fn subset_epsilons(
             full.clone()
         } else {
             let names: Vec<&str> = attrs.iter().map(String::as_str).collect();
-            estimator.estimate(&counts.marginal_to(&names)?.group_outcomes(0.0)?)?
+            metric.evaluate_marginal(counts, &names, estimator)?
         };
         out.push(SubsetEpsilon {
             attributes: attrs.clone(),

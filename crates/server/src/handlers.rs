@@ -11,6 +11,7 @@ use crate::http::{parse_query, query_param, Request, Response};
 use crate::negotiate::{response_format, NegotiateError};
 use crate::state::ServerState;
 use df_core::builder::{Audit, Baselines, Empirical, PosteriorSup, Smoothed, SubsetPolicy};
+use df_core::metric::metric_from_tag;
 use df_core::report::ResponseFormat;
 use df_core::JointCounts;
 use df_core::{DfError, Result};
@@ -84,6 +85,7 @@ fn schema(state: &ServerState) -> Response {
         ),
         ("axes".to_string(), Value::Arr(axes)),
         ("estimator".to_string(), Value::Str(state.estimator_name())),
+        ("metric".to_string(), Value::Str(state.metric_tag())),
         ("window_seconds".to_string(), Value::Float(window)),
         ("bucket_seconds".to_string(), Value::Float(bucket)),
         ("decay".to_string(), decay.map_or(Value::Null, Value::Float)),
@@ -223,6 +225,9 @@ fn audit_inner(
             }
         };
     }
+    if let Some(tag) = query_param(params, "metric") {
+        audit = audit.boxed_metric(metric_from_tag(tag)?);
+    }
     if let Some(policy) = query_param(params, "subsets") {
         audit = audit.subsets(parse_subsets(policy)?);
     }
@@ -263,7 +268,14 @@ fn monitor(state: &ServerState, req: &Request, params: &[(String, String)]) -> R
         if let Some(resp) = state.cached_response(version, &key) {
             return Ok(resp);
         }
-        let resp = Response::new(200, format.mime(), snap.render(format)?.into_bytes());
+        // `?metric=` re-derives every statistic of the merged snapshot
+        // under another fairness metric; the stored counts are
+        // metric-agnostic, so this is a pure recompute.
+        let rendered = match query_param(params, "metric") {
+            Some(tag) => snap.with_metric(tag, state.estimator())?.render(format)?,
+            None => snap.render(format)?,
+        };
+        let resp = Response::new(200, format.mime(), rendered.into_bytes());
         state.store_response(version, &key, &resp);
         Ok(resp)
     };

@@ -67,6 +67,7 @@ pub use negotiate::NegotiateError;
 pub use state::ServerState;
 
 use df_core::builder::{EpsilonEstimator, Smoothed, SubsetPolicy};
+use df_core::metric::{EpsilonDf, Metric};
 use df_core::monitor::{AlertRule, ChangepointSpec};
 use df_core::{DfError, Result};
 use df_prob::contingency::Axis;
@@ -85,6 +86,7 @@ pub struct ServerBuilder {
     outcome: String,
     axes: Vec<Axis>,
     estimator: Box<dyn EpsilonEstimator>,
+    metric: Box<dyn Metric>,
     window_seconds: f64,
     bucket_seconds: Option<f64>,
     decay: Option<f64>,
@@ -104,6 +106,16 @@ impl ServerBuilder {
     /// audit endpoint picks its own estimators per query.
     pub fn estimator(mut self, estimator: impl EpsilonEstimator + 'static) -> Self {
         self.estimator = Box::new(estimator);
+        self
+    }
+
+    /// The fairness metric every monitor statistic, fleet snapshot, and
+    /// default audit is computed under (default: ε-differential
+    /// fairness). Queries can re-derive another metric per request via
+    /// `?metric=`; remote replicas posting snapshots must match this
+    /// metric's tag.
+    pub fn metric(mut self, metric: impl Metric + 'static) -> Self {
+        self.metric = Box::new(metric);
         self
     }
 
@@ -198,6 +210,7 @@ impl ServerBuilder {
             outcome: self.outcome,
             axes: self.axes,
             estimator: self.estimator,
+            metric: self.metric,
             window_seconds: self.window_seconds,
             bucket_seconds: bucket,
             decay: self.decay,
@@ -267,6 +280,7 @@ impl Server {
             outcome: outcome.to_string(),
             axes,
             estimator: Box::new(Smoothed { alpha: 1.0 }),
+            metric: Box::new(EpsilonDf),
             window_seconds: 3600.0,
             bucket_seconds: None,
             decay: None,

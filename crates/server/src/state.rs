@@ -27,6 +27,7 @@
 use crate::http::Response;
 use df_core::builder::{Audit, EpsilonEstimator, SubsetPolicy};
 use df_core::fleet::{merge_many, FleetIngest, SnapshotDecoder};
+use df_core::metric::Metric;
 use df_core::monitor::{AlertRule, ChangepointSpec, MonitorBuilder, MonitorSnapshot};
 use df_core::{DfError, Result};
 use df_data::chunks::LabelChunk;
@@ -44,6 +45,7 @@ pub(crate) struct StateConfig {
     pub outcome: String,
     pub axes: Vec<Axis>,
     pub estimator: Box<dyn EpsilonEstimator>,
+    pub metric: Box<dyn Metric>,
     pub window_seconds: f64,
     pub bucket_seconds: f64,
     pub decay: Option<f64>,
@@ -60,6 +62,7 @@ pub struct ServerState {
     axes: Vec<Axis>,
     vocab: Vec<HashSet<String>>,
     estimator: Box<dyn EpsilonEstimator>,
+    metric: Box<dyn Metric>,
     window_seconds: f64,
     bucket_seconds: f64,
     decay: Option<f64>,
@@ -84,6 +87,7 @@ impl ServerState {
         let builder = || -> MonitorBuilder {
             let mut b = Audit::monitor(&cfg.outcome, cfg.axes.clone())
                 .boxed_estimator(cfg.estimator.clone_box())
+                .boxed_metric(cfg.metric.clone())
                 .window_seconds(cfg.window_seconds)
                 .bucket_seconds(cfg.bucket_seconds)
                 .subsets(cfg.subsets);
@@ -110,6 +114,7 @@ impl ServerState {
             axes: cfg.axes,
             vocab,
             estimator: cfg.estimator,
+            metric: cfg.metric,
             window_seconds: cfg.window_seconds,
             bucket_seconds: cfg.bucket_seconds,
             decay: cfg.decay,
@@ -144,6 +149,16 @@ impl ServerState {
     /// Display name of the configured ε estimator.
     pub fn estimator_name(&self) -> String {
         self.estimator.name()
+    }
+
+    /// The configured ε estimator (for per-query snapshot re-derivation).
+    pub(crate) fn estimator(&self) -> &dyn EpsilonEstimator {
+        &*self.estimator
+    }
+
+    /// Canonical tag of the configured fairness metric.
+    pub fn metric_tag(&self) -> String {
+        self.metric.tag()
     }
 
     /// `(window_seconds, bucket_seconds, decay)` as configured.

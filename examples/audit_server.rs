@@ -123,6 +123,31 @@ fn main() {
     let summary: String = text.lines().take(12).collect::<Vec<_>>().join("\n");
     println!("\n-- GET /v1/monitor --\n{summary}\n…");
 
+    // One counts store, every fairness definition: `?metric=` re-derives
+    // the audit under any registry metric without re-ingesting a row.
+    println!("\n-- GET /v1/audit?metric=… — the same window under every definition --");
+    for tag in [
+        "eps-df",
+        "wc-ratio",
+        "wc-diff",
+        "alpha-if(alpha=0.5)",
+        "deo(label=gender)",
+    ] {
+        let resp = client
+            .get(&format!("/v1/audit?metric={tag}&format=json"))
+            .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        let body = resp.text();
+        let headline = body
+            .split("\"epsilon\":")
+            .nth(1)
+            .and_then(|rest| rest.split(',').next())
+            .unwrap_or("?")
+            .trim()
+            .to_string();
+        println!("  {tag:<22} statistic = {headline}");
+    }
+
     server.shutdown();
     println!("\nserver shut down cleanly");
 }

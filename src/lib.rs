@@ -192,6 +192,10 @@ pub mod prelude {
         SnapshotDecoder, SnapshotEncoder,
     };
     pub use df_core::mechanism::{estimate_group_outcomes, FnMechanism, Mechanism};
+    pub use df_core::metric::{
+        metric_from_tag, AlphaIntersectional, DifferentialEqualizedOdds, EpsilonDf, LevelingDown,
+        Metric, WorstCaseDiff, WorstCaseRatio,
+    };
     pub use df_core::monitor::{
         Alert, AlertRule, ChangeSignal, ChangepointAlarm, ChangepointSpec, ChangepointStatus,
         CountsSnapshot, Cusum, FairnessMonitor, MonitorBuilder, MonitorSnapshot, MonitorStep,

@@ -274,6 +274,134 @@ proptest! {
     }
 }
 
+/// A chunk of `(outcome, attr, attr)` index triples, for the
+/// three-axis schemas label-conditioned metrics need.
+#[derive(Debug, Clone)]
+struct Triples(Vec<[usize; 3]>);
+
+impl Tally for Triples {
+    fn tally_into(&self, shard: &mut PartialCounts) -> differential_fairness::prob::Result<()> {
+        for idx in &self.0 {
+            shard.record(idx);
+        }
+        Ok(())
+    }
+}
+
+/// Every registry metric over the y×g×h schema below.
+const METRIC_TAGS: [&str; 5] = [
+    "eps-df",
+    "wc-ratio",
+    "wc-diff",
+    "alpha-if(alpha=0.5)",
+    "deo(label=h)",
+];
+
+fn three_axes() -> Vec<Axis> {
+    vec![
+        Axis::from_strs("y", &["no", "yes"]).unwrap(),
+        Axis::from_strs("g", &["a", "b"]).unwrap(),
+        Axis::from_strs("h", &["u", "v"]).unwrap(),
+    ]
+}
+
+/// A [`rich_monitor`]-shaped monitor computing `tag` over y×g×h.
+fn metric_monitor(tag: &str) -> FairnessMonitor {
+    Audit::monitor("y", three_axes())
+        .estimator(Smoothed { alpha: 1.0 })
+        .boxed_metric(metric_from_tag(tag).unwrap())
+        .subsets(SubsetPolicy::All)
+        .window_seconds(5.0)
+        .bucket_seconds(1.0)
+        .decay(0.5)
+        .alert(AlertRule::epsilon_above(0.05))
+        .changepoint(Cusum::new(0.0, 0.01, 0.05))
+        .changepoint(PageHinkley::new(0.0, 0.01, 0.05))
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    /// The codec identity of `codec_round_trips_and_is_byte_stable`, per
+    /// metric tag: the tag rides inside the fingerprinted schema, so
+    /// every frame decodes back to a snapshot carrying the exact metric,
+    /// one schema is interned per stream, and re-encoding is the byte
+    /// identity — for every registry metric.
+    #[test]
+    fn codec_round_trips_for_every_metric_tag(
+        tag_idx in 0usize..5,
+        chunks in proptest::collection::vec(
+            (proptest::collection::vec(any::<u64>(), 1..6), 0i64..3),
+            1..8,
+        ),
+    ) {
+        let tag = METRIC_TAGS[tag_idx];
+        let mut monitor = metric_monitor(tag);
+        let mut now = 0i64;
+        let mut encoder = SnapshotEncoder::new();
+        let mut decoder = SnapshotDecoder::new();
+        for (picks, advance) in &chunks {
+            now += advance;
+            let rows: Vec<[usize; 3]> = picks
+                .iter()
+                .map(|&p| [(p % 2) as usize, (p as usize / 2) % 2, (p as usize / 4) % 2])
+                .collect();
+            monitor.push_at(&Triples(rows), now as f64).unwrap();
+            let snap = monitor.snapshot().unwrap();
+            prop_assert_eq!(&snap.metric, tag);
+            let frame = encoder.encode(&snap).unwrap();
+            let back = decoder.decode(&frame).unwrap();
+            prop_assert_eq!(&back, &snap);
+        }
+        prop_assert_eq!(decoder.interned_schemas(), 1);
+    }
+}
+
+/// Snapshots computed under different metrics never merge — by value or
+/// through the fleet fold — and the refusal is the typed
+/// [`DfError::Invalid`], naming both metrics, never a silently
+/// substituted ε.
+#[test]
+fn mismatched_metric_snapshots_refuse_to_merge_with_typed_error() {
+    let est = Smoothed { alpha: 1.0 };
+    let snapshot_under = |tag: &str| {
+        let mut monitor = metric_monitor(tag);
+        monitor
+            .push_at(&Triples(vec![[0, 0, 0], [1, 1, 1]]), 1.0)
+            .unwrap();
+        monitor.snapshot().unwrap()
+    };
+    let eps = snapshot_under("eps-df");
+    let ratio = snapshot_under("wc-ratio");
+    match eps.merge(&ratio, &est) {
+        Err(DfError::Invalid(msg)) => {
+            assert!(
+                msg.contains("eps-df") && msg.contains("wc-ratio"),
+                "refusal must name both metrics: {msg}"
+            );
+        }
+        Err(other) => panic!("wrong error kind: {other}"),
+        Ok(_) => panic!("cross-metric merge must fail"),
+    }
+    assert!(matches!(
+        merge_many(&[eps.clone(), ratio], &est),
+        Err(DfError::Invalid(_))
+    ));
+
+    // An unknown tag is a typed *decode* error: the frame parses but the
+    // schema is rejected before any ε could be silently recomputed.
+    let mut forged = eps;
+    forged.metric = "martian".to_string();
+    let frame = encode_snapshot(&forged).unwrap();
+    match decode_snapshot(&frame) {
+        Err(DfError::Invalid(msg)) => {
+            assert!(msg.contains("unknown metric"), "{msg}");
+        }
+        Err(other) => panic!("wrong error kind: {other}"),
+        Ok(_) => panic!("unknown metric tag must not decode"),
+    }
+}
+
 /// Satellite regression: a hand-corrupted JSON snapshot — the wire form a
 /// dashboard or hostile replica could ship — is rejected by `to_table`
 /// with the typed `CorruptCounts` error (mirroring `Audit::of_counts`),

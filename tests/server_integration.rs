@@ -328,6 +328,117 @@ fn all_formats_negotiate_over_both_channels() {
     server.shutdown();
 }
 
+/// `?metric=` selects a registry metric per query: the audit bytes
+/// reproduce the matching `boxed_metric` builder call, the monitor bytes
+/// reproduce a local `with_metric` re-derivation, both render in all
+/// four formats, and an unknown metric name is the typed 400.
+#[test]
+fn metric_queries_reproduce_builders_render_everywhere_and_reject_unknowns() {
+    let server = server();
+    let mut c = Http1Client::connect(server.local_addr()).unwrap();
+    let rows: Vec<Vec<String>> = (0..60).map(row).collect();
+    let posted = c
+        .request(
+            "POST",
+            "/v1/ingest/records?at=1000",
+            &[("Content-Type", "application/json")],
+            &json_chunk(&rows, 1000.0),
+        )
+        .unwrap();
+    assert_eq!(posted.status, 200, "{}", posted.text());
+
+    let mut table = ContingencyTable::zeros(axes()).unwrap();
+    for r in &rows {
+        let labels: Vec<&str> = r.iter().map(String::as_str).collect();
+        table.increment_by_labels(&labels).unwrap();
+    }
+    let counts = JointCounts::from_table(table, "y").unwrap();
+    let mut replica = replica_monitor();
+    replica
+        .push_at(&LabelChunk::new(rows.clone()), 1000.0)
+        .unwrap();
+    let snap = replica.snapshot().unwrap();
+    let est = Smoothed { alpha: 1.0 };
+
+    for tag in ["wc-ratio", "wc-diff", "alpha-if(alpha=0.5)", "deo(label=r)"] {
+        let expected = Audit::of_counts(counts.clone())
+            .unwrap()
+            .boxed_metric(metric_from_tag(tag).unwrap())
+            .run()
+            .unwrap();
+        let expected_snap = snap.with_metric(tag, &est).unwrap();
+        for format in ResponseFormat::ALL {
+            let audit = c
+                .get(&format!("/v1/audit?metric={tag}&format={}", format.name()))
+                .unwrap();
+            assert_eq!(
+                audit.status,
+                200,
+                "{tag}/{}: {}",
+                format.name(),
+                audit.text()
+            );
+            assert_eq!(
+                audit.text(),
+                expected.render(format).unwrap(),
+                "{tag}/{}: audit render diverged from the builder",
+                format.name()
+            );
+            let monitor = c
+                .get(&format!(
+                    "/v1/monitor?metric={tag}&format={}",
+                    format.name()
+                ))
+                .unwrap();
+            assert_eq!(
+                monitor.status,
+                200,
+                "{tag}/{}: {}",
+                format.name(),
+                monitor.text()
+            );
+            assert_eq!(
+                monitor.text(),
+                expected_snap.render(format).unwrap(),
+                "{tag}/{}: monitor render diverged from with_metric",
+                format.name()
+            );
+        }
+        // Non-default metrics surface their tag in the prose render.
+        let text = c
+            .get(&format!("/v1/monitor?metric={tag}&format=text"))
+            .unwrap();
+        assert!(text.text().contains(tag), "{tag}: {}", text.text());
+    }
+
+    // Naming the default metric explicitly changes nothing.
+    let implicit = c.get("/v1/audit").unwrap();
+    let explicit = c.get("/v1/audit?metric=eps-df").unwrap();
+    assert_eq!(implicit.text(), explicit.text());
+
+    // The schema advertises the configured metric.
+    let schema = c.get("/v1/schema").unwrap();
+    assert!(
+        schema.text().contains("\"metric\":\"eps-df\""),
+        "{}",
+        schema.text()
+    );
+
+    // Unknown metric names are typed 400s on both endpoints.
+    for path in ["/v1/audit?metric=martian", "/v1/monitor?metric=martian"] {
+        let bad = c.get(path).unwrap();
+        assert_eq!(bad.status, 400, "{path}: {}", bad.text());
+        assert!(
+            bad.text().contains("\"kind\":\"invalid\""),
+            "{}",
+            bad.text()
+        );
+        assert!(bad.text().contains("unknown metric"), "{}", bad.text());
+    }
+
+    server.shutdown();
+}
+
 // ---------------------------------------------------------------------------
 // Malformed HTTP, over a raw socket.
 // ---------------------------------------------------------------------------
