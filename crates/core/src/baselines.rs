@@ -15,6 +15,7 @@
 use crate::edf::JointCounts;
 use crate::epsilon::GroupOutcomes;
 use crate::error::{DfError, Result};
+use df_prob::numerics::exactly_zero;
 use serde::{Deserialize, Serialize};
 
 /// Worst total-variation distance between two populated groups' outcome
@@ -60,7 +61,7 @@ pub fn disparate_impact_ratio(table: &GroupOutcomes, positive_outcome: usize) ->
         .collect();
     let max = rates.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let min = rates.iter().copied().fold(f64::INFINITY, f64::min);
-    if max == 0.0 {
+    if exactly_zero(max) {
         // Nobody ever receives the positive outcome: vacuously equal.
         return Ok(1.0);
     }
@@ -181,7 +182,7 @@ pub fn subgroup_fairness_violation(
         let go = sub.group_outcomes(0.0)?;
         for g in 0..go.num_groups() {
             let mass = go.weights()[g] / total;
-            if mass == 0.0 {
+            if exactly_zero(mass) {
                 continue;
             }
             let rate_gap = go.prob(g, pos) - base_rate;

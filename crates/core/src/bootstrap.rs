@@ -10,6 +10,7 @@
 use crate::edf::JointCounts;
 use crate::error::{DfError, Result};
 use df_prob::contingency::ContingencyTable;
+use df_prob::numerics::exactly_zero;
 use df_prob::rng::Pcg32;
 use serde::{Deserialize, Serialize};
 
@@ -64,7 +65,7 @@ fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
     let lo = sorted[h.floor() as usize];
     let hi = sorted[h.ceil() as usize];
     let frac = h - h.floor();
-    if frac == 0.0 || lo == hi {
+    if exactly_zero(frac) || lo == hi {
         lo
     } else if hi.is_infinite() {
         hi

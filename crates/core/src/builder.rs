@@ -53,6 +53,7 @@ use crate::privacy::PrivacyRegime;
 use crate::report::{fmt_count, fmt_epsilon, Align, ResponseFormat, TextTable};
 use crate::subsets::SubsetEpsilon;
 use crate::theta::posterior_theta_from_table;
+use df_prob::numerics::exactly_zero;
 use df_prob::partial::Tally;
 use df_prob::rng::Pcg32;
 use serde::{Deserialize, Serialize};
@@ -754,7 +755,7 @@ impl<'a> Audit<'a> {
         };
 
         let total_weight = raw_full.weights().iter().sum::<f64>();
-        let n_records = (total_weight.fract() == 0.0 && total_weight <= u64::MAX as f64)
+        let n_records = (exactly_zero(total_weight.fract()) && total_weight <= u64::MAX as f64)
             .then_some(total_weight as u64);
 
         Ok(AuditReport {

@@ -16,6 +16,7 @@ use crate::epsilon::{EpsilonResult, GroupOutcomes};
 use crate::error::{DfError, Result};
 use df_prob::contingency::{Axis, ContingencyTable};
 use df_prob::estimate::{categorical_mle, dirichlet_posterior_predictive};
+use df_prob::numerics::exactly_zero;
 
 /// Joint counts of `(outcome, protected attributes…)`, canonicalized so the
 /// outcome axis is first.
@@ -153,14 +154,14 @@ impl JointCounts {
             }
             let total: f64 = counts.iter().sum();
             weights[g] = total;
-            let est = if alpha == 0.0 {
+            let est = if exactly_zero(alpha) {
                 categorical_mle(&counts)
             } else {
                 dirichlet_posterior_predictive(&counts, alpha)?
             };
             if let Some(p) = est {
                 probs[g * n_outcomes..(g + 1) * n_outcomes].copy_from_slice(&p);
-                if alpha > 0.0 && total == 0.0 {
+                if alpha > 0.0 && exactly_zero(total) {
                     // Smoothing defines a distribution even for empty groups,
                     // but an unobserved group is still excluded from ε (its
                     // empirical P(s) is zero).

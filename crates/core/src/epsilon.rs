@@ -11,7 +11,7 @@
 //! outcome, the extreme log-probabilities rather than scanning all pairs.
 
 use crate::error::{DfError, Result};
-use df_prob::numerics::log_ratio;
+use df_prob::numerics::{exactly_zero, log_ratio};
 use serde::{Deserialize, Serialize};
 
 /// Where the maximal log-ratio was attained: the witness pair.
@@ -295,7 +295,7 @@ impl GroupOutcomes {
                 "smoothing alpha must be finite and non-negative, got {alpha}"
             )));
         }
-        if alpha == 0.0 {
+        if exactly_zero(alpha) {
             return Ok(self.clone());
         }
         let n_outcomes = self.num_outcomes();

@@ -50,6 +50,7 @@ use crate::monitor::{
 };
 use crate::subsets::SubsetEpsilon;
 use df_prob::contingency::Axis;
+use df_prob::numerics::exactly_zero;
 use std::collections::HashMap;
 
 /// The frame magic: `DFLT` ("differential-fairness fleet transport").
@@ -68,12 +69,20 @@ const CELLS_VARINT: u8 = 1;
 /// refuses anything bigger so decode is always exact.
 const MAX_EXACT: u64 = 1 << 53;
 
+/// Sanity cap on a decoded alert rule's consecutive-breach requirement.
+/// No real deployment waits for a million breaching windows; anything
+/// larger is frame corruption (and would silently truncate through an
+/// `as usize` on 32-bit targets, which is exactly what `no-lossy-cast`
+/// exists to prevent).
+const MAX_ALERT_CONSECUTIVE: u64 = 1 << 20;
+
 // ---------------------------------------------------------------------------
 // Primitive writers.
 // ---------------------------------------------------------------------------
 
 fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
+        // df-lint: allow(no-lossy-cast) -- masked to 7 bits the line before; the cast cannot lose information
         let byte = (v & 0x7f) as u8;
         v >>= 7;
         if v == 0 {
@@ -130,18 +139,33 @@ impl<'a> Reader<'a> {
                 self.remaining()
             )));
         }
-        let slice = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| DfError::Invalid("snapshot frame offset overflows usize".into()))?;
+        let slice = self.buf.get(self.pos..end).ok_or_else(|| {
+            DfError::Invalid(format!(
+                "truncated snapshot frame: range {}..{end} out of bounds",
+                self.pos
+            ))
+        })?;
+        self.pos = end;
         Ok(slice)
     }
 
     fn u8(&mut self) -> Result<u8> {
-        Ok(self.take(1)?[0])
+        self.take(1)?
+            .first()
+            .copied()
+            .ok_or_else(|| DfError::Invalid("empty read where one byte was promised".into()))
     }
 
     fn u64_le(&mut self) -> Result<u64> {
         let bytes = self.take(8)?;
-        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+        let bytes: [u8; 8] = bytes
+            .try_into()
+            .map_err(|_| DfError::Invalid("truncated u64 in snapshot frame".into()))?;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     fn f64(&mut self) -> Result<f64> {
@@ -192,7 +216,11 @@ impl<'a> Reader<'a> {
                 self.remaining()
             )));
         }
-        Ok(n as usize)
+        usize::try_from(n).map_err(|_| {
+            DfError::Invalid(format!(
+                "snapshot frame element count {n} does not fit this target's usize"
+            ))
+        })
     }
 
     fn str(&mut self) -> Result<String> {
@@ -425,7 +453,7 @@ impl SnapshotSchema {
             ));
         }
         for (i, axis) in axes.iter().enumerate() {
-            if axes[..i].iter().any(|other| other.name() == axis.name()) {
+            if axes.iter().take(i).any(|other| other.name() == axis.name()) {
                 return Err(DfError::Invalid(format!(
                     "snapshot schema repeats axis name `{}`",
                     axis.name()
@@ -538,15 +566,16 @@ fn signal_code(signal: ChangeSignal) -> u8 {
 // ---------------------------------------------------------------------------
 
 fn put_cells(out: &mut Vec<u8>, cells: &[f64]) -> Result<()> {
-    if let Some(cell) = cells.iter().position(|v| !v.is_finite() || *v < 0.0) {
-        return Err(DfError::CorruptCounts {
-            cell,
-            value: cells[cell],
-        });
+    if let Some((cell, &value)) = cells
+        .iter()
+        .enumerate()
+        .find(|(_, v)| !v.is_finite() || **v < 0.0)
+    {
+        return Err(DfError::CorruptCounts { cell, value });
     }
     let integral = cells
         .iter()
-        .all(|&v| v.fract() == 0.0 && v <= MAX_EXACT as f64);
+        .all(|&v| exactly_zero(v.fract()) && v <= MAX_EXACT as f64);
     if integral {
         out.push(CELLS_VARINT);
         for &v in cells {
@@ -573,6 +602,7 @@ fn get_cells(r: &mut Reader<'_>, n_cells: usize) -> Result<Vec<f64>> {
             r.remaining()
         )));
     }
+    // df-lint: allow(bounded-alloc-decode) -- n_cells is rejected against r.remaining() just above; each cell costs >= 1 wire byte
     let mut cells = Vec::with_capacity(n_cells);
     match tag {
         CELLS_F64 => {
@@ -728,9 +758,19 @@ fn get_state(r: &mut Reader<'_>, schema: &SnapshotSchema) -> Result<MonitorSnaps
         .collect::<Result<Vec<_>>>()?;
     let n_alerts = r.count()?;
     let mut alerts = Vec::with_capacity(n_alerts);
-    for _ in 0..n_alerts {
+    for alert_idx in 0..n_alerts {
         let threshold = r.f64()?;
-        let consecutive = r.varint()? as usize;
+        let raw_consecutive = r.varint()?;
+        if raw_consecutive > MAX_ALERT_CONSECUTIVE {
+            return Err(DfError::CorruptCounts {
+                cell: alert_idx,
+                value: raw_consecutive as f64,
+            });
+        }
+        let consecutive = usize::try_from(raw_consecutive).map_err(|_| DfError::CorruptCounts {
+            cell: alert_idx,
+            value: raw_consecutive as f64,
+        })?;
         let at_record = r.varint()?;
         let at_seconds = r.opt_f64()?;
         let eps = get_eps(r)?;
@@ -916,7 +956,10 @@ impl SnapshotDecoder {
             KIND_FULL => {
                 let start = r.pos;
                 let schema = SnapshotSchema::decode(&mut r)?;
-                let actual = fnv1a64(&bytes[start..r.pos]);
+                let schema_span = bytes
+                    .get(start..r.pos)
+                    .ok_or_else(|| DfError::Invalid("schema span out of frame bounds".into()))?;
+                let actual = fnv1a64(schema_span);
                 if actual != hash {
                     return Err(DfError::Invalid(format!(
                         "snapshot schema hash mismatch: frame claims \
@@ -947,7 +990,12 @@ impl SnapshotDecoder {
                         self.schemas.insert(hash, schema);
                     }
                 }
-                self.schemas.get(&hash).expect("interned above")
+                self.schemas.get(&hash).ok_or_else(|| {
+                    DfError::Invalid(format!(
+                        "schema {hash:#018x} missing from intern table \
+                         immediately after insertion"
+                    ))
+                })?
             }
             KIND_DELTA => self.schemas.get(&hash).ok_or_else(|| {
                 DfError::Invalid(format!(
@@ -1122,6 +1170,69 @@ mod tests {
         ));
         // The clean frame still decodes (sanity).
         assert!(decode_snapshot(&clean).is_ok());
+    }
+
+    #[test]
+    fn decode_rejects_oversized_alert_consecutive() {
+        // Byte surgery on the alert block: the encoded `consecutive`
+        // varint sits immediately after the rule's threshold f64, so a
+        // threshold with a distinctive bit pattern lets us find and
+        // replace it in the raw frame. A doctored value of 2^33 used to
+        // decode through `as usize` — silently truncating to 0 on
+        // 32-bit targets; now any value past MAX_ALERT_CONSECUTIVE is a
+        // typed CorruptCounts on every target.
+        let mut snap = live_snapshot();
+        let threshold = 0.123_456_789_f64;
+        snap.alerts.push(Alert {
+            rule: AlertRule {
+                threshold,
+                consecutive: 3,
+            },
+            at_record: 32,
+            at_seconds: Some(7.0),
+            epsilon: 0.5,
+            witness: None,
+        });
+        let frame = encode_snapshot(&snap).unwrap();
+
+        let needle = threshold.to_bits().to_le_bytes();
+        let at = frame
+            .windows(needle.len())
+            .position(|w| w == needle)
+            .expect("distinctive threshold bytes present exactly once");
+        let consecutive_at = at + needle.len();
+        assert_eq!(frame[consecutive_at], 3, "varint(3) is one byte");
+
+        // Splice in varint(2^33) = 80 80 80 80 20 in place of the 03.
+        let splice = |value_bytes: &[u8]| {
+            let mut doctored = frame[..consecutive_at].to_vec();
+            doctored.extend_from_slice(value_bytes);
+            doctored.extend_from_slice(&frame[consecutive_at + 1..]);
+            doctored
+        };
+        let doctored = splice(&[0x80, 0x80, 0x80, 0x80, 0x20]);
+        assert!(matches!(
+            decode_snapshot(&doctored),
+            Err(DfError::CorruptCounts { .. })
+        ));
+
+        // Boundary: exactly MAX_ALERT_CONSECUTIVE (2^20) still decodes.
+        let boundary = splice(&[0x80, 0x80, 0x40]);
+        let decoded = decode_snapshot(&boundary).unwrap();
+        let doctored_alert = decoded.alerts.last().unwrap();
+        assert_eq!(doctored_alert.rule.consecutive, 1 << 20);
+
+        // And the undoctored frame round-trips the real value (sanity).
+        assert_eq!(
+            decode_snapshot(&frame)
+                .unwrap()
+                .alerts
+                .last()
+                .unwrap()
+                .rule
+                .consecutive,
+            3
+        );
     }
 
     #[test]

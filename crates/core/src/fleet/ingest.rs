@@ -47,6 +47,18 @@ struct Deadline {
     budget: Duration,
 }
 
+/// The one place this module — and all of `df-core` — reads the wall
+/// clock. Everything fairness-related is driven by caller-supplied `f64`
+/// timestamps (replay determinism: same stream, same ε, every run); the
+/// wall clock exists solely to bound how long [`FleetIngest`] waits for
+/// worker *threads* to reply, which is an operational liveness concern,
+/// not part of the fairness computation. Callers that own a clock can
+/// skip this entirely via [`FleetIngest::try_snapshot_deadline`].
+fn wall_clock_now() -> Instant {
+    // df-lint: allow(no-wall-clock) -- thread-liveness timeout only; never feeds timestamps, windows, or epsilon
+    Instant::now()
+}
+
 /// Commands a shard worker understands.
 enum ShardMsg<C> {
     /// Ingest one chunk at a timestamp (`FairnessMonitor::push_at`).
@@ -184,13 +196,18 @@ impl<C: Tally + Send + 'static> FleetIngest<C> {
     /// request forever. The snapshot command stays queued on the slow
     /// shard; its eventual reply is discarded, and retrying later is safe.
     pub fn try_snapshot_timeout(&self, timeout: Duration) -> Result<MonitorSnapshot> {
-        self.collect(
-            None,
-            Some(Deadline {
-                at: Instant::now() + timeout,
-                budget: timeout,
-            }),
-        )
+        self.try_snapshot_deadline(wall_clock_now() + timeout, timeout)
+    }
+
+    /// [`FleetIngest::try_snapshot_timeout`] with the deadline threaded
+    /// in from the caller: waits until the absolute instant `at`, and
+    /// reports `budget` in any [`DfError::Timeout`] (the budget is an
+    /// echo for error messages, not a second limit). This is the
+    /// deterministic entry point — it never reads the wall clock to
+    /// *construct* the deadline, so a caller that owns the clock (a
+    /// test harness, a deadline-propagating RPC layer) stays in charge.
+    pub fn try_snapshot_deadline(&self, at: Instant, budget: Duration) -> Result<MonitorSnapshot> {
+        self.collect(None, Some(Deadline { at, budget }))
     }
 
     /// [`FleetIngest::snapshot`] against an explicit fleet clock: every
@@ -315,9 +332,11 @@ impl<C: Tally + Send + 'static> FleetIngest<C> {
         // producer handles are cloned senders, and a worker blocked on
         // `recv` would otherwise wait on every outstanding clone.
         for sender in self.senders.drain(..) {
+            // df-lint: allow(must-use-results) -- send fails only when the shard already exited; shutdown is then done
             let _ = sender.send(ShardMsg::Shutdown);
         }
         for worker in self.workers.drain(..) {
+            // df-lint: allow(must-use-results) -- a panicked shard already surfaced its error through the reply channel
             let _ = worker.join();
         }
     }
@@ -338,7 +357,7 @@ fn recv<T>(shard: usize, rx: &Receiver<T>, deadline: Option<Deadline>) -> Result
     };
     match deadline {
         None => rx.recv().map_err(|_| died()),
-        Some(d) => match rx.recv_timeout(d.at.saturating_duration_since(Instant::now())) {
+        Some(d) => match rx.recv_timeout(d.at.saturating_duration_since(wall_clock_now())) {
             Ok(v) => Ok(v),
             Err(RecvTimeoutError::Disconnected) => Err(died()),
             Err(RecvTimeoutError::Timeout) => Err(DfError::Timeout {
@@ -372,6 +391,7 @@ fn shard_worker<C: Tally + Send>(mut monitor: FairnessMonitor, rx: Receiver<Shar
                 }
             }
             ShardMsg::Clock { reply } => {
+                // df-lint: allow(must-use-results) -- requester gone (timed out / dropped); the reply has no other consumer
                 let _ = reply.send(monitor.now_seconds());
             }
             ShardMsg::Snapshot { advance_to, reply } => {
@@ -393,6 +413,7 @@ fn shard_worker<C: Tally + Send>(mut monitor: FairnessMonitor, rx: Receiver<Shar
                         .and_then(|_| monitor.snapshot()),
                     None => monitor.snapshot(),
                 };
+                // df-lint: allow(must-use-results) -- requester gone (timed out / dropped); the reply has no other consumer
                 let _ = reply.send(result);
             }
             ShardMsg::Shutdown => return,
@@ -508,6 +529,48 @@ mod tests {
             .fleet::<Pairs>(2)
             .is_err());
         assert!(Audit::monitor("y", axes()).fleet::<Pairs>(2).is_err());
+    }
+
+    #[test]
+    fn snapshot_mutates_nothing_no_matter_how_often_polled() {
+        // The lint-enforced contract behind `ShardMsg::Snapshot`: a
+        // snapshot is a pure read. The first poll may align shard
+        // clocks (a genuine monitor step on the lagging shards), but
+        // every poll after that — with no new traffic — must return a
+        // bit-identical snapshot: no zero-arrival windows fed to alert
+        // rules, no detector state advanced, no eviction.
+        // An armed alert rule makes any accidental advance visible: a
+        // spurious zero-arrival window would append to the alert log,
+        // which is part of snapshot equality.
+        let fleet: FleetIngest<Pairs> = Audit::monitor("y", axes())
+            .estimator(Smoothed { alpha: 1.0 })
+            .window_seconds(10.0)
+            .bucket_seconds(1.0)
+            .alert(crate::monitor::AlertRule::epsilon_above(0.0))
+            .fleet(2)
+            .unwrap();
+        let producers = fleet.producers();
+        // Deliberately skewed shard clocks so the first snapshot has
+        // real alignment work to do.
+        producers[0].send(Pairs(vec![[1, 0], [0, 1]]), 3.0).unwrap();
+        producers[1].send(Pairs(vec![[0, 0], [1, 1]]), 7.5).unwrap();
+
+        let first = fleet.snapshot().unwrap();
+        for _ in 0..5 {
+            let again = fleet.snapshot().unwrap();
+            assert_eq!(again, first, "repeat poll mutated the fleet");
+        }
+        // Deadline-threaded form is the same pure read.
+        let deadline = first.clone();
+        let via_deadline = fleet
+            .try_snapshot_deadline(
+                wall_clock_now() + Duration::from_secs(5),
+                Duration::from_secs(5),
+            )
+            .unwrap();
+        assert_eq!(via_deadline, deadline);
+        assert_eq!(first.now_seconds, Some(7.5));
+        assert_eq!(first.records_seen, 4);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::epsilon::GroupOutcomes;
 use crate::error::{DfError, Result};
+use df_prob::numerics::exactly_zero;
 use serde::Serialize;
 
 /// A (possibly randomized) mechanism over instances of type `X` with a fixed
@@ -120,7 +121,7 @@ where
         let row = &tallies[g * n_outcomes..(g + 1) * n_outcomes];
         let total: f64 = row.iter().sum();
         weights[g] = total;
-        let est = if alpha == 0.0 {
+        let est = if exactly_zero(alpha) {
             df_prob::estimate::categorical_mle(row)
         } else {
             df_prob::estimate::dirichlet_posterior_predictive(row, alpha)?

@@ -115,6 +115,7 @@ use crate::metric::{EpsilonDf, Metric};
 use changepoint::DetectorState;
 use clock::TimeRing;
 use df_prob::contingency::{Axis, ContingencyTable};
+use df_prob::numerics::exactly_zero;
 use df_prob::partial::{PartialCounts, Tally};
 use ring::{CountRing, WindowEngine};
 use serde::{Deserialize, Serialize};
@@ -651,7 +652,7 @@ impl FairnessMonitor {
         let cells = self.scratch.table().data();
         if let Some(cell) = cells
             .iter()
-            .position(|v| !v.is_finite() || *v < 0.0 || v.fract() != 0.0)
+            .position(|v| !v.is_finite() || *v < 0.0 || !exactly_zero(v.fract()))
         {
             return Err(DfError::Invalid(format!(
                 "monitor buckets need finite, non-negative, integer cell tallies; \

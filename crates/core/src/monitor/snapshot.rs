@@ -80,6 +80,7 @@ impl CountsSnapshot {
             )));
         }
         for (dst, src) in self.data.iter_mut().zip(&other.data) {
+            // df-lint: allow(counts-via-monoid) -- this IS the wire-level monoid op: axes and lengths are validated above, and PartialCounts itself lives a crate away
             *dst += src;
         }
         Ok(())

@@ -16,7 +16,7 @@
 
 use crate::epsilon::GroupOutcomes;
 use crate::error::{DfError, Result};
-use df_prob::numerics::log_ratio;
+use df_prob::numerics::{exactly_zero, log_ratio};
 use serde::{Deserialize, Serialize};
 
 /// ε of the classical randomized-response survey mechanism: `ln 3`.
@@ -82,7 +82,7 @@ pub fn max_posterior_odds_shift(table: &GroupOutcomes) -> Result<f64> {
                 let joint_j = table.prob(j, y) * table.weights()[j];
                 // Skip outcome columns with no mass in either group: the
                 // posterior is undefined there (the outcome never occurs).
-                if joint_i == 0.0 && joint_j == 0.0 {
+                if exactly_zero(joint_i) && exactly_zero(joint_j) {
                     continue;
                 }
                 let posterior_odds = log_ratio(joint_i, joint_j);

@@ -3,6 +3,7 @@
 //! The experiment binaries print paper-style tables; this module keeps the
 //! column alignment logic in one place.
 
+use df_prob::numerics::exactly_zero;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
@@ -253,7 +254,7 @@ pub fn fmt_epsilon(eps: f64) -> String {
 /// render as integers (`700`, not `700.0` or a rounded float), fractional
 /// weights keep their decimals.
 pub fn fmt_count(total: f64) -> String {
-    if total.fract() == 0.0 && total.abs() < 9.01e15 {
+    if exactly_zero(total.fract()) && total.abs() < 9.01e15 {
         format!("{total:.0}")
     } else {
         format!("{total}")

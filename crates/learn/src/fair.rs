@@ -21,7 +21,7 @@
 use crate::error::{LearnError, Result};
 use crate::optim::{GradientDescent, Objective};
 use df_data::encode::FeatureMatrix;
-use df_prob::numerics::sigmoid;
+use df_prob::numerics::{exactly_zero, sigmoid};
 
 /// Configuration for the fair learner.
 #[derive(Debug, Clone)]
@@ -150,11 +150,11 @@ impl Objective for FairObjective<'_> {
         if lam > 0.0 {
             let n_groups = rates.len();
             for i in 0..n_groups {
-                if self.group_sizes[i] == 0.0 {
+                if exactly_zero(self.group_sizes[i]) {
                     continue;
                 }
                 for j in i + 1..n_groups {
-                    if self.group_sizes[j] == 0.0 {
+                    if exactly_zero(self.group_sizes[j]) {
                         continue;
                     }
                     // Positive outcome: d ln p / dw = (1/p) dp/dw.
@@ -197,12 +197,12 @@ impl Objective for FairObjective<'_> {
 pub fn soft_epsilon(rates: &[f64], group_sizes: &[f64]) -> f64 {
     let mut eps = 0.0f64;
     for (i, &ri) in rates.iter().enumerate() {
-        if group_sizes[i] == 0.0 {
+        if exactly_zero(group_sizes[i]) {
             continue;
         }
         let ri = clamp_rate(ri);
         for (j, &rj) in rates.iter().enumerate() {
-            if group_sizes[j] == 0.0 || i == j {
+            if exactly_zero(group_sizes[j]) || i == j {
                 continue;
             }
             let rj = clamp_rate(rj);

@@ -5,6 +5,7 @@
 //! tens-of-thousands-of-rows designs. Everything is `f64`, row-major.
 
 use crate::error::{LearnError, Result};
+use df_prob::numerics::exactly_zero;
 
 /// Dot product of two equal-length slices.
 #[inline]
@@ -115,7 +116,7 @@ impl Matrix {
         }
         let mut out = vec![0.0; self.cols];
         for (i, &xi) in x.iter().enumerate() {
-            if xi != 0.0 {
+            if !exactly_zero(xi) {
                 axpy(xi, self.row(i), &mut out);
             }
         }
@@ -135,13 +136,13 @@ impl Matrix {
         let k = self.cols;
         let mut gram = Matrix::zeros(k, k);
         for (i, &wi) in w.iter().enumerate() {
-            if wi == 0.0 {
+            if exactly_zero(wi) {
                 continue;
             }
             let row = self.row(i);
             for a in 0..k {
                 let wa = wi * row[a];
-                if wa == 0.0 {
+                if exactly_zero(wa) {
                     continue;
                 }
                 // Upper triangle only; mirrored below.

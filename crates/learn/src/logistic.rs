@@ -8,7 +8,7 @@
 use crate::error::{LearnError, Result};
 use crate::linalg::{cholesky_solve, dot, norm2, Matrix};
 use df_data::encode::FeatureMatrix;
-use df_prob::numerics::sigmoid;
+use df_prob::numerics::{exactly_one, exactly_zero, sigmoid};
 
 /// Training configuration.
 #[derive(Debug, Clone)]
@@ -52,7 +52,7 @@ impl LogisticRegression {
                 actual: y.len(),
             });
         }
-        if y.iter().any(|&v| v != 0.0 && v != 1.0) {
+        if y.iter().any(|&v| !exactly_zero(v) && !exactly_one(v)) {
             return Err(LearnError::Invalid("labels must be 0 or 1".into()));
         }
         if !(config.l2.is_finite() && config.l2 >= 0.0) {

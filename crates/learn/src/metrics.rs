@@ -1,6 +1,7 @@
 //! Classification metrics.
 
 use crate::error::{LearnError, Result};
+use df_prob::numerics::exactly_zero;
 
 /// Fraction of mismatched predictions.
 pub fn error_rate(predictions: &[f64], labels: &[f64]) -> Result<f64> {
@@ -84,7 +85,7 @@ impl Confusion {
     pub fn f1(&self) -> Option<f64> {
         let p = self.precision()?;
         let r = self.recall()?;
-        if p + r == 0.0 {
+        if exactly_zero(p + r) {
             return Some(0.0);
         }
         Some(2.0 * p * r / (p + r))

@@ -8,6 +8,7 @@
 
 use crate::error::{LearnError, Result};
 use df_data::workloads::GaussianScoreGroups;
+use df_prob::numerics::exactly_zero;
 
 /// A deterministic pass/fail rule on a scalar score.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -77,7 +78,7 @@ impl ThresholdMechanism {
         }
         Ok((0..n_groups)
             .map(|g| {
-                if total[g] == 0.0 {
+                if exactly_zero(total[g]) {
                     [0.0, 0.0]
                 } else {
                     let p = pass[g] / total[g];

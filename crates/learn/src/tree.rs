@@ -5,6 +5,7 @@
 
 use crate::error::{LearnError, Result};
 use df_data::encode::FeatureMatrix;
+use df_prob::numerics::{exactly, exactly_zero};
 
 /// Tree-growing configuration.
 #[derive(Debug, Clone)]
@@ -92,7 +93,10 @@ impl DecisionTree {
     ) -> Node {
         let total = indices.len() as f64;
         let pos: f64 = indices.iter().map(|&i| y[i]).sum();
-        if depth_left == 0 || indices.len() < config.min_samples_split || pos == 0.0 || pos == total
+        if depth_left == 0
+            || indices.len() < config.min_samples_split
+            || exactly_zero(pos)
+            || exactly(pos, total)
         {
             return Self::leaf(y, indices);
         }

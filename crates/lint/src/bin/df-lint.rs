@@ -1,0 +1,83 @@
+//! `df-lint` CLI: one entry point shared by CI and humans.
+//!
+//! ```text
+//! df-lint --workspace [--root PATH] [--format json|text] [--rule NAME]...
+//! df-lint [--format json|text] [--rule NAME]... FILE...
+//! ```
+//!
+//! Exit code is the violation count, capped at 100 so shells and CI
+//! see a stable "many" instead of a wrapped byte.
+
+use df_lint::{describe, engine, is_known_rule, Format, RULE_IDS};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> String {
+    let mut s = String::from(
+        "df-lint: static analysis for the df workspace\n\n\
+         USAGE:\n  df-lint --workspace [--root PATH] [--format json|text] [--rule NAME]...\n  df-lint [--format json|text] [--rule NAME]... FILE...\n\nRULES:\n",
+    );
+    for r in RULE_IDS {
+        s.push_str(&format!("  {:<22} {}\n", r, describe(r)));
+    }
+    s.push_str("\nExit code = violation count (capped at 100). 0 means clean.\n");
+    s
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut workspace = false;
+    let mut root = PathBuf::from(".");
+    let mut format = Format::Text;
+    let mut rule_filter: Vec<String> = Vec::new();
+    let mut files: Vec<PathBuf> = Vec::new();
+
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return fail("--root needs a path"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("json") => format = Format::Json,
+                Some("text") => format = Format::Text,
+                _ => return fail("--format must be json or text"),
+            },
+            "--rule" => match args.next() {
+                Some(r) if is_known_rule(&r) => rule_filter.push(r),
+                Some(r) => return fail(&format!("unknown rule `{}` (see --help)", r)),
+                None => return fail("--rule needs a name"),
+            },
+            "--help" | "-h" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            f if !f.starts_with('-') => files.push(PathBuf::from(f)),
+            other => return fail(&format!("unknown flag `{}` (see --help)", other)),
+        }
+    }
+
+    if !workspace && files.is_empty() {
+        return fail("nothing to lint: pass --workspace or file paths");
+    }
+
+    let report = if workspace {
+        engine::lint_workspace(&root, &rule_filter)
+    } else {
+        engine::lint_paths(&root, &files, &rule_filter)
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("io error: {}", e)),
+    };
+
+    print!("{}", engine::render(&report, format));
+    ExitCode::from(report.violations.len().min(100) as u8)
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("df-lint: {}", msg);
+    eprint!("{}", usage());
+    ExitCode::from(101)
+}

@@ -1,0 +1,220 @@
+//! Drives the rules over files, applies pragma suppression, and
+//! renders diagnostics as text or JSON.
+
+use crate::rules::{self, Finding};
+use crate::source::SourceFile;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Output format for [`render`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Human-readable `path:line rule message` lines plus a summary.
+    Text,
+    /// One JSON object with a `violations` array (hand-rolled writer).
+    Json,
+}
+
+/// Result of linting a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings that survived pragma filtering, in file/line order.
+    pub violations: Vec<Finding>,
+    /// Number of findings suppressed by justified pragmas.
+    pub suppressed: usize,
+    /// Number of files inspected.
+    pub files: usize,
+}
+
+/// Lints a single source text under a (virtual) workspace-relative
+/// path. This is the seam the fixture tests use: scope rules see
+/// `path`, not the real location on disk.
+pub fn lint_source(path: &str, content: &str, rule_filter: &[String]) -> Report {
+    let file = SourceFile::parse(path, content);
+    let mut raw = rules::run_all(&file);
+    raw.sort_by_key(|f| (f.line, f.rule));
+
+    let mut violations = Vec::new();
+    let mut suppressed = 0usize;
+    for f in raw {
+        // `pragma-hygiene` findings are never pragma-suppressible —
+        // that would let a bad pragma excuse itself.
+        if f.rule != "pragma-hygiene" {
+            let (justified, _unjustified) = file.pragma_lines(f.rule);
+            if justified.contains(&f.line) {
+                suppressed += 1;
+                continue;
+            }
+        }
+        if !rule_filter.is_empty() && !rule_filter.iter().any(|r| r == f.rule) {
+            continue;
+        }
+        violations.push(f);
+    }
+    Report {
+        violations,
+        suppressed,
+        files: 1,
+    }
+}
+
+/// Lints every `.rs` file under the workspace rooted at `root`
+/// (crate `src/` trees only: integration tests, benches, fixtures,
+/// and vendored stubs are out of scope by construction).
+pub fn lint_workspace(root: &Path, rule_filter: &[String]) -> io::Result<Report> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let entry = entry?;
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    let top_src = root.join("src");
+    if top_src.is_dir() {
+        collect_rs(&top_src, &mut files)?;
+    }
+    files.sort();
+    lint_paths(root, &files, rule_filter)
+}
+
+/// Lints an explicit list of files, reporting paths relative to `root`.
+pub fn lint_paths(root: &Path, files: &[PathBuf], rule_filter: &[String]) -> io::Result<Report> {
+    let mut report = Report::default();
+    for f in files {
+        let content = fs::read_to_string(f)?;
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let one = lint_source(&rel, &content, rule_filter);
+        report.violations.extend(one.violations);
+        report.suppressed += one.suppressed;
+        report.files += 1;
+    }
+    Ok(report)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let p = entry.path();
+        if p.is_dir() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name == "target" || name == "fixtures" || name == "vendor" {
+                continue;
+            }
+            collect_rs(&p, out)?;
+        } else if p.extension().map(|e| e == "rs").unwrap_or(false) {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Renders a report in the requested format.
+pub fn render(report: &Report, format: Format) -> String {
+    match format {
+        Format::Text => render_text(report),
+        Format::Json => render_json(report),
+    }
+}
+
+fn render_text(report: &Report) -> String {
+    let mut s = String::new();
+    for v in &report.violations {
+        s.push_str(&format!(
+            "{}:{} [{}] {}\n",
+            v.path, v.line, v.rule, v.message
+        ));
+    }
+    s.push_str(&format!(
+        "df-lint: {} violation(s), {} suppressed by justified pragma, {} file(s) checked\n",
+        report.violations.len(),
+        report.suppressed,
+        report.files
+    ));
+    s
+}
+
+fn render_json(report: &Report) -> String {
+    let mut s = String::from("{\n  \"violations\": [");
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            json_escape(v.rule),
+            json_escape(&v.path),
+            v.line,
+            json_escape(&v.message)
+        ));
+    }
+    if !report.violations.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str(&format!(
+        "],\n  \"count\": {},\n  \"suppressed\": {},\n  \"files\": {}\n}}\n",
+        report.violations.len(),
+        report.suppressed,
+        report.files
+    ));
+    s
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn justified_pragma_suppresses_unjustified_does_not() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // df-lint: allow(no-panic-path) -- input validated by caller\n}\nfn g(y: Option<u32>) -> u32 {\n    y.unwrap() // df-lint: allow(no-panic-path)\n}\n";
+        let r = lint_source("crates/server/src/http.rs", src, &[]);
+        // g's unwrap stays, plus the pragma-hygiene finding for the
+        // missing justification.
+        assert_eq!(r.suppressed, 1);
+        let rules: Vec<&str> = r.violations.iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&"no-panic-path"));
+        assert!(rules.contains(&"pragma-hygiene"));
+    }
+
+    #[test]
+    fn rule_filter_narrows_output() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let r = lint_source(
+            "crates/server/src/http.rs",
+            src,
+            &["no-wall-clock".to_string()],
+        );
+        assert!(r.violations.is_empty());
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+}

@@ -1,0 +1,28 @@
+//! # df-lint
+//!
+//! Workspace-native static analysis for the differential-fairness
+//! pipeline. The system's correctness story rests on a handful of
+//! invariants — the server never panics on untrusted input, `df-core`
+//! never reads the wall clock, counts only mutate through the
+//! `PartialCounts` monoid — that used to live in comments. This crate
+//! machine-checks them on every build.
+//!
+//! Entirely dependency-free: a hand-rolled lexer ([`tokens`]), per-file
+//! analysis ([`source`]), the rule catalog ([`rules`]), and the driver +
+//! renderers ([`engine`]). See `LINTS.md` at the workspace root for the
+//! rule catalog and pragma syntax:
+//!
+//! ```text
+//! // df-lint: allow(rule-name) -- why this site is safe
+//! ```
+//!
+//! A pragma without the `-- justification` is itself a violation
+//! (`pragma-hygiene`) and suppresses nothing.
+
+pub mod engine;
+pub mod rules;
+pub mod source;
+pub mod tokens;
+
+pub use engine::{lint_paths, lint_source, lint_workspace, render, Format, Report};
+pub use rules::{describe, is_known_rule, Finding, RULE_IDS};

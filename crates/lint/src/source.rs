@@ -1,0 +1,277 @@
+//! Per-file analysis context: the token stream, the comment stream,
+//! which lines are test code, and which lines carry pragmas.
+
+use crate::tokens::{lex, Comment, Lexed, Tok, TokKind};
+
+/// A parsed `df-lint: allow(...)` pragma.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// Rule names listed inside `allow(...)`, verbatim.
+    pub rules: Vec<String>,
+    /// Justification after ` -- `, if present and non-empty.
+    pub justification: Option<String>,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// True when code precedes the pragma on its line (it then governs
+    /// that line); false means it governs the next code line.
+    pub trailing: bool,
+}
+
+/// One file, fully prepared for rule evaluation.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (used for scoping).
+    pub path: String,
+    /// Code tokens.
+    pub tokens: Vec<Tok>,
+    /// Pragmas found in comments.
+    pub pragmas: Vec<Pragma>,
+    /// `test_lines[i]` is true when 1-based line `i + 1` is inside
+    /// `#[cfg(test)]` / `#[test]` code.
+    test_lines: Vec<bool>,
+    /// Highest line number seen (for bounds).
+    pub max_line: u32,
+}
+
+impl SourceFile {
+    /// Lexes and analyses `content` as the file at `path`.
+    pub fn parse(path: &str, content: &str) -> SourceFile {
+        let Lexed { tokens, comments } = lex(content);
+        let max_line = tokens
+            .last()
+            .map(|t| t.line)
+            .unwrap_or(0)
+            .max(comments.last().map(|c| c.line).unwrap_or(0))
+            .max(content.lines().count() as u32);
+        let test_lines = mark_test_lines(&tokens, max_line);
+        let pragmas = comments.iter().filter_map(parse_pragma).collect();
+        SourceFile {
+            path: path.to_string(),
+            tokens,
+            pragmas,
+            test_lines,
+            max_line,
+        }
+    }
+
+    /// Whether 1-based `line` is inside test-only code.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        line >= 1
+            && self
+                .test_lines
+                .get(line as usize - 1)
+                .copied()
+                .unwrap_or(false)
+    }
+
+    /// Lines governed by a pragma for `rule`, split into justified and
+    /// unjustified. A trailing pragma governs its own line; a standalone
+    /// pragma governs the next line that has a code token (falling back
+    /// to the immediately-next line when the file ends first).
+    pub fn pragma_lines(&self, rule: &str) -> (Vec<u32>, Vec<u32>) {
+        let mut justified = Vec::new();
+        let mut unjustified = Vec::new();
+        for p in &self.pragmas {
+            if !p.rules.iter().any(|r| r == rule) {
+                continue;
+            }
+            let governed = if p.trailing {
+                p.line
+            } else {
+                self.tokens
+                    .iter()
+                    .map(|t| t.line)
+                    .find(|l| *l > p.line)
+                    .unwrap_or(p.line + 1)
+            };
+            if p.justification.is_some() {
+                justified.push(governed);
+            } else {
+                unjustified.push(governed);
+            }
+        }
+        (justified, unjustified)
+    }
+}
+
+/// Parses a comment as a pragma; `None` when the comment isn't one.
+/// Accepts `df-lint: allow(rule-a, rule-b) -- because reasons`.
+fn parse_pragma(c: &Comment) -> Option<Pragma> {
+    let text = c.text.trim();
+    let rest = text.strip_prefix("df-lint:")?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let tail = rest[close + 1..].trim_start();
+    let justification = tail
+        .strip_prefix("--")
+        .map(|j| j.trim())
+        .filter(|j| !j.is_empty())
+        .map(|j| j.to_string());
+    Some(Pragma {
+        rules,
+        justification,
+        line: c.line,
+        trailing: c.trailing,
+    })
+}
+
+/// Builds the per-line test mask: lines covered by an item annotated
+/// `#[cfg(test)]` or `#[test]` (attribute token sequence, then the
+/// brace-matched body of the following item).
+fn mark_test_lines(tokens: &[Tok], max_line: u32) -> Vec<bool> {
+    let mut mask = vec![false; max_line as usize];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if let Some(attr_end) = test_attr_at(tokens, i) {
+            // Span the attribute itself plus the item body it governs.
+            let start_line = tokens[i].line;
+            let end_line = item_end_line(tokens, attr_end);
+            for l in start_line..=end_line.min(max_line) {
+                if l >= 1 {
+                    mask[l as usize - 1] = true;
+                }
+            }
+            i = attr_end;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// If `tokens[i..]` starts a `#[test]`, `#[cfg(test)]`, or
+/// `#[cfg(any(test, ...))]`-style attribute, returns the index just
+/// past the closing `]`.
+fn test_attr_at(tokens: &[Tok], i: usize) -> Option<usize> {
+    if !(tokens.get(i)?.is_punct("#") && tokens.get(i + 1)?.is_punct("[")) {
+        return None;
+    }
+    // Find the matching `]`.
+    let mut depth = 0usize;
+    let mut j = i + 1;
+    let mut mentions_test = false;
+    let mut is_cfg_or_test = false;
+    let mut negated = false;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                j += 1;
+                break;
+            }
+        } else if t.kind == TokKind::Ident {
+            if j == i + 2 && (t.text == "test" || t.text == "cfg" || t.text == "tokio") {
+                is_cfg_or_test = true;
+            }
+            if t.text == "test" {
+                mentions_test = true;
+            }
+            if t.text == "not" {
+                // `#[cfg(not(test))]` is production code.
+                negated = true;
+            }
+        }
+        j += 1;
+    }
+    if is_cfg_or_test && mentions_test && !negated {
+        Some(j)
+    } else {
+        None
+    }
+}
+
+/// Last line of the item following an attribute: skips further
+/// attributes, then brace-matches the first `{ ... }` block (or stops
+/// at `;` for braceless items).
+fn item_end_line(tokens: &[Tok], mut i: usize) -> u32 {
+    // Skip stacked attributes.
+    while i + 1 < tokens.len() && tokens[i].is_punct("#") && tokens[i + 1].is_punct("[") {
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        while j < tokens.len() {
+            if tokens[j].is_punct("[") {
+                depth += 1;
+            } else if tokens[j].is_punct("]") {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+        i = j;
+    }
+    let mut depth = 0usize;
+    let mut entered = false;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct("{") {
+            depth += 1;
+            entered = true;
+        } else if t.is_punct("}") {
+            depth = depth.saturating_sub(1);
+            if entered && depth == 0 {
+                return t.line;
+            }
+        } else if t.is_punct(";") && !entered {
+            return t.line;
+        }
+        i += 1;
+    }
+    tokens.last().map(|t| t.line).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_is_masked() {
+        let src = "fn prod() { x.unwrap(); }\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { y.unwrap(); }\n}\n";
+        let f = SourceFile::parse("src/lib.rs", src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(3));
+        assert!(f.is_test_line(6));
+        assert!(f.is_test_line(7));
+    }
+
+    #[test]
+    fn standalone_test_fn_is_masked() {
+        let src = "#[test]\nfn t() {\n    boom();\n}\nfn prod() {}\n";
+        let f = SourceFile::parse("src/lib.rs", src);
+        assert!(f.is_test_line(1));
+        assert!(f.is_test_line(3));
+        assert!(!f.is_test_line(5));
+    }
+
+    #[test]
+    fn pragma_parsing_trailing_and_standalone() {
+        let src = "let a = 1; // df-lint: allow(no-panic-path) -- checked above\n// df-lint: allow(no-wall-clock, must-use-results) -- server edge\nlet b = now();\nlet c = 2; // df-lint: allow(no-float-eq)\n";
+        let f = SourceFile::parse("src/lib.rs", src);
+        let (j, u) = f.pragma_lines("no-panic-path");
+        assert_eq!((j, u), (vec![1], vec![]));
+        let (j, _) = f.pragma_lines("no-wall-clock");
+        assert_eq!(j, vec![3]);
+        let (j, _) = f.pragma_lines("must-use-results");
+        assert_eq!(j, vec![3]);
+        let (j, u) = f.pragma_lines("no-float-eq");
+        assert_eq!((j, u), (vec![], vec![4]));
+    }
+
+    #[test]
+    fn attribute_without_test_is_ignored() {
+        let src = "#[derive(Debug)]\nstruct S;\nfn f() {}\n";
+        let f = SourceFile::parse("src/lib.rs", src);
+        assert!(!f.is_test_line(1));
+        assert!(!f.is_test_line(2));
+    }
+}

@@ -1,0 +1,480 @@
+//! A hand-rolled Rust lexer, just deep enough for rule matching.
+//!
+//! The rules only ever look at *code* tokens — identifiers, literals,
+//! punctuation — with comments and doc comments lifted out separately
+//! (comments are where pragmas live, and doc-example code must never
+//! trigger a rule). String and char literals are parsed precisely so a
+//! `"panic!"` inside a message can never be mistaken for the macro, and
+//! raw strings / nested block comments are handled because the codebase
+//! uses both.
+
+/// What a code token is; the rules mostly switch on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `as`, `_`, …).
+    Ident,
+    /// Integer or float literal (including suffixed forms).
+    Number,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Punctuation, greedily grouped (`==`, `+=`, `::`, `->`, single chars).
+    Punct,
+}
+
+/// One code token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Exact source text.
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the given identifier.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// Whether this token is the given punctuation.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == p
+    }
+
+    /// Whether this token is a *float* literal (`1.0`, `2e-3`, `1f64`).
+    pub fn is_float(&self) -> bool {
+        if self.kind != TokKind::Number {
+            return false;
+        }
+        let t = self.text.as_str();
+        if t.starts_with("0x") || t.starts_with("0o") || t.starts_with("0b") {
+            return false;
+        }
+        t.contains('.')
+            || t.contains("f32")
+            || t.contains("f64")
+            || t.contains('e')
+            || t.contains('E')
+    }
+}
+
+/// One comment, with enough context to interpret pragmas.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without the `//` / `/* */` markers, trimmed.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Whether any code token precedes the comment on its line
+    /// (a trailing comment governs its own line; a standalone one
+    /// governs the next code line).
+    pub trailing: bool,
+}
+
+/// Tokenized source: code tokens plus the comment stream.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in order.
+    pub tokens: Vec<Tok>,
+    /// Comments in order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-char punctuation recognized greedily, longest first.
+const PUNCTS: &[&str] = &[
+    "..=", "<<=", ">>=", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "::", "->", "=>", "..", "&&", "||", "<<", ">>",
+];
+
+/// Lexes Rust source. Unterminated literals are tolerated (the rest of
+/// the file lexes as best-effort) — the linter must never panic on the
+/// code it audits.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    // Tracks whether any code token has been seen on the current line.
+    let mut code_on_line = false;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                code_on_line = false;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != b'\n' {
+                    j += 1;
+                }
+                let raw = &src[start..j];
+                // Doc markers (`///`, `//!`) are still comments.
+                let text = raw.trim_start_matches(['/', '!']).trim().to_string();
+                out.comments.push(Comment {
+                    text,
+                    line,
+                    trailing: code_on_line,
+                });
+                i = j;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1usize;
+                let mut j = start;
+                while j < b.len() && depth > 0 {
+                    if b[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == b'/' && j + 1 < b.len() && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && j + 1 < b.len() && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = j.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    text: src[start..end].trim().to_string(),
+                    line: start_line,
+                    trailing: code_on_line,
+                });
+                i = j;
+            }
+            b'"' => {
+                let (text, nl, j) = lex_string(src, i, 0);
+                out.tokens.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                });
+                line += nl;
+                code_on_line = true;
+                i = j;
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(b, i) => {
+                let hashes_at = i + prefix_len(b, i);
+                let hashes = count_hashes(b, hashes_at);
+                let (text, nl, j) = lex_string(src, i, hashes);
+                out.tokens.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                });
+                line += nl;
+                code_on_line = true;
+                i = j;
+            }
+            b'b' if i + 1 < b.len() && b[i + 1] == b'\'' => {
+                let j = lex_char(b, i + 1);
+                out.tokens.push(Tok {
+                    kind: TokKind::Char,
+                    text: src[i..j].to_string(),
+                    line,
+                });
+                code_on_line = true;
+                i = j;
+            }
+            b'\'' => {
+                // Lifetime or char literal.
+                let (kind, j) = lifetime_or_char(b, i);
+                out.tokens.push(Tok {
+                    kind,
+                    text: src[i..j].to_string(),
+                    line,
+                });
+                code_on_line = true;
+                i = j;
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let mut j = i + 1;
+                while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                    j += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[i..j].to_string(),
+                    line,
+                });
+                code_on_line = true;
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let j = lex_number(b, i);
+                out.tokens.push(Tok {
+                    kind: TokKind::Number,
+                    text: src[i..j].to_string(),
+                    line,
+                });
+                code_on_line = true;
+                i = j;
+            }
+            _ => {
+                let mut matched = None;
+                for p in PUNCTS {
+                    if src[i..].starts_with(p) {
+                        matched = Some(*p);
+                        break;
+                    }
+                }
+                let text = match matched {
+                    Some(p) => p.to_string(),
+                    None => (c as char).to_string(),
+                };
+                let len = text.len();
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct,
+                    text,
+                    line,
+                });
+                code_on_line = true;
+                i += len;
+            }
+        }
+    }
+    out
+}
+
+fn prefix_len(b: &[u8], i: usize) -> usize {
+    // `r…`, `b…`, or `br…` before the quote/hashes.
+    if b[i] == b'b' && i + 1 < b.len() && b[i + 1] == b'r' {
+        2
+    } else {
+        1
+    }
+}
+
+fn starts_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    let p = i + prefix_len(b, i);
+    let mut j = p;
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"' && (b[i] != b'b' || p == 2 || b[i + 1] == b'"')
+}
+
+fn count_hashes(b: &[u8], mut i: usize) -> usize {
+    let start = i;
+    while i < b.len() && b[i] == b'#' {
+        i += 1;
+    }
+    i - start
+}
+
+/// Lexes a string literal starting at `i` (prefix included); returns
+/// `(text, newlines inside, index after)`. `hashes` is the raw-string
+/// hash count (raw strings take no escapes and close on `"` + hashes;
+/// an unhashed `r"…"` is raw with `hashes == 0` — escape handling is
+/// keyed off the `r` prefix, closing off the hash count).
+fn lex_string(src: &str, i: usize, hashes: usize) -> (String, u32, usize) {
+    let b = src.as_bytes();
+    let mut j = i;
+    // Skip prefix + hashes + opening quote.
+    while j < b.len() && b[j] != b'"' {
+        j += 1;
+    }
+    let is_raw = src[i..j].contains('r');
+    j += 1;
+    let mut nl = 0u32;
+    while j < b.len() {
+        match b[j] {
+            b'\n' => {
+                nl += 1;
+                j += 1;
+            }
+            b'\\' if !is_raw => {
+                // Escapes are skipped wholesale, but a line-continuation
+                // (`\` + newline) still advances the line counter.
+                if b.get(j + 1) == Some(&b'\n') {
+                    nl += 1;
+                }
+                j += 2;
+            }
+            b'"' => {
+                if hashes == 0 {
+                    j += 1;
+                    return (src[i..j].to_string(), nl, j);
+                }
+                let mut k = j + 1;
+                let mut seen = 0;
+                while k < b.len() && b[k] == b'#' && seen < hashes {
+                    k += 1;
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return (src[i..k].to_string(), nl, k);
+                }
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (src[i..].to_string(), nl, b.len())
+}
+
+fn lex_char(b: &[u8], i: usize) -> usize {
+    // `i` points at the opening `'`.
+    let mut j = i + 1;
+    if j < b.len() && b[j] == b'\\' {
+        j += 2;
+    } else {
+        j += 1;
+    }
+    while j < b.len() && b[j] != b'\'' {
+        j += 1;
+    }
+    (j + 1).min(b.len())
+}
+
+fn lifetime_or_char(b: &[u8], i: usize) -> (TokKind, usize) {
+    // `'a` / `'static` (no closing quote) vs `'x'` / `'\n'`.
+    let next = b.get(i + 1).copied().unwrap_or(0);
+    if next == b'\\' {
+        return (TokKind::Char, lex_char(b, i));
+    }
+    if next == b'_' || next.is_ascii_alphabetic() {
+        let mut j = i + 2;
+        while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+            j += 1;
+        }
+        if b.get(j).copied() == Some(b'\'') {
+            return (TokKind::Char, j + 1);
+        }
+        return (TokKind::Lifetime, j);
+    }
+    (TokKind::Char, lex_char(b, i))
+}
+
+fn lex_number(b: &[u8], i: usize) -> usize {
+    let mut j = i;
+    let hex = b[i] == b'0' && matches!(b.get(i + 1), Some(b'x' | b'o' | b'b'));
+    if hex {
+        j += 2;
+        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+            j += 1;
+        }
+        return j;
+    }
+    while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+        j += 1;
+    }
+    // Fractional part — but not `1..x` ranges or `1.method()`.
+    if j + 1 < b.len() && b[j] == b'.' && b[j + 1].is_ascii_digit() {
+        j += 1;
+        while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+            j += 1;
+        }
+    } else if j < b.len()
+        && b[j] == b'.'
+        && (j + 1 == b.len() || (b[j + 1] != b'.' && !b[j + 1].is_ascii_alphabetic()))
+    {
+        j += 1;
+    }
+    // Exponent.
+    if j < b.len() && (b[j] == b'e' || b[j] == b'E') {
+        let mut k = j + 1;
+        if k < b.len() && (b[k] == b'+' || b[k] == b'-') {
+            k += 1;
+        }
+        if k < b.len() && b[k].is_ascii_digit() {
+            j = k;
+            while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+                j += 1;
+            }
+        }
+    }
+    // Type suffix (`u64`, `f32`, `usize`).
+    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let l =
+            lex("let x = \"unwrap() panic!\"; // trailing unwrap()\n/* block\nunwrap */ call();");
+        assert!(!idents("let x = \"unwrap()\";").contains(&"unwrap".to_string()));
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].trailing);
+        assert!(!l.comments[1].trailing);
+        assert_eq!(l.comments[1].line, 2);
+    }
+
+    #[test]
+    fn raw_strings_close_on_matching_hashes() {
+        let l = lex(r###"let s = r#"quote " inside"#; x.unwrap()"###);
+        assert!(l.tokens.iter().any(|t| t.is_ident("unwrap")));
+        let s = l.tokens.iter().find(|t| t.kind == TokKind::Str).unwrap();
+        assert!(s.text.contains("quote"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let kinds: Vec<TokKind> = l.tokens.iter().map(|t| t.kind).collect();
+        assert_eq!(kinds.iter().filter(|k| **k == TokKind::Lifetime).count(), 2);
+        assert_eq!(kinds.iter().filter(|k| **k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn float_classification() {
+        let l = lex("a == 0.0; b == 1; c != 2e-3; d == 0x1f; e..2");
+        let floats: Vec<bool> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Number)
+            .map(Tok::is_float)
+            .collect();
+        assert_eq!(floats, vec![true, false, true, false, false]);
+    }
+
+    #[test]
+    fn multi_char_punct_groups() {
+        let l = lex("a += 1; b == c; d -> e; f::g");
+        let puncts: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(puncts.contains(&"+="));
+        assert!(puncts.contains(&"=="));
+        assert!(puncts.contains(&"->"));
+        assert!(puncts.contains(&"::"));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_in_strings() {
+        let l = lex("let s = \"a\nb\";\nfoo()");
+        let foo = l.tokens.iter().find(|t| t.is_ident("foo")).unwrap();
+        assert_eq!(foo.line, 3);
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture: allocations bounded by held data or literals.
+pub struct R {
+    buf: Vec<u8>,
+}
+
+impl R {
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+pub fn decode(r: &R) -> Vec<u8> {
+    let n = r.remaining();
+    let mut v: Vec<u8> = Vec::with_capacity(n.min(1024));
+    v.reserve(r.buf.len());
+    let fixed: Vec<u8> = Vec::with_capacity(64);
+    v.extend(fixed);
+    v
+}

@@ -1,0 +1,5 @@
+//! Fixture: unjustified pragma suppresses nothing.
+pub fn decode(n_cells: usize) -> Vec<f64> {
+    // df-lint: allow(bounded-alloc-decode)
+    Vec::with_capacity(n_cells)
+}

@@ -1,0 +1,5 @@
+//! Fixture: justified pragma on an out-of-band-bounded allocation.
+pub fn decode(n_cells: usize) -> Vec<f64> {
+    // df-lint: allow(bounded-alloc-decode) -- n_cells rejected against remaining() by the caller; each cell costs >= 1 wire byte
+    Vec::with_capacity(n_cells)
+}

@@ -1,0 +1,6 @@
+//! Fixture: allocation sized by a raw decoded value.
+pub fn decode(raw_header_count: usize) -> Vec<u8> {
+    let mut v = Vec::with_capacity(raw_header_count);
+    v.reserve(raw_header_count);
+    v
+}

@@ -1,0 +1,6 @@
+//! Fixture: non-count arithmetic does not fire.
+pub fn accumulate(total: &mut f64, xs: &[f64]) {
+    for x in xs {
+        *total += x;
+    }
+}

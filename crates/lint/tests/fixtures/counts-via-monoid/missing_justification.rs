@@ -1,0 +1,7 @@
+//! Fixture: unjustified pragma suppresses nothing.
+pub fn merge(data: &mut [f64], other: &[f64]) {
+    for (dst, src) in data.iter_mut().zip(other) {
+        // df-lint: allow(counts-via-monoid)
+        *dst += src;
+    }
+}

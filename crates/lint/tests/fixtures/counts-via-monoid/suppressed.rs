@@ -1,0 +1,7 @@
+//! Fixture: the wire-level merge carries a justified pragma.
+pub fn merge(data: &mut [f64], other: &[f64]) {
+    for (dst, src) in data.iter_mut().zip(other) {
+        // df-lint: allow(counts-via-monoid) -- this IS the wire-level monoid op; lengths validated by the caller
+        *dst += src;
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: direct cell-count arithmetic outside the monoid.
+pub fn merge(data: &mut [f64], other: &[f64]) {
+    for (dst, src) in data.iter_mut().zip(other) {
+        *dst += src;
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: write! into a String is the approved discard.
+use std::fmt::Write as _;
+
+pub fn f(s: &mut String) {
+    let _ = write!(s, "formatted");
+    let _ = writeln!(s, "formatted");
+}

@@ -1,0 +1,5 @@
+//! Fixture: unjustified pragma suppresses nothing.
+pub fn f(r: Result<u32, u32>) {
+    // df-lint: allow(must-use-results)
+    let _ = r;
+}

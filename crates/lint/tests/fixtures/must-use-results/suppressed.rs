@@ -1,0 +1,5 @@
+//! Fixture: justified discard.
+pub fn f(r: Result<u32, u32>) {
+    // df-lint: allow(must-use-results) -- the receiver is gone; there is no one left to tell
+    let _ = r;
+}

@@ -1,0 +1,4 @@
+//! Fixture: silent discards.
+pub fn f(r: Result<u32, u32>) {
+    let _ = r;
+}

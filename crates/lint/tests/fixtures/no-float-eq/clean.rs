@@ -1,0 +1,8 @@
+//! Fixture: named helpers and non-literal comparisons pass.
+fn exactly_zero(x: f64) -> bool {
+    x.abs() < f64::EPSILON
+}
+
+pub fn checks(a: f64, b: f64) -> bool {
+    exactly_zero(a) || (a - b).abs() < 1e-9 || a < 0.5
+}

@@ -1,0 +1,4 @@
+//! Fixture: unjustified pragma suppresses nothing.
+pub fn is_sentinel(x: f64) -> bool {
+    x == -1.0 // df-lint: allow(no-float-eq)
+}

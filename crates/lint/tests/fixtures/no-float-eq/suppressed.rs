@@ -1,0 +1,4 @@
+//! Fixture: justified pragma for a deliberate sentinel comparison.
+pub fn is_sentinel(x: f64) -> bool {
+    x == -1.0 // df-lint: allow(no-float-eq) -- -1.0 is an exact sentinel written by us, never computed
+}

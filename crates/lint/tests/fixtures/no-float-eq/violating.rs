@@ -1,0 +1,4 @@
+//! Fixture: exact comparisons against float literals and consts.
+pub fn checks(a: f64, b: f64) -> bool {
+    a == 0.0 || b != 1.5 || a == f64::INFINITY || 2.0 == b || a == -1.0
+}

@@ -1,0 +1,4 @@
+//! Fixture: try_from and widening casts pass.
+pub fn widen(v: u32, w: u64) -> (u64, f64, Option<u32>) {
+    (u64::from(v), w as f64, u32::try_from(w).ok())
+}

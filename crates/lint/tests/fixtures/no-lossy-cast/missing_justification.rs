@@ -1,0 +1,5 @@
+//! Fixture: unjustified pragma suppresses nothing.
+pub fn low_byte(v: u64) -> u8 {
+    // df-lint: allow(no-lossy-cast)
+    (v & 0x7f) as u8
+}

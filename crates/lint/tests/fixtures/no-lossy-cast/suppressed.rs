@@ -1,0 +1,5 @@
+//! Fixture: a justified pragma for a provably-masked cast.
+pub fn low_byte(v: u64) -> u8 {
+    // df-lint: allow(no-lossy-cast) -- masked to 7 bits on the previous line; cannot lose information
+    (v & 0x7f) as u8
+}

@@ -1,0 +1,4 @@
+//! Fixture: narrowing casts in the decode path.
+pub fn narrow(v: u64) -> (usize, u32, u8) {
+    (v as usize, v as u32, v as u8)
+}

@@ -1,0 +1,15 @@
+//! Fixture: the approved alternatives do not fire.
+pub fn f(x: Option<u32>, buf: &[u8], i: usize) -> u32 {
+    let a = x.unwrap_or(0);
+    let b = buf.get(i).copied().unwrap_or_default();
+    a + u32::from(b)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,4 @@
+//! Fixture: a pragma without a justification suppresses nothing.
+pub fn f(x: Option<u32>) -> u32 {
+    x.unwrap() // df-lint: allow(no-panic-path)
+}

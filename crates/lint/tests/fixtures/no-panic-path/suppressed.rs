@@ -1,0 +1,4 @@
+//! Fixture: a justified pragma suppresses the finding.
+pub fn f(x: Option<u32>) -> u32 {
+    x.unwrap() // df-lint: allow(no-panic-path) -- caller validated x above; absence is a programmer error, not input
+}

@@ -1,0 +1,9 @@
+//! Fixture: every shape the rule must catch on the request path.
+pub fn f(x: Option<u32>, buf: &[u8], i: usize) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect("present");
+    if i > buf.len() {
+        panic!("out of range");
+    }
+    a + b + u32::from(buf[i])
+}

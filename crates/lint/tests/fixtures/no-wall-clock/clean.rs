@@ -1,0 +1,4 @@
+//! Fixture: caller-supplied timestamps are the approved pattern.
+pub fn advance(now_seconds: f64, last: f64) -> f64 {
+    now_seconds.max(last)
+}

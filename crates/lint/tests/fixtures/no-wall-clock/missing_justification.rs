@@ -1,0 +1,7 @@
+//! Fixture: unjustified pragma -> finding stays, plus pragma-hygiene.
+use std::time::Instant;
+
+pub fn deadline_seam() -> Instant {
+    // df-lint: allow(no-wall-clock)
+    Instant::now()
+}

@@ -1,0 +1,7 @@
+//! Fixture: a standalone justified pragma governs the next code line.
+use std::time::Instant;
+
+pub fn deadline_seam() -> Instant {
+    // df-lint: allow(no-wall-clock) -- thread-liveness timeout only; never feeds the fairness clock
+    Instant::now()
+}

@@ -1,0 +1,6 @@
+//! Fixture: wall-clock reads in df-core.
+use std::time::{Instant, SystemTime};
+
+pub fn now_pair() -> (Instant, SystemTime) {
+    (Instant::now(), SystemTime::now())
+}

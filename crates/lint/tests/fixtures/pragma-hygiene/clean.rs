@@ -1,0 +1,4 @@
+//! Fixture: a well-formed justified pragma is hygienic.
+pub fn f(x: Option<u32>) -> u32 {
+    x.unwrap() // df-lint: allow(no-panic-path) -- fixture: input is a compile-time constant
+}

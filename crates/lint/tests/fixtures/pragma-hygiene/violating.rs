@@ -1,0 +1,9 @@
+//! Fixture: malformed pragmas are themselves violations.
+pub fn f(x: Option<u32>) -> u32 {
+    // df-lint: allow(no-panic-path)
+    let a = x.unwrap_or(0);
+    // df-lint: allow(not-a-real-rule) -- justification present but the rule does not exist
+    let b = a + 1;
+    // df-lint: allow() -- allows nothing
+    a + b
+}

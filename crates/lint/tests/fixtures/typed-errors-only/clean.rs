@@ -1,0 +1,8 @@
+//! Fixture: typed error enums pass.
+pub enum DfError {
+    Invalid(String),
+}
+
+pub fn parse(s: &str) -> Result<u32, DfError> {
+    Err(DfError::Invalid(s.to_string()))
+}

@@ -1,0 +1,5 @@
+//! Fixture: unjustified pragma suppresses nothing.
+pub fn shim(s: &str) -> Result<u32, String> { // df-lint: allow(typed-errors-only)
+    let _ignored = s;
+    Ok(0)
+}

@@ -1,0 +1,5 @@
+//! Fixture: justified pragma on a deliberate string-typed boundary.
+pub fn shim(s: &str) -> Result<u32, String> { // df-lint: allow(typed-errors-only) -- ffi boundary demands a bare string; converted at the caller
+    let _ignored = s;
+    Ok(0)
+}

@@ -1,0 +1,7 @@
+//! Fixture: stringly-typed errors.
+pub fn parse(s: &str) -> Result<u32, String> {
+    if s.is_empty() {
+        return Err("empty input".to_string());
+    }
+    Err(format!("cannot parse `{s}`"))
+}

@@ -1,0 +1,31 @@
+//! Self-check: the shipped tree lints clean. This is the acceptance
+//! gate in test form — if a PR introduces an unsuppressed violation,
+//! this test (and the CI `df-lint --workspace` step) both fail.
+
+use df_lint::{lint_workspace, render, Format};
+use std::path::Path;
+
+#[test]
+fn shipped_workspace_has_zero_unsuppressed_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = lint_workspace(&root, &[]).expect("workspace walk");
+    assert!(
+        report.files > 50,
+        "walked only {} files — workspace layout changed?",
+        report.files
+    );
+    assert!(
+        report.violations.is_empty(),
+        "df-lint must be clean on the shipped tree:\n{}",
+        render(&report, Format::Text)
+    );
+    // Every suppression in the tree carries a justification (unjustified
+    // pragmas would have surfaced as pragma-hygiene violations above);
+    // the count is pinned loosely so new justified pragmas don't churn
+    // this test, but wholesale pragma deletion/addition is visible.
+    assert!(
+        report.suppressed >= 10 && report.suppressed <= 40,
+        "suppression count {} drifted far from the audited set — re-audit LINTS.md",
+        report.suppressed
+    );
+}

@@ -11,7 +11,7 @@
 //! structures.
 
 use crate::error::{ProbError, Result};
-use crate::numerics::stable_sum;
+use crate::numerics::{exactly_zero, stable_sum};
 
 /// One categorical axis of a table: a name plus an ordered label vocabulary.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -394,7 +394,7 @@ impl ContingencyTable {
         let mut src_idx = vec![0usize; self.axes.len()];
         let mut out_idx = vec![0usize; keep_pos.len()];
         for (flat, &v) in self.data.iter().enumerate() {
-            if v != 0.0 {
+            if !exactly_zero(v) {
                 self.unflatten(flat, &mut src_idx);
                 for (o, &p) in out_idx.iter_mut().zip(&keep_pos) {
                     *o = src_idx[p];

@@ -13,6 +13,7 @@
 //! - [`Dirichlet`]: normalized independent Gamma draws.
 
 use crate::error::{ProbError, Result};
+use crate::numerics::{exactly_one, exactly_zero};
 use crate::rng::Pcg32;
 use crate::special::{
     beta_inc, gamma_p, ln_beta, ln_gamma, std_normal_cdf, std_normal_pdf, std_normal_quantile,
@@ -168,12 +169,12 @@ impl Continuous for Gamma {
         if x < 0.0 {
             return 0.0;
         }
-        if x == 0.0 {
+        if exactly_zero(x) {
             // Density diverges for shape < 1 and is 1/θ at shape = 1; report
             // the right-limit convention used elsewhere in the crate.
             return if self.shape < 1.0 {
                 f64::INFINITY
-            } else if self.shape == 1.0 {
+            } else if exactly_one(self.shape) {
                 1.0 / self.scale
             } else {
                 0.0
@@ -255,10 +256,10 @@ impl Continuous for Beta {
         if !(0.0..=1.0).contains(&x) {
             return 0.0;
         }
-        if (x == 0.0 && self.a < 1.0) || (x == 1.0 && self.b < 1.0) {
+        if (exactly_zero(x) && self.a < 1.0) || (exactly_one(x) && self.b < 1.0) {
             return f64::INFINITY;
         }
-        if (x == 0.0 && self.a > 1.0) || (x == 1.0 && self.b > 1.0) {
+        if (exactly_zero(x) && self.a > 1.0) || (exactly_one(x) && self.b > 1.0) {
             return 0.0;
         }
         ((self.a - 1.0) * x.ln() + (self.b - 1.0) * (1.0 - x).ln() - ln_beta(self.a, self.b)).exp()
@@ -328,10 +329,10 @@ impl Discrete for Binomial {
         if k64 > self.n {
             return 0.0;
         }
-        if self.p == 0.0 {
+        if exactly_zero(self.p) {
             return if k == 0 { 1.0 } else { 0.0 };
         }
-        if self.p == 1.0 {
+        if exactly_one(self.p) {
             return if k64 == self.n { 1.0 } else { 0.0 };
         }
         let kf = k as f64;

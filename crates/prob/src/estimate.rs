@@ -7,7 +7,7 @@
 //! slices, so `df-core` can apply them per protected group.
 
 use crate::error::{ProbError, Result};
-use crate::numerics::stable_sum;
+use crate::numerics::{exactly_zero, stable_sum};
 
 /// Maximum-likelihood estimate of a categorical distribution from counts.
 ///
@@ -41,7 +41,7 @@ pub fn dirichlet_posterior_predictive(counts: &[f64], alpha: f64) -> Result<Opti
             reason: "must be non-empty".into(),
         });
     }
-    if alpha == 0.0 {
+    if exactly_zero(alpha) {
         return Ok(categorical_mle(counts));
     }
     let k = counts.len() as f64;

@@ -7,6 +7,7 @@
 
 use crate::contingency::ContingencyTable;
 use crate::error::{ProbError, Result};
+use crate::numerics::exactly_zero;
 
 /// A marginal constraint: the table, marginalized onto `axes`, should equal
 /// `target` (axes and label order must match the marginalization output).
@@ -101,7 +102,7 @@ pub fn iterative_proportional_fit(
             let mut proj = vec![0usize; positions.len()];
             let cells: Vec<(usize, f64)> = table.data().iter().copied().enumerate().collect();
             for (flat, v) in cells {
-                if v == 0.0 {
+                if exactly_zero(v) {
                     continue;
                 }
                 table.unflatten(flat, &mut src_idx);

@@ -10,6 +10,7 @@
 use crate::dist::{Dirichlet, Sampler};
 use crate::error::{ProbError, Result};
 use crate::estimate::dirichlet_posterior_alpha;
+use crate::numerics::exactly_zero;
 use crate::rng::Pcg32;
 
 /// Exact sampler for the posterior `Dir(N₁+α, …, N_K+α)` of outcome
@@ -129,7 +130,7 @@ pub fn autocorrelation(chain: &[f64], lag: usize) -> f64 {
     }
     let mean = chain.iter().sum::<f64>() / n as f64;
     let var: f64 = chain.iter().map(|x| (x - mean).powi(2)).sum();
-    if var == 0.0 {
+    if exactly_zero(var) {
         return 0.0;
     }
     let cov: f64 = (0..n - lag)

@@ -139,6 +139,34 @@ pub fn stable_sum(xs: &[f64]) -> f64 {
     xs.iter().copied().collect::<KahanSum>().value()
 }
 
+/// Exact float equality as a named, reviewable operation.
+///
+/// The `no-float-eq` lint bans bare `==`/`!=` against float literals
+/// because most such sites *should* be tolerance checks. The sites that
+/// genuinely want bit-for-bit semantics — sentinel values, "is this
+/// probability exactly the degenerate endpoint", guards before division
+/// — route through these helpers instead, so every exact comparison in
+/// the tree is a deliberate, greppable decision. For closeness checks
+/// use [`approx_eq`].
+#[inline]
+pub fn exactly(a: f64, b: f64) -> bool {
+    a == b
+}
+
+/// `x` is exactly `0.0` (or `-0.0`). See [`exactly`] for why this is a
+/// named operation. Typical use: guarding a division or skipping empty
+/// probability cells, where only the true zero is special.
+#[inline]
+pub fn exactly_zero(x: f64) -> bool {
+    x == 0.0
+}
+
+/// `x` is exactly `1.0`. See [`exactly`].
+#[inline]
+pub fn exactly_one(x: f64) -> bool {
+    x == 1.0
+}
+
 /// Relative closeness check used in tests and convergence criteria:
 /// `|a - b| <= atol + rtol * max(|a|, |b|)`.
 #[inline]

@@ -6,6 +6,7 @@
 //! against high-precision reference values in the tests below.
 
 use crate::error::{ProbError, Result};
+use crate::numerics::{exactly_one, exactly_zero};
 
 /// Lanczos coefficients (g = 7, n = 9), Boost/GSL-compatible.
 const LANCZOS_G: f64 = 7.0;
@@ -82,7 +83,7 @@ pub fn gamma_p(a: f64, x: f64) -> Result<f64> {
             reason: format!("must be non-negative, got {x}"),
         });
     }
-    if x == 0.0 {
+    if exactly_zero(x) {
         return Ok(0.0);
     }
     if x < a + 1.0 {
@@ -106,7 +107,7 @@ pub fn gamma_q(a: f64, x: f64) -> Result<f64> {
             reason: format!("must be non-negative, got {x}"),
         });
     }
-    if x == 0.0 {
+    if exactly_zero(x) {
         return Ok(1.0);
     }
     if x < a + 1.0 {
@@ -171,7 +172,7 @@ fn gamma_q_contfrac(a: f64, x: f64) -> Result<f64> {
 /// Error function, via the regularized incomplete gamma function:
 /// `erf(x) = sign(x) · P(1/2, x²)`.
 pub fn erf(x: f64) -> f64 {
-    if x == 0.0 {
+    if exactly_zero(x) {
         return 0.0;
     }
     let p = gamma_p(0.5, x * x).expect("gamma_p(0.5, x^2) cannot fail for finite x");
@@ -184,7 +185,7 @@ pub fn erf(x: f64) -> f64 {
 
 /// Complementary error function `1 − erf(x)`, accurate in the upper tail.
 pub fn erfc(x: f64) -> f64 {
-    if x == 0.0 {
+    if exactly_zero(x) {
         return 1.0;
     }
     if x > 0.0 {
@@ -216,10 +217,10 @@ pub fn std_normal_quantile(p: f64) -> Result<f64> {
             reason: format!("must lie in [0, 1], got {p}"),
         });
     }
-    if p == 0.0 {
+    if exactly_zero(p) {
         return Ok(f64::NEG_INFINITY);
     }
-    if p == 1.0 {
+    if exactly_one(p) {
         return Ok(f64::INFINITY);
     }
 
@@ -291,10 +292,10 @@ pub fn beta_inc(a: f64, b: f64, x: f64) -> Result<f64> {
             reason: format!("must lie in [0, 1], got {x}"),
         });
     }
-    if x == 0.0 {
+    if exactly_zero(x) {
         return Ok(0.0);
     }
-    if x == 1.0 {
+    if exactly_one(x) {
         return Ok(1.0);
     }
     let ln_front = a * x.ln() + b * (1.0 - x).ln() - ln_beta(a, b);

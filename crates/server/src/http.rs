@@ -97,13 +97,19 @@ pub fn read_request(
         }
         match stream.read(&mut chunk) {
             Ok(0) => return Ok(NextRequest::Close), // EOF (possibly mid-head)
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Ok(n) => match chunk.get(..n) {
+                Some(read) => buf.extend_from_slice(read),
+                None => return Ok(NextRequest::Close),
+            },
             Err(e) if would_block(&e) => continue,
             Err(_) => return Ok(NextRequest::Close),
         }
     };
 
-    let head = std::str::from_utf8(&buf[..head_end])
+    let head = buf
+        .get(..head_end)
+        .ok_or_else(|| HttpError::BadRequest("request head out of bounds".into()))?;
+    let head = std::str::from_utf8(head)
         .map_err(|_| HttpError::BadRequest("request head is not valid UTF-8".into()))?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or("");
@@ -157,6 +163,7 @@ pub fn read_request(
         return Err(HttpError::BodyTooLarge { limit: max_body });
     }
     if header("expect").is_some_and(|e| e.eq_ignore_ascii_case("100-continue")) {
+        // df-lint: allow(must-use-results) -- interim 100 Continue is best effort; the real response still goes out
         let _ = stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
     }
 
@@ -190,7 +197,14 @@ pub fn read_request(
                     body.len()
                 )))
             }
-            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Ok(n) => match chunk.get(..n) {
+                Some(read) => body.extend_from_slice(read),
+                None => {
+                    return Err(HttpError::BadRequest(
+                        "read reported more bytes than the buffer holds".into(),
+                    ))
+                }
+            },
             Err(e) if would_block(&e) => continue,
             Err(e) => return Err(HttpError::BadRequest(format!("read error: {e}"))),
         }
@@ -300,26 +314,27 @@ pub fn write_response(
 pub fn percent_decode(s: &str) -> String {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
+    let hex = |b: u8| (b as char).to_digit(16);
     let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
+    while let Some(&b) = bytes.get(i) {
+        match b {
             b'+' => {
                 out.push(b' ');
                 i += 1;
             }
-            b'%' if i + 2 < bytes.len() => {
-                let hex = |b: u8| (b as char).to_digit(16);
-                match (hex(bytes[i + 1]), hex(bytes[i + 2])) {
-                    (Some(hi), Some(lo)) => {
-                        out.push((hi * 16 + lo) as u8);
-                        i += 3;
-                    }
-                    _ => {
-                        out.push(b'%');
-                        i += 1;
-                    }
+            b'%' => match (
+                bytes.get(i + 1).copied().and_then(hex),
+                bytes.get(i + 2).copied().and_then(hex),
+            ) {
+                (Some(hi), Some(lo)) => {
+                    out.push((hi * 16 + lo) as u8);
+                    i += 3;
                 }
-            }
+                _ => {
+                    out.push(b'%');
+                    i += 1;
+                }
+            },
             b => {
                 out.push(b);
                 i += 1;

@@ -316,11 +316,14 @@ impl Server {
             return;
         }
         // Wake the accept loop out of its blocking accept().
+        // df-lint: allow(must-use-results) -- best-effort wakeup; the accept loop also polls the shutdown flag
         let _ = TcpStream::connect(self.addr);
         if let Some(accept) = self.accept.take() {
+            // df-lint: allow(must-use-results) -- a panicked accept loop is already shut down; nothing to report to Drop
             let _ = accept.join();
         }
         for worker in self.workers.drain(..) {
+            // df-lint: allow(must-use-results) -- worker panics were already answered with a 500 or a closed socket
             let _ = worker.join();
         }
     }
@@ -352,7 +355,11 @@ fn accept_loop(listener: &TcpListener, conn_tx: &Sender<TcpStream>, shared: &Sha
 fn worker_loop(conn_rx: &Mutex<Receiver<TcpStream>>, shared: &Shared) {
     loop {
         let stream = {
-            let rx = conn_rx.lock().expect("connection queue lock");
+            // Poison here means a sibling worker panicked between recv
+            // and handle; the queue itself is still valid.
+            let rx = conn_rx
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             rx.recv()
         };
         match stream {
@@ -363,7 +370,9 @@ fn worker_loop(conn_rx: &Mutex<Receiver<TcpStream>>, shared: &Shared) {
 }
 
 fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    // df-lint: allow(must-use-results) -- socket tuning is advisory; the read loop enforces its own deadline
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    // df-lint: allow(must-use-results) -- socket tuning is advisory; latency, not correctness
     let _ = stream.set_nodelay(true);
     loop {
         if shared.shutdown.load(Ordering::Relaxed) {
@@ -402,6 +411,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                         error::error_response(501, "not_implemented", &msg)
                     }
                 };
+                // df-lint: allow(must-use-results) -- the connection closes either way; the error response is best effort
                 let _ = write_response(&mut stream, &resp, false);
                 return;
             }

@@ -34,7 +34,19 @@ use df_data::chunks::LabelChunk;
 use df_prob::contingency::Axis;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks a mutex, recovering the data if a previous holder panicked.
+///
+/// Every mutex in this module guards state with no invariant that spans
+/// the lock (caches are validated by version tag, `max_seen` is a single
+/// monotone value, the decoder re-validates every frame), so a poisoned
+/// lock is safe to adopt — and turning one request thread's panic into a
+/// permanent 500-for-everyone by unwrapping the poison would be the real
+/// availability bug on an untrusted-input path.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 /// Upper bound on distinct cached rendered responses between ingests.
@@ -253,7 +265,7 @@ impl ServerState {
                 "record timestamp must be finite, got {at}"
             )));
         }
-        let mut max_seen = self.max_seen.lock().expect("timestamp lock");
+        let mut max_seen = lock_recover(&self.max_seen);
         if let Some(max) = *max_seen {
             let floor = max - self.window_seconds + self.bucket_seconds;
             if at < floor {
@@ -274,7 +286,7 @@ impl ServerState {
     /// subsets, detectors), and stores it as `replica`'s latest state
     /// (last write wins). Returns the decoded snapshot's record count.
     pub fn ingest_snapshot(&self, bytes: &[u8], replica: &str) -> Result<(u64, u64)> {
-        let snap = self.decoder.lock().expect("decoder lock").decode(bytes)?;
+        let snap = lock_recover(&self.decoder).decode(bytes)?;
         self.reference.mergeable_with(&snap)?;
         if snap.window.axes != self.reference.window.axes {
             return Err(DfError::Invalid(
@@ -284,10 +296,7 @@ impl ServerState {
             ));
         }
         let totals = (snap.records_seen, snap.window_rows);
-        self.remote
-            .lock()
-            .expect("remote lock")
-            .insert(replica.to_string(), snap);
+        lock_recover(&self.remote).insert(replica.to_string(), snap);
         self.bump_version();
         Ok(totals)
     }
@@ -296,7 +305,7 @@ impl ServerState {
     /// fleet folded with the latest snapshot of every remote replica.
     fn merged_snapshot(&self, timeout: Duration) -> Result<MonitorSnapshot> {
         let local = self.fleet.try_snapshot_timeout(timeout)?;
-        let remote = self.remote.lock().expect("remote lock");
+        let remote = lock_recover(&self.remote);
         if remote.is_empty() {
             return Ok(local);
         }
@@ -311,19 +320,19 @@ impl ServerState {
     /// warm path clones the cached merge instead of re-cutting the fleet.
     pub fn merged_cached(&self, timeout: Duration) -> Result<(u64, MonitorSnapshot)> {
         let version = self.version();
-        if let Some((v, snap)) = &*self.snap_cache.lock().expect("snapshot cache lock") {
+        if let Some((v, snap)) = &*lock_recover(&self.snap_cache) {
             if *v == version {
                 return Ok((version, snap.clone()));
             }
         }
         let snap = self.merged_snapshot(timeout)?;
-        *self.snap_cache.lock().expect("snapshot cache lock") = Some((version, snap.clone()));
+        *lock_recover(&self.snap_cache) = Some((version, snap.clone()));
         Ok((version, snap))
     }
 
     /// A cached rendered response, valid only at the given version.
     pub fn cached_response(&self, version: u64, key: &str) -> Option<Response> {
-        let cache = self.resp_cache.lock().expect("response cache lock");
+        let cache = lock_recover(&self.resp_cache);
         (cache.0 == version)
             .then(|| cache.1.get(key).cloned())
             .flatten()
@@ -332,7 +341,7 @@ impl ServerState {
     /// Stores a rendered response under the given version, resetting the
     /// cache when the version moved and capping its size.
     pub fn store_response(&self, version: u64, key: &str, resp: &Response) {
-        let mut cache = self.resp_cache.lock().expect("response cache lock");
+        let mut cache = lock_recover(&self.resp_cache);
         if cache.0 != version {
             cache.0 = version;
             cache.1.clear();

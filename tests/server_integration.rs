@@ -680,3 +680,93 @@ fn stale_timestamps_are_refused_without_poisoning_shards() {
 
     server.shutdown();
 }
+
+#[test]
+fn former_panic_sites_answer_4xx_not_closed_connection() {
+    // Regression suite for the `no-panic-path` lint sweep: every input
+    // below is aimed at a site that once held an unwrap/expect/index on
+    // the request path. The contract is uniform — the server answers
+    // with a typed 4xx over the same connection; an empty response
+    // (closed socket) means a worker died.
+    let server = server();
+    let addr = server.local_addr();
+
+    // Percent-escape edge cases in the request target exercise the
+    // rewritten index-free `percent_decode`: a bare trailing `%`, a
+    // truncated escape, and junk hex must all fall through to routing
+    // (404 for an unknown decoded path), never kill the worker.
+    for target in [
+        "/v1/nope%",
+        "/v1/nope%2",
+        "/v1/nope%zz",
+        "/%",
+        "/%C0%afnope",
+    ] {
+        let req = format!("GET {target} HTTP/1.1\r\nConnection: close\r\n\r\n");
+        let resp = raw_exchange(addr, req.as_bytes());
+        assert!(
+            resp.starts_with("HTTP/1.1 404"),
+            "target {target}: expected a 404 answer, got: {resp:?}"
+        );
+    }
+
+    // A DFLT frame cut mid-u64 (10 bytes ends inside the schema hash)
+    // exercises the typed error that replaced `try_into().expect("8
+    // bytes")` in the codec reader.
+    let mut c = Http1Client::connect(addr).unwrap();
+    let mut monitor = replica_monitor();
+    monitor
+        .push_at(&LabelChunk::new(vec![row(0), row(1)]), 1000.0)
+        .unwrap();
+    let snap = monitor.snapshot().unwrap();
+    let frame = SnapshotEncoder::new().encode(&snap).unwrap();
+    let resp = c
+        .request("POST", "/v1/ingest/snapshot", &[], &frame[..10])
+        .unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.text());
+
+    // Byte surgery on the alert block: an alert rule demanding 2^33
+    // consecutive breaches once truncated silently through `as usize`;
+    // now it is a typed CorruptCounts → 400 on every target.
+    let mut doctored_snap = snap.clone();
+    let threshold = 0.123_456_789_f64;
+    doctored_snap.alerts.push(Alert {
+        rule: AlertRule {
+            threshold,
+            consecutive: 3,
+        },
+        at_record: 2,
+        at_seconds: Some(1000.0),
+        epsilon: 0.5,
+        witness: None,
+    });
+    let armed = SnapshotEncoder::new().encode(&doctored_snap).unwrap();
+    let needle = threshold.to_bits().to_le_bytes();
+    let at = armed
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .expect("distinctive threshold bytes present");
+    let mut doctored = armed[..at + needle.len()].to_vec();
+    doctored.extend_from_slice(&[0x80, 0x80, 0x80, 0x80, 0x20]); // varint(2^33)
+    doctored.extend_from_slice(&armed[at + needle.len() + 1..]);
+    let resp = c
+        .request("POST", "/v1/ingest/snapshot", &[], &doctored)
+        .unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.text());
+    assert!(
+        resp.text().contains("corrupt"),
+        "expected a corrupt-counts error, got: {}",
+        resp.text()
+    );
+
+    // The connection survived all of it: a well-formed frame on the
+    // same client still ingests, and the server still audits.
+    let resp = c
+        .request("POST", "/v1/ingest/snapshot?replica=r1", &[], &frame)
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let audit = c.get("/v1/audit").unwrap();
+    assert_eq!(audit.status, 200, "{}", audit.text());
+
+    server.shutdown();
+}
