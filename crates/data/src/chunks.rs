@@ -16,7 +16,7 @@
 //! commutative monoid (see `df_prob::partial`), so any interleaving across
 //! worker threads produces the identical table.
 
-use crate::csv::{parse_record, CsvOptions};
+use crate::csv::{parse_record, read_logical_record, CsvOptions};
 use crate::error::{DataError, Result};
 use crate::frame::DataFrame;
 use df_prob::contingency::Axis;
@@ -252,13 +252,16 @@ impl<R: BufRead> CsvChunks<R> {
 
     fn next_record(&mut self) -> Result<Option<Vec<String>>> {
         loop {
-            self.line_buf.clear();
-            if self.reader.read_line(&mut self.line_buf)? == 0 {
+            let record_line = self.line_no + 1;
+            if !read_logical_record(
+                &mut self.reader,
+                &mut self.line_buf,
+                &self.opts,
+                &mut self.line_no,
+            )? {
                 return Ok(None);
             }
-            self.line_no += 1;
-            let line = self.line_buf.trim_end_matches(['\n', '\r']);
-            let trimmed = line.trim();
+            let trimmed = self.line_buf.trim();
             if self.opts.skip_empty_lines && trimmed.is_empty() {
                 continue;
             }
@@ -267,7 +270,7 @@ impl<R: BufRead> CsvChunks<R> {
                     continue;
                 }
             }
-            let fields = parse_record(line, &self.opts, self.line_no)?;
+            let fields = parse_record(&self.line_buf, &self.opts, record_line)?;
             return match &self.projection {
                 None => Ok(Some(fields)),
                 Some(proj) => {
@@ -463,6 +466,32 @@ mod tests {
             PartialCounts::zeros(vec![Axis::from_strs("y", &["no", "yes"]).unwrap()]).unwrap();
         assert!(chunk.tally_into(&mut shard).is_err());
         assert!(CsvChunks::new("".as_bytes(), CsvOptions::default(), 0).is_err());
+    }
+
+    #[test]
+    fn crlf_batch_and_stream_parse_identically() {
+        // The same CRLF bytes through the batch reader and the streaming
+        // reader must yield byte-identical records, trim on or off — the
+        // divergence this pins down is exactly the old `lines()`-vs-
+        // `trim_end_matches` mismatch.
+        let bytes = "no,a\r\nyes,b\r\n\"multi\r\nline\",c\r\nlast,d";
+        for trim in [false, true] {
+            let opts = CsvOptions {
+                trim,
+                skip_empty_lines: false,
+                ..CsvOptions::default()
+            };
+            let batch = crate::csv::read_str(bytes, &opts).unwrap();
+            let streamed: Vec<Vec<String>> = CsvChunks::new(bytes.as_bytes(), opts, 2)
+                .unwrap()
+                .map(|c| c.unwrap().rows().to_vec())
+                .collect::<Vec<_>>()
+                .concat();
+            assert_eq!(streamed, batch, "trim={trim}");
+            assert_eq!(batch[0], vec!["no".to_string(), "a".to_string()]);
+            assert_eq!(batch[2][0], "multi\r\nline");
+            assert_eq!(batch[3], vec!["last".to_string(), "d".to_string()]);
+        }
     }
 
     #[test]

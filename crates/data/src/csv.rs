@@ -54,7 +54,9 @@ pub fn parse_record(line: &str, opts: &CsvOptions, line_no: usize) -> Result<Vec
     loop {
         // Each iteration parses one field.
         if opts.trim {
-            while matches!(chars.peek(), Some(c) if c.is_ascii_whitespace()) {
+            // Never swallow the delimiter itself (it may be `\t`).
+            while matches!(chars.peek(), Some(c) if c.is_ascii_whitespace() && *c != opts.delimiter)
+            {
                 chars.next();
             }
         }
@@ -80,8 +82,10 @@ pub fn parse_record(line: &str, opts: &CsvOptions, line_no: usize) -> Result<Vec
                     }
                 }
             }
-            // Consume whitespace up to the delimiter or end.
-            while matches!(chars.peek(), Some(c) if c.is_ascii_whitespace()) {
+            // Consume whitespace up to the delimiter or end — but never
+            // the delimiter itself, which may be whitespace (`\t`).
+            while matches!(chars.peek(), Some(c) if c.is_ascii_whitespace() && *c != opts.delimiter)
+            {
                 chars.next();
             }
             match chars.next() {
@@ -125,13 +129,125 @@ pub fn parse_record(line: &str, opts: &CsvOptions, line_no: usize) -> Result<Vec
     Ok(fields)
 }
 
-/// Reads all records from a buffered reader.
-pub fn read_records<R: BufRead>(reader: R, opts: &CsvOptions) -> Result<Vec<Vec<String>>> {
+/// Incremental quote state while assembling a logical record out of
+/// physical lines. Mirrors [`parse_record`]'s field grammar: a quote only
+/// opens a quoted field at field start (after optional whitespace when
+/// trimming), and `""` inside quotes is an escape, not a close-and-reopen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QuoteScan {
+    /// At the start of a field (record start or just past a delimiter).
+    FieldStart,
+    /// Inside an unquoted field (or past a closing quote).
+    Unquoted,
+    /// Inside a quoted field — newlines here are field content.
+    Quoted,
+    /// Just read a `"` inside a quoted field: either the closing quote or
+    /// the first half of an escaped `""`.
+    QuoteInQuoted,
+}
+
+/// Advances the quote state across `text` (a newly appended piece of a
+/// logical record).
+fn scan_quote_state(mut state: QuoteScan, text: &str, opts: &CsvOptions) -> QuoteScan {
+    for c in text.chars() {
+        state = match state {
+            QuoteScan::FieldStart => {
+                // The delimiter check comes first: a whitespace delimiter
+                // (e.g. tab) is never consumed as trim padding.
+                if c == opts.delimiter || (opts.trim && c.is_ascii_whitespace()) {
+                    QuoteScan::FieldStart
+                } else if c == '"' {
+                    QuoteScan::Quoted
+                } else {
+                    QuoteScan::Unquoted
+                }
+            }
+            QuoteScan::Unquoted => {
+                if c == opts.delimiter {
+                    QuoteScan::FieldStart
+                } else {
+                    QuoteScan::Unquoted
+                }
+            }
+            QuoteScan::Quoted => {
+                if c == '"' {
+                    QuoteScan::QuoteInQuoted
+                } else {
+                    QuoteScan::Quoted
+                }
+            }
+            QuoteScan::QuoteInQuoted => {
+                if c == '"' {
+                    // `""` escape: still inside the quoted field.
+                    QuoteScan::Quoted
+                } else if c == opts.delimiter {
+                    QuoteScan::FieldStart
+                } else {
+                    // Field closed; whatever follows is parse_record's
+                    // problem (trailing whitespace or a syntax error).
+                    QuoteScan::Unquoted
+                }
+            }
+        };
+    }
+    state
+}
+
+/// Reads one *logical* CSV record into `buf`: physical lines are joined
+/// while an RFC-4180 quoted field is still open (the newline bytes are
+/// field content and kept verbatim), and the record's own line terminator
+/// (`\n` or `\r\n`) is stripped. Returns `Ok(false)` at end of input with
+/// nothing read; `line_no` advances past every physical line consumed.
+///
+/// Shared by the batch reader ([`read_records`]) and the streaming reader
+/// (`CsvChunks`), so batch and stream see byte-identical records.
+pub(crate) fn read_logical_record<R: BufRead>(
+    reader: &mut R,
+    buf: &mut String,
+    opts: &CsvOptions,
+    line_no: &mut usize,
+) -> Result<bool> {
+    buf.clear();
+    let mut state = QuoteScan::FieldStart;
+    loop {
+        let start = buf.len();
+        if reader.read_line(buf)? == 0 {
+            // EOF. An open quoted field left content behind; hand it to
+            // parse_record, which reports the unterminated quote.
+            return Ok(!buf.is_empty());
+        }
+        *line_no += 1;
+        state = scan_quote_state(state, &buf[start..], opts);
+        if state != QuoteScan::Quoted {
+            // Record complete: strip the terminator — one `\n`, then the
+            // `\r` of a CRLF ending (content `\r`s inside quotes survive
+            // because an open quote takes the `continue` branch instead).
+            if buf.ends_with('\n') {
+                buf.pop();
+                if buf.ends_with('\r') {
+                    buf.pop();
+                }
+            }
+            return Ok(true);
+        }
+        // Still inside an open quote: the newline (and any `\r` before
+        // it) are field content — keep them and read the next line.
+    }
+}
+
+/// Reads all records from a buffered reader. Quoted fields may span lines
+/// (RFC 4180), and CRLF record terminators are fully stripped — batch
+/// parsing is byte-equivalent to the streaming `CsvChunks` path.
+pub fn read_records<R: BufRead>(mut reader: R, opts: &CsvOptions) -> Result<Vec<Vec<String>>> {
     let mut out = Vec::new();
-    for (i, line) in reader.lines().enumerate() {
-        let line = line?;
-        let line_no = i + 1;
-        let trimmed = line.trim();
+    let mut buf = String::new();
+    let mut line_no = 0usize;
+    loop {
+        let record_line = line_no + 1;
+        if !read_logical_record(&mut reader, &mut buf, opts, &mut line_no)? {
+            break;
+        }
+        let trimmed = buf.trim();
         if opts.skip_empty_lines && trimmed.is_empty() {
             continue;
         }
@@ -140,7 +256,7 @@ pub fn read_records<R: BufRead>(reader: R, opts: &CsvOptions) -> Result<Vec<Vec<
                 continue;
             }
         }
-        out.push(parse_record(&line, opts, line_no)?);
+        out.push(parse_record(&buf, opts, record_line)?);
     }
     Ok(out)
 }
@@ -255,11 +371,81 @@ mod tests {
     }
 
     #[test]
-    fn crlf_content_in_quotes_is_preserved_by_writer() {
-        let records = vec![vec!["line1\nline2".to_string()]];
+    fn embedded_newlines_in_quotes_roundtrip_through_the_readers() {
+        // The writer quotes fields containing `\n`/`\r`; the readers must
+        // parse those multi-line records back verbatim (RFC 4180), not die
+        // on "unterminated quoted field" at the first line boundary.
+        let records = vec![
+            vec!["line1\nline2".to_string(), "plain".to_string()],
+            vec!["crlf\r\ninside".to_string(), "a,b".to_string()],
+            vec!["lone\rcr".to_string(), "\"q\"\nand newline".to_string()],
+            vec!["".to_string(), "trailing\n".to_string()],
+        ];
         let mut buf = Vec::new();
         write_records(&mut buf, &records, ',').unwrap();
         let text = String::from_utf8(buf).unwrap();
-        assert!(text.starts_with('"'));
+        let opts = CsvOptions {
+            trim: false,
+            skip_empty_lines: false,
+            ..CsvOptions::default()
+        };
+        let parsed = read_str(&text, &opts).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn multiline_quoted_record_parses_with_trim_and_comments() {
+        // Quote continuation composes with the Adult-style options: the
+        // comment check applies to logical records, and a `|` inside an
+        // open quote is content, not a comment marker.
+        let content = "|sentinel\n\"multi\nline\", x\n\"|not a comment\", y\n";
+        let records = read_str(content, &CsvOptions::adult()).unwrap();
+        assert_eq!(
+            records,
+            vec![
+                vec!["multi\nline".to_string(), "x".to_string()],
+                vec!["|not a comment".to_string(), "y".to_string()],
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_quote_spanning_lines_is_an_error() {
+        let e = read_str("ok,1\n\"never closed\nmore\n", &CsvOptions::default()).unwrap_err();
+        assert!(e.to_string().contains("unterminated"));
+        // The error points at the line the record started on.
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn crlf_terminators_are_stripped_without_trim() {
+        let opts = CsvOptions {
+            trim: false,
+            ..CsvOptions::default()
+        };
+        let records = read_str("a,b\r\nc,d\r\n", &opts).unwrap();
+        assert_eq!(records, vec![vec!["a", "b"], vec!["c", "d"]]);
+        // A quoted CRLF is content and survives; only the record
+        // terminator is stripped.
+        let records = read_str("\"a\r\nb\",c\r\n", &opts).unwrap();
+        assert_eq!(records, vec![vec!["a\r\nb", "c"]]);
+    }
+
+    #[test]
+    fn whitespace_delimiters_are_never_consumed_as_padding() {
+        // `\t` as the delimiter: the post-quote and trim whitespace skips
+        // must not swallow it, or fields merge.
+        let opts = CsvOptions {
+            delimiter: '\t',
+            trim: false,
+            skip_empty_lines: false,
+            comment_char: None,
+        };
+        let rows = read_str("\"q\"\t,x\ta\n", &opts).unwrap();
+        assert_eq!(rows, vec![vec!["q", ",x", "a"]]);
+        // With trimming on, consecutive tabs still delimit empty fields.
+        let opts_trim = CsvOptions { trim: true, ..opts };
+        let rows = read_str("a\t\tb\n", &opts_trim).unwrap();
+        assert_eq!(rows, vec![vec!["a", "", "b"]]);
     }
 }

@@ -27,6 +27,13 @@ pub enum DataError {
     },
     /// Generic invalid-argument error.
     Invalid(String),
+    /// Malformed or truncated DFRL replay-log bytes (untrusted input).
+    Replay {
+        /// Byte offset into the log where decoding failed.
+        offset: u64,
+        /// Description of the corruption.
+        message: String,
+    },
 }
 
 impl fmt::Display for DataError {
@@ -42,6 +49,9 @@ impl fmt::Display for DataError {
                 write!(f, "column `{column}` is not {expected}")
             }
             DataError::Invalid(msg) => write!(f, "{msg}"),
+            DataError::Replay { offset, message } => {
+                write!(f, "corrupt replay log at byte {offset}: {message}")
+            }
         }
     }
 }

@@ -8,6 +8,63 @@
 use crate::error::{DataError, Result};
 use df_prob::contingency::{Axis, ContingencyTable};
 use df_prob::rng::Pcg32;
+use std::collections::HashMap;
+
+/// A hashed string interner that assigns dense `u32` codes in
+/// first-occurrence order.
+///
+/// This is the single interning primitive of the data layer: categorical
+/// column construction and the replay-log schema writer both go through
+/// it, so vocabularies are always ordered by first appearance — the
+/// property the axis/code contract of the streaming engine relies on.
+/// Lookups are O(1) amortized, replacing the old O(n·|vocab|) linear scan
+/// that made high-cardinality columns quadratic to intern.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    map: HashMap<String, u32>,
+    vocab: Vec<String>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns one value, returning its code. A value seen before gets its
+    /// existing code; a new value gets the next dense code.
+    pub fn intern(&mut self, value: &str) -> u32 {
+        if let Some(&code) = self.map.get(value) {
+            return code;
+        }
+        let code = self.vocab.len() as u32;
+        self.map.insert(value.to_string(), code);
+        self.vocab.push(value.to_string());
+        code
+    }
+
+    /// Number of distinct values interned so far.
+    pub fn len(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.vocab.is_empty()
+    }
+
+    /// The vocabulary in first-occurrence order; `intern`'s return values
+    /// index into it.
+    pub fn vocab(&self) -> &[String] {
+        &self.vocab
+    }
+
+    /// Consumes the interner, yielding the vocabulary in first-occurrence
+    /// order.
+    pub fn into_vocab(self) -> Vec<String> {
+        self.vocab
+    }
+}
 
 /// Storage for one column.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,24 +88,20 @@ pub struct Column {
 }
 
 impl Column {
-    /// Creates a categorical column by interning string values.
+    /// Creates a categorical column by interning string values (hashed
+    /// lookup, codes in first-occurrence order — see [`Interner`]).
     pub fn categorical<S: AsRef<str>>(name: impl Into<String>, values: &[S]) -> Column {
-        let mut vocab: Vec<String> = Vec::new();
+        let mut interner = Interner::new();
         let mut codes = Vec::with_capacity(values.len());
         for v in values {
-            let v = v.as_ref();
-            let code = match vocab.iter().position(|u| u == v) {
-                Some(i) => i as u32,
-                None => {
-                    vocab.push(v.to_string());
-                    (vocab.len() - 1) as u32
-                }
-            };
-            codes.push(code);
+            codes.push(interner.intern(v.as_ref()));
         }
         Column {
             name: name.into(),
-            data: ColumnData::Categorical { codes, vocab },
+            data: ColumnData::Categorical {
+                codes,
+                vocab: interner.into_vocab(),
+            },
         }
     }
 
@@ -389,6 +442,43 @@ mod tests {
         let (codes, vocab) = c.as_categorical().unwrap();
         assert_eq!(vocab, &["b".to_string(), "a".to_string(), "c".to_string()]);
         assert_eq!(codes, &[0, 1, 0, 2]);
+    }
+
+    #[test]
+    fn hashed_interner_matches_first_occurrence_order_at_high_cardinality() {
+        // A deliberately shuffled high-cardinality stream: the hashed
+        // interner must hand out codes in first-occurrence order, exactly
+        // as the old linear scan did, independent of hash iteration order.
+        let values: Vec<String> = (0..5_000)
+            .map(|i| format!("v{}", (i * 7919) % 997))
+            .collect();
+        let c = Column::categorical("c", &values);
+        let (codes, vocab) = c.as_categorical().unwrap();
+        // Reference interning via the O(n²) scan the interner replaced.
+        let mut ref_vocab: Vec<String> = Vec::new();
+        let mut ref_codes: Vec<u32> = Vec::new();
+        for v in &values {
+            let code = match ref_vocab.iter().position(|u| u == v) {
+                Some(i) => i as u32,
+                None => {
+                    ref_vocab.push(v.clone());
+                    (ref_vocab.len() - 1) as u32
+                }
+            };
+            ref_codes.push(code);
+        }
+        assert_eq!(vocab, &ref_vocab[..]);
+        assert_eq!(codes, &ref_codes[..]);
+        // Interner is also usable standalone (the replay schema writer
+        // path), with idempotent lookups.
+        let mut i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.intern("x"), 0);
+        assert_eq!(i.intern("y"), 1);
+        assert_eq!(i.intern("x"), 0);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.vocab(), &["x".to_string(), "y".to_string()]);
+        assert_eq!(i.into_vocab(), vec!["x".to_string(), "y".to_string()]);
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //!   real UCI files when available.
 //! - [`kidney`]: the Simpson's-paradox admissions data of Table 1 and the
 //!   original kidney-stone treatment table it was adapted from.
+//! - [`replay`]: the DFRL binary replay log — a self-describing record-log
+//!   format storing interned codes directly, with a streaming writer, an
+//!   untrusted-input validated streaming reader, frame/CSV converters, and
+//!   a scan-free tally fast path for re-audit.
+//! - [`view`]: zero-copy sorted/filtered index views over a frame —
+//!   reorder, subset, and tally without cloning column data.
 //! - [`workloads`]: synthetic workload generators for benchmarks and
 //!   property tests (random joint tables, planted-ε tables, group-Gaussian
 //!   score populations).
@@ -35,7 +41,9 @@ pub mod error;
 pub mod frame;
 pub mod kidney;
 pub mod protected;
+pub mod replay;
+pub mod view;
 pub mod workloads;
 
 pub use error::{DataError, Result};
-pub use frame::{Column, ColumnData, DataFrame};
+pub use frame::{Column, ColumnData, DataFrame, Interner};

@@ -1,0 +1,235 @@
+//! Zero-copy views over a [`DataFrame`]: an index vector onto borrowed
+//! columns, so sorting, filtering, and composing subsets never clones cell
+//! data. A view can tally a contingency table directly (gathering codes
+//! through the index) or materialize a real frame via [`FrameView::to_frame`]
+//! when one is needed.
+//!
+//! Views compose: `view.filter_eq(..)?.sort_by(..)?` narrows and reorders
+//! the same borrowed frame, each step touching only `usize` indices.
+
+use crate::error::{DataError, Result};
+use crate::frame::{ColumnData, DataFrame};
+use df_prob::contingency::{Axis, ContingencyTable};
+use df_prob::partial::PartialCounts;
+
+/// A borrowed, reordered subset of a frame's rows.
+///
+/// Row `i` of the view is row `index[i]` of the underlying frame; the
+/// frame's column data is never copied.
+#[derive(Debug, Clone)]
+pub struct FrameView<'a> {
+    frame: &'a DataFrame,
+    index: Vec<usize>,
+}
+
+impl<'a> FrameView<'a> {
+    /// The identity view: every row of `frame`, in order.
+    pub fn of(frame: &'a DataFrame) -> FrameView<'a> {
+        FrameView {
+            frame,
+            index: (0..frame.n_rows()).collect(),
+        }
+    }
+
+    /// A view of explicit row indices (duplicates and any order allowed).
+    pub fn from_indices(frame: &'a DataFrame, index: Vec<usize>) -> Result<FrameView<'a>> {
+        if let Some(&bad) = index.iter().find(|&&i| i >= frame.n_rows()) {
+            return Err(DataError::Invalid(format!(
+                "row index {bad} out of range ({} rows)",
+                frame.n_rows()
+            )));
+        }
+        Ok(FrameView { frame, index })
+    }
+
+    /// The underlying frame.
+    pub fn frame(&self) -> &'a DataFrame {
+        self.frame
+    }
+
+    /// The view's row indices into the underlying frame.
+    pub fn indices(&self) -> &[usize] {
+        &self.index
+    }
+
+    /// Number of rows in the view.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when the view selects no rows.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Keeps rows whose categorical `column` equals `label`. Unknown
+    /// labels are an error (a silent empty view would hide typos).
+    pub fn filter_eq(&self, column: &str, label: &str) -> Result<FrameView<'a>> {
+        let (codes, vocab) = self.frame.column(column)?.as_categorical()?;
+        let want = vocab.iter().position(|l| l == label).ok_or_else(|| {
+            DataError::Invalid(format!("column `{column}` has no label `{label}`"))
+        })? as u32;
+        let index = self
+            .index
+            .iter()
+            .copied()
+            .filter(|&i| codes[i] == want)
+            .collect();
+        Ok(FrameView {
+            frame: self.frame,
+            index,
+        })
+    }
+
+    /// Keeps rows where `pred` holds on the numeric `column`.
+    pub fn filter_num(&self, column: &str, pred: impl Fn(f64) -> bool) -> Result<FrameView<'a>> {
+        let values = self.frame.column(column)?.as_numeric()?;
+        let index = self
+            .index
+            .iter()
+            .copied()
+            .filter(|&i| pred(values[i]))
+            .collect();
+        Ok(FrameView {
+            frame: self.frame,
+            index,
+        })
+    }
+
+    /// A stably sorted view: categorical columns order by label string,
+    /// numeric columns by `f64::total_cmp` (NaN sorts last, after +∞).
+    pub fn sort_by(&self, column: &str) -> Result<FrameView<'a>> {
+        let col = self.frame.column(column)?;
+        let mut index = self.index.clone();
+        match col.data() {
+            ColumnData::Categorical { codes, vocab } => {
+                index.sort_by(|&a, &b| vocab[codes[a] as usize].cmp(&vocab[codes[b] as usize]));
+            }
+            ColumnData::Numeric(values) => {
+                index.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+            }
+        }
+        Ok(FrameView {
+            frame: self.frame,
+            index,
+        })
+    }
+
+    /// Gathers the view's codes for a categorical column (one copy of
+    /// `u32`s; no strings).
+    pub fn gather_codes(&self, column: &str) -> Result<(Vec<u32>, &'a [String])> {
+        let (codes, vocab) = self.frame.column(column)?.as_categorical()?;
+        let gathered = self.index.iter().map(|&i| codes[i]).collect();
+        Ok((gathered, vocab))
+    }
+
+    /// Tallies the view's rows into a contingency table over `columns`,
+    /// without materializing a frame: codes are gathered through the
+    /// index and counted via the trusted bulk path (they index their own
+    /// vocabularies by construction).
+    pub fn contingency(&self, columns: &[&str]) -> Result<ContingencyTable> {
+        if columns.is_empty() {
+            return Err(DataError::Invalid("need at least one column".into()));
+        }
+        let mut axes = Vec::with_capacity(columns.len());
+        let mut gathered = Vec::with_capacity(columns.len());
+        for name in columns {
+            let (codes, vocab) = self.gather_codes(name)?;
+            axes.push(Axis::new((*name).to_string(), vocab.to_vec())?);
+            gathered.push(codes);
+        }
+        let mut shard = PartialCounts::zeros(axes)?;
+        let slices: Vec<&[u32]> = gathered.iter().map(Vec::as_slice).collect();
+        shard.record_codes_trusted(&slices)?;
+        Ok(shard.into_table())
+    }
+
+    /// Materializes the view as an owned frame (this is the one copy).
+    pub fn to_frame(&self) -> Result<DataFrame> {
+        self.frame.take(&self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Column;
+
+    fn frame() -> DataFrame {
+        DataFrame::new(vec![
+            Column::categorical("y", &["no", "yes", "yes", "no", "yes"]),
+            Column::categorical("g", &["b", "a", "b", "b", "a"]),
+            Column::numeric("s", vec![3.0, 1.0, f64::NAN, 2.0, 1.0]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn identity_view_matches_frame() {
+        let f = frame();
+        let v = FrameView::of(&f);
+        assert_eq!(v.len(), 5);
+        assert!(!v.is_empty());
+        assert_eq!(v.indices(), &[0, 1, 2, 3, 4]);
+        assert_eq!(v.to_frame().unwrap().n_rows(), 5);
+        assert_eq!(
+            v.contingency(&["y", "g"]).unwrap(),
+            f.contingency(&["y", "g"]).unwrap()
+        );
+    }
+
+    #[test]
+    fn filters_compose_without_copying_columns() {
+        let f = frame();
+        let v = FrameView::of(&f)
+            .filter_eq("y", "yes")
+            .unwrap()
+            .filter_eq("g", "a")
+            .unwrap();
+        assert_eq!(v.indices(), &[1, 4]);
+        // Equivalent to the frame-level filter + contingency.
+        let mask: Vec<bool> = (0..5).map(|i| i == 1 || i == 4).collect();
+        let expect = f.filter(&mask).unwrap().contingency(&["y"]).unwrap();
+        assert_eq!(v.contingency(&["y"]).unwrap(), expect);
+        // Unknown labels error instead of silently matching nothing.
+        assert!(FrameView::of(&f).filter_eq("y", "maybe").is_err());
+        assert!(FrameView::of(&f).filter_eq("s", "yes").is_err());
+    }
+
+    #[test]
+    fn numeric_filter_and_sort() {
+        let f = frame();
+        let v = FrameView::of(&f).filter_num("s", |x| x <= 2.0).unwrap();
+        assert_eq!(v.indices(), &[1, 3, 4]);
+        // Sort is stable: ties keep prior order; NaN lands last.
+        let sorted = FrameView::of(&f).sort_by("s").unwrap();
+        assert_eq!(sorted.indices(), &[1, 4, 3, 0, 2]);
+        // Categorical sort orders by label, stably.
+        let by_g = FrameView::of(&f).sort_by("g").unwrap();
+        assert_eq!(by_g.indices(), &[1, 4, 0, 2, 3]);
+    }
+
+    #[test]
+    fn from_indices_validates_and_allows_duplicates() {
+        let f = frame();
+        assert!(FrameView::from_indices(&f, vec![0, 5]).is_err());
+        let v = FrameView::from_indices(&f, vec![4, 4, 0]).unwrap();
+        assert_eq!(v.len(), 3);
+        let out = v.to_frame().unwrap();
+        assert_eq!(out.column("y").unwrap().value_str(0), "yes");
+        assert_eq!(out.column("y").unwrap().value_str(2), "no");
+        let (codes, vocab) = v.gather_codes("g").unwrap();
+        assert_eq!(codes, vec![1, 1, 0]);
+        assert_eq!(vocab, &["b".to_string(), "a".to_string()]);
+    }
+
+    #[test]
+    fn view_contingency_matches_materialized_frame() {
+        let f = frame();
+        let v = FrameView::of(&f).filter_eq("g", "b").unwrap();
+        let via_view = v.contingency(&["y", "g"]).unwrap();
+        let via_frame = v.to_frame().unwrap().contingency(&["y", "g"]).unwrap();
+        assert_eq!(via_view, via_frame);
+        assert!(v.contingency(&[]).is_err());
+    }
+}

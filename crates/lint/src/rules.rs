@@ -86,10 +86,11 @@ fn in_server_request_path(path: &str) -> bool {
 }
 
 fn in_decode_path(path: &str) -> bool {
-    path == "crates/core/src/fleet/codec.rs"
+    path == "crates/core/src/fleet/codec.rs" || path == "crates/data/src/replay.rs"
 }
 
-/// no-panic-path scope: server request/connection path + DFLT decode.
+/// no-panic-path scope: server request/connection path + the untrusted
+/// binary decoders (DFLT snapshots, DFRL replay logs).
 fn panic_scope(path: &str) -> bool {
     in_server_request_path(path) || in_decode_path(path)
 }

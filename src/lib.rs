@@ -108,6 +108,8 @@ use df_core::builder::Audit;
 use df_core::JointCounts;
 use df_data::chunks::FrameChunks;
 use df_data::frame::DataFrame;
+use df_data::replay::ReplayChunks;
+use std::io::BufRead;
 
 /// Frame-level entry points for the [`Audit`] builder, where the data layer
 /// and the criterion meet (df-core itself does not depend on df-data).
@@ -132,6 +134,40 @@ pub trait FrameAudits {
         chunk_rows: usize,
         threads: usize,
     ) -> df_core::Result<Audit<'static>>;
+}
+
+/// Replay-log entry points for the [`Audit`] builder: audit straight from
+/// DFRL bytes, decoding interned codes into the streaming tally without
+/// ever materializing a frame or touching a string past the header.
+pub trait ReplayAudits {
+    /// Streams a DFRL replay log's `(outcome, attrs…)` columns through
+    /// `Audit::of_stream` across `threads` parallel shards. Produces a
+    /// byte-identical report to the CSV/frame paths on equivalent data.
+    fn of_replay_log<R: BufRead + Send>(
+        reader: R,
+        outcome: &str,
+        attrs: &[&str],
+        threads: usize,
+    ) -> df_core::Result<Audit<'static>>;
+}
+
+impl ReplayAudits for Audit<'static> {
+    fn of_replay_log<R: BufRead + Send>(
+        reader: R,
+        outcome: &str,
+        attrs: &[&str],
+        threads: usize,
+    ) -> df_core::Result<Audit<'static>> {
+        let mut columns = Vec::with_capacity(attrs.len() + 1);
+        columns.push(outcome);
+        columns.extend_from_slice(attrs);
+        let into_core = |e: df_data::DataError| df_core::DfError::Invalid(e.to_string());
+        let chunks = ReplayChunks::new(reader)
+            .and_then(|c| c.with_columns(&columns))
+            .map_err(into_core)?;
+        let axes = chunks.axes().map_err(into_core)?;
+        Audit::of_stream(outcome, axes, chunks.map(|r| r.map_err(into_core)), threads)
+    }
 }
 
 impl FrameAudits for Audit<'static> {
@@ -173,7 +209,7 @@ impl FrameAudits for Audit<'static> {
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
-    pub use crate::FrameAudits;
+    pub use crate::{FrameAudits, ReplayAudits};
     pub use df_core::amplification::BiasAmplification;
     #[allow(deprecated)]
     pub use df_core::audit::{AuditConfig, FairnessAudit};
@@ -211,7 +247,12 @@ pub mod prelude {
     };
     pub use df_data::adult;
     pub use df_data::chunks::{CsvChunks, FrameChunks, LabelChunk};
-    pub use df_data::frame::{Column, DataFrame};
+    pub use df_data::frame::{Column, DataFrame, Interner};
+    pub use df_data::replay::{
+        csv_to_log, read_frame_log, tally_from_log, write_frame_log, ChunkColumn, CodeChunk,
+        CodeSchema, LogColumn, LogSchema, LogStats, ReplayChunks, ReplayWriter,
+    };
+    pub use df_data::view::FrameView;
     pub use df_data::workloads::{
         drift_replay_frame, fleet_drift_streams, interleave_replays, timestamped_drift_stream,
         ArrivalProcess, DriftSegment, FleetDriftPlan, GaussianScoreGroups, TimedChunk,
