@@ -32,9 +32,11 @@
 use crate::builder::EpsilonEstimator;
 use crate::epsilon::EpsilonResult;
 use crate::error::{DfError, Result};
+use crate::fleet::telemetry::{FleetTelemetry, ShardTelemetry};
 use crate::monitor::{FairnessMonitor, MonitorBuilder, MonitorSnapshot};
 use df_prob::partial::Tally;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -50,12 +52,14 @@ struct Deadline {
 /// The one place this module — and all of `df-core` — reads the wall
 /// clock. Everything fairness-related is driven by caller-supplied `f64`
 /// timestamps (replay determinism: same stream, same ε, every run); the
-/// wall clock exists solely to bound how long [`FleetIngest`] waits for
-/// worker *threads* to reply, which is an operational liveness concern,
-/// not part of the fairness computation. Callers that own a clock can
-/// skip this entirely via [`FleetIngest::try_snapshot_deadline`].
+/// wall clock exists solely for two operational concerns that are not
+/// part of the fairness computation: bounding how long [`FleetIngest`]
+/// waits for worker *threads* to reply, and measuring telemetry
+/// durations (push latency, consistent-cut latency — see
+/// [`FleetTelemetry`]). Callers that own a clock can skip the timeout
+/// use entirely via [`FleetIngest::try_snapshot_deadline`].
 fn wall_clock_now() -> Instant {
-    // df-lint: allow(no-wall-clock) -- thread-liveness timeout only; never feeds timestamps, windows, or epsilon
+    // df-lint: allow(no-wall-clock) -- thread-liveness timeouts and telemetry durations only; never feeds timestamps, windows, or epsilon
     Instant::now()
 }
 
@@ -85,6 +89,7 @@ enum ShardMsg<C> {
 pub struct FleetProducer<C: Tally + Send + 'static> {
     shard: usize,
     sender: Sender<ShardMsg<C>>,
+    telemetry: ShardTelemetry,
 }
 
 impl<C: Tally + Send + 'static> Clone for FleetProducer<C> {
@@ -92,6 +97,7 @@ impl<C: Tally + Send + 'static> Clone for FleetProducer<C> {
         Self {
             shard: self.shard,
             sender: self.sender.clone(),
+            telemetry: self.telemetry.clone(),
         }
     }
 }
@@ -110,7 +116,9 @@ impl<C: Tally + Send + 'static> FleetProducer<C> {
     pub fn send(&self, chunk: C, at: f64) -> Result<()> {
         self.sender
             .send(ShardMsg::Chunk { chunk, at })
-            .map_err(|_| disconnected(self.shard))
+            .map_err(|_| disconnected(self.shard))?;
+        self.telemetry.enqueued.inc();
+        Ok(())
     }
 
     /// Enqueues a zero-arrival clock advance, so an idle source keeps its
@@ -118,7 +126,9 @@ impl<C: Tally + Send + 'static> FleetProducer<C> {
     pub fn advance_to(&self, at: f64) -> Result<()> {
         self.sender
             .send(ShardMsg::Advance { at })
-            .map_err(|_| disconnected(self.shard))
+            .map_err(|_| disconnected(self.shard))?;
+        self.telemetry.enqueued.inc();
+        Ok(())
     }
 }
 
@@ -135,27 +145,44 @@ pub struct FleetIngest<C: Tally + Send + 'static> {
     senders: Vec<Sender<ShardMsg<C>>>,
     workers: Vec<JoinHandle<()>>,
     estimator: Box<dyn EpsilonEstimator>,
+    telemetry: Arc<FleetTelemetry>,
 }
 
 impl<C: Tally + Send + 'static> FleetIngest<C> {
-    fn spawn(monitors: Vec<FairnessMonitor>, estimator: Box<dyn EpsilonEstimator>) -> Self {
+    fn spawn(
+        monitors: Vec<FairnessMonitor>,
+        estimator: Box<dyn EpsilonEstimator>,
+        telemetry: Arc<FleetTelemetry>,
+    ) -> Self {
         let mut senders = Vec::with_capacity(monitors.len());
         let mut workers = Vec::with_capacity(monitors.len());
-        for monitor in monitors {
+        for (shard, monitor) in monitors.into_iter().enumerate() {
             let (tx, rx) = channel();
+            let tel = telemetry.shard(shard).clone();
             senders.push(tx);
-            workers.push(std::thread::spawn(move || shard_worker(monitor, rx)));
+            workers.push(std::thread::spawn(move || shard_worker(monitor, rx, tel)));
         }
         Self {
             senders,
             workers,
             estimator,
+            telemetry,
         }
     }
 
     /// Number of shards (= workers = independent producers).
     pub fn shards(&self) -> usize {
         self.senders.len()
+    }
+
+    /// Live fleet telemetry: per-shard traffic counters, queue depths,
+    /// staleness gauges, cut latency, and the shared monitor bundle —
+    /// readable at any time without touching the shard channels (see
+    /// [`FleetTelemetry`]). The `Arc` is shared with every worker, so a
+    /// scrape layer can clone it into gauge closures that outlive this
+    /// handle's borrows.
+    pub fn telemetry(&self) -> &Arc<FleetTelemetry> {
+        &self.telemetry
     }
 
     /// A producer handle for the given shard.
@@ -169,6 +196,7 @@ impl<C: Tally + Send + 'static> FleetIngest<C> {
         Ok(FleetProducer {
             shard,
             sender: sender.clone(),
+            telemetry: self.telemetry.shard(shard).clone(),
         })
     }
 
@@ -255,7 +283,30 @@ impl<C: Tally + Send + 'static> FleetIngest<C> {
     /// state never mixes a fresh shard clock with another shard's stale
     /// eviction horizon. One clock round plus one snapshot round in the
     /// common case.
+    ///
+    /// Successful cuts record their wall-clock duration into
+    /// [`FleetTelemetry::snapshot_cut_seconds`] (both clock reads go
+    /// through the audited [`wall_clock_now`] seam; the duration never
+    /// feeds back into any window).
     fn collect(&self, target: Option<f64>, deadline: Option<Deadline>) -> Result<MonitorSnapshot> {
+        let start = wall_clock_now();
+        let result = self.collect_rounds(target, deadline);
+        if result.is_ok() {
+            let cut = wall_clock_now().saturating_duration_since(start);
+            self.telemetry
+                .snapshot_cut_seconds
+                .observe(cut.as_secs_f64());
+            self.telemetry.snapshots.inc();
+        }
+        result
+    }
+
+    /// The alignment loop behind [`FleetIngest::collect`].
+    fn collect_rounds(
+        &self,
+        target: Option<f64>,
+        deadline: Option<Deadline>,
+    ) -> Result<MonitorSnapshot> {
         let mut target = match target {
             Some(t) => Some(t),
             None => self.clock_round(deadline)?,
@@ -372,23 +423,54 @@ fn recv<T>(shard: usize, rx: &Receiver<T>, deadline: Option<Deadline>) -> Result
 /// The first ingest error poisons the shard — later chunks are discarded
 /// and every subsequent snapshot reports the original error (matching the
 /// streaming engine's abort-on-first-error contract).
-fn shard_worker<C: Tally + Send>(mut monitor: FairnessMonitor, rx: Receiver<ShardMsg<C>>) {
+///
+/// Telemetry contract: `processed` counts every data message consumed
+/// (even on a poisoned shard, so queue depth converges back to zero);
+/// `last_seen` moves only on *producer* traffic — snapshot alignment
+/// advances windows but must not make a silent shard look alive.
+fn shard_worker<C: Tally + Send>(
+    mut monitor: FairnessMonitor,
+    rx: Receiver<ShardMsg<C>>,
+    tel: ShardTelemetry,
+) {
     let mut failed: Option<DfError> = None;
+    // Local max over producer-supplied timestamps (the worker is
+    // single-threaded, so no atomic max is needed): `last_seen` is "the
+    // newest data time heard", monotone even under out-of-order sends.
+    let mut newest_heard: Option<f64> = None;
+    let mut heard = |tel: &ShardTelemetry, at: f64| {
+        if newest_heard.is_none_or(|n| at > n) {
+            newest_heard = Some(at);
+            tel.last_seen.set(at);
+        }
+    };
     while let Ok(msg) = rx.recv() {
         match msg {
             ShardMsg::Chunk { chunk, at } => {
                 if failed.is_none() {
-                    if let Err(e) = monitor.push_at(&chunk, at) {
-                        failed = Some(e);
+                    let before = monitor.records_seen();
+                    let start = wall_clock_now();
+                    match monitor.push_at(&chunk, at) {
+                        Ok(_) => {
+                            let took = wall_clock_now().saturating_duration_since(start);
+                            monitor.telemetry().push_seconds.observe(took.as_secs_f64());
+                            tel.rows.add(monitor.records_seen() - before);
+                            tel.chunks.inc();
+                            heard(&tel, at);
+                        }
+                        Err(e) => failed = Some(e),
                     }
                 }
+                tel.processed.inc();
             }
             ShardMsg::Advance { at } => {
                 if failed.is_none() {
-                    if let Err(e) = monitor.advance_to(at) {
-                        failed = Some(e);
+                    match monitor.advance_to(at) {
+                        Ok(_) => heard(&tel, at),
+                        Err(e) => failed = Some(e),
                     }
                 }
+                tel.processed.inc();
             }
             ShardMsg::Clock { reply } => {
                 // df-lint: allow(must-use-results) -- requester gone (timed out / dropped); the reply has no other consumer
@@ -476,10 +558,19 @@ impl MonitorBuilder {
             ));
         }
         let estimator = self.shared_estimator();
+        // One FleetTelemetry per fleet; every shard monitor gets a clone
+        // of the same MonitorTelemetry bundle (a user-injected bundle is
+        // honoured), so alerts/alarms/evictions/push-latency aggregate
+        // fleet-wide with no merge step.
+        let mut telemetry = FleetTelemetry::new(shards);
+        if let Some(bundle) = self.injected_telemetry() {
+            telemetry.monitor = bundle.clone();
+        }
+        let shared = telemetry.monitor.clone();
         let monitors: Vec<FairnessMonitor> = (0..shards)
-            .map(|_| self.clone().build())
+            .map(|_| self.clone().telemetry(shared.clone()).build())
             .collect::<Result<_>>()?;
-        Ok(FleetIngest::spawn(monitors, estimator))
+        Ok(FleetIngest::spawn(monitors, estimator, Arc::new(telemetry)))
     }
 }
 
@@ -602,6 +693,35 @@ mod tests {
         let last = fleet.finish().unwrap();
         assert_eq!(last.records_seen, 40);
         assert!(producer.send(Pairs(vec![[0, 0]]), 9.0).is_err());
+    }
+
+    #[test]
+    fn telemetry_tracks_traffic_staleness_and_cuts() {
+        let fleet = fleet(2);
+        let tel = Arc::clone(fleet.telemetry());
+        let p0 = fleet.producer(0).unwrap();
+        let p1 = fleet.producer(1).unwrap();
+        p0.send(Pairs(vec![[1, 0], [0, 1]]), 10.0).unwrap();
+        p1.send(Pairs(vec![[0, 0]]), 4.0).unwrap();
+        let snap = fleet.snapshot().unwrap();
+        assert_eq!(snap.records_seen, 3);
+        // The cut drained both queues; per-shard traffic is accounted.
+        assert_eq!(tel.queue_depth_total(), 0);
+        assert_eq!(tel.rows_total(), 3);
+        assert_eq!(tel.shard(0).rows.get(), 2);
+        assert_eq!(tel.shard(0).chunks.get(), 1);
+        assert_eq!(tel.shard(1).rows.get(), 1);
+        // last_seen is *data* time, per shard — and snapshot alignment
+        // (which advanced shard 1's window to 10.0) did not touch it:
+        // a silent shard must keep looking stale.
+        assert_eq!(tel.shard(0).last_seen.get_finite(), Some(10.0));
+        assert_eq!(tel.shard(1).last_seen.get_finite(), Some(4.0));
+        assert!((tel.max_lag_seconds() - 6.0).abs() < 1e-12);
+        // Both pushes were timed onto the shared monitor bundle; the cut
+        // itself was timed and counted.
+        assert_eq!(tel.monitor.push_seconds.count(), 2);
+        assert_eq!(tel.snapshots.get(), 1);
+        assert_eq!(tel.snapshot_cut_seconds.count(), 1);
     }
 
     #[test]

@@ -33,8 +33,10 @@
 
 pub mod codec;
 pub mod ingest;
+pub mod telemetry;
 pub mod tree;
 
 pub use codec::{decode_snapshot, encode_snapshot, SnapshotDecoder, SnapshotEncoder};
 pub use ingest::{FleetIngest, FleetProducer};
+pub use telemetry::{FleetTelemetry, ShardTelemetry};
 pub use tree::{merge_many, merge_tree};

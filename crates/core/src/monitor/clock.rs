@@ -59,6 +59,9 @@ pub(super) struct TimeRing {
     /// Largest timestamp seen so far.
     now: Option<f64>,
     rows: usize,
+    /// Cumulative count of buckets evicted over the ring's lifetime
+    /// (telemetry; never decremented).
+    evicted: u64,
 }
 
 impl TimeRing {
@@ -71,7 +74,12 @@ impl TimeRing {
             n_buckets: n_buckets as i64,
             now: None,
             rows: 0,
+            evicted: 0,
         })
+    }
+
+    pub(super) fn evicted_buckets(&self) -> u64 {
+        self.evicted
     }
 
     pub(super) fn bucket_of(&self, ts: f64) -> i64 {
@@ -154,6 +162,7 @@ impl TimeRing {
             let expired = self.ring.pop_front().expect("front checked above");
             self.window.subtract_data(&expired.cells)?;
             self.rows -= expired.rows;
+            self.evicted += 1;
         }
         Ok(())
     }

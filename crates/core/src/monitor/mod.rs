@@ -101,11 +101,13 @@ mod changepoint;
 mod clock;
 mod ring;
 mod snapshot;
+mod telemetry;
 
 pub use changepoint::{
     ChangeSignal, ChangepointAlarm, ChangepointSpec, ChangepointStatus, Cusum, PageHinkley,
 };
 pub use snapshot::{CountsSnapshot, MonitorSnapshot};
+pub use telemetry::MonitorTelemetry;
 
 use crate::builder::{EpsilonEstimator, Smoothed, SubsetPolicy};
 use crate::edf::JointCounts;
@@ -231,6 +233,7 @@ pub struct MonitorBuilder {
     decay: Option<f64>,
     rules: Vec<AlertRule>,
     changepoints: Vec<ChangepointSpec>,
+    telemetry: Option<MonitorTelemetry>,
 }
 
 impl MonitorBuilder {
@@ -248,12 +251,19 @@ impl MonitorBuilder {
             decay: None,
             rules: Vec::new(),
             changepoints: Vec::new(),
+            telemetry: None,
         }
     }
 
     /// Whether this configuration windows by wall-clock time.
     pub(crate) fn is_wall_clock(&self) -> bool {
         self.window_seconds.is_some()
+    }
+
+    /// The telemetry bundle injected via [`MonitorBuilder::telemetry`],
+    /// if any — the fleet front-end honours it as the fleet-wide bundle.
+    pub(crate) fn injected_telemetry(&self) -> Option<&MonitorTelemetry> {
+        self.telemetry.as_ref()
     }
 
     /// The estimator used when none is configured: [`Smoothed`]
@@ -367,6 +377,19 @@ impl MonitorBuilder {
     /// chain multiple calls for multiple detectors.
     pub fn changepoint(mut self, detector: impl Into<ChangepointSpec>) -> Self {
         self.changepoints.push(detector.into());
+        self
+    }
+
+    /// Injects a shared [`MonitorTelemetry`] bundle (handles are
+    /// `Arc`-backed, so passing clones of one bundle to several monitors
+    /// aggregates their events — this is how the fleet front-end sums
+    /// alerts/alarms/evictions across shards without a merge step). A
+    /// monitor built without one gets its own private bundle, reachable
+    /// via [`FairnessMonitor::telemetry`]; the counters are pure stream
+    /// functions either way, so nothing about ε, windows, or snapshots
+    /// changes.
+    pub fn telemetry(mut self, telemetry: MonitorTelemetry) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 
@@ -507,6 +530,8 @@ impl MonitorBuilder {
             decayed,
             records_seen: 0,
             alerts: Vec::new(),
+            telemetry: self.telemetry.unwrap_or_default(),
+            evictions_reported: 0,
         })
     }
 }
@@ -542,6 +567,14 @@ impl WindowState {
             WindowState::Time(ring) => ring.now(),
         }
     }
+
+    /// Cumulative buckets evicted over the ring's lifetime.
+    fn evicted_buckets(&self) -> u64 {
+        match self {
+            WindowState::Count(ring) => ring.evicted_buckets(),
+            WindowState::Time(ring) => ring.evicted_buckets(),
+        }
+    }
 }
 
 /// The streaming fairness monitor; see the [module docs](self).
@@ -566,6 +599,12 @@ pub struct FairnessMonitor {
     decayed: Option<ContingencyTable>,
     records_seen: u64,
     alerts: Vec<Alert>,
+    /// Telemetry handles (shared across a fleet's shards, or private).
+    telemetry: MonitorTelemetry,
+    /// Ring evictions already flushed into `telemetry.evicted_buckets` —
+    /// the delta cursor that keeps the shared counter exact even though
+    /// the rings only expose cumulative totals.
+    evictions_reported: u64,
 }
 
 impl FairnessMonitor {
@@ -705,6 +744,13 @@ impl FairnessMonitor {
                 alarms.push(alarm);
             }
         }
+        self.telemetry.alerts_fired.add(fired.len() as u64);
+        self.telemetry.alarms_fired.add(alarms.len() as u64);
+        let evicted_total = self.window.evicted_buckets();
+        self.telemetry
+            .evicted_buckets
+            .add(evicted_total - self.evictions_reported);
+        self.evictions_reported = evicted_total;
         Ok(MonitorStep {
             records_seen: self.records_seen,
             window_rows: self.window.rows() as u64,
@@ -793,6 +839,14 @@ impl FairnessMonitor {
         &self.alerts
     }
 
+    /// The monitor's telemetry handles (the injected shared bundle, or
+    /// this monitor's private one). Durations in
+    /// [`MonitorTelemetry::push_seconds`] are observed by the caller —
+    /// core never reads a clock.
+    pub fn telemetry(&self) -> &MonitorTelemetry {
+        &self.telemetry
+    }
+
     /// Every change-point alarm raised so far, across all detectors, in
     /// stream order.
     pub fn changepoint_alarms(&self) -> Vec<ChangepointAlarm> {
@@ -871,6 +925,30 @@ mod tests {
 
     fn skewed() -> Pairs {
         Pairs(vec![[1, 0], [1, 0], [0, 1], [0, 1]])
+    }
+
+    #[test]
+    fn telemetry_counts_alerts_and_evictions() {
+        let tel = MonitorTelemetry::new();
+        let mut monitor = Audit::monitor("y", axes())
+            .window(4)
+            .alert(AlertRule::epsilon_above(0.1))
+            .telemetry(tel.clone())
+            .build()
+            .unwrap();
+        monitor.push(&balanced()).unwrap();
+        assert_eq!(tel.alerts_fired.get(), 0);
+        assert_eq!(tel.evicted_buckets.get(), 0);
+        // The skewed chunk fills the 4-record window — evicting the
+        // balanced bucket — and trips the rule.
+        let step = monitor.push(&skewed()).unwrap();
+        assert_eq!(step.fired.len(), 1);
+        assert_eq!(tel.alerts_fired.get(), 1);
+        assert_eq!(tel.evicted_buckets.get(), 1);
+        // Push durations are caller-observed (core owns no clock) onto
+        // the same shared bundle the monitor exposes.
+        tel.push_seconds.observe(0.002);
+        assert_eq!(monitor.telemetry().push_seconds.count(), 1);
     }
 
     #[test]

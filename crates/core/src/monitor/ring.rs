@@ -106,6 +106,9 @@ pub(super) struct CountRing {
     ring: VecDeque<(Vec<f64>, usize)>,
     capacity: usize,
     rows: usize,
+    /// Cumulative count of buckets evicted over the ring's lifetime
+    /// (telemetry; never decremented).
+    evicted: u64,
 }
 
 impl CountRing {
@@ -115,7 +118,12 @@ impl CountRing {
             ring: VecDeque::new(),
             capacity,
             rows: 0,
+            evicted: 0,
         })
+    }
+
+    pub(super) fn evicted_buckets(&self) -> u64 {
+        self.evicted
     }
 
     pub(super) fn capacity(&self) -> usize {
@@ -140,6 +148,7 @@ impl CountRing {
                 self.ring.pop_front().expect("over-full ring is nonempty");
             self.window.subtract_data(&expired)?;
             self.rows -= expired_rows;
+            self.evicted += 1;
         }
         Ok(())
     }

@@ -43,7 +43,7 @@ pub fn is_known_rule(rule: &str) -> bool {
 pub fn describe(rule: &str) -> &'static str {
     match rule {
         "no-panic-path" => "no unwrap/expect/panic!/slice-index on the untrusted-input paths (server + DFLT decode)",
-        "no-wall-clock" => "df-core never reads Instant::now/SystemTime::now (replay determinism)",
+        "no-wall-clock" => "df-core and df-obs never read Instant::now/SystemTime::now outside the audited Clock seam (replay determinism)",
         "typed-errors-only" => "errors are typed DfError variants, not ad-hoc strings",
         "no-lossy-cast" => "no `as` narrowing casts in the codec decode path; use try_from + CorruptCounts",
         "no-float-eq" => "no ==/!= against float literals outside the approved numerics helpers",
@@ -97,6 +97,14 @@ fn panic_scope(path: &str) -> bool {
 
 fn in_core(path: &str) -> bool {
     path.starts_with("crates/core/src/")
+}
+
+/// no-wall-clock scope: df-core (replay determinism) plus df-obs, whose
+/// only sanctioned clock read is the audited `Clock` seam in
+/// `crates/obs/src/clock.rs` — everything else must take time through an
+/// injected `Clock` or a caller-observed duration.
+fn wall_clock_scope(path: &str) -> bool {
+    in_core(path) || path.starts_with("crates/obs/src/")
 }
 
 /// Approved home for exact float comparison helpers.
@@ -208,9 +216,10 @@ fn is_keyword(s: &str) -> bool {
     )
 }
 
-/// `no-wall-clock`: `Instant::now` / `SystemTime::now` in df-core.
+/// `no-wall-clock`: `Instant::now` / `SystemTime::now` in df-core or
+/// df-obs.
 fn no_wall_clock(file: &SourceFile, out: &mut Vec<Finding>) {
-    if !in_core(&file.path) {
+    if !wall_clock_scope(&file.path) {
         return;
     }
     let toks = &file.tokens;
@@ -228,7 +237,7 @@ fn no_wall_clock(file: &SourceFile, out: &mut Vec<Finding>) {
                 "no-wall-clock",
                 file,
                 toks[i].line,
-                format!("{}::now() in df-core breaks replay determinism; thread the deadline in from the caller", toks[i].text),
+                format!("{}::now() here breaks replay determinism; thread the deadline in from the caller or go through the audited Clock seam", toks[i].text),
             );
         }
     }

@@ -230,3 +230,19 @@ fn out_of_scope_paths_are_silent() {
     let r = lint_source("crates/prob/src/numerics.rs", feq, &[]);
     assert_eq!(count(&r, "no-float-eq"), 0, "got {:?}", r.violations);
 }
+
+/// df-obs is in the wall-clock scope: a bare clock read anywhere in the
+/// crate fires, and only the audited `Clock` seam pragma silences it.
+#[test]
+fn obs_crate_is_in_wall_clock_scope() {
+    let wall = fixture!("no-wall-clock", "violating");
+    let r = lint_source("crates/obs/src/metrics.rs", wall, &[]);
+    assert!(count(&r, "no-wall-clock") > 0, "got {:?}", r.violations);
+
+    let seam = "pub fn origin() -> Instant {\n    \
+        // df-lint: allow(no-wall-clock) -- the audited Clock seam: telemetry durations only\n    \
+        Instant::now()\n}\n";
+    let r = lint_source("crates/obs/src/clock.rs", seam, &[]);
+    assert_eq!(count(&r, "no-wall-clock"), 0, "got {:?}", r.violations);
+    assert_eq!(r.suppressed, 1);
+}

@@ -1,0 +1,112 @@
+//! The one place in the telemetry stack allowed to read real time.
+//!
+//! Everything in `df-obs` that measures a duration does it through the
+//! [`Clock`] trait, so tests drive spans with a [`ManualClock`] and the
+//! df-lint `no-wall-clock` rule (whose scope covers `crates/obs/src`)
+//! has exactly one audited suppression to point at: the
+//! `Instant::now()` inside [`RealClock`]. A `RealClock` anchors at an
+//! arbitrary origin and reports *monotonic nanoseconds since that
+//! origin* — the absolute value is meaningless, only differences are,
+//! which is all a span ever computes.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond source. Implementations must be cheap and
+/// thread-safe: spans call `monotonic_nanos` twice per request on the
+/// server hot path.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// Nanoseconds since this clock's origin. Must never decrease.
+    fn monotonic_nanos(&self) -> u64;
+}
+
+/// The production clock: monotonic nanoseconds since construction.
+///
+/// This struct owns the telemetry layer's only wall-clock read; every
+/// other duration in the crate is a subtraction of two
+/// `monotonic_nanos` samples.
+#[derive(Debug)]
+pub struct RealClock {
+    origin: Instant,
+}
+
+impl RealClock {
+    pub fn new() -> Self {
+        Self {
+            // df-lint: allow(no-wall-clock) -- the audited Clock seam: telemetry durations only; the origin anchor never feeds data timestamps, windows, or epsilon
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for RealClock {
+    fn monotonic_nanos(&self) -> u64 {
+        // ~584 years of uptime before u64 nanoseconds saturate; clamp
+        // rather than truncate so a (theoretical) overflow still obeys
+        // the never-decreases contract.
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A hand-cranked clock for deterministic tests: starts at zero,
+/// advances only when told to.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    nanos: AtomicU64,
+}
+
+impl ManualClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Jumps to an absolute reading. Saturates at the current value —
+    /// the clock never runs backwards, matching the trait contract.
+    pub fn set(&self, nanos: u64) {
+        self.nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Advances by a delta.
+    pub fn advance(&self, delta_nanos: u64) {
+        self.nanos.fetch_add(delta_nanos, Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn monotonic_nanos(&self) -> u64 {
+        self.nanos.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_is_monotonic_and_exact() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.monotonic_nanos(), 0);
+        clock.advance(250);
+        assert_eq!(clock.monotonic_nanos(), 250);
+        clock.set(1_000);
+        assert_eq!(clock.monotonic_nanos(), 1_000);
+        // set() never rewinds.
+        clock.set(10);
+        assert_eq!(clock.monotonic_nanos(), 1_000);
+    }
+
+    #[test]
+    fn real_clock_never_decreases() {
+        let clock = RealClock::new();
+        let a = clock.monotonic_nanos();
+        let b = clock.monotonic_nanos();
+        assert!(b >= a);
+    }
+}

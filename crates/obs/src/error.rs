@@ -1,0 +1,46 @@
+//! The telemetry error type. `df-obs` sits below `df-core`, so it
+//! cannot reuse `DfError`; it carries its own small enum with the same
+//! typed-errors-only discipline (no stringly `Box<dyn Error>` returns).
+
+use std::fmt;
+
+/// Everything that can go wrong registering or merging telemetry.
+///
+/// Observation paths (`inc`, `observe`, span recording) are infallible
+/// by design — errors can only happen at registration/merge time, which
+/// runs at startup or scrape time, never per-request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObsError {
+    /// Metric or label name fails the `[a-zA-Z_:][a-zA-Z0-9_:]*`
+    /// (metric) / `[a-zA-Z_][a-zA-Z0-9_]*` (label) exposition grammar,
+    /// or a label set repeats a key.
+    InvalidName(String),
+    /// Histogram boundaries are empty, non-finite, or not strictly
+    /// increasing.
+    BadBoundaries(String),
+    /// Two histograms with different boundary vectors were merged.
+    BoundaryMismatch(String),
+    /// A series name + label set is already registered under a
+    /// different metric kind (e.g. counter vs histogram).
+    KindMismatch(String),
+    /// A series was explicitly registered twice (`register_*` /
+    /// `gauge_fn` refuse to silently replace a live handle).
+    Duplicate(String),
+}
+
+impl fmt::Display for ObsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObsError::InvalidName(m) => write!(f, "invalid metric name: {m}"),
+            ObsError::BadBoundaries(m) => write!(f, "bad histogram boundaries: {m}"),
+            ObsError::BoundaryMismatch(m) => write!(f, "histogram boundary mismatch: {m}"),
+            ObsError::KindMismatch(m) => write!(f, "metric kind mismatch: {m}"),
+            ObsError::Duplicate(m) => write!(f, "duplicate metric registration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ObsError {}
+
+/// Crate-local result alias.
+pub type Result<T> = std::result::Result<T, ObsError>;

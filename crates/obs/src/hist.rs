@@ -1,0 +1,407 @@
+//! Fixed-boundary latency histograms: lock-free `observe`, exact
+//! merges, quantile estimation.
+//!
+//! A histogram is a vector of upper bounds `b_0 < b_1 < … < b_{k-1}`
+//! plus `k + 1` atomic bucket counts (the last is the overflow bucket
+//! for samples above `b_{k-1}`), a total count, and a CAS-maintained
+//! `f64` sum. `observe` is a binary search plus two relaxed atomic adds
+//! and one CAS loop — no locks, so N threads observing concurrently
+//! lose nothing (pinned by the concurrency property suite).
+//!
+//! Two histograms with **identical boundaries** merge exactly: bucket
+//! counts and totals add as `u64`s, so merged snapshots form a
+//! commutative monoid over bucket vectors (the laws suite pins
+//! identity/commutativity/associativity; the `f64` sum is associative
+//! only when the additions are exact, which the tests arrange by
+//! observing dyadic values).
+//!
+//! Quantiles are estimated the standard Prometheus way: find the bucket
+//! where the cumulative count crosses `q · total`, then interpolate
+//! linearly inside it. With log-scale boundaries (factor 2 per bucket)
+//! the estimate is within 2× of the true value — plenty for p99
+//! dashboards, and mergeable across shards, which exact quantiles are
+//! not.
+
+use crate::error::{ObsError, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct HistInner {
+    /// Strictly increasing, finite upper bounds.
+    bounds: Box<[f64]>,
+    /// `bounds.len() + 1` buckets; the last is the overflow bucket.
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    /// Sum of observed values as IEEE bits, maintained by CAS.
+    sum_bits: AtomicU64,
+}
+
+/// A live, lock-free histogram. `Clone` shares the cells.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    inner: Arc<HistInner>,
+}
+
+impl Histogram {
+    /// A histogram over explicit upper bounds (strictly increasing,
+    /// finite, non-empty).
+    pub fn new(bounds: &[f64]) -> Result<Self> {
+        if bounds.is_empty() {
+            return Err(ObsError::BadBoundaries("empty boundary vector".into()));
+        }
+        if bounds.iter().any(|b| !b.is_finite()) {
+            return Err(ObsError::BadBoundaries(
+                "boundaries must all be finite".into(),
+            ));
+        }
+        // Finiteness is established above, so `>=` is NaN-free here.
+        for w in bounds.windows(2) {
+            if w[0] >= w[1] {
+                return Err(ObsError::BadBoundaries(format!(
+                    "boundaries must be strictly increasing, got {} then {}",
+                    w[0], w[1]
+                )));
+            }
+        }
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Ok(Self {
+            inner: Arc::new(HistInner {
+                bounds: bounds.into(),
+                buckets,
+                count: AtomicU64::new(0),
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+            }),
+        })
+    }
+
+    /// Log-scale bounds: `start, start·factor, …` for `n` buckets.
+    pub fn log_scale(start: f64, factor: f64, n: usize) -> Result<Self> {
+        // `is_finite` first so NaN can't slip past the `<=` checks.
+        if !start.is_finite() || start <= 0.0 || !factor.is_finite() || factor <= 1.0 || n == 0 {
+            return Err(ObsError::BadBoundaries(format!(
+                "log scale needs start > 0, factor > 1, n > 0; got ({start}, {factor}, {n})"
+            )));
+        }
+        let mut bounds = Vec::with_capacity(n);
+        let mut b = start;
+        for _ in 0..n {
+            bounds.push(b);
+            b *= factor;
+        }
+        Self::new(&bounds)
+    }
+
+    /// The default latency scale: 1 µs to ~33.5 s, doubling per bucket
+    /// (26 bounds + overflow). Covers a cache-hit microsecond audit and
+    /// a pathological multi-second consistent cut on the same axis.
+    pub fn default_latency() -> Self {
+        match Self::log_scale(1e-6, 2.0, 26) {
+            Ok(h) => h,
+            // Unreachable: the constants above satisfy every check.
+            Err(_) => unreachable!("default latency boundaries are statically valid"),
+        }
+    }
+
+    pub fn bounds(&self) -> &[f64] {
+        &self.inner.bounds
+    }
+
+    /// Records one sample: binary-search the bucket, bump it, bump the
+    /// total, CAS the sum. Non-finite samples are ignored — a duration
+    /// is always finite, and admitting `NaN` would poison the sum.
+    pub fn observe(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let idx = self.inner.bounds.partition_point(|&b| b < v);
+        self.inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.inner.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + v).to_bits();
+            match self.inner.sum_bits.compare_exchange_weak(
+                cur,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Records a duration given in nanoseconds (the span layer's unit),
+    /// observed in seconds.
+    pub fn observe_nanos(&self, nanos: u64) {
+        self.observe(nanos as f64 * 1e-9);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Folds another live histogram into this one. Boundaries must be
+    /// bit-identical.
+    pub fn merge_from(&self, other: &Histogram) -> Result<()> {
+        check_bounds_match(self.bounds(), other.bounds())?;
+        for (mine, theirs) in self.inner.buckets.iter().zip(other.inner.buckets.iter()) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.inner
+            .count
+            .fetch_add(other.inner.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        let add = f64::from_bits(other.inner.sum_bits.load(Ordering::Relaxed));
+        let mut cur = self.inner.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + add).to_bits();
+            match self.inner.sum_bits.compare_exchange_weak(
+                cur,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        Ok(())
+    }
+
+    /// A point-in-time copy for rendering, merging, and quantiles.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.inner.bounds.to_vec(),
+            buckets: self
+                .inner
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.inner.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.inner.sum_bits.load(Ordering::Relaxed)),
+        }
+    }
+
+    pub(crate) fn same_cell(&self, other: &Histogram) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+fn check_bounds_match(a: &[f64], b: &[f64]) -> Result<()> {
+    // Bitwise comparison: exact, NaN-proof, and free of float `==`.
+    let same = a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits());
+    if same {
+        Ok(())
+    } else {
+        Err(ObsError::BoundaryMismatch(format!(
+            "cannot merge histograms with {} vs {} boundaries",
+            a.len(),
+            b.len()
+        )))
+    }
+}
+
+/// An immutable histogram snapshot — the mergeable value object.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    pub bounds: Vec<f64>,
+    /// `bounds.len() + 1` entries, last is overflow.
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// The identity element for `merge` over a boundary vector.
+    pub fn empty(bounds: &[f64]) -> Self {
+        Self {
+            bounds: bounds.to_vec(),
+            buckets: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Exact snapshot merge: bucket-wise `u64` addition. This is the
+    /// commutative-monoid operation the laws suite pins.
+    pub fn merge(&self, other: &HistogramSnapshot) -> Result<HistogramSnapshot> {
+        check_bounds_match(&self.bounds, &other.bounds)?;
+        Ok(HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&other.buckets)
+                .map(|(a, b)| a + b)
+                .collect(),
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+        })
+    }
+
+    /// The estimated `q`-quantile (`0 ≤ q ≤ 1`): linear interpolation
+    /// inside the bucket where the cumulative count crosses
+    /// `q · count`. Returns 0.0 for an empty histogram. Mass in the
+    /// overflow bucket reports the largest finite boundary — the
+    /// estimate saturates rather than invents values beyond the scale.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            let next = cum + n;
+            if (next as f64) >= target && n > 0 {
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let upper = match self.bounds.get(i) {
+                    Some(&b) => b,
+                    // Overflow bucket: saturate at the top boundary.
+                    None => return self.bounds[self.bounds.len() - 1],
+                };
+                let frac = ((target - cum as f64) / n as f64).clamp(0.0, 1.0);
+                return lower + (upper - lower) * frac;
+            }
+            cum = next;
+        }
+        self.bounds[self.bounds.len() - 1]
+    }
+
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean of the observed values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn bounds_are_validated() {
+        assert!(Histogram::new(&[]).is_err());
+        assert!(Histogram::new(&[1.0, 1.0]).is_err());
+        assert!(Histogram::new(&[2.0, 1.0]).is_err());
+        assert!(Histogram::new(&[1.0, f64::INFINITY]).is_err());
+        assert!(Histogram::log_scale(0.0, 2.0, 4).is_err());
+        assert!(Histogram::log_scale(1.0, 1.0, 4).is_err());
+        assert!(Histogram::log_scale(1.0, 2.0, 0).is_err());
+        assert!(Histogram::new(&[0.5, 1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn observations_land_in_the_right_buckets() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]).unwrap();
+        for v in [0.5, 1.0, 1.5, 3.0, 100.0] {
+            h.observe(v);
+        }
+        h.observe(f64::NAN); // ignored
+        h.observe(f64::INFINITY); // ignored
+        let s = h.snapshot();
+        // ≤1.0 → bucket 0 (0.5 and the boundary value 1.0), ≤2.0 → 1.5,
+        // ≤4.0 → 3.0, overflow → 100.0.
+        assert_eq!(s.buckets, vec![2, 1, 1, 1]);
+        assert_eq!(s.count, 5);
+        assert!((s.sum - 106.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_latency_scale_covers_microseconds_to_seconds() {
+        let h = Histogram::default_latency();
+        assert_eq!(h.bounds().len(), 26);
+        assert!(h.bounds()[0].to_bits() == 1e-6f64.to_bits());
+        assert!(*h.bounds().last().unwrap() > 30.0);
+        h.observe_nanos(1_500);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        // 1.5 µs lands in the (1 µs, 2 µs] bucket.
+        assert_eq!(s.buckets[1], 1);
+    }
+
+    #[test]
+    fn merge_is_exact_and_checks_bounds() {
+        let a = Histogram::new(&[1.0, 2.0]).unwrap();
+        let b = Histogram::new(&[1.0, 2.0]).unwrap();
+        let c = Histogram::new(&[1.0, 3.0]).unwrap();
+        a.observe(0.5);
+        b.observe(1.5);
+        b.observe(9.0);
+        a.merge_from(&b).unwrap();
+        let s = a.snapshot();
+        assert_eq!(s.buckets, vec![1, 1, 1]);
+        assert_eq!(s.count, 3);
+        assert!(a.merge_from(&c).is_err());
+        assert!(a.snapshot().merge(&c.snapshot()).is_err());
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let h = Histogram::new(&[10.0, 20.0, 40.0]).unwrap();
+        // 100 samples uniform in bucket 0, 0 in bucket 1, 100 in bucket 2.
+        for _ in 0..100 {
+            h.observe(5.0);
+            h.observe(30.0);
+        }
+        let s = h.snapshot();
+        // p50 target = 100 → crosses at the end of bucket 0 → 10.0.
+        assert!((s.p50() - 10.0).abs() < 1e-9);
+        // p99 target = 198 → 98% through bucket (20, 40].
+        let p99 = s.p99();
+        assert!(p99 > 39.0 && p99 <= 40.0, "p99 = {p99}");
+        // Overflow-only histogram saturates at the top bound.
+        let o = Histogram::new(&[1.0]).unwrap();
+        o.observe(50.0);
+        assert!((o.snapshot().p50() - 1.0).abs() < 1e-12);
+        // Empty histogram quantile is 0.
+        assert!(Histogram::new(&[1.0]).unwrap().snapshot().p99().abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_observations_lose_nothing() {
+        let h = Histogram::new(&[0.25, 0.5, 0.75]).unwrap();
+        let threads = 8u64;
+        let per_thread = 5_000u64;
+        thread::scope(|s| {
+            for t in 0..threads {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        // Dyadic values → the concurrent sum is exact.
+                        h.observe(((t + i) % 4) as f64 * 0.25);
+                    }
+                });
+            }
+        });
+        let s = h.snapshot();
+        assert_eq!(s.count, threads * per_thread);
+        assert_eq!(s.buckets.iter().sum::<u64>(), threads * per_thread);
+        let expected: f64 = (0..threads)
+            .map(|t| {
+                (0..per_thread)
+                    .map(|i| ((t + i) % 4) as f64 * 0.25)
+                    .sum::<f64>()
+            })
+            .sum();
+        assert!(s.sum.to_bits() == expected.to_bits());
+    }
+}

@@ -1,0 +1,52 @@
+//! `df-obs` — the workspace's telemetry layer, in the same hand-rolled
+//! dependency-free house style as the HTTP server and the linter.
+//!
+//! The crate provides five small pieces that compose into a full
+//! metrics/tracing story for the audit service:
+//!
+//! - [`Counter`] / [`Gauge`]: lock-free atomic primitives. Handles are
+//!   cheap `Arc` clones, so a hot path holds its handle and never takes
+//!   a lock; readers observe monotonic (counter) or last-write (gauge)
+//!   values with relaxed ordering.
+//! - [`Histogram`]: fixed-boundary latency histograms with log-scale
+//!   constructors, lock-free `observe`, exact mergeability (identical
+//!   boundaries required), and p50/p90/p99 quantile estimation by
+//!   linear interpolation over the cumulative bucket counts.
+//! - [`Registry`]: interned metric names + label sets mapping to live
+//!   series handles. The registry lock is taken only at registration
+//!   and render time — never per observation.
+//! - [`render`]: Prometheus text exposition and a hand-rolled JSON
+//!   view over a registry, both byte-deterministic (series sorted by
+//!   name, then label set) so golden tests can pin them.
+//! - [`Span`] / [`Tracer`] / [`TraceRing`]: RAII timing spans that
+//!   record into a duration histogram and an optional bounded ring of
+//!   recent spans with per-span fields, behind the [`Clock`] seam.
+//!
+//! # The `Clock` seam and the `no-wall-clock` rule
+//!
+//! `df_core` is forbidden (by df-lint) from reading wall clocks, so
+//! that replaying a recorded stream reproduces every ε byte for byte.
+//! Telemetry needs real durations, so this crate owns the boundary:
+//! every timing primitive takes a [`Clock`] — [`RealClock`] holds the
+//! *single audited* `Instant::now()` call in the crate (df-lint's
+//! `no-wall-clock` scope covers `crates/obs`, and that one line carries
+//! the justified pragma), while [`ManualClock`] makes every span test
+//! deterministic. Core code never times itself: it either takes
+//! caller-supplied durations (the `MonitorTelemetry`-style counter
+//! bundles live in `df-core` and are bumped clock-free) or is timed
+//! from the edge.
+
+pub mod clock;
+pub mod error;
+pub mod hist;
+pub mod metrics;
+pub mod registry;
+pub mod render;
+pub mod span;
+
+pub use clock::{Clock, ManualClock, RealClock};
+pub use error::ObsError;
+pub use hist::{Histogram, HistogramSnapshot};
+pub use metrics::{Counter, Gauge};
+pub use registry::Registry;
+pub use span::{Span, SpanRecord, TraceRing, Tracer};

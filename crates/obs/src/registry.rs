@@ -1,0 +1,522 @@
+//! The metric [`Registry`]: interned names + label sets mapping to live
+//! series handles.
+//!
+//! Registration is the only locked operation. A caller registers (or
+//! looks up) a series once at startup, receives a cheap `Arc`-backed
+//! handle ([`Counter`], [`Gauge`], [`Histogram`]), and bumps it
+//! lock-free forever after; the registry lock is otherwise taken only
+//! when a scrape renders. Metric names and label *keys* are interned in
+//! shared pools (`Arc<str>`), so a family with many label sets stores
+//! its name and key strings exactly once.
+//!
+//! Series are kept sorted by `(name, label set)`, which makes both
+//! exposition formats byte-deterministic — the golden test pins the
+//! text rendering down to the byte.
+//!
+//! Derived values (queue depths, lag, uptime) register as **gauge
+//! functions**: a closure evaluated at scrape time. Closures must not
+//! call back into the same registry (the render path snapshots entries
+//! under the lock, then evaluates closures after releasing it, so a
+//! re-entrant closure deadlocks only if it registers, not if it reads
+//! its own captured handles — keep them to captured handles).
+
+use crate::error::{ObsError, Result};
+use crate::hist::Histogram;
+use crate::metrics::{Counter, Gauge};
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A scrape-time gauge closure.
+pub(crate) type GaugeFn = Arc<dyn Fn() -> f64 + Send + Sync>;
+
+/// The live value behind one series.
+#[derive(Clone)]
+pub(crate) enum SeriesKind {
+    Counter(Counter),
+    Gauge(Gauge),
+    GaugeFn(GaugeFn),
+    Histogram(Histogram),
+}
+
+impl SeriesKind {
+    pub(crate) fn type_name(&self) -> &'static str {
+        match self {
+            SeriesKind::Counter(_) => "counter",
+            SeriesKind::Gauge(_) | SeriesKind::GaugeFn(_) => "gauge",
+            SeriesKind::Histogram(_) => "histogram",
+        }
+    }
+}
+
+impl fmt::Debug for SeriesKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.type_name())
+    }
+}
+
+/// One registered series: interned name, sorted label pairs, live value.
+#[derive(Clone, Debug)]
+pub(crate) struct SeriesEntry {
+    pub(crate) name: Arc<str>,
+    /// Sorted by key; keys interned, values owned.
+    pub(crate) labels: Vec<(Arc<str>, String)>,
+    pub(crate) kind: SeriesKind,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Intern pool for metric names.
+    names: BTreeSet<Arc<str>>,
+    /// Intern pool for label keys.
+    label_keys: BTreeSet<Arc<str>>,
+    /// Sorted by `(name, labels)` — binary-searched on registration,
+    /// iterated in order on render.
+    series: Vec<SeriesEntry>,
+    /// Optional `# HELP` text per metric name.
+    helps: BTreeMap<Arc<str>, &'static str>,
+}
+
+/// The metric registry. Cheap to share (`Clone` shares the store).
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Registry({} series)", self.lock().series.len())
+    }
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Poison-adopting lock, same policy as the server's `lock_recover`:
+    /// telemetry state is a bag of atomics, always internally
+    /// consistent, so a panicked writer leaves nothing to fear.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Gets or creates a counter series.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Result<Counter> {
+        let labels = normalize_labels(name, labels)?;
+        let mut inner = self.lock();
+        match find(&inner.series, name, &labels) {
+            Ok(idx) => match &inner.series[idx].kind {
+                SeriesKind::Counter(c) => Ok(c.clone()),
+                other => Err(kind_mismatch(name, &labels, other)),
+            },
+            Err(idx) => {
+                let c = Counter::new();
+                let entry = inner.entry(name, &labels, SeriesKind::Counter(c.clone()));
+                inner.series.insert(idx, entry);
+                Ok(c)
+            }
+        }
+    }
+
+    /// Gets or creates a gauge series.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Result<Gauge> {
+        let labels = normalize_labels(name, labels)?;
+        let mut inner = self.lock();
+        match find(&inner.series, name, &labels) {
+            Ok(idx) => match &inner.series[idx].kind {
+                SeriesKind::Gauge(g) => Ok(g.clone()),
+                other => Err(kind_mismatch(name, &labels, other)),
+            },
+            Err(idx) => {
+                let g = Gauge::new();
+                let entry = inner.entry(name, &labels, SeriesKind::Gauge(g.clone()));
+                inner.series.insert(idx, entry);
+                Ok(g)
+            }
+        }
+    }
+
+    /// Gets or creates a histogram series over `bounds`; an existing
+    /// series must have bit-identical boundaries.
+    pub fn histogram(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Result<Histogram> {
+        let labels = normalize_labels(name, labels)?;
+        let mut inner = self.lock();
+        match find(&inner.series, name, &labels) {
+            Ok(idx) => match &inner.series[idx].kind {
+                SeriesKind::Histogram(h) => {
+                    // Reuse merge's exact boundary check by round-trip.
+                    let probe = Histogram::new(bounds)?;
+                    probe.merge_from(h)?;
+                    Ok(h.clone())
+                }
+                other => Err(kind_mismatch(name, &labels, other)),
+            },
+            Err(idx) => {
+                let h = Histogram::new(bounds)?;
+                let entry = inner.entry(name, &labels, SeriesKind::Histogram(h.clone()));
+                inner.series.insert(idx, entry);
+                Ok(h)
+            }
+        }
+    }
+
+    /// Registers an *existing* counter handle (e.g. one owned by
+    /// `FleetTelemetry`) under a series key. Idempotent for the same
+    /// underlying cell; refuses to shadow a different one.
+    pub fn register_counter(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        counter: &Counter,
+    ) -> Result<()> {
+        let labels = normalize_labels(name, labels)?;
+        let mut inner = self.lock();
+        match find(&inner.series, name, &labels) {
+            Ok(idx) => match &inner.series[idx].kind {
+                SeriesKind::Counter(c) if c.same_cell(counter) => Ok(()),
+                SeriesKind::Counter(_) => Err(duplicate(name, &labels)),
+                other => Err(kind_mismatch(name, &labels, other)),
+            },
+            Err(idx) => {
+                let entry = inner.entry(name, &labels, SeriesKind::Counter(counter.clone()));
+                inner.series.insert(idx, entry);
+                Ok(())
+            }
+        }
+    }
+
+    /// Registers an existing gauge handle; same semantics as
+    /// [`Registry::register_counter`].
+    pub fn register_gauge(&self, name: &str, labels: &[(&str, &str)], gauge: &Gauge) -> Result<()> {
+        let labels = normalize_labels(name, labels)?;
+        let mut inner = self.lock();
+        match find(&inner.series, name, &labels) {
+            Ok(idx) => match &inner.series[idx].kind {
+                SeriesKind::Gauge(g) if g.same_cell(gauge) => Ok(()),
+                SeriesKind::Gauge(_) => Err(duplicate(name, &labels)),
+                other => Err(kind_mismatch(name, &labels, other)),
+            },
+            Err(idx) => {
+                let entry = inner.entry(name, &labels, SeriesKind::Gauge(gauge.clone()));
+                inner.series.insert(idx, entry);
+                Ok(())
+            }
+        }
+    }
+
+    /// Registers an existing histogram handle; same semantics as
+    /// [`Registry::register_counter`].
+    pub fn register_histogram(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        hist: &Histogram,
+    ) -> Result<()> {
+        let labels = normalize_labels(name, labels)?;
+        let mut inner = self.lock();
+        match find(&inner.series, name, &labels) {
+            Ok(idx) => match &inner.series[idx].kind {
+                SeriesKind::Histogram(h) if h.same_cell(hist) => Ok(()),
+                SeriesKind::Histogram(_) => Err(duplicate(name, &labels)),
+                other => Err(kind_mismatch(name, &labels, other)),
+            },
+            Err(idx) => {
+                let entry = inner.entry(name, &labels, SeriesKind::Histogram(hist.clone()));
+                inner.series.insert(idx, entry);
+                Ok(())
+            }
+        }
+    }
+
+    /// Registers a derived gauge evaluated at scrape time. Closures
+    /// can't be compared, so re-registration is always a `Duplicate`.
+    pub fn gauge_fn(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        f: impl Fn() -> f64 + Send + Sync + 'static,
+    ) -> Result<()> {
+        let labels = normalize_labels(name, labels)?;
+        let mut inner = self.lock();
+        match find(&inner.series, name, &labels) {
+            Ok(_) => Err(duplicate(name, &labels)),
+            Err(idx) => {
+                let entry = inner.entry(name, &labels, SeriesKind::GaugeFn(Arc::new(f)));
+                inner.series.insert(idx, entry);
+                Ok(())
+            }
+        }
+    }
+
+    /// Attaches `# HELP` text to a metric name (rendered in both
+    /// exposition formats).
+    pub fn describe(&self, name: &str, help: &'static str) -> Result<()> {
+        if !valid_metric_name(name) {
+            return Err(ObsError::InvalidName(name.into()));
+        }
+        let mut inner = self.lock();
+        let interned = intern(&mut inner.names, name);
+        inner.helps.insert(interned, help);
+        Ok(())
+    }
+
+    /// Snapshot of all entries (handles are cheap clones) plus help
+    /// text, released-lock safe for the renderers to evaluate.
+    pub(crate) fn collect(&self) -> (Vec<SeriesEntry>, BTreeMap<Arc<str>, &'static str>) {
+        let inner = self.lock();
+        (inner.series.clone(), inner.helps.clone())
+    }
+
+    /// Prometheus text exposition (see [`crate::render`]).
+    pub fn render_text(&self) -> String {
+        crate::render::render_text(self)
+    }
+
+    /// JSON exposition (see [`crate::render`]).
+    pub fn render_json(&self) -> String {
+        crate::render::render_json(self)
+    }
+
+    /// Number of registered series (diagnostics / tests).
+    pub fn len(&self) -> usize {
+        self.lock().series.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Inner {
+    /// Builds an entry with interned name and label keys.
+    fn entry(&mut self, name: &str, labels: &[(String, String)], kind: SeriesKind) -> SeriesEntry {
+        let name = intern(&mut self.names, name);
+        let labels = labels
+            .iter()
+            .map(|(k, v)| (intern(&mut self.label_keys, k), v.clone()))
+            .collect();
+        SeriesEntry { name, labels, kind }
+    }
+}
+
+fn intern(pool: &mut BTreeSet<Arc<str>>, s: &str) -> Arc<str> {
+    if let Some(existing) = pool.get(s) {
+        existing.clone()
+    } else {
+        let a: Arc<str> = Arc::from(s);
+        pool.insert(a.clone());
+        a
+    }
+}
+
+fn kind_mismatch(name: &str, labels: &[(String, String)], found: &SeriesKind) -> ObsError {
+    ObsError::KindMismatch(format!(
+        "{} is already registered as a {}",
+        series_id(name, labels),
+        found.type_name()
+    ))
+}
+
+fn duplicate(name: &str, labels: &[(String, String)]) -> ObsError {
+    ObsError::Duplicate(series_id(name, labels))
+}
+
+fn series_id(name: &str, labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        name.into()
+    } else {
+        let pairs: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        format!("{name}{{{}}}", pairs.join(","))
+    }
+}
+
+/// Validates, sorts by key, and owns a label set; rejects repeated keys.
+fn normalize_labels(name: &str, labels: &[(&str, &str)]) -> Result<Vec<(String, String)>> {
+    if !valid_metric_name(name) {
+        return Err(ObsError::InvalidName(format!("metric name {name:?}")));
+    }
+    let mut out: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+        .collect();
+    out.sort();
+    for pair in &out {
+        if !valid_label_name(&pair.0) {
+            return Err(ObsError::InvalidName(format!(
+                "label name {:?} on metric {name}",
+                pair.0
+            )));
+        }
+    }
+    for w in out.windows(2) {
+        if w[0].0 == w[1].0 {
+            return Err(ObsError::InvalidName(format!(
+                "label {:?} repeated on metric {name}",
+                w[0].0
+            )));
+        }
+    }
+    Ok(out)
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Binary search over the sorted series vec by `(name, labels)`.
+fn find(
+    series: &[SeriesEntry],
+    name: &str,
+    labels: &[(String, String)],
+) -> std::result::Result<usize, usize> {
+    series.binary_search_by(|e| cmp_key(e, name, labels))
+}
+
+fn cmp_key(entry: &SeriesEntry, name: &str, labels: &[(String, String)]) -> CmpOrdering {
+    match entry.name.as_ref().cmp(name) {
+        CmpOrdering::Equal => {}
+        other => return other,
+    }
+    for (mine, theirs) in entry.labels.iter().zip(labels.iter()) {
+        match mine.0.as_ref().cmp(theirs.0.as_str()) {
+            CmpOrdering::Equal => {}
+            other => return other,
+        }
+        match mine.1.as_str().cmp(theirs.1.as_str()) {
+            CmpOrdering::Equal => {}
+            other => return other,
+        }
+    }
+    entry.labels.len().cmp(&labels.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_handles_are_interned() {
+        let r = Registry::new();
+        let a = r
+            .counter("df_requests_total", &[("endpoint", "audit")])
+            .unwrap();
+        // Same key (label order irrelevant after sorting) → same cell.
+        let b = r
+            .counter("df_requests_total", &[("endpoint", "audit")])
+            .unwrap();
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert!(a.same_cell(&b));
+        // Different label set → different cell.
+        let c = r
+            .counter("df_requests_total", &[("endpoint", "monitor")])
+            .unwrap();
+        assert!(!a.same_cell(&c));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let r = Registry::new();
+        let a = r.counter("m", &[("b", "2"), ("a", "1")]).unwrap();
+        let b = r.counter("m", &[("a", "1"), ("b", "2")]).unwrap();
+        assert!(a.same_cell(&b));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn kind_clashes_are_typed_errors() {
+        let r = Registry::new();
+        r.counter("m", &[]).unwrap();
+        assert!(matches!(r.gauge("m", &[]), Err(ObsError::KindMismatch(_))));
+        assert!(matches!(
+            r.histogram("m", &[], &[1.0]),
+            Err(ObsError::KindMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn names_and_labels_are_validated() {
+        let r = Registry::new();
+        assert!(matches!(r.counter("", &[]), Err(ObsError::InvalidName(_))));
+        assert!(matches!(
+            r.counter("9m", &[]),
+            Err(ObsError::InvalidName(_))
+        ));
+        assert!(matches!(
+            r.counter("m", &[("le", "1"), ("le", "2")]),
+            Err(ObsError::InvalidName(_))
+        ));
+        assert!(matches!(
+            r.counter("m", &[("bad-key", "1")]),
+            Err(ObsError::InvalidName(_))
+        ));
+        assert!(r
+            .counter("df:requests_total", &[("ok_key", "any value")])
+            .is_ok());
+    }
+
+    #[test]
+    fn register_existing_is_idempotent_but_refuses_shadowing() {
+        let r = Registry::new();
+        let mine = Counter::new();
+        r.register_counter("m", &[], &mine).unwrap();
+        // Same cell again: fine.
+        r.register_counter("m", &[], &mine.clone()).unwrap();
+        // A different cell under the same key: refused.
+        assert!(matches!(
+            r.register_counter("m", &[], &Counter::new()),
+            Err(ObsError::Duplicate(_))
+        ));
+        mine.add(7);
+        let viewed = r.counter("m", &[]).unwrap();
+        assert_eq!(viewed.get(), 7);
+    }
+
+    #[test]
+    fn histogram_reuse_requires_identical_bounds() {
+        let r = Registry::new();
+        let h = r.histogram("h", &[], &[1.0, 2.0]).unwrap();
+        let again = r.histogram("h", &[], &[1.0, 2.0]).unwrap();
+        assert!(h.same_cell(&again));
+        assert!(matches!(
+            r.histogram("h", &[], &[1.0, 3.0]),
+            Err(ObsError::BoundaryMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn gauge_fn_evaluates_at_scrape() {
+        let r = Registry::new();
+        let base = Counter::new();
+        let handle = base.clone();
+        r.gauge_fn("derived", &[], move || handle.get() as f64 * 0.5)
+            .unwrap();
+        assert!(matches!(
+            r.gauge_fn("derived", &[], || 0.0),
+            Err(ObsError::Duplicate(_))
+        ));
+        base.add(4);
+        let text = r.render_text();
+        assert!(text.contains("derived 2"), "{text}");
+    }
+}

@@ -1,0 +1,318 @@
+//! Exposition renderers: Prometheus text and hand-rolled JSON.
+//!
+//! Both walk the registry's sorted series list, so the output is
+//! byte-deterministic for a given registry state — the golden suite
+//! pins the text format down to the byte. Values are formatted with
+//! Rust's shortest-roundtrip `Display` for `f64` (which never emits
+//! exponent notation), `u64` counters verbatim.
+//!
+//! Histograms render the full Prometheus shape — cumulative
+//! `_bucket{le="…"}` series, `_sum`, `_count` — and the JSON view adds
+//! the derived p50/p90/p99/mean so dashboards don't have to re-derive
+//! quantiles client-side.
+
+use crate::hist::HistogramSnapshot;
+use crate::registry::{Registry, SeriesEntry, SeriesKind};
+use std::fmt::Write as _;
+
+/// Prometheus text exposition format (v0.0.4).
+pub fn render_text(registry: &Registry) -> String {
+    let (series, helps) = registry.collect();
+    let mut out = String::new();
+    let mut last_name: Option<&str> = None;
+    for entry in &series {
+        if last_name != Some(entry.name.as_ref()) {
+            if let Some(help) = helps.get(&entry.name) {
+                let _ = writeln!(out, "# HELP {} {}", entry.name, help);
+            }
+            let _ = writeln!(out, "# TYPE {} {}", entry.name, entry.kind.type_name());
+            last_name = Some(entry.name.as_ref());
+        }
+        match &entry.kind {
+            SeriesKind::Counter(c) => {
+                let _ = writeln!(out, "{} {}", series_ref(entry, &[]), c.get());
+            }
+            SeriesKind::Gauge(g) => {
+                let _ = writeln!(out, "{} {}", series_ref(entry, &[]), text_f64(g.get()));
+            }
+            SeriesKind::GaugeFn(f) => {
+                let _ = writeln!(out, "{} {}", series_ref(entry, &[]), text_f64(f()));
+            }
+            SeriesKind::Histogram(h) => {
+                let snap = h.snapshot();
+                let mut cum = 0u64;
+                for (bound, n) in snap.bounds.iter().zip(&snap.buckets) {
+                    cum += n;
+                    let _ = writeln!(
+                        out,
+                        "{} {}",
+                        series_suffixed(entry, "_bucket", &[("le", &text_f64(*bound))]),
+                        cum
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{} {}",
+                    series_suffixed(entry, "_bucket", &[("le", "+Inf")]),
+                    snap.count
+                );
+                let _ = writeln!(
+                    out,
+                    "{} {}",
+                    series_suffixed(entry, "_sum", &[]),
+                    text_f64(snap.sum)
+                );
+                let _ = writeln!(
+                    out,
+                    "{} {}",
+                    series_suffixed(entry, "_count", &[]),
+                    snap.count
+                );
+            }
+        }
+    }
+    out
+}
+
+/// JSON exposition: `{"metrics":[{name, type, help?, series:[…]}]}`,
+/// grouped by metric name in the same sorted order as the text format.
+pub fn render_json(registry: &Registry) -> String {
+    let (series, helps) = registry.collect();
+    let mut out = String::from("{\"metrics\":[");
+    let mut first_metric = true;
+    let mut idx = 0;
+    while idx < series.len() {
+        let name = series[idx].name.clone();
+        let kind_name = series[idx].kind.type_name();
+        if !first_metric {
+            out.push(',');
+        }
+        first_metric = false;
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"type\":{}",
+            json_str(&name),
+            json_str(kind_name)
+        );
+        if let Some(help) = helps.get(&name) {
+            let _ = write!(out, ",\"help\":{}", json_str(help));
+        }
+        out.push_str(",\"series\":[");
+        let mut first_series = true;
+        while idx < series.len() && series[idx].name == name {
+            let entry = &series[idx];
+            if !first_series {
+                out.push(',');
+            }
+            first_series = false;
+            out.push_str("{\"labels\":{");
+            for (i, (k, v)) in entry.labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}:{}", json_str(k), json_str(v));
+            }
+            out.push('}');
+            match &entry.kind {
+                SeriesKind::Counter(c) => {
+                    let _ = write!(out, ",\"value\":{}", c.get());
+                }
+                SeriesKind::Gauge(g) => {
+                    let _ = write!(out, ",\"value\":{}", json_f64(g.get()));
+                }
+                SeriesKind::GaugeFn(f) => {
+                    let _ = write!(out, ",\"value\":{}", json_f64(f()));
+                }
+                SeriesKind::Histogram(h) => {
+                    json_histogram(&mut out, &h.snapshot());
+                }
+            }
+            out.push('}');
+            idx += 1;
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+fn json_histogram(out: &mut String, snap: &HistogramSnapshot) {
+    let _ = write!(
+        out,
+        ",\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+        snap.count,
+        json_f64(snap.sum),
+        json_f64(snap.mean()),
+        json_f64(snap.p50()),
+        json_f64(snap.p90()),
+        json_f64(snap.p99())
+    );
+    let mut cum = 0u64;
+    for (i, (bound, n)) in snap.bounds.iter().zip(&snap.buckets).enumerate() {
+        cum += n;
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"le\":{},\"count\":{}}}", json_f64(*bound), cum);
+    }
+    let _ = write!(out, ",{{\"le\":\"+Inf\",\"count\":{}}}]", snap.count);
+}
+
+/// `name{k="v",…}` with the optional suffix and extra labels appended —
+/// the shared series-reference printer for both plain and `_bucket`
+/// lines.
+fn series_ref(entry: &SeriesEntry, extra: &[(&str, &str)]) -> String {
+    series_suffixed(entry, "", extra)
+}
+
+fn series_suffixed(entry: &SeriesEntry, suffix: &str, extra: &[(&str, &str)]) -> String {
+    let mut s = format!("{}{}", entry.name, suffix);
+    if entry.labels.is_empty() && extra.is_empty() {
+        return s;
+    }
+    s.push('{');
+    let mut first = true;
+    for (k, v) in entry
+        .labels
+        .iter()
+        .map(|(k, v)| (k.as_ref(), v.as_str()))
+        .chain(extra.iter().copied())
+    {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        let _ = write!(s, "{k}=\"{}\"", escape_label(v));
+    }
+    s.push('}');
+    s
+}
+
+/// Prometheus label-value escaping: backslash, quote, newline.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Prometheus text float: `Display`, with the spec spellings for the
+/// non-finite values a gauge can legitimately hold (an unset gauge
+/// reads `NaN`).
+fn text_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v.is_infinite() {
+        if v > 0.0 {
+            "+Inf".into()
+        } else {
+            "-Inf".into()
+        }
+    } else {
+        format!("{v}")
+    }
+}
+
+/// JSON float: non-finite values have no JSON spelling, so they render
+/// as `null` (an unset gauge scrapes as `"value":null`).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Minimal JSON string encoder (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_format_is_deterministic_and_complete() {
+        let r = Registry::new();
+        r.describe("df_requests_total", "Requests by endpoint and status class")
+            .unwrap();
+        let c = r
+            .counter(
+                "df_requests_total",
+                &[("endpoint", "audit"), ("status", "2xx")],
+            )
+            .unwrap();
+        c.add(3);
+        let g = r.gauge("df_queue_depth", &[("shard", "0")]).unwrap();
+        g.set(2.0);
+        let h = r
+            .histogram("df_request_seconds", &[], &[0.001, 0.01])
+            .unwrap();
+        h.observe(0.0005);
+        h.observe(0.5);
+        let text = r.render_text();
+        let expected = "\
+# TYPE df_queue_depth gauge
+df_queue_depth{shard=\"0\"} 2
+# TYPE df_request_seconds histogram
+df_request_seconds_bucket{le=\"0.001\"} 1
+df_request_seconds_bucket{le=\"0.01\"} 1
+df_request_seconds_bucket{le=\"+Inf\"} 2
+df_request_seconds_sum 0.5005
+df_request_seconds_count 2
+# HELP df_requests_total Requests by endpoint and status class
+# TYPE df_requests_total counter
+df_requests_total{endpoint=\"audit\",status=\"2xx\"} 3
+";
+        assert_eq!(text, expected);
+        assert_eq!(r.render_text(), text, "repeat render must be identical");
+    }
+
+    #[test]
+    fn json_is_parseable_shape_and_escapes() {
+        let r = Registry::new();
+        let c = r.counter("m", &[("k", "a\"b\\c\nd")]).unwrap();
+        c.inc();
+        let g = r.gauge("unset", &[]).unwrap();
+        let json = r.render_json();
+        assert!(json.contains("\"name\":\"m\""), "{json}");
+        assert!(json.contains("\"k\":\"a\\\"b\\\\c\\nd\""), "{json}");
+        // Unset gauge → null, not NaN (which is invalid JSON).
+        assert!(json.contains("\"value\":null"), "{json}");
+        g.set(1.5);
+        assert!(r.render_json().contains("\"value\":1.5"));
+    }
+
+    #[test]
+    fn label_escaping_covers_the_specials() {
+        assert_eq!(escape_label("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+        assert_eq!(text_f64(f64::NAN), "NaN");
+        assert_eq!(text_f64(f64::INFINITY), "+Inf");
+        assert_eq!(text_f64(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(text_f64(0.25), "0.25");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+}

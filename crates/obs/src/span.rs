@@ -1,0 +1,296 @@
+//! Lightweight timing spans: `Span::enter` → duration histogram +
+//! optional bounded trace ring with per-span fields.
+//!
+//! A [`Tracer`] bundles a [`Clock`] with an optional [`TraceRing`]. A
+//! span samples the clock on enter, accumulates `(key, value)` fields
+//! while open, and on `finish` (or drop) observes its duration into the
+//! histogram it was entered with and appends a [`SpanRecord`] to the
+//! ring. The ring is a fixed-capacity `VecDeque` behind a mutex —
+//! bounded memory by construction, oldest spans evicted first, with a
+//! dropped-count so a scrape can tell how much history it lost. The
+//! mutex is uncontended in practice (one push per request, µs-scale
+//! critical section); the *histogram* side stays lock-free, so
+//! disabling the ring (`capacity 0` → `None`) leaves pure atomics on
+//! the hot path.
+
+use crate::clock::Clock;
+use crate::hist::Histogram;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// One finished span, as stored in the ring.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    pub name: String,
+    /// Clock reading at enter (nanoseconds since the clock's origin).
+    pub start_nanos: u64,
+    pub duration_nanos: u64,
+    /// Insertion-ordered `(key, value)` pairs attached while open.
+    pub fields: Vec<(String, String)>,
+}
+
+struct RingInner {
+    spans: VecDeque<SpanRecord>,
+    dropped: u64,
+}
+
+/// A bounded ring of recent [`SpanRecord`]s. `Clone` shares the ring.
+#[derive(Clone)]
+pub struct TraceRing {
+    inner: Arc<Mutex<RingInner>>,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for TraceRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
+        write!(
+            f,
+            "TraceRing({}/{} spans, {} dropped)",
+            inner.spans.len(),
+            self.capacity,
+            inner.dropped
+        )
+    }
+}
+
+impl TraceRing {
+    /// A ring holding the most recent `capacity` spans.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(RingInner {
+                spans: VecDeque::with_capacity(capacity),
+                dropped: 0,
+            })),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, RingInner> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends a record, evicting the oldest if full.
+    pub fn push(&self, record: SpanRecord) {
+        let mut inner = self.lock();
+        if self.capacity == 0 {
+            inner.dropped += 1;
+            return;
+        }
+        if inner.spans.len() == self.capacity {
+            inner.spans.pop_front();
+            inner.dropped += 1;
+        }
+        inner.spans.push_back(record);
+    }
+
+    /// Spans evicted (or refused, for a zero-capacity ring) so far.
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// The most recent spans, oldest first.
+    pub fn recent(&self) -> Vec<SpanRecord> {
+        self.lock().spans.iter().cloned().collect()
+    }
+
+    /// The `limit` slowest retained spans, slowest first — the
+    /// `/v1/trace` view. Ties break toward the more recent span.
+    pub fn slowest(&self, limit: usize) -> Vec<SpanRecord> {
+        let mut spans = self.recent();
+        // Stable sort + reverse index keeps recency as the tiebreak.
+        spans.reverse();
+        spans.sort_by_key(|s| std::cmp::Reverse(s.duration_nanos));
+        spans.truncate(limit);
+        spans
+    }
+}
+
+/// A clock plus an optional ring: the factory for [`Span`]s.
+#[derive(Clone, Debug)]
+pub struct Tracer {
+    clock: Arc<dyn Clock>,
+    ring: Option<TraceRing>,
+}
+
+impl Tracer {
+    /// A tracer recording into `ring` (pass `None` to keep only the
+    /// histogram side).
+    pub fn new(clock: Arc<dyn Clock>, ring: Option<TraceRing>) -> Self {
+        Self { clock, ring }
+    }
+
+    pub fn ring(&self) -> Option<&TraceRing> {
+        self.ring.as_ref()
+    }
+
+    pub fn clock(&self) -> &dyn Clock {
+        self.clock.as_ref()
+    }
+
+    /// Convenience for [`Span::enter`].
+    pub fn span(&self, name: impl Into<String>, hist: &Histogram) -> Span<'_> {
+        Span::enter(self, name, hist)
+    }
+}
+
+/// An open span. Records on `finish` or on drop, whichever comes first.
+#[derive(Debug)]
+pub struct Span<'t> {
+    tracer: &'t Tracer,
+    name: String,
+    hist: Histogram,
+    start_nanos: u64,
+    fields: Vec<(String, String)>,
+    recorded: bool,
+}
+
+impl<'t> Span<'t> {
+    /// Samples the clock and opens a span that will observe its
+    /// duration into `hist`.
+    pub fn enter(tracer: &'t Tracer, name: impl Into<String>, hist: &Histogram) -> Self {
+        Self {
+            tracer,
+            name: name.into(),
+            hist: hist.clone(),
+            start_nanos: tracer.clock.monotonic_nanos(),
+            fields: Vec::new(),
+            recorded: false,
+        }
+    }
+
+    /// Attaches a `(key, value)` field, kept in insertion order.
+    pub fn field(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.fields.push((key.into(), value.into()));
+    }
+
+    /// Closes the span now and returns its duration in seconds.
+    pub fn finish(mut self) -> f64 {
+        self.record()
+    }
+
+    fn record(&mut self) -> f64 {
+        if self.recorded {
+            return 0.0;
+        }
+        self.recorded = true;
+        let end = self.tracer.clock.monotonic_nanos();
+        let duration_nanos = end.saturating_sub(self.start_nanos);
+        self.hist.observe_nanos(duration_nanos);
+        if let Some(ring) = &self.tracer.ring {
+            ring.push(SpanRecord {
+                name: std::mem::take(&mut self.name),
+                start_nanos: self.start_nanos,
+                duration_nanos,
+                fields: std::mem::take(&mut self.fields),
+            });
+        }
+        duration_nanos as f64 * 1e-9
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    fn tracer(capacity: usize) -> (Arc<ManualClock>, Tracer) {
+        let clock = Arc::new(ManualClock::new());
+        let ring = (capacity > 0).then(|| TraceRing::new(capacity));
+        (clock.clone(), Tracer::new(clock, ring))
+    }
+
+    #[test]
+    fn span_records_duration_and_fields() {
+        let (clock, tracer) = tracer(8);
+        let hist = Histogram::default_latency();
+        let mut span = Span::enter(&tracer, "audit", &hist);
+        span.field("endpoint", "/v1/audit");
+        clock.advance(1_500_000); // 1.5 ms
+        let seconds = span.finish();
+        assert!((seconds - 0.0015).abs() < 1e-12);
+        assert_eq!(hist.count(), 1);
+        let spans = tracer.ring().unwrap().recent();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "audit");
+        assert_eq!(spans[0].duration_nanos, 1_500_000);
+        assert_eq!(
+            spans[0].fields,
+            vec![("endpoint".into(), "/v1/audit".into())]
+        );
+    }
+
+    #[test]
+    fn dropping_a_span_records_it_once() {
+        let (clock, tracer) = tracer(8);
+        let hist = Histogram::default_latency();
+        {
+            let mut span = tracer.span("implicit", &hist);
+            span.field("k", "v");
+            clock.advance(10);
+        } // dropped here
+        assert_eq!(hist.count(), 1);
+        assert_eq!(tracer.ring().unwrap().recent().len(), 1);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let (clock, tracer) = tracer(2);
+        let hist = Histogram::default_latency();
+        for i in 0..5u64 {
+            let span = tracer.span(format!("s{i}"), &hist);
+            clock.advance(i + 1);
+            span.finish();
+        }
+        let ring = tracer.ring().unwrap();
+        let names: Vec<String> = ring.recent().into_iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["s3", "s4"]);
+        assert_eq!(ring.dropped(), 3);
+    }
+
+    #[test]
+    fn slowest_sorts_by_duration_with_recency_tiebreak() {
+        let (clock, tracer) = tracer(8);
+        let hist = Histogram::default_latency();
+        for (name, d) in [("a", 30u64), ("b", 10), ("c", 30), ("d", 20)] {
+            let span = tracer.span(name, &hist);
+            clock.advance(d);
+            span.finish();
+        }
+        let slowest: Vec<String> = tracer
+            .ring()
+            .unwrap()
+            .slowest(3)
+            .into_iter()
+            .map(|s| s.name)
+            .collect();
+        // 30 ns twice ("a" then "c", more recent first), then 20 ns.
+        assert_eq!(slowest, vec!["c", "a", "d"]);
+    }
+
+    #[test]
+    fn zero_capacity_ring_refuses_everything() {
+        let ring = TraceRing::new(0);
+        ring.push(SpanRecord {
+            name: "x".into(),
+            start_nanos: 0,
+            duration_nanos: 1,
+            fields: vec![],
+        });
+        assert!(ring.recent().is_empty());
+        assert_eq!(ring.dropped(), 1);
+    }
+}

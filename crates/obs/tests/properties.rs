@@ -1,0 +1,128 @@
+//! Property-based tests of the telemetry primitives: concurrent bumps
+//! lose nothing, and histogram merging is a commutative monoid.
+//!
+//! Observed values are **dyadic rationals** (`k / 16`) so every f64 sum
+//! is exact regardless of addition order — the monoid laws can then be
+//! asserted with `==` on whole snapshots instead of epsilon smudge.
+
+use df_obs::{Counter, Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Strategy: a batch of dyadic observations in [0, 16).
+fn dyadic_values() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0u32..256, 0..40)
+        .prop_map(|ks| ks.into_iter().map(|k| f64::from(k) / 16.0).collect())
+}
+
+fn snapshot_of(bounds: &[f64], values: &[f64]) -> HistogramSnapshot {
+    let h = Histogram::new(bounds).unwrap();
+    for &v in values {
+        h.observe(v);
+    }
+    h.snapshot()
+}
+
+const BOUNDS: [f64; 5] = [0.5, 1.0, 2.0, 4.0, 8.0];
+
+proptest! {
+    /// N threads hammering shared counter and histogram handles lose no
+    /// increments: the totals equal the per-thread sums exactly.
+    #[test]
+    fn concurrent_bumps_lose_nothing(
+        threads in 2usize..6,
+        per_thread in dyadic_values(),
+        step in 1u64..100,
+    ) {
+        let counter = Counter::new();
+        let hist = Histogram::new(&BOUNDS).unwrap();
+        let work = Arc::new(per_thread);
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let counter = counter.clone();
+                let hist = hist.clone();
+                let work = Arc::clone(&work);
+                std::thread::spawn(move || {
+                    for &v in work.iter() {
+                        counter.add(step);
+                        hist.observe(v);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let n = work.len() as u64 * threads as u64;
+        prop_assert_eq!(counter.get(), n * step);
+        let snap = hist.snapshot();
+        prop_assert_eq!(snap.count, n);
+        let expected_sum: f64 = work.iter().sum::<f64>() * threads as f64;
+        // Dyadic values: the CAS-loop sum must be bit-exact. (`+ 0.0`
+        // canonicalizes the signed zero `Sum<f64>` starts from.)
+        prop_assert_eq!((snap.sum + 0.0).to_bits(), (expected_sum + 0.0).to_bits());
+        prop_assert_eq!(snap.buckets.iter().sum::<u64>(), n);
+    }
+
+    /// `merge` is commutative and has `empty` as a two-sided identity.
+    #[test]
+    fn merge_commutes_with_identity(a in dyadic_values(), b in dyadic_values()) {
+        let sa = snapshot_of(&BOUNDS, &a);
+        let sb = snapshot_of(&BOUNDS, &b);
+        prop_assert_eq!(sa.merge(&sb).unwrap(), sb.merge(&sa).unwrap());
+        let id = HistogramSnapshot::empty(&BOUNDS);
+        prop_assert_eq!(sa.merge(&id).unwrap(), sa.clone());
+        prop_assert_eq!(id.merge(&sa).unwrap(), sa);
+    }
+
+    /// `merge` is associative, and merging equals observing the
+    /// concatenated stream — the property that makes per-shard
+    /// histograms aggregate into exact fleet-wide ones.
+    #[test]
+    fn merge_is_associative_and_matches_concatenation(
+        a in dyadic_values(),
+        b in dyadic_values(),
+        c in dyadic_values(),
+    ) {
+        let (sa, sb, sc) = (
+            snapshot_of(&BOUNDS, &a),
+            snapshot_of(&BOUNDS, &b),
+            snapshot_of(&BOUNDS, &c),
+        );
+        let left = sa.merge(&sb).unwrap().merge(&sc).unwrap();
+        let right = sa.merge(&sb.merge(&sc).unwrap()).unwrap();
+        prop_assert_eq!(&left, &right);
+        let concat: Vec<f64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(left, snapshot_of(&BOUNDS, &concat));
+    }
+
+    /// `Histogram::merge_from` agrees with snapshot-level `merge`.
+    #[test]
+    fn merge_from_matches_snapshot_merge(a in dyadic_values(), b in dyadic_values()) {
+        let ha = Histogram::new(&BOUNDS).unwrap();
+        for &v in &a {
+            ha.observe(v);
+        }
+        let hb = Histogram::new(&BOUNDS).unwrap();
+        for &v in &b {
+            hb.observe(v);
+        }
+        let expected = ha.snapshot().merge(&hb.snapshot()).unwrap();
+        ha.merge_from(&hb).unwrap();
+        prop_assert_eq!(ha.snapshot(), expected);
+    }
+
+    /// Quantiles answer from a real bucket: p50 ≤ p90 ≤ p99, and every
+    /// quantile of a non-empty histogram lands on a boundary value the
+    /// stream could actually have reached.
+    #[test]
+    fn quantiles_are_monotone(
+        values in proptest::collection::vec(0u32..256, 1..40)
+            .prop_map(|ks| ks.into_iter().map(|k| f64::from(k) / 16.0).collect::<Vec<f64>>()),
+    ) {
+        let snap = snapshot_of(&BOUNDS, &values);
+        let (p50, p90, p99) = (snap.p50(), snap.p90(), snap.p99());
+        prop_assert!(p50 <= p90 && p90 <= p99);
+        prop_assert!(p99 <= BOUNDS[BOUNDS.len() - 1] || values.iter().any(|&v| v > BOUNDS[BOUNDS.len() - 1]));
+    }
+}

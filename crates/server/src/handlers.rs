@@ -27,9 +27,15 @@ pub fn route(state: &ServerState, req: &Request) -> Response {
         ("GET", "/v1/schema") => schema(state),
         ("GET", "/v1/audit") => audit(state, req, &params),
         ("GET", "/v1/monitor") => monitor(state, req, &params),
+        ("GET", "/v1/metrics") => metrics(state, &params),
+        ("GET", "/v1/trace") => trace(state, &params),
         ("POST", "/v1/ingest/records") => ingest_records(state, req, &params),
         ("POST", "/v1/ingest/snapshot") => ingest_snapshot(state, req, &params),
-        (_, "/v1/healthz" | "/v1/schema" | "/v1/audit" | "/v1/monitor") => not_allowed("GET"),
+        (
+            _,
+            "/v1/healthz" | "/v1/schema" | "/v1/audit" | "/v1/monitor" | "/v1/metrics"
+            | "/v1/trace",
+        ) => not_allowed("GET"),
         (_, "/v1/ingest/records" | "/v1/ingest/snapshot") => not_allowed("POST"),
         _ => error_response(
             404,
@@ -52,11 +58,127 @@ fn json_response(value: &Value) -> Response {
 }
 
 fn healthz(state: &ServerState) -> Response {
+    let fleet = state.fleet_telemetry();
+    let depths = fleet
+        .shards()
+        .iter()
+        .map(|s| int(s.queue_depth()))
+        .collect();
     json_response(&Value::Obj(vec![
         ("status".to_string(), Value::Str("ok".to_string())),
         ("version".to_string(), int(state.version())),
         ("shards".to_string(), int(state.shards() as u64)),
+        (
+            "build".to_string(),
+            Value::Str(env!("CARGO_PKG_VERSION").to_string()),
+        ),
+        (
+            "uptime_seconds".to_string(),
+            Value::Float(state.obs().uptime_seconds()),
+        ),
+        ("queue_depths".to_string(), Value::Arr(depths)),
+        (
+            "max_lag_seconds".to_string(),
+            Value::Float(fleet.max_lag_seconds()),
+        ),
     ]))
+}
+
+/// `GET /v1/metrics`: the registry scrape. Prometheus text by default,
+/// `?format=json` for the structured rendering. Deliberately outside the
+/// version-keyed response caches: a scrape must always see live values.
+fn metrics(state: &ServerState, params: &[(String, String)]) -> Response {
+    match query_param(params, "format") {
+        None | Some("text") | Some("prometheus") => Response::new(
+            200,
+            "text/plain; version=0.0.4",
+            state.obs().registry().render_text().into_bytes(),
+        ),
+        Some("json") => Response::new(
+            200,
+            "application/json",
+            state.obs().registry().render_json().into_bytes(),
+        ),
+        Some(other) => error_response(
+            400,
+            "unknown_format",
+            &format!("`{other}` is not a metrics format (text, prometheus, json)"),
+        ),
+    }
+}
+
+/// `GET /v1/trace`: recent (default) or slowest (`?order=slowest`)
+/// request spans from the ring, newest last, at most `?n=` (default 20).
+fn trace(state: &ServerState, params: &[(String, String)]) -> Response {
+    let Some(ring) = state.obs().trace_ring() else {
+        return json_response(&Value::Obj(vec![
+            ("enabled".to_string(), Value::Bool(false)),
+            ("spans".to_string(), Value::Arr(Vec::new())),
+        ]));
+    };
+    let n = match query_param(params, "n").map(parse_usize) {
+        None => 20,
+        Some(Ok(n)) => n,
+        Some(Err(resp)) => return *resp,
+    };
+    let spans = match query_param(params, "order") {
+        None | Some("recent") => {
+            let mut recent = ring.recent();
+            if recent.len() > n {
+                recent.drain(..recent.len() - n);
+            }
+            recent
+        }
+        Some("slowest") => ring.slowest(n),
+        Some(other) => {
+            return error_response(
+                400,
+                "unknown_order",
+                &format!("`{other}` is not a span order (recent, slowest)"),
+            )
+        }
+    };
+    let spans = spans
+        .into_iter()
+        .map(|s| {
+            Value::Obj(vec![
+                ("name".to_string(), Value::Str(s.name)),
+                (
+                    "start_seconds".to_string(),
+                    Value::Float(s.start_nanos as f64 * 1e-9),
+                ),
+                (
+                    "duration_seconds".to_string(),
+                    Value::Float(s.duration_nanos as f64 * 1e-9),
+                ),
+                (
+                    "fields".to_string(),
+                    Value::Obj(
+                        s.fields
+                            .into_iter()
+                            .map(|(k, v)| (k, Value::Str(v)))
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    json_response(&Value::Obj(vec![
+        ("enabled".to_string(), Value::Bool(true)),
+        ("capacity".to_string(), int(ring.capacity() as u64)),
+        ("dropped".to_string(), int(ring.dropped())),
+        ("spans".to_string(), Value::Arr(spans)),
+    ]))
+}
+
+fn parse_usize(raw: &str) -> std::result::Result<usize, Box<Response>> {
+    raw.parse().map_err(|_| {
+        Box::new(error_response(
+            400,
+            "bad_parameter",
+            &format!("`{raw}` is not a non-negative integer"),
+        ))
+    })
 }
 
 fn int(v: u64) -> Value {

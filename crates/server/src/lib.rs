@@ -17,7 +17,9 @@
 //! | `/v1/audit` | GET | batch audit over the merged counts (`estimator=`, `subsets=`, `attrs=`, `window=`, `positive=`) |
 //! | `/v1/monitor` | GET | windowed ε, trend, alerts, change-point alarms |
 //! | `/v1/schema` | GET | catalog + vocabularies |
-//! | `/v1/healthz` | GET | liveness + ingest version |
+//! | `/v1/healthz` | GET | liveness, ingest version, per-shard queue depths, uptime |
+//! | `/v1/metrics` | GET | telemetry scrape (Prometheus text, `?format=json` for JSON) |
+//! | `/v1/trace` | GET | recent/slowest request spans from the trace ring |
 //!
 //! Responses negotiate JSON/CSV/markdown/text via `Accept` or
 //! `?format=`; errors map [`df_core::DfError`] to typed statuses with
@@ -59,11 +61,13 @@ pub mod client;
 mod error;
 pub mod http;
 mod negotiate;
+mod obs;
 mod state;
 
 mod handlers;
 
 pub use negotiate::NegotiateError;
+pub use obs::AccessRecord;
 pub use state::ServerState;
 
 use df_core::builder::{EpsilonEstimator, Smoothed, SubsetPolicy};
@@ -72,6 +76,7 @@ use df_core::monitor::{AlertRule, ChangepointSpec};
 use df_core::{DfError, Result};
 use df_prob::contingency::Axis;
 use http::{read_request, write_response, NextRequest, POLL_INTERVAL};
+use obs::Endpoint;
 use state::StateConfig;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -98,6 +103,9 @@ pub struct ServerBuilder {
     max_body_bytes: usize,
     keep_alive: Duration,
     snapshot_timeout: Duration,
+    latency_buckets: Option<Vec<f64>>,
+    trace_spans: usize,
+    access_log: Option<obs::AccessLogFn>,
 }
 
 impl ServerBuilder {
@@ -195,6 +203,32 @@ impl ServerBuilder {
         self
     }
 
+    /// Upper bucket boundaries, in seconds, for the per-endpoint
+    /// request-latency histograms served by `/v1/metrics` (default: the
+    /// df-obs log-scale ladder from 1 µs up). Must be strictly
+    /// increasing, finite, and non-empty — `bind` fails otherwise.
+    pub fn latency_buckets(mut self, bounds: Vec<f64>) -> Self {
+        self.latency_buckets = Some(bounds);
+        self
+    }
+
+    /// Capacity of the request-span trace ring behind `/v1/trace`
+    /// (default 256; `0` disables tracing entirely — spans still feed
+    /// the latency histograms, but nothing is retained).
+    pub fn trace_spans(mut self, capacity: usize) -> Self {
+        self.trace_spans = capacity;
+        self
+    }
+
+    /// Installs a structured access-log hook, called synchronously once
+    /// per response — routed or not, success or error (off by default).
+    /// Keep it cheap; hand off to a channel for real sinks.
+    /// [`AccessRecord::to_line`] renders the conventional one-liner.
+    pub fn access_log(mut self, hook: impl Fn(&AccessRecord<'_>) + Send + Sync + 'static) -> Self {
+        self.access_log = Some(Arc::new(hook));
+        self
+    }
+
     /// Binds the listener, spawns the accept loop and worker pool, and
     /// returns the running server.
     pub fn bind(self, addr: &str) -> Result<Server> {
@@ -219,6 +253,9 @@ impl ServerBuilder {
             changepoints: self.changepoints,
             shards: self.shards,
             snapshot_timeout: self.snapshot_timeout,
+            latency_bounds: self.latency_buckets,
+            trace_capacity: self.trace_spans,
+            access_log: self.access_log,
         })?;
         let listener = TcpListener::bind(addr)
             .map_err(|e| DfError::Invalid(format!("cannot bind {addr}: {e}")))?;
@@ -292,6 +329,9 @@ impl Server {
             max_body_bytes: 1 << 20,
             keep_alive: Duration::from_secs(5),
             snapshot_timeout: Duration::from_secs(5),
+            latency_buckets: None,
+            trace_spans: 256,
+            access_log: None,
         }
     }
 
@@ -386,7 +426,29 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
         ) {
             Ok(NextRequest::Ready(req)) => {
                 let keep = req.keep_alive && !shared.shutdown.load(Ordering::Relaxed);
+                let obs = shared.state.obs();
+                let endpoint = Endpoint::of(&req.path);
+                let mut span = obs.span(endpoint);
+                span.field("method", req.method.clone());
+                span.field("path", req.path.clone());
                 let resp = handlers::route(&shared.state, &req);
+                span.field("status", resp.status.to_string());
+                let seconds = span.finish();
+                obs.record(
+                    endpoint,
+                    resp.status,
+                    req.body.len() as u64,
+                    resp.body.len() as u64,
+                );
+                obs.access(&AccessRecord {
+                    method: &req.method,
+                    path: &req.path,
+                    query: &req.query,
+                    status: resp.status,
+                    seconds,
+                    request_bytes: req.body.len() as u64,
+                    response_bytes: resp.body.len() as u64,
+                });
                 if write_response(&mut stream, &resp, keep).is_err() || !keep {
                     return;
                 }
@@ -411,6 +473,19 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                         error::error_response(501, "not_implemented", &msg)
                     }
                 };
+                // Pre-route failures still count: a flood of 4xx parse
+                // errors must show up in the status-class counters.
+                let obs = shared.state.obs();
+                obs.record(Endpoint::Other, resp.status, 0, resp.body.len() as u64);
+                obs.access(&AccessRecord {
+                    method: "-",
+                    path: "-",
+                    query: "",
+                    status: resp.status,
+                    seconds: 0.0,
+                    request_bytes: 0,
+                    response_bytes: resp.body.len() as u64,
+                });
                 // df-lint: allow(must-use-results) -- the connection closes either way; the error response is best effort
                 let _ = write_response(&mut stream, &resp, false);
                 return;

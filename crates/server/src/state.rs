@@ -25,8 +25,9 @@
 //! that provably can never land behind any shard's window horizon.
 
 use crate::http::Response;
+use crate::obs::{AccessLogFn, ServerObs};
 use df_core::builder::{Audit, EpsilonEstimator, SubsetPolicy};
-use df_core::fleet::{merge_many, FleetIngest, SnapshotDecoder};
+use df_core::fleet::{merge_many, FleetIngest, FleetTelemetry, SnapshotDecoder};
 use df_core::metric::Metric;
 use df_core::monitor::{AlertRule, ChangepointSpec, MonitorBuilder, MonitorSnapshot};
 use df_core::{DfError, Result};
@@ -34,7 +35,7 @@ use df_data::chunks::LabelChunk;
 use df_prob::contingency::Axis;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Locks a mutex, recovering the data if a previous holder panicked.
 ///
@@ -66,6 +67,9 @@ pub(crate) struct StateConfig {
     pub changepoints: Vec<ChangepointSpec>,
     pub shards: usize,
     pub snapshot_timeout: Duration,
+    pub latency_bounds: Option<Vec<f64>>,
+    pub trace_capacity: usize,
+    pub access_log: Option<AccessLogFn>,
 }
 
 /// The shared, long-lived server state; one instance per [`crate::Server`].
@@ -92,6 +96,7 @@ pub struct ServerState {
     max_seen: Mutex<Option<f64>>,
     snap_cache: Mutex<Option<(u64, MonitorSnapshot)>>,
     resp_cache: Mutex<(u64, HashMap<String, Response>)>,
+    obs: ServerObs,
 }
 
 impl ServerState {
@@ -116,6 +121,12 @@ impl ServerState {
         };
         let reference = builder().build()?.snapshot()?;
         let fleet = builder().fleet::<LabelChunk>(cfg.shards)?;
+        let obs = ServerObs::new(
+            fleet.telemetry(),
+            cfg.latency_bounds.as_deref(),
+            cfg.trace_capacity,
+            cfg.access_log,
+        )?;
         let vocab = cfg
             .axes
             .iter()
@@ -140,7 +151,18 @@ impl ServerState {
             max_seen: Mutex::new(None),
             snap_cache: Mutex::new(None),
             resp_cache: Mutex::new((0, HashMap::new())),
+            obs,
         })
+    }
+
+    /// The server's wired telemetry (registry, spans, counters).
+    pub(crate) fn obs(&self) -> &ServerObs {
+        &self.obs
+    }
+
+    /// The fleet's live telemetry (per-shard traffic, staleness, cuts).
+    pub(crate) fn fleet_telemetry(&self) -> &Arc<FleetTelemetry> {
+        self.fleet.telemetry()
     }
 
     /// The outcome axis name.
@@ -322,9 +344,11 @@ impl ServerState {
         let version = self.version();
         if let Some((v, snap)) = &*lock_recover(&self.snap_cache) {
             if *v == version {
+                self.obs.snapshot_cache(true);
                 return Ok((version, snap.clone()));
             }
         }
+        self.obs.snapshot_cache(false);
         let snap = self.merged_snapshot(timeout)?;
         *lock_recover(&self.snap_cache) = Some((version, snap.clone()));
         Ok((version, snap))
@@ -333,9 +357,11 @@ impl ServerState {
     /// A cached rendered response, valid only at the given version.
     pub fn cached_response(&self, version: u64, key: &str) -> Option<Response> {
         let cache = lock_recover(&self.resp_cache);
-        (cache.0 == version)
+        let hit = (cache.0 == version)
             .then(|| cache.1.get(key).cloned())
-            .flatten()
+            .flatten();
+        self.obs.render_cache(hit.is_some());
+        hit
     }
 
     /// Stores a rendered response under the given version, resetting the

@@ -148,6 +148,32 @@ fn main() {
         println!("  {tag:<22} statistic = {headline}");
     }
 
+    // The telemetry the ops side scrapes: every request above is already
+    // in the per-endpoint histograms, the shards report ingest volume
+    // and staleness, and the health check carries queue depths + uptime.
+    let metrics = client.get("/v1/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    let text = metrics.text();
+    let interesting: Vec<&str> = text
+        .lines()
+        .filter(|l| {
+            l.starts_with("df_requests_total")
+                || l.starts_with("df_ingest_rows_total")
+                || l.starts_with("df_fleet_max_lag_seconds")
+                || l.starts_with("df_monitor_push_seconds_count")
+                || l.starts_with("df_cache_requests_total")
+        })
+        .collect();
+    println!(
+        "\n-- GET /v1/metrics ({} series total) --\n{}",
+        text.lines().filter(|l| !l.starts_with('#')).count(),
+        interesting.join("\n")
+    );
+
+    let health = client.get("/v1/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    println!("\n-- GET /v1/healthz --\n{}", health.text());
+
     server.shutdown();
     println!("\nserver shut down cleanly");
 }

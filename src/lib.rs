@@ -91,6 +91,7 @@
 //! | `data` (df_data) | data frames, CSV, encoders, the calibrated synthetic Adult benchmark, Table 1 data |
 //! | `learn` (df_learn) | logistic regression (plain and DF-regularized), naive Bayes, trees, metrics, threshold mechanisms |
 //! | `server` (df_server) | the ε-DF audit query service: HTTP/1.1 ingest + audit/monitor endpoints over a long-lived fleet, with content negotiation |
+//! | `obs` (df_obs) | dependency-free telemetry: lock-free counters/gauges, mergeable log-scale histograms, a labeled registry with Prometheus/JSON exposition, and request spans — scraped live at `/v1/metrics` |
 //!
 //! The `df-bench` crate (not re-exported) regenerates every table and
 //! figure of the paper; see `EXPERIMENTS.md`.
@@ -101,6 +102,7 @@
 pub use df_core as core;
 pub use df_data as data;
 pub use df_learn as learn;
+pub use df_obs as obs;
 pub use df_prob as prob;
 pub use df_server as server;
 
@@ -225,7 +227,7 @@ pub mod prelude {
     pub use df_core::equalized::{opportunity_epsilon, EqualizedOddsCounts};
     pub use df_core::fleet::{
         decode_snapshot, encode_snapshot, merge_many, merge_tree, FleetIngest, FleetProducer,
-        SnapshotDecoder, SnapshotEncoder,
+        FleetTelemetry, ShardTelemetry, SnapshotDecoder, SnapshotEncoder,
     };
     pub use df_core::mechanism::{estimate_group_outcomes, FnMechanism, Mechanism};
     pub use df_core::metric::{
@@ -235,7 +237,7 @@ pub mod prelude {
     pub use df_core::monitor::{
         Alert, AlertRule, ChangeSignal, ChangepointAlarm, ChangepointSpec, ChangepointStatus,
         CountsSnapshot, Cusum, FairnessMonitor, MonitorBuilder, MonitorSnapshot, MonitorStep,
-        PageHinkley,
+        MonitorTelemetry, PageHinkley,
     };
     pub use df_core::privacy::{PrivacyRegime, RANDOMIZED_RESPONSE_EPSILON};
     pub use df_core::report::ResponseFormat;
@@ -261,11 +263,15 @@ pub mod prelude {
     pub use df_learn::fair::{FairLogisticConfig, FairLogisticRegression};
     pub use df_learn::logistic::{LogisticConfig, LogisticRegression};
     pub use df_learn::threshold::ThresholdMechanism;
+    pub use df_obs::{
+        Clock, Counter, Gauge, Histogram, HistogramSnapshot, ManualClock, RealClock, Registry,
+        Span, SpanRecord, TraceRing, Tracer,
+    };
     pub use df_prob::contingency::{Axis, ContingencyTable};
     pub use df_prob::partial::{PartialCounts, Tally};
     pub use df_prob::rng::{DfRng, Pcg32};
     pub use df_server::client::{ClientResponse, Http1Client};
-    pub use df_server::{Server, ServerBuilder};
+    pub use df_server::{AccessRecord, Server, ServerBuilder};
 }
 
 #[cfg(test)]

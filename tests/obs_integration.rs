@@ -1,0 +1,255 @@
+//! End-to-end telemetry test: real traffic over TCP through
+//! [`Http1Client`], then a `/v1/metrics` scrape (text and JSON) that
+//! must cover all three instrumented layers — request latency and
+//! status-class counters at the HTTP edge, per-shard traffic and
+//! staleness in the fleet ingest, and alert counts from the shard
+//! monitors — plus the trace ring, the extended health check, and the
+//! access-log hook.
+
+use differential_fairness::prelude::*;
+use serde_json::Value;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+fn axes() -> Vec<Axis> {
+    vec![
+        Axis::from_strs("y", &["no", "yes"]).unwrap(),
+        Axis::from_strs("g", &["a", "b"]).unwrap(),
+    ]
+}
+
+fn num(v: &Value) -> f64 {
+    match v {
+        Value::Int(i) => *i as f64,
+        Value::Float(f) => *f,
+        other => panic!("expected a number, got {other:?}"),
+    }
+}
+
+/// The `"series"` array of the named metric in a `?format=json` scrape.
+fn series<'a>(scrape: &'a Value, metric: &str) -> &'a [Value] {
+    let metrics = scrape.field("metrics").as_arr("metrics").unwrap();
+    let found = metrics
+        .iter()
+        .find(|m| matches!(m.field("name"), Value::Str(n) if n == metric))
+        .unwrap_or_else(|| panic!("metric {metric} not in the scrape"));
+    found.field("series").as_arr("series").unwrap()
+}
+
+/// The single series of `metric` whose labels include `(key, value)`.
+fn series_with<'a>(scrape: &'a Value, metric: &str, key: &str, value: &str) -> &'a Value {
+    series(scrape, metric)
+        .iter()
+        .find(|s| matches!(s.field("labels").field(key), Value::Str(v) if v == value))
+        .unwrap_or_else(|| panic!("{metric}{{{key}={value}}} not in the scrape"))
+}
+
+fn raw_exchange(addr: SocketAddr, bytes: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    // The server may respond and close before we half-close; a failed
+    // write/shutdown is part of the scenario, not a test failure.
+    let _ = stream.write_all(bytes);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut out = String::new();
+    let _ = stream.read_to_string(&mut out);
+    out
+}
+
+#[test]
+fn metrics_scrape_covers_all_three_layers() {
+    let log: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&log);
+    let server = Server::builder("y", axes())
+        .window_seconds(1e6)
+        .bucket_seconds(1.0)
+        .shards(2)
+        .workers(2)
+        .alert(AlertRule::epsilon_above(1.0))
+        .trace_spans(64)
+        .access_log(move |r| sink.lock().unwrap().push(r.to_line()))
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let mut c = Http1Client::connect(server.local_addr()).unwrap();
+
+    // Shard 0, data time 10: a balanced chunk (ε = 0, no alert), then a
+    // heavily skewed one (smoothed ε = ln 9 > 1 ⇒ exactly one alert).
+    let balanced = br#"[["no","a"],["yes","a"],["no","b"],["yes","b"]]"#;
+    let resp = c
+        .request("POST", "/v1/ingest/records?at=10&shard=0", &[], balanced)
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let skewed: Vec<Vec<&str>> = (0..8)
+        .map(|_| vec!["no", "a"])
+        .chain((0..8).map(|_| vec!["yes", "b"]))
+        .collect();
+    let body = serde_json::to_string(&Value::Arr(
+        skewed
+            .iter()
+            .map(|r| Value::Arr(r.iter().map(|s| Value::Str(s.to_string())).collect()))
+            .collect(),
+    ))
+    .unwrap();
+    let resp = c
+        .request(
+            "POST",
+            "/v1/ingest/records?at=10&shard=0",
+            &[],
+            body.as_bytes(),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+
+    // Shard 1, data time 4: one quiet row — six seconds of lag.
+    let resp = c
+        .request(
+            "POST",
+            "/v1/ingest/records?at=4&shard=1",
+            &[],
+            br#"[["no","a"]]"#,
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+
+    // Two identical audits: the first cuts the fleet (both caches miss),
+    // the second is served entirely warm (both caches hit).
+    assert_eq!(c.get("/v1/audit").unwrap().status, 200);
+    assert_eq!(c.get("/v1/audit").unwrap().status, 200);
+
+    // A routed 404 and a pre-route parse failure: both must land in the
+    // status-class counters under endpoint="other".
+    assert_eq!(c.get("/no/such/route").unwrap().status, 404);
+    let garbage = raw_exchange(server.local_addr(), b"BLAH\r\n\r\n");
+    assert!(garbage.starts_with("HTTP/1.1 400"), "{garbage}");
+
+    // --- Prometheus text exposition. ---
+    let text_resp = c.get("/v1/metrics").unwrap();
+    assert_eq!(text_resp.status, 200);
+    assert_eq!(
+        text_resp.header("content-type"),
+        Some("text/plain; version=0.0.4")
+    );
+    let text = text_resp.text();
+    for needle in [
+        "df_requests_total{endpoint=\"ingest_records\",status=\"2xx\"} 3",
+        "df_requests_total{endpoint=\"audit\",status=\"2xx\"} 2",
+        "df_requests_total{endpoint=\"other\",status=\"4xx\"} 2",
+        "df_request_seconds_count{endpoint=\"audit\"} 2",
+        "df_ingest_rows_total{shard=\"0\"} 20",
+        "df_ingest_rows_total{shard=\"1\"} 1",
+        "df_ingest_chunks_total{shard=\"0\"} 2",
+        "df_cache_requests_total{cache=\"snapshot\",result=\"hit\"} 1",
+        "df_cache_requests_total{cache=\"snapshot\",result=\"miss\"} 1",
+        "df_cache_requests_total{cache=\"render\",result=\"hit\"} 1",
+        "df_cache_requests_total{cache=\"render\",result=\"miss\"} 1",
+        "df_snapshots_total 1",
+        "df_monitor_alerts_total 1",
+        "df_monitor_evictions_total 0",
+        "# TYPE df_request_seconds histogram",
+        "# HELP df_fleet_max_lag_seconds",
+    ] {
+        assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+    }
+
+    // --- JSON exposition: the numbers the dashboards would read. ---
+    let json_resp = c.get("/v1/metrics?format=json").unwrap();
+    assert_eq!(json_resp.status, 200);
+    assert_eq!(json_resp.header("content-type"), Some("application/json"));
+    let scrape = serde_json::parse(&json_resp.text()).unwrap();
+    let lag = &series(&scrape, "df_fleet_max_lag_seconds")[0];
+    assert!((num(lag.field("value")) - 6.0).abs() < 1e-9);
+    let shard0 = series_with(&scrape, "df_shard_last_seen_seconds", "shard", "0");
+    assert!((num(shard0.field("value")) - 10.0).abs() < 1e-9);
+    let audit_latency = series_with(&scrape, "df_request_seconds", "endpoint", "audit");
+    assert_eq!(num(audit_latency.field("count")), 2.0);
+    assert!(num(audit_latency.field("p99")) > 0.0);
+    let pushes = &series(&scrape, "df_monitor_push_seconds")[0];
+    assert_eq!(num(pushes.field("count")), 3.0);
+    assert!(num(series(&scrape, "df_uptime_seconds")[0].field("value")) >= 0.0);
+    let cut = &series(&scrape, "df_snapshot_cut_seconds")[0];
+    assert_eq!(num(cut.field("count")), 1.0);
+    // Queue depths have converged to zero once the cut completed.
+    for s in series(&scrape, "df_ingest_queue_depth") {
+        assert_eq!(num(s.field("value")), 0.0);
+    }
+
+    // Unknown scrape format → a plain 400, not a negotiation error.
+    assert_eq!(c.get("/v1/metrics?format=yaml").unwrap().status, 400);
+
+    // --- Trace ring: spans with fields, recent and slowest orders. ---
+    let trace = serde_json::parse(&c.get("/v1/trace?n=50").unwrap().text()).unwrap();
+    assert_eq!(trace.field("enabled"), &Value::Bool(true));
+    let spans = trace.field("spans").as_arr("spans").unwrap();
+    assert!(spans.len() >= 7, "only {} spans traced", spans.len());
+    let audit_span = spans
+        .iter()
+        .find(|s| matches!(s.field("name"), Value::Str(n) if n == "audit"))
+        .unwrap();
+    assert_eq!(
+        audit_span.field("fields").field("status"),
+        &Value::Str("200".to_string())
+    );
+    assert!(num(audit_span.field("duration_seconds")) >= 0.0);
+    let slowest = serde_json::parse(&c.get("/v1/trace?order=slowest&n=2").unwrap().text()).unwrap();
+    assert!(slowest.field("spans").as_arr("spans").unwrap().len() <= 2);
+    assert_eq!(c.get("/v1/trace?order=sideways").unwrap().status, 400);
+
+    // --- Extended health check. ---
+    let health = serde_json::parse(&c.get("/v1/healthz").unwrap().text()).unwrap();
+    assert_eq!(health.field("status"), &Value::Str("ok".to_string()));
+    assert!(matches!(health.field("build"), Value::Str(v) if !v.is_empty()));
+    assert!(num(health.field("uptime_seconds")) >= 0.0);
+    assert_eq!(
+        health.field("queue_depths").as_arr("depths").unwrap().len(),
+        2
+    );
+    assert!((num(health.field("max_lag_seconds")) - 6.0).abs() < 1e-9);
+
+    server.shutdown();
+
+    // --- Access log: one line per response, error paths included. ---
+    let lines = log.lock().unwrap().clone();
+    let of = |needle: &str| lines.iter().filter(|l| l.contains(needle)).count();
+    assert_eq!(of("path=/v1/audit "), 2, "{lines:#?}");
+    assert_eq!(of("status=404"), 1, "{lines:#?}");
+    assert_eq!(of("method=- path=- "), 1, "{lines:#?}");
+    assert!(lines.iter().any(|l| l.contains("path=/v1/metrics")
+        && l.contains("status=200")
+        && l.contains("query=\"format=json\"")));
+}
+
+#[test]
+fn tracing_can_be_disabled_and_metrics_stay_uncached() {
+    let server = Server::builder("y", axes())
+        .window_seconds(1e6)
+        .bucket_seconds(1.0)
+        .shards(1)
+        .workers(1)
+        .trace_spans(0)
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let mut c = Http1Client::connect(server.local_addr()).unwrap();
+
+    let trace = serde_json::parse(&c.get("/v1/trace").unwrap().text()).unwrap();
+    assert_eq!(trace.field("enabled"), &Value::Bool(false));
+    assert!(trace.field("spans").as_arr("spans").unwrap().is_empty());
+
+    // Latency histograms still fill with tracing off, and successive
+    // scrapes see successively newer values (no response cache).
+    assert_eq!(c.get("/v1/healthz").unwrap().status, 200);
+    let first = c.get("/v1/metrics").unwrap().text();
+    assert!(first.contains("df_request_seconds_count{endpoint=\"healthz\"} 1"));
+    assert!(first.contains("df_requests_total{endpoint=\"metrics\",status=\"2xx\"} 0"));
+    let second = c.get("/v1/metrics").unwrap().text();
+    assert!(second.contains("df_requests_total{endpoint=\"metrics\",status=\"2xx\"} 1"));
+
+    // Wrong method on the new routes answers 405 with an Allow header.
+    let resp = c.request("POST", "/v1/metrics", &[], b"").unwrap();
+    assert_eq!(resp.status, 405);
+    assert_eq!(resp.header("allow"), Some("GET"));
+    server.shutdown();
+}
